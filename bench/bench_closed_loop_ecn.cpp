@@ -1,0 +1,99 @@
+// Extension experiment: the analog AQM against *responsive* (AIMD)
+// traffic, with and without ECN marking — the congestion-control
+// cognitive function of Fig. 5 exercised end to end.
+//
+// Shape to check: with responsive sources the AQM holds its delay bound
+// at high link utilisation; turning on ECN converts most drops into CE
+// marks at equal-or-better delay (the RFC 8033/8290-era argument).
+#include "bench_util.hpp"
+
+#include "analognf/aqm/analog_aqm.hpp"
+#include "analognf/aqm/codel.hpp"
+#include "analognf/aqm/pie.hpp"
+#include "analognf/common/units.hpp"
+#include "analognf/sim/closed_loop.hpp"
+
+namespace {
+
+using namespace analognf;
+
+sim::ClosedLoopConfig LoopConfig(double ecn_fraction) {
+  sim::ClosedLoopConfig c;
+  c.sources = 8;
+  c.duration_s = 25.0;
+  c.warmup_s = 8.0;
+  c.link_rate_bps = 10.0e6;
+  c.base_rtt_s = 0.040;
+  c.ecn_fraction = ecn_fraction;
+  return c;
+}
+
+void AddRow(Table& table, const std::string& name,
+            const sim::ClosedLoopReport& r) {
+  table.AddRow(
+      {name, FormatDuration(r.delay_stats.mean()),
+       FormatSig(r.LinkUtilization(10.0e6, 1000) * 100.0, 3) + " %",
+       std::to_string(r.dropped_packets), std::to_string(r.marked_packets),
+       FormatSig(r.FairnessIndex(), 3)});
+}
+
+void Report() {
+  bench::Banner("Closed loop: 8 AIMD sources, 10 Mb/s bottleneck, "
+                "40 ms RTT");
+  Table table({"policy", "mean queue delay", "utilisation", "drops",
+               "CE marks", "fairness"});
+
+  {
+    aqm::TailDropOnly policy;
+    sim::ClosedLoopConfig c = LoopConfig(0.0);
+    c.queue.max_packets = 200;  // deep buffer: bufferbloat baseline
+    sim::ClosedLoopSimulator sim(c, policy);
+    AddRow(table, "taildrop(200p)", sim.Run());
+  }
+  {
+    aqm::Codel policy;
+    sim::ClosedLoopSimulator sim(LoopConfig(0.0), policy);
+    AddRow(table, "CoDel", sim.Run());
+  }
+  {
+    aqm::PieConfig pc;
+    pc.drain_rate_bps = 10.0e6;
+    aqm::Pie policy(pc, 3);
+    sim::ClosedLoopSimulator sim(LoopConfig(0.0), policy);
+    AddRow(table, "PIE", sim.Run());
+  }
+  {
+    aqm::AnalogAqm policy(aqm::AnalogAqmConfig{});
+    sim::ClosedLoopSimulator sim(LoopConfig(0.0), policy);
+    AddRow(table, "pCAM AQM (drop)", sim.Run());
+  }
+  {
+    aqm::AnalogAqmConfig ac;
+    ac.ecn_enabled = true;
+    aqm::AnalogAqm policy(ac);
+    sim::ClosedLoopSimulator sim(LoopConfig(1.0), policy);
+    AddRow(table, "pCAM AQM (ECN)", sim.Run());
+  }
+  bench::PrintTable(table);
+  bench::Line("shape: responsive traffic lets every AQM hold its bound at "
+              "high utilisation; ECN trades drops for marks on the "
+              "analog path too");
+}
+
+// --- timings ------------------------------------------------------------
+
+void BM_ClosedLoopSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    aqm::AnalogAqm policy(aqm::AnalogAqmConfig{});
+    sim::ClosedLoopConfig c = LoopConfig(0.0);
+    c.duration_s = 1.0;
+    c.warmup_s = 0.2;
+    sim::ClosedLoopSimulator sim(c, policy);
+    benchmark::DoNotOptimize(sim.Run());
+  }
+}
+BENCHMARK(BM_ClosedLoopSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+ANALOGNF_BENCH_MAIN(Report)

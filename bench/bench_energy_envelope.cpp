@@ -1,0 +1,80 @@
+// Sec. 6 "Energy Consumption": the pCAM energy envelope over the
+// Nb:SrTiO3 dataset — maximum ~0.16 nJ/bit/cell, lowest-energy states
+// ~0.01 fJ/bit/cell, at least 50x better than digital computation.
+#include "bench_util.hpp"
+
+#include <sstream>
+
+#include "analognf/common/units.hpp"
+#include "analognf/device/dataset.hpp"
+#include "analognf/energy/reference.hpp"
+
+namespace {
+
+using namespace analognf;
+
+void Report() {
+  bench::Banner("Sec. 6: pCAM energy envelope over the memristor dataset");
+
+  device::SynthesisConfig config;
+  config.states_per_machine = 40;  // reach deep LRS states
+  const device::MemristorDataset ds =
+      device::MemristorDataset::Synthesize(config);
+  const device::EnergyEnvelope env = ds.ComputeEnvelope();
+
+  Table per_voltage({"read V", "min E/bit/cell", "max E/bit/cell"});
+  for (double v : {0.1, 0.5, 1.0, 2.0, 3.0, 4.0}) {
+    double lo = 0.0;
+    double hi = 0.0;
+    bool first = true;
+    for (const auto& r : ds.records()) {
+      if (r.read_voltage_v != v) continue;
+      if (first || r.read_energy_j < lo) lo = r.read_energy_j;
+      if (first || r.read_energy_j > hi) hi = r.read_energy_j;
+      first = false;
+    }
+    per_voltage.AddRow(
+        {FormatSig(v, 3), FormatEnergy(lo), FormatEnergy(hi)});
+  }
+  bench::PrintTable(per_voltage);
+
+  Table summary({"metric", "paper", "measured"});
+  summary.AddRow({"max energy/bit/cell", "0.16 nJ",
+                  FormatEnergy(env.max_energy_j)});
+  summary.AddRow({"min energy/bit/cell", "0.01 fJ",
+                  FormatEnergy(env.min_energy_j)});
+  const double best_digital =
+      energy::BestDigitalDesign().energy_lo_j_per_bit;
+  summary.AddRow({"advantage vs best digital (0.58 fJ/bit)", ">= 50x",
+                  FormatSig(best_digital / env.min_energy_j, 4) + "x"});
+  bench::PrintTable(summary);
+
+  bench::Line("distinct programmable resistance levels in dataset: " +
+              std::to_string(ds.DistinctResistances(1e-3).size()));
+}
+
+// --- timings ------------------------------------------------------------
+
+void BM_ComputeEnvelope(benchmark::State& state) {
+  const device::MemristorDataset ds =
+      device::MemristorDataset::Synthesize(device::SynthesisConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.ComputeEnvelope());
+  }
+}
+BENCHMARK(BM_ComputeEnvelope);
+
+void BM_CsvRoundTrip(benchmark::State& state) {
+  const device::MemristorDataset ds =
+      device::MemristorDataset::Synthesize(device::SynthesisConfig{});
+  for (auto _ : state) {
+    std::stringstream ss;
+    ds.SaveCsv(ss);
+    benchmark::DoNotOptimize(device::MemristorDataset::LoadCsv(ss));
+  }
+}
+BENCHMARK(BM_CsvRoundTrip);
+
+}  // namespace
+
+ANALOGNF_BENCH_MAIN(Report)

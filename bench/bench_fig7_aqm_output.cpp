@@ -1,0 +1,87 @@
+// Fig. 7: Analog AQM outputs for the memristor dataset.
+//
+//  (a) PDP vs input voltage in [1, 4] V  — the sojourn-time stage swept
+//      through its DAC range with the other features quiescent.
+//  (b) PDP vs input voltage in [-2, 1] V — the first-derivative stage
+//      swept through its (signed) range.
+//
+// Both sweeps run on device-backed pCAM cells programmed from the
+// synthetic Nb:SrTiO3 state ladder, the same substitution DESIGN.md
+// documents for the paper's "memristor dataset".
+#include "bench_util.hpp"
+
+#include "analognf/aqm/analog_aqm.hpp"
+
+namespace {
+
+using namespace analognf;
+
+aqm::AnalogAqm MakeAqm() {
+  aqm::AnalogAqmConfig config;
+  config.hardware.state_levels = 1024;
+  return aqm::AnalogAqm(config);
+}
+
+std::vector<double> NeutralFeatures(const aqm::AnalogAqm& policy) {
+  // Quiescent derivatives sit at the modulator-neutral voltage (-0.5 V);
+  // the buffer stage is neutral below 50% occupancy (1.2 V).
+  std::vector<double> volts(policy.table().spec().read.size(), -0.5);
+  volts[4] = 1.2;
+  return volts;
+}
+
+void Report() {
+  aqm::AnalogAqm policy = MakeAqm();
+
+  bench::Banner("Fig. 7a: PDP vs input in [1, 4] V (sojourn stage)");
+  Table a({"input V", "PDP"});
+  for (double v = 1.0; v <= 4.0 + 1e-9; v += 0.2) {
+    auto volts = NeutralFeatures(policy);
+    volts[0] = v;
+    a.AddRow({FormatSig(v, 3), FormatSig(policy.EvaluatePdp(volts), 4)});
+  }
+  bench::PrintTable(a);
+
+  bench::Banner("Fig. 7b: PDP vs input in [-2, 1] V (d/dt stage)");
+  Table b({"input V", "PDP"});
+  for (double v = -2.0; v <= 1.0 + 1e-9; v += 0.2) {
+    auto volts = NeutralFeatures(policy);
+    volts[0] = 2.0;  // mid-ramp sojourn so the modulation is visible
+    volts[1] = v;
+    b.AddRow({FormatSig(v, 3), FormatSig(policy.EvaluatePdp(volts), 4)});
+  }
+  bench::PrintTable(b);
+
+  bench::Line("paper: PDP ranges 0..1 over the analog input, rising with "
+              "congestion features mapped to hardware voltages via DACs");
+}
+
+// --- timings ------------------------------------------------------------
+
+void BM_FullPdpEvaluation(benchmark::State& state) {
+  aqm::AnalogAqm policy = MakeAqm();
+  auto volts = NeutralFeatures(policy);
+  volts[0] = 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.EvaluatePdp(volts));
+  }
+}
+BENCHMARK(BM_FullPdpEvaluation);
+
+void BM_AdmissionDecision(benchmark::State& state) {
+  aqm::AnalogAqm policy = MakeAqm();
+  aqm::AqmContext ctx;
+  ctx.sojourn_s = 0.020;
+  ctx.queue_packets = 20;
+  ctx.queue_bytes = 20000;
+  ctx.packet.size_bytes = 1000;
+  for (auto _ : state) {
+    ctx.now_s += 0.001;
+    benchmark::DoNotOptimize(policy.ShouldDropOnEnqueue(ctx));
+  }
+}
+BENCHMARK(BM_AdmissionDecision);
+
+}  // namespace
+
+ANALOGNF_BENCH_MAIN(Report)

@@ -1,0 +1,85 @@
+// Search latency/throughput scaling: the Table 1 latency column in
+// context. Functional-model searches per second for the digital TCAM
+// and the analog pCAM table across table sizes and key widths, plus the
+// modelled hardware latency both technologies would exhibit.
+#include "bench_util.hpp"
+
+#include "analognf/common/units.hpp"
+#include "analognf/core/pcam_array.hpp"
+#include "analognf/tcam/tcam.hpp"
+
+namespace {
+
+using namespace analognf;
+
+void Report() {
+  bench::Banner("Search scaling: modelled hardware latency per search");
+  Table table({"design", "latency", "energy per 104-bit search"});
+  const auto cmos = tcam::TcamTechnology::TransistorCmos();
+  const auto mtcam = tcam::TcamTechnology::MemristorTcam();
+  table.AddRow({cmos.name, FormatDuration(cmos.search_latency_s),
+                FormatEnergy(104.0 * cmos.search_energy_per_bit_j)});
+  table.AddRow({mtcam.name, FormatDuration(mtcam.search_latency_s),
+                FormatEnergy(104.0 * mtcam.search_energy_per_bit_j)});
+  core::HardwarePcamCell cell(
+      core::PcamParams::MakeTrapezoid(1.5, 2.5, 4.5, 5.0),
+      core::HardwarePcamConfig{});
+  table.AddRow({"pCAM (this work)", "1 ns",
+                FormatEnergy(104.0 * cell.SearchEnergyJ(0.1))});
+  bench::PrintTable(table);
+  bench::Line("paper Table 1: all designs search in O(ns); the analog "
+              "advantage is energy, not raw latency");
+}
+
+// --- timings: functional-model throughput -------------------------------
+
+void BM_TcamSearchScaling(benchmark::State& state) {
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  tcam::TcamTable table(32, tcam::TcamTechnology::MemristorTcam());
+  for (std::size_t i = 0; i < entries; ++i) {
+    table.Insert({tcam::TernaryWord::FromPrefix(
+                      static_cast<std::uint32_t>(i * 2654435761u), 24),
+                  static_cast<std::uint32_t>(i), 0});
+  }
+  tcam::BitKey key;
+  key.AppendU32(0xdeadbeef);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Search(key));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TcamSearchScaling)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_PcamTableSearchScaling(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  core::PcamTable table(1, core::HardwarePcamConfig{});
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double center = 1.0 + 0.01 * static_cast<double>(i);
+    table.Insert({"row" + std::to_string(i),
+                  {core::PcamParams::MakeBand(center, 0.002, 0.01)},
+                  static_cast<std::uint32_t>(i)});
+  }
+  const std::vector<double> probe = {1.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Search(probe));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PcamTableSearchScaling)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_PcamWordWidthScaling(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  std::vector<core::PcamParams> fields(
+      width, core::PcamParams::MakeTrapezoid(1.0, 2.0, 3.0, 4.0));
+  core::PcamWord word(fields, core::HardwarePcamConfig{});
+  const std::vector<double> inputs(width, 2.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(word.Evaluate(inputs));
+  }
+  state.counters["width"] = static_cast<double>(width);
+}
+BENCHMARK(BM_PcamWordWidthScaling)->Arg(1)->Arg(8)->Arg(32)->Arg(104);
+
+}  // namespace
+
+ANALOGNF_BENCH_MAIN(Report)

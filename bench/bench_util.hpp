@@ -1,0 +1,43 @@
+// Shared helpers for the benchmark harness.
+//
+// Every bench binary first prints the paper table/figure it regenerates
+// as `[REPRO]`-prefixed lines (consumed by EXPERIMENTS.md), then runs
+// its google-benchmark timings. BENCH_MAIN wires that order up.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "analognf/common/table.hpp"
+
+namespace analognf::bench {
+
+inline constexpr const char* kPrefix = "[REPRO] ";
+
+inline void Banner(const std::string& title) {
+  std::cout << kPrefix << "==== " << title << " ====\n";
+}
+
+inline void Line(const std::string& text) {
+  std::cout << kPrefix << text << "\n";
+}
+
+inline void PrintTable(const Table& table) {
+  table.Print(std::cout, kPrefix);
+}
+
+}  // namespace analognf::bench
+
+// Prints the repro report, then runs the registered benchmarks.
+#define ANALOGNF_BENCH_MAIN(report_fn)                       \
+  int main(int argc, char** argv) {                          \
+    report_fn();                                             \
+    ::benchmark::Initialize(&argc, argv);                    \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
+      return 1;                                              \
+    ::benchmark::RunSpecifiedBenchmarks();                   \
+    ::benchmark::Shutdown();                                 \
+    return 0;                                                \
+  }

@@ -1,0 +1,66 @@
+// Device characterisation: trace the pinched hysteresis loop — the
+// defining memristor signature (Chua 1971, cited in the paper's Sec. 2).
+//
+// Usage: hysteresis [out.csv]
+// Prints loop metrics; optionally writes the full I-V trajectory as CSV
+// for plotting (columns: time_s, voltage_v, current_a, state).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "analognf/device/characterization.hpp"
+
+using namespace analognf::device;
+
+int main(int argc, char** argv) {
+  std::printf("%-12s %-12s %-14s %-12s\n", "period (s)", "loop area",
+              "state swing", "pinched@0V");
+  for (double period : {0.5, 0.1, 0.02, 0.002}) {
+    Memristor device(MemristorParams::NbSrTiO3(), 0.5);
+    HysteresisSweepConfig config;
+    config.period_s = period;
+    config.cycles = 2;
+    const auto trace = TraceHysteresis(device, config);
+
+    double min_state = 1.0;
+    double max_state = 0.0;
+    double worst_zero_crossing_a = 0.0;
+    for (const IvPoint& p : trace) {
+      min_state = std::min(min_state, p.state);
+      max_state = std::max(max_state, p.state);
+      if (std::fabs(p.voltage_v) < 1e-9) {
+        worst_zero_crossing_a =
+            std::max(worst_zero_crossing_a, std::fabs(p.current_a));
+      }
+    }
+    std::printf("%-12g %-12.3g %-14.3f %-12s\n", period, LoopArea(trace),
+                max_state - min_state,
+                worst_zero_crossing_a < 1e-15 ? "yes" : "no");
+  }
+  std::puts("\nthe loop area shrinks as the drive outruns the state — the");
+  std::puts("frequency dependence that distinguishes a memristor from a");
+  std::puts("nonlinear resistor.");
+
+  if (argc > 1) {
+    Memristor device(MemristorParams::NbSrTiO3(), 0.5);
+    HysteresisSweepConfig config;
+    config.period_s = 0.1;
+    config.cycles = 2;
+    const auto trace = TraceHysteresis(device, config);
+    std::ofstream out(argv[1]);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    out << "time_s,voltage_v,current_a,state\n";
+    out.precision(12);
+    for (const IvPoint& p : trace) {
+      out << p.time_s << ',' << p.voltage_v << ',' << p.current_a << ','
+          << p.state << '\n';
+    }
+    std::printf("\ntrajectory written to %s (%zu points)\n", argv[1],
+                trace.size());
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "analognf/analog/crossbar.hpp"
+
+#include <stdexcept>
+
+namespace analognf::analog {
+
+Crossbar::Crossbar(std::size_t rows, std::size_t cols,
+                   const device::MemristorParams& params,
+                   const device::DeviceVariation* variation,
+                   std::uint64_t seed)
+    : rows_(rows), cols_(cols) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("Crossbar: zero dimension");
+  }
+  params.Validate();
+  cells_.reserve(rows * cols);
+  analognf::RandomStream rng(seed);
+  for (std::size_t i = 0; i < rows * cols; ++i) {
+    device::MemristorParams cell_params =
+        variation != nullptr ? variation->Apply(params, rng) : params;
+    cells_.emplace_back(cell_params, /*initial_state=*/0.0);
+  }
+}
+
+std::size_t Crossbar::Index(std::size_t row, std::size_t col) const {
+  if (row >= rows_ || col >= cols_) {
+    throw std::out_of_range("Crossbar: cell index out of range");
+  }
+  return row * cols_ + col;
+}
+
+device::Memristor& Crossbar::At(std::size_t row, std::size_t col) {
+  return cells_[Index(row, col)];
+}
+
+const device::Memristor& Crossbar::At(std::size_t row,
+                                      std::size_t col) const {
+  return cells_[Index(row, col)];
+}
+
+void Crossbar::ProgramConductances(const std::vector<double>& siemens) {
+  if (siemens.size() != cells_.size()) {
+    throw std::invalid_argument(
+        "Crossbar::ProgramConductances: size mismatch");
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (!(siemens[i] > 0.0)) {
+      throw std::invalid_argument(
+          "Crossbar::ProgramConductances: non-positive conductance");
+    }
+    cells_[i].SetResistance(1.0 / siemens[i]);
+  }
+}
+
+std::vector<double> Crossbar::Multiply(
+    const std::vector<double>& row_voltages) {
+  if (row_voltages.size() != rows_) {
+    throw std::invalid_argument("Crossbar::Multiply: voltage size mismatch");
+  }
+  std::vector<double> currents(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double v = row_voltages[r];
+    if (v == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const device::Memristor& cell = cells_[r * cols_ + c];
+      const double g = cell.ConductanceS();
+      currents[c] += v * g;
+      consumed_energy_j_ += v * v * g * cell.params().read_time_s;
+    }
+  }
+  return currents;
+}
+
+}  // namespace analognf::analog

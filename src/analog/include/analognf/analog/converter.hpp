@@ -1,0 +1,60 @@
+// Digital <-> analog converters at the boundary between the digital
+// pipeline and the pCAM array (Fig. 5 / Fig. 7: "analog input ... mapped
+// to hardware voltages (DACs)").
+#pragma once
+
+#include <cstdint>
+
+#include "analognf/analog/signal.hpp"
+#include "analognf/common/rng.hpp"
+
+namespace analognf::analog {
+
+// Behavioural DAC: converts a feature value to a voltage through a
+// LinearMap, quantised to `bits` of resolution, with optional
+// integral-nonlinearity (INL) noise in LSBs.
+class Dac {
+ public:
+  // bits in [1, 24]; inl_sigma_lsb >= 0 adds Gaussian error scaled by
+  // one LSB to each conversion.
+  Dac(LinearMap map, unsigned bits, double inl_sigma_lsb = 0.0,
+      std::uint64_t noise_seed = 0x0dac5eed);
+
+  // Feature -> quantised output voltage.
+  double Convert(double feature);
+
+  double LsbVolts() const;
+  unsigned bits() const { return bits_; }
+  const LinearMap& map() const { return map_; }
+
+ private:
+  LinearMap map_;
+  unsigned bits_;
+  double inl_sigma_lsb_;
+  analognf::RandomStream rng_;
+};
+
+// Behavioural ADC: inverse direction, quantising a voltage into a code
+// and reporting the reconstructed feature value.
+class Adc {
+ public:
+  Adc(LinearMap map, unsigned bits, double inl_sigma_lsb = 0.0,
+      std::uint64_t noise_seed = 0x0adc5eed);
+
+  // Voltage -> code in [0, 2^bits - 1].
+  std::uint32_t Sample(double voltage_v);
+  // Voltage -> reconstructed feature value.
+  double Convert(double voltage_v);
+
+  double LsbVolts() const;
+  unsigned bits() const { return bits_; }
+  const LinearMap& map() const { return map_; }
+
+ private:
+  LinearMap map_;
+  unsigned bits_;
+  double inl_sigma_lsb_;
+  analognf::RandomStream rng_;
+};
+
+}  // namespace analognf::analog

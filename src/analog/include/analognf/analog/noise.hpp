@@ -1,0 +1,66 @@
+// Analog signal-integrity model.
+//
+// RQ2 of the paper: "the match output can lose its precision depending
+// upon the line losses, signal strength and interference from the
+// neighboring components." This module models those three effects on a
+// voltage travelling between architecture blocks, so that the precision
+// requirements of different network functions (IP lookup vs. AQM) can be
+// analysed quantitatively (bench_ablation_noise).
+#pragma once
+
+#include "analognf/common/rng.hpp"
+
+namespace analognf::analog {
+
+// Channel parameters. All default to the ideal channel.
+struct ChannelParams {
+  // Multiplicative line loss: the fraction of amplitude *retained*
+  // (1.0 = lossless, 0.98 = 2% attenuation).
+  double line_gain = 1.0;
+  // Additive white Gaussian noise, std-dev in volts (thermal + sense-amp
+  // input-referred noise).
+  double awgn_sigma_v = 0.0;
+  // Peak amplitude of deterministic crosstalk from neighbouring lines,
+  // in volts. Modelled as a phase-advancing sinusoid so repeated samples
+  // decorrelate the way periodic aggressor activity does.
+  double interference_peak_v = 0.0;
+  // Crosstalk phase advance per sample, radians.
+  double interference_step_rad = 2.399963;  // golden-angle: no short cycles
+
+  void Validate() const;  // throws std::invalid_argument
+
+  // Convenience presets used across tests and benches.
+  static ChannelParams Ideal() { return {}; }
+  static ChannelParams Noisy(double sigma_v) {
+    ChannelParams p;
+    p.awgn_sigma_v = sigma_v;
+    return p;
+  }
+};
+
+// A stateful noisy channel: Transmit() applies line loss, crosstalk and
+// AWGN to one voltage sample.
+class AnalogChannel {
+ public:
+  AnalogChannel(ChannelParams params, analognf::RandomStream rng);
+
+  // An ideal (identity) channel with an unused RNG.
+  static AnalogChannel MakeIdeal();
+
+  double Transmit(double voltage_v);
+
+  const ChannelParams& params() const { return params_; }
+
+ private:
+  ChannelParams params_;
+  analognf::RandomStream rng_;
+  double phase_rad_ = 0.0;
+};
+
+// Johnson-Nyquist thermal noise voltage std-dev for a resistance read
+// over the given bandwidth: sqrt(4 k T R B). Exposed so device-level
+// noise floors can be derived from the memristor state being read.
+double ThermalNoiseSigmaV(double resistance_ohm, double bandwidth_hz,
+                          double temperature_k);
+
+}  // namespace analognf::analog

@@ -1,0 +1,41 @@
+// Sample-and-hold: the front-end block that freezes an analog feature
+// while the pCAM array evaluates it.
+//
+// A real analog match pipeline cannot read a moving target: the DAC
+// output is sampled onto a hold capacitor for the duration of the
+// search. The hold is imperfect — the capacitor droops — which adds a
+// time-dependent error term to RQ2's precision budget for slow searches.
+#pragma once
+
+#include <cstdint>
+
+namespace analognf::analog {
+
+class SampleAndHold {
+ public:
+  // `droop_v_per_s` is the hold-mode leakage slew toward 0 V
+  // (>= 0; 0 = ideal hold).
+  explicit SampleAndHold(double droop_v_per_s = 0.0);
+
+  // Track mode: the output follows the input. Time must not go
+  // backwards across calls (either mode).
+  double Track(double t_s, double input_v);
+
+  // Hold mode: returns the held value at time `t_s`, drooped toward 0 V
+  // by elapsed hold time. Holding before any Track returns 0 V.
+  double Hold(double t_s);
+
+  double output() const { return output_v_; }
+  bool holding() const { return holding_; }
+
+ private:
+  void CheckTime(double t_s);
+
+  double droop_v_per_s_;
+  double output_v_ = 0.0;
+  double last_t_s_ = 0.0;
+  bool primed_ = false;
+  bool holding_ = false;
+};
+
+}  // namespace analognf::analog

@@ -1,0 +1,48 @@
+#include "analognf/analog/sample_hold.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace analognf::analog {
+
+SampleAndHold::SampleAndHold(double droop_v_per_s)
+    : droop_v_per_s_(droop_v_per_s) {
+  if (droop_v_per_s < 0.0) {
+    throw std::invalid_argument("SampleAndHold: negative droop rate");
+  }
+}
+
+void SampleAndHold::CheckTime(double t_s) {
+  if (primed_ && t_s < last_t_s_) {
+    throw std::invalid_argument("SampleAndHold: time went backwards");
+  }
+  primed_ = true;
+}
+
+double SampleAndHold::Track(double t_s, double input_v) {
+  CheckTime(t_s);
+  last_t_s_ = t_s;
+  holding_ = false;
+  output_v_ = input_v;
+  return output_v_;
+}
+
+double SampleAndHold::Hold(double t_s) {
+  CheckTime(t_s);
+  const double dt = t_s - last_t_s_;
+  last_t_s_ = t_s;
+  if (!holding_) {
+    holding_ = true;  // hold starts from the last tracked value
+  }
+  if (droop_v_per_s_ > 0.0 && dt > 0.0) {
+    const double droop = droop_v_per_s_ * dt;
+    if (std::fabs(output_v_) <= droop) {
+      output_v_ = 0.0;
+    } else {
+      output_v_ -= output_v_ > 0.0 ? droop : -droop;
+    }
+  }
+  return output_v_;
+}
+
+}  // namespace analognf::analog

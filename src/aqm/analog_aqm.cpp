@@ -1,0 +1,260 @@
+#include "analognf/aqm/analog_aqm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace analognf::aqm {
+namespace {
+
+// Stage-name helpers matching the paper's listings.
+std::string DerivName(const std::string& base, std::size_t order) {
+  if (order == 0) return base;
+  if (order == 1) return "d/dt(" + base + ")";
+  return "d" + std::to_string(order) + "/dt" + std::to_string(order) + "(" +
+         base + ")";
+}
+
+}  // namespace
+
+void AnalogAqmConfig::Validate() const {
+  if (!(target_delay_s > 0.0) || !(max_deviation_s > 0.0)) {
+    throw std::invalid_argument(
+        "AnalogAqmConfig: target delay and deviation must be > 0");
+  }
+  if (max_deviation_s >= target_delay_s) {
+    throw std::invalid_argument(
+        "AnalogAqmConfig: deviation must be below the target delay");
+  }
+  if (derivative_orders > 3) {
+    throw std::invalid_argument("AnalogAqmConfig: derivative_orders > 3");
+  }
+  if (!(buffer_reference_bytes > 0.0)) {
+    throw std::invalid_argument(
+        "AnalogAqmConfig: buffer_reference_bytes <= 0");
+  }
+  if (!(derivative_time_constant_s > 0.0)) {
+    throw std::invalid_argument(
+        "AnalogAqmConfig: derivative_time_constant_s <= 0");
+  }
+  for (double fs : derivative_full_scale) {
+    if (!(fs > 0.0)) {
+      throw std::invalid_argument(
+          "AnalogAqmConfig: derivative_full_scale <= 0");
+    }
+  }
+  if (high_priority_relief < 0.0 || high_priority_relief > 1.0) {
+    throw std::invalid_argument(
+        "AnalogAqmConfig: high_priority_relief outside [0,1]");
+  }
+  if (dac_energy_j < 0.0) {
+    throw std::invalid_argument("AnalogAqmConfig: dac_energy_j < 0");
+  }
+  if (derivative_energy_j < 0.0) {
+    throw std::invalid_argument("AnalogAqmConfig: derivative_energy_j < 0");
+  }
+  if (ecn_drop_threshold < 0.0 || ecn_drop_threshold > 1.0) {
+    throw std::invalid_argument(
+        "AnalogAqmConfig: ecn_drop_threshold outside [0,1]");
+  }
+  hardware.Validate();
+}
+
+core::AnalogTableSpec AnalogAqm::BuildSpec() const {
+  const AnalogAqmConfig& c = config_;
+  core::AnalogTableSpec spec;
+  spec.name = "analogAQM";
+  spec.combine = c.combine;
+
+  // --- Base sojourn stage: the PDP ramp. -------------------------------
+  // Feature domain [0, 2*(target+deviation)] maps onto feature_range
+  // ([1,4] V). The ramp rises from 0 at (target - deviation) to 1 at
+  // (target + deviation); M3/M4 sit above the DAC's maximum output so
+  // in-range inputs never reach the falling edge (the cell saturates at
+  // pmax for severe congestion).
+  const double domain_hi = 2.0 * (c.target_delay_s + c.max_deviation_s);
+  const analog::LinearMap sojourn_map(0.0, domain_hi, c.feature_range);
+  const double v_lo = sojourn_map.ToVoltage(c.target_delay_s -
+                                            c.max_deviation_s);
+  const double v_hi = sojourn_map.ToVoltage(c.target_delay_s +
+                                            c.max_deviation_s);
+  const double v_max = c.feature_range.hi_v;
+  spec.read.push_back(
+      {DerivName("sojourn_time", 0),
+       core::PcamParams::MakeTrapezoid(v_lo, v_hi, v_max + 0.5, v_max + 1.0,
+                                       /*pmax=*/1.0, /*pmin=*/0.0)});
+
+  // --- Sojourn derivative stages: neutral-at-zero modulators. ----------
+  // A derivative of 0 maps to output 1.0; strongly positive derivatives
+  // (congestion building) push the stage toward pmax = 1.5, strongly
+  // negative ones (queue draining) toward pmin = 0.5. Under the product
+  // rule they scale the base PDP without ever being able to zero it out.
+  // Modulator gain shrinks with derivative order: each differentiation
+  // stage amplifies sampling noise, so the 2nd/3rd-order features get a
+  // progressively smaller say (their rails sit closer to the neutral 1.0).
+  const double dv_max = c.derivative_range.hi_v;
+  static constexpr double kSojournGain[] = {0.5, 0.2, 0.1};
+  for (std::size_t order = 1; order <= c.derivative_orders; ++order) {
+    const double fs = c.derivative_full_scale[order - 1];
+    const double gain = kSojournGain[order - 1];
+    const analog::LinearMap dmap(-fs, fs, c.derivative_range);
+    spec.read.push_back(
+        {DerivName("sojourn_time", order),
+         core::PcamParams::MakeTrapezoid(
+             dmap.ToVoltage(-0.5 * fs), dmap.ToVoltage(0.5 * fs),
+             dv_max + 0.5, dv_max + 1.0, /*pmax=*/1.0 + gain,
+             /*pmin=*/1.0 - gain)});
+  }
+
+  if (c.use_buffer_features) {
+    // --- Buffer occupancy stage: drop booster. -------------------------
+    // Below ~50% occupancy the stage is neutral (1.0); it rises to 1.5
+    // as the buffer approaches its reference size. pmin = 1.0 means the
+    // buffer can only amplify the sojourn-driven decision, never veto it.
+    const analog::LinearMap bmap(0.0, 1.5, c.feature_range);
+    spec.read.push_back(
+        {DerivName("buffer_size", 0),
+         core::PcamParams::MakeTrapezoid(bmap.ToVoltage(0.5),
+                                         bmap.ToVoltage(1.0), v_max + 0.5,
+                                         v_max + 1.0, /*pmax=*/1.5,
+                                         /*pmin=*/1.0)});
+    // Buffer derivative modulators (occupancy-fraction rates; a queue
+    // swings occupancy roughly twice as fast as it swings sojourn).
+    // Same order-graded gains, at 60% of the sojourn family's weight.
+    static constexpr double kBufferGain[] = {0.3, 0.12, 0.06};
+    for (std::size_t order = 1; order <= c.derivative_orders; ++order) {
+      const double fs = 2.0 * c.derivative_full_scale[order - 1];
+      const double gain = kBufferGain[order - 1];
+      const analog::LinearMap dmap(-fs, fs, c.derivative_range);
+      spec.read.push_back(
+          {DerivName("buffer_size", order),
+           core::PcamParams::MakeTrapezoid(
+               dmap.ToVoltage(-0.5 * fs), dmap.ToVoltage(0.5 * fs),
+               dv_max + 0.5, dv_max + 1.0, /*pmax=*/1.0 + gain,
+               /*pmin=*/1.0 - gain)});
+    }
+  }
+  return spec;
+}
+
+void AnalogAqm::BuildDacs() {
+  const AnalogAqmConfig& c = config_;
+  dacs_.clear();
+  const double domain_hi = 2.0 * (c.target_delay_s + c.max_deviation_s);
+  std::uint64_t salt = 0;
+  auto add_dac = [&](const analog::LinearMap& map) {
+    dacs_.emplace_back(map, c.dac_bits, c.dac_inl_sigma_lsb,
+                       c.seed ^ (0xdacdacULL + salt++));
+  };
+
+  add_dac(analog::LinearMap(0.0, domain_hi, c.feature_range));
+  for (std::size_t order = 1; order <= c.derivative_orders; ++order) {
+    const double fs = c.derivative_full_scale[order - 1];
+    add_dac(analog::LinearMap(-fs, fs, c.derivative_range));
+  }
+  if (c.use_buffer_features) {
+    add_dac(analog::LinearMap(0.0, 1.5, c.feature_range));
+    for (std::size_t order = 1; order <= c.derivative_orders; ++order) {
+      const double fs = 2.0 * c.derivative_full_scale[order - 1];
+      add_dac(analog::LinearMap(-fs, fs, c.derivative_range));
+    }
+  }
+}
+
+AnalogAqm::AnalogAqm(AnalogAqmConfig config)
+    : config_([&] {
+        config.Validate();
+        return config;
+      }()),
+      rng_(config_.seed),
+      sojourn_chain_(std::max<std::size_t>(config_.derivative_orders, 1),
+                     config_.derivative_time_constant_s),
+      buffer_chain_(std::max<std::size_t>(config_.derivative_orders, 1),
+                    config_.derivative_time_constant_s) {
+  core::HardwarePcamConfig hardware = config_.hardware;
+  hardware.seed = config_.seed ^ 0x9cab;
+  table_ = std::make_unique<core::AnalogMatchActionTable>(BuildSpec(),
+                                                          hardware);
+  BuildDacs();
+  if (dacs_.size() != table_->spec().read.size()) {
+    throw std::logic_error("AnalogAqm: DAC/field count mismatch");
+  }
+}
+
+std::vector<double> AnalogAqm::FeaturesToVoltages(
+    const std::vector<double>& sojourn_derivs,
+    const std::vector<double>& buffer_derivs) {
+  const std::size_t per_family = config_.derivative_orders + 1;
+  if (sojourn_derivs.size() < per_family ||
+      (config_.use_buffer_features && buffer_derivs.size() < per_family)) {
+    throw std::invalid_argument(
+        "AnalogAqm::FeaturesToVoltages: not enough derivative values");
+  }
+  std::vector<double> volts;
+  volts.reserve(dacs_.size());
+  std::size_t dac = 0;
+  for (std::size_t k = 0; k < per_family; ++k) {
+    volts.push_back(dacs_[dac++].Convert(sojourn_derivs[k]));
+  }
+  if (config_.use_buffer_features) {
+    for (std::size_t k = 0; k < per_family; ++k) {
+      volts.push_back(dacs_[dac++].Convert(buffer_derivs[k]));
+    }
+  }
+  ledger_.Record(energy::category::kDacConvert,
+                 config_.dac_energy_j * static_cast<double>(volts.size()),
+                 volts.size());
+  return volts;
+}
+
+double AnalogAqm::EvaluatePdp(const std::vector<double>& features_v) {
+  const auto out = table_->Apply(features_v);
+  ledger_.Record(energy::category::kPcamSearch, out.energy_j, 1);
+  return std::clamp(out.value, 0.0, 1.0);
+}
+
+bool AnalogAqm::ShouldDropOnEnqueue(const AqmContext& ctx) {
+  return DecideOnEnqueue(ctx) == AqmVerdict::kDrop;
+}
+
+AqmVerdict AnalogAqm::DecideOnEnqueue(const AqmContext& ctx) {
+  // Analog feature extraction: advance both derivative chains with the
+  // current queue observations.
+  const std::vector<double>& sojourn =
+      sojourn_chain_.Step(ctx.now_s, ctx.sojourn_s);
+  const std::vector<double>& buffer = buffer_chain_.Step(
+      ctx.now_s,
+      static_cast<double>(ctx.queue_bytes) / config_.buffer_reference_bytes);
+  // The analog differentiator stages dissipate per sample (both chains).
+  const double chain_stages =
+      static_cast<double>(sojourn_chain_.max_order() +
+                          (config_.use_buffer_features
+                               ? buffer_chain_.max_order()
+                               : 0));
+  ledger_.Record("analog.derivative",
+                 config_.derivative_energy_j * chain_stages,
+                 static_cast<std::uint64_t>(chain_stages));
+
+  const std::vector<double> volts = FeaturesToVoltages(sojourn, buffer);
+  double pdp = EvaluatePdp(volts);
+  if (ctx.packet.priority >= 4) pdp *= config_.high_priority_relief;
+  last_pdp_ = pdp;
+  if (!rng_.NextBernoulli(pdp)) return AqmVerdict::kAccept;
+  // Congestion signalled on this packet: mark if ECN applies and the
+  // congestion is not yet severe, else drop.
+  if (config_.ecn_enabled && ctx.packet.ecn_capable &&
+      pdp < config_.ecn_drop_threshold) {
+    return AqmVerdict::kMark;
+  }
+  return AqmVerdict::kDrop;
+}
+
+void AnalogAqm::Reset() {
+  sojourn_chain_.Reset();
+  buffer_chain_.Reset();
+  last_pdp_ = 0.0;
+  ledger_.Reset();
+}
+
+}  // namespace analognf::aqm

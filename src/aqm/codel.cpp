@@ -1,0 +1,73 @@
+#include "analognf/aqm/codel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace analognf::aqm {
+
+void CodelConfig::Validate() const {
+  if (!(target_s > 0.0) || !(interval_s > 0.0)) {
+    throw std::invalid_argument("CodelConfig: target and interval must be > 0");
+  }
+}
+
+Codel::Codel(CodelConfig config) : config_(config) { config_.Validate(); }
+
+double Codel::ControlLawNext(double t) const {
+  return t + config_.interval_s / std::sqrt(static_cast<double>(count_));
+}
+
+bool Codel::ShouldDropOnDequeue(const AqmContext& ctx) {
+  const double now = ctx.now_s;
+  const double sojourn = ctx.sojourn_s;
+
+  // --- dodeque: is the delay below target (or queue nearly empty)? ---
+  bool ok_to_drop = false;
+  if (sojourn < config_.target_s || ctx.queue_bytes <= ctx.packet.size_bytes) {
+    first_above_time_s_ = 0.0;
+  } else {
+    if (first_above_time_s_ == 0.0) {
+      first_above_time_s_ = now + config_.interval_s;
+    } else if (now >= first_above_time_s_) {
+      ok_to_drop = true;
+    }
+  }
+
+  if (dropping_) {
+    if (!ok_to_drop) {
+      dropping_ = false;
+      return false;
+    }
+    if (now >= drop_next_s_) {
+      ++count_;
+      drop_next_s_ = ControlLawNext(drop_next_s_);
+      return true;
+    }
+    return false;
+  }
+
+  if (ok_to_drop) {
+    dropping_ = true;
+    // RFC 8289: restart from a count related to the previous dropping
+    // episode if it was recent, else from 1.
+    if (count_ > 2 && now - drop_next_s_ < 8.0 * config_.interval_s) {
+      count_ = count_ - 2;
+    } else {
+      count_ = 1;
+    }
+    lastcount_ = count_;
+    drop_next_s_ = ControlLawNext(now);
+    return true;
+  }
+  return false;
+}
+
+void Codel::Reset() {
+  first_above_time_s_ = 0.0;
+  drop_next_s_ = 0.0;
+  count_ = 0;
+  lastcount_ = 0;
+  dropping_ = false;
+}
+
+}  // namespace analognf::aqm

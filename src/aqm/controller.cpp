@@ -1,0 +1,78 @@
+#include "analognf/aqm/controller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analognf/analog/signal.hpp"
+
+namespace analognf::aqm {
+
+void AqmControllerConfig::Validate() const {
+  if (!(adapt_interval_s > 0.0)) {
+    throw std::invalid_argument("AqmControllerConfig: adapt_interval <= 0");
+  }
+  if (!(gain > 0.0) || gain > 1.0) {
+    throw std::invalid_argument("AqmControllerConfig: gain outside (0, 1]");
+  }
+  if (!(min_scale > 0.0) || !(max_scale > min_scale)) {
+    throw std::invalid_argument(
+        "AqmControllerConfig: require 0 < min_scale < max_scale");
+  }
+  if (dead_band < 0.0) {
+    throw std::invalid_argument("AqmControllerConfig: dead_band < 0");
+  }
+}
+
+CognitiveAqmController::CognitiveAqmController(AnalogAqm& aqm,
+                                               AqmControllerConfig config)
+    : aqm_(aqm), config_(config) {
+  config_.Validate();
+}
+
+void CognitiveAqmController::ObserveDeparture(double now_s,
+                                              double sojourn_s) {
+  if (!armed_) {
+    armed_ = true;
+    next_adapt_s_ = now_s + config_.adapt_interval_s;
+  }
+  window_.Add(sojourn_s);
+  if (now_s >= next_adapt_s_) {
+    Adapt(now_s);
+    next_adapt_s_ = now_s + config_.adapt_interval_s;
+    window_.Reset();
+  }
+}
+
+void CognitiveAqmController::Adapt(double now_s) {
+  (void)now_s;
+  if (window_.empty()) return;
+  const AnalogAqmConfig& c = aqm_.config();
+  const double target = c.target_delay_s;
+  const double error = window_.mean() - target;
+  if (std::abs(error) < config_.dead_band * target) return;
+
+  // Mean above target -> scale the ramp thresholds down (drop earlier);
+  // below target -> relax them up.
+  const double adjustment = 1.0 - config_.gain * (error / target);
+  scale_ = std::clamp(scale_ * adjustment, config_.min_scale,
+                      config_.max_scale);
+
+  // Rebuild the sojourn base-stage program at the new scale and push it
+  // through the table's update_pCAM action — the same path the paper's
+  // action section takes.
+  const double domain_hi = 2.0 * (c.target_delay_s + c.max_deviation_s);
+  const analog::LinearMap sojourn_map(0.0, domain_hi, c.feature_range);
+  const double lo_s = (c.target_delay_s - c.max_deviation_s) * scale_;
+  const double hi_s = (c.target_delay_s + c.max_deviation_s) * scale_;
+  const double v_lo = sojourn_map.ToVoltage(lo_s);
+  const double v_hi = sojourn_map.ToVoltage(hi_s);
+  if (!(v_lo < v_hi)) return;  // both clamped to the same rail: skip
+  const double v_max = c.feature_range.hi_v;
+  aqm_.table().UpdatePcam(
+      "sojourn_time",
+      core::PcamParams::MakeTrapezoid(v_lo, v_hi, v_max + 0.5, v_max + 1.0,
+                                      /*pmax=*/1.0, /*pmin=*/0.0));
+  ++adaptations_;
+}
+
+}  // namespace analognf::aqm

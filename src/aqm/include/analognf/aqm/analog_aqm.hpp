@@ -1,0 +1,145 @@
+// The paper's proof-of-concept: pCAM-based analog AQM (Sec. 5, Fig. 6).
+//
+// Data path per packet admission:
+//
+//   sojourn time  --+--> d/dt --> d2/dt2 --> d3/dt3   (analog derivative
+//   buffer size   --+--> d/dt --> d2/dt2 --> d3/dt3    chains, Fig. 6)
+//        |               |
+//        v               v
+//      DACs map every feature onto its hardware voltage range
+//        |
+//        v
+//      analog match-action table: one pCAM stage per feature
+//      (table analogAQM { read{...} output{AQM()} action{update_pCAM()} })
+//        |
+//        v
+//      PDP = clamp(product of stage outputs, 0, 1); priority relief;
+//      Bernoulli drop.
+//
+// Stage programming follows the paper's example: the cell is programmed
+// with a 20 ms average-delay target and 10 ms maximum deviation; the
+// sojourn base stage ramps the PDP from 0 at (target - deviation) to 1
+// at (target + deviation). Derivative and buffer stages are *modulator*
+// stages: their transfer functions are programmed to output 1.0 when the
+// feature is quiescent (pmin..pmax straddling 1), so under the product
+// rule they amplify drops while congestion builds and attenuate them
+// while the queue drains. EXPERIMENTS.md discusses why the product
+// composition requires this.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analognf/analog/converter.hpp"
+#include "analognf/analog/differentiator.hpp"
+#include "analognf/aqm/aqm.hpp"
+#include "analognf/common/rng.hpp"
+#include "analognf/core/program.hpp"
+#include "analognf/energy/ledger.hpp"
+
+namespace analognf::aqm {
+
+struct AnalogAqmConfig {
+  // The programmed latency bound (Fig. 8: 20 ms +/- 10 ms).
+  double target_delay_s = 0.020;
+  double max_deviation_s = 0.010;
+
+  // Derivative orders per feature (0 = base feature only, up to 3 as in
+  // the paper). Ablation A sweeps this.
+  std::size_t derivative_orders = 3;
+  // Include the buffer-size feature family.
+  bool use_buffer_features = true;
+  // Buffer occupancy is normalised by this reference size.
+  double buffer_reference_bytes = 150000.0;
+
+  // Analog bandwidth of the derivative chains.
+  double derivative_time_constant_s = 0.005;
+  // Full-scale magnitudes of the 1st..3rd derivative features
+  // (sojourn in s/s, 1/s, 1/s^2; buffer chain scales are 2x these).
+  // Calibrated to ~2 sigma of the feature distributions measured in a
+  // delay-controlled queue under bursty traffic, so the DAC range is
+  // used without constant saturation.
+  std::array<double, 3> derivative_full_scale = {2.0, 300.0, 50000.0};
+
+  // Hardware voltage ranges: the Fig. 7 sweeps. Sojourn/buffer features
+  // map onto [1,4] V (Fig. 7a), derivatives onto [-2,1] V (Fig. 7b).
+  analog::VoltageRange feature_range{1.0, 4.0};
+  analog::VoltageRange derivative_range{-2.0, 1.0};
+  unsigned dac_bits = 10;
+  double dac_inl_sigma_lsb = 0.0;
+  // Energy per DAC conversion (charged to the analog front-end).
+  double dac_energy_j = 1.0e-12;
+  // Energy per derivative-stage sample (the memristive differentiator
+  // of Fig. 6 is an RC-coupled analog block, not free; ~0.1 pJ per
+  // stage-update at these bandwidths).
+  double derivative_energy_j = 0.1e-12;
+
+  // Combine rule across stages (the paper's series pCAM = product).
+  core::CombineMode combine = core::CombineMode::kProduct;
+  // pCAM hardware (device model, state levels, channel noise...).
+  core::HardwarePcamConfig hardware{};
+
+  // "High priority traffic gets lower drop probability": multiplier
+  // applied to the PDP of packets with priority >= 4.
+  double high_priority_relief = 0.5;
+
+  // ECN: when enabled, ECN-capable packets whose PDP falls below
+  // ecn_drop_threshold are CE-marked instead of dropped; above it the
+  // congestion is considered severe and the packet drops regardless
+  // (mirrors PIE's mark/drop split).
+  bool ecn_enabled = false;
+  double ecn_drop_threshold = 0.85;
+
+  std::uint64_t seed = 0xa0a051;
+
+  void Validate() const;  // throws std::invalid_argument
+};
+
+class AnalogAqm final : public AqmPolicy {
+ public:
+  explicit AnalogAqm(AnalogAqmConfig config);
+
+  bool ShouldDropOnEnqueue(const AqmContext& ctx) override;
+  AqmVerdict DecideOnEnqueue(const AqmContext& ctx) override;
+  std::string name() const override { return "pcam-analog-aqm"; }
+  void Reset() override;
+  double LastDropProbability() const override { return last_pdp_; }
+
+  // Computes the PDP for a context without consuming randomness or
+  // updating derivative state — the pure pipeline evaluation used by the
+  // Fig. 7 transfer-function sweeps.
+  double EvaluatePdp(const std::vector<double>& features_v);
+
+  // Feature vector (voltages, in table order) for the given raw
+  // sojourn/buffer derivative values. Exposed for the benches.
+  std::vector<double> FeaturesToVoltages(
+      const std::vector<double>& sojourn_derivs,
+      const std::vector<double>& buffer_derivs);
+
+  // The compiled analog match-action table (to inspect or update_pCAM).
+  core::AnalogMatchActionTable& table() { return *table_; }
+  const core::AnalogMatchActionTable& table() const { return *table_; }
+
+  const AnalogAqmConfig& config() const { return config_; }
+  const energy::EnergyLedger& ledger() const { return ledger_; }
+
+  // Total pCAM + DAC energy consumed so far.
+  double ConsumedEnergyJ() const { return ledger_.TotalJ(); }
+
+ private:
+  core::AnalogTableSpec BuildSpec() const;
+  void BuildDacs();
+
+  AnalogAqmConfig config_;
+  analognf::RandomStream rng_;
+  analog::DerivativeChain sojourn_chain_;
+  analog::DerivativeChain buffer_chain_;
+  std::unique_ptr<core::AnalogMatchActionTable> table_;
+  std::vector<analog::Dac> dacs_;  // one per read field, in table order
+  energy::EnergyLedger ledger_;
+  double last_pdp_ = 0.0;
+};
+
+}  // namespace analognf::aqm

@@ -1,0 +1,57 @@
+// Proportional Integral controller Enhanced AQM (PIE, RFC 8033).
+// Digital baseline.
+//
+// PIE estimates queueing delay from the instantaneous queue length and a
+// drain-rate estimate, then updates a drop probability with a PI
+// controller every t_update: p += alpha*(delay - target) +
+// beta*(delay - delay_old). Packets are randomly dropped at enqueue with
+// probability p, with a burst allowance that suppresses drops after idle
+// periods.
+#pragma once
+
+#include <cstdint>
+
+#include "analognf/aqm/aqm.hpp"
+#include "analognf/common/rng.hpp"
+
+namespace analognf::aqm {
+
+struct PieConfig {
+  double target_delay_s = 0.015;      // RFC 8033 QDELAY_REF (15 ms)
+  double update_interval_s = 0.015;   // T_UPDATE
+  double alpha = 0.125;               // proportional gain [1/s]
+  double beta = 1.25;                 // derivative-of-error gain [1/s]
+  double max_burst_s = 0.150;         // MAX_BURST
+  // Drain rate used for the delay estimate (Little's law), bytes/s.
+  // RFC 8033 measures this; the simulator knows its link rate and
+  // passes it in.
+  double drain_rate_bps = 10e6;
+
+  void Validate() const;  // throws std::invalid_argument
+};
+
+class Pie final : public AqmPolicy {
+ public:
+  Pie(PieConfig config, std::uint64_t seed);
+
+  bool ShouldDropOnEnqueue(const AqmContext& ctx) override;
+  std::string name() const override { return "pie"; }
+  void Reset() override;
+  double LastDropProbability() const override { return drop_prob_; }
+
+  double current_delay_estimate_s() const { return qdelay_s_; }
+
+ private:
+  void MaybeUpdate(double now_s, std::uint64_t queue_bytes);
+
+  PieConfig config_;
+  analognf::RandomStream rng_;
+  double drop_prob_ = 0.0;
+  double qdelay_s_ = 0.0;
+  double qdelay_old_s_ = 0.0;
+  double last_update_s_ = 0.0;
+  double burst_allowance_s_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace analognf::aqm

@@ -1,0 +1,96 @@
+#include "analognf/aqm/pie.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analognf/common/units.hpp"
+
+namespace analognf::aqm {
+
+void PieConfig::Validate() const {
+  if (!(target_delay_s > 0.0) || !(update_interval_s > 0.0)) {
+    throw std::invalid_argument(
+        "PieConfig: target delay and update interval must be > 0");
+  }
+  if (!(alpha > 0.0) || !(beta >= 0.0)) {
+    throw std::invalid_argument("PieConfig: require alpha > 0, beta >= 0");
+  }
+  if (!(drain_rate_bps > 0.0)) {
+    throw std::invalid_argument("PieConfig: drain_rate_bps <= 0");
+  }
+  if (max_burst_s < 0.0) {
+    throw std::invalid_argument("PieConfig: max_burst_s < 0");
+  }
+}
+
+Pie::Pie(PieConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  config_.Validate();
+  burst_allowance_s_ = config_.max_burst_s;
+}
+
+void Pie::MaybeUpdate(double now_s, std::uint64_t queue_bytes) {
+  if (!initialized_) {
+    initialized_ = true;
+    last_update_s_ = now_s;
+    return;
+  }
+  if (now_s - last_update_s_ < config_.update_interval_s) return;
+  last_update_s_ = now_s;
+
+  // Little's-law delay estimate.
+  qdelay_s_ = static_cast<double>(queue_bytes) * 8.0 / config_.drain_rate_bps;
+
+  // RFC 8033 auto-tuning: scale gains down while p is small so the
+  // controller does not slam between 0 and 1.
+  double scale = 1.0;
+  if (drop_prob_ < 0.000001) {
+    scale = 1.0 / 2048.0;
+  } else if (drop_prob_ < 0.00001) {
+    scale = 1.0 / 512.0;
+  } else if (drop_prob_ < 0.0001) {
+    scale = 1.0 / 128.0;
+  } else if (drop_prob_ < 0.001) {
+    scale = 1.0 / 32.0;
+  } else if (drop_prob_ < 0.01) {
+    scale = 1.0 / 8.0;
+  } else if (drop_prob_ < 0.1) {
+    scale = 1.0 / 2.0;
+  }
+
+  double p = drop_prob_;
+  p += scale * config_.alpha * (qdelay_s_ - config_.target_delay_s);
+  p += scale * config_.beta * (qdelay_s_ - qdelay_old_s_);
+  drop_prob_ = std::clamp(p, 0.0, 1.0);
+  qdelay_old_s_ = qdelay_s_;
+
+  // Burst allowance decays once the controller is active.
+  if (burst_allowance_s_ > 0.0) {
+    burst_allowance_s_ =
+        std::max(0.0, burst_allowance_s_ - config_.update_interval_s);
+  }
+  // Re-arm the allowance when the queue has fully drained and the
+  // controller has backed off.
+  if (drop_prob_ == 0.0 && qdelay_s_ == 0.0 && qdelay_old_s_ == 0.0) {
+    burst_allowance_s_ = config_.max_burst_s;
+  }
+}
+
+bool Pie::ShouldDropOnEnqueue(const AqmContext& ctx) {
+  MaybeUpdate(ctx.now_s, ctx.queue_bytes);
+  if (burst_allowance_s_ > 0.0) return false;
+  // RFC 8033 safeguards: never drop into a tiny queue.
+  if (ctx.queue_packets < 2) return false;
+  return rng_.NextBernoulli(drop_prob_);
+}
+
+void Pie::Reset() {
+  drop_prob_ = 0.0;
+  qdelay_s_ = 0.0;
+  qdelay_old_s_ = 0.0;
+  last_update_s_ = 0.0;
+  burst_allowance_s_ = config_.max_burst_s;
+  initialized_ = false;
+}
+
+}  // namespace analognf::aqm

@@ -1,0 +1,35 @@
+// Match-key construction: bridges the parser's typed headers and the
+// bit-level keys the digital match-action tables consume.
+#pragma once
+
+#include "analognf/net/parser.hpp"
+#include "analognf/tcam/ternary.hpp"
+
+namespace analognf::arch {
+
+// Width of the canonical 5-tuple key:
+// 32 (src ip) + 32 (dst ip) + 16 (src port) + 16 (dst port) + 8 (proto).
+inline constexpr std::size_t kFiveTupleBits = 104;
+
+// Serialises a 5-tuple into the canonical 104-bit search key.
+tcam::BitKey FiveTupleKey(const net::FiveTuple& tuple);
+
+// Builds a 104-bit ternary firewall pattern. Any field can be wildcarded:
+// prefix lengths of 0 wildcard an address entirely; `any_port`/-proto
+// flags wildcard those fields.
+struct FirewallPattern {
+  std::uint32_t src_ip = 0;
+  int src_prefix_len = 0;
+  std::uint32_t dst_ip = 0;
+  int dst_prefix_len = 0;
+  std::uint16_t src_port = 0;
+  bool any_src_port = true;
+  std::uint16_t dst_port = 0;
+  bool any_dst_port = true;
+  std::uint8_t protocol = 0;
+  bool any_protocol = true;
+};
+
+tcam::TernaryWord BuildFirewallWord(const FirewallPattern& pattern);
+
+}  // namespace analognf::arch

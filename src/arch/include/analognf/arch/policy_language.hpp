@@ -1,0 +1,61 @@
+// Text-based policy programming for the cognitive network controller.
+//
+// RQ3 asks what the programming abstractions for analog network
+// functions look like. The C++ surface is core/program.hpp; this module
+// adds the operator-facing layer: a line-oriented policy language the
+// controller interprets, so a deployment can be described as data.
+//
+// Grammar (one command per line, '#' starts a comment):
+//
+//   place <name> precision <bits>
+//       Register a network function; the controller assigns it to the
+//       digital or analog domain by precision requirement (RQ2).
+//   route <a.b.c.d>/<prefix> port <n>
+//       Install an LPM route in the digital MAT.
+//   permit|deny [src <a.b.c.d>/<p>] [dst <a.b.c.d>/<p>]
+//              [sport <port>] [dport <port>] [proto <n>] priority <n>
+//       Install a firewall rule (unspecified fields wildcard).
+//   aqm target <float>ms deviation <float>ms
+//       Reprogram every port's analog AQM latency bound (update_pCAM).
+//
+// Errors carry the offending line number.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "analognf/arch/controller.hpp"
+
+namespace analognf::arch {
+
+// Parse/apply failure, with the 1-based line number.
+class PolicyError : public std::runtime_error {
+ public:
+  PolicyError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+class PolicyInterpreter {
+ public:
+  explicit PolicyInterpreter(CognitiveNetworkController& controller)
+      : controller_(controller) {}
+
+  // Applies a whole program; returns the number of commands executed.
+  // Throws PolicyError on the first invalid line (earlier commands have
+  // already been applied — the controller is an incremental device).
+  std::size_t Apply(std::istream& program);
+  std::size_t ApplyText(const std::string& program);
+
+ private:
+  void ApplyLine(const std::string& line, std::size_t line_no);
+
+  CognitiveNetworkController& controller_;
+};
+
+}  // namespace analognf::arch

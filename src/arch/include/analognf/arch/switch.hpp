@@ -1,0 +1,160 @@
+// The memristor-based cognitive packet-processing architecture (Fig. 5).
+//
+// Pipeline per ingress packet:
+//
+//   parser -> digital MATs (firewall ternary match, LPM routing — the
+//   high-precision functions the paper keeps digital) -> cognitive
+//   traffic manager (per-egress-port queue guarded by the pCAM analog
+//   AQM) -> egress link.
+//
+// Both digital tables run on memristor TCAM technology (the paper's
+// architecture uses memristor storage in both domains); the analog table
+// is the pCAM AQM. Every component accounts energy into a shared ledger
+// so the Fig. 1-style digital/analog split can be reported per workload.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analognf/aqm/analog_aqm.hpp"
+#include "analognf/arch/keys.hpp"
+#include "analognf/energy/ledger.hpp"
+#include "analognf/energy/movement.hpp"
+#include "analognf/net/packet.hpp"
+#include "analognf/net/parser.hpp"
+#include "analognf/net/queue.hpp"
+#include "analognf/tcam/tcam.hpp"
+
+namespace analognf::arch {
+
+// Final disposition of an injected packet.
+enum class Verdict {
+  kForwarded,     // enqueued on an egress port
+  kParseError,
+  kFirewallDeny,
+  kNoRoute,
+  kAqmDrop,       // analog AQM admission drop
+  kQueueFull,     // egress tail drop
+};
+
+std::string ToString(Verdict verdict);
+
+// Egress scheduling discipline across service classes.
+enum class SchedulerPolicy {
+  kStrictPriority,      // class 0 always first (can starve lower classes)
+  kWeightedRoundRobin,  // classes served in proportion to wrr_weights
+};
+
+// A packet delivered out of an egress port.
+struct Delivery {
+  std::size_t port = 0;
+  std::size_t service_class = 0;
+  net::PacketMeta meta;
+  double departure_s = 0.0;
+  double sojourn_s = 0.0;
+};
+
+struct SwitchConfig {
+  std::size_t port_count = 4;
+  double port_rate_bps = 100.0e6;
+  net::PacketQueue::Config egress_queue{};
+  // Service classes per egress port. 1 = the plain FIFO traffic
+  // manager; 2 sends high-priority traffic (packet priority >= 4, i.e.
+  // DSCP class >= 4) to class 0 and the rest to class 1.
+  std::size_t service_classes = 1;
+  SchedulerPolicy scheduler = SchedulerPolicy::kStrictPriority;
+  // Per-class service quanta for kWeightedRoundRobin (size must equal
+  // service_classes; ignored for strict priority).
+  std::vector<std::uint32_t> wrr_weights{};
+  // Technology of the digital match-action stages.
+  tcam::TcamTechnology digital_technology =
+      tcam::TcamTechnology::MemristorTcam();
+  // Analog AQM program applied to every egress port. enable_aqm = false
+  // gives the pure tail-drop traffic manager.
+  bool enable_aqm = true;
+  aqm::AnalogAqmConfig aqm{};
+  std::uint64_t seed = 0x5317c4;
+
+  void Validate() const;  // throws std::invalid_argument
+};
+
+// Per-verdict counters.
+struct SwitchStats {
+  std::uint64_t injected = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t firewall_denies = 0;
+  std::uint64_t no_route = 0;
+  std::uint64_t aqm_drops = 0;
+  std::uint64_t queue_full = 0;
+  std::uint64_t delivered = 0;
+};
+
+class CognitiveSwitch {
+ public:
+  explicit CognitiveSwitch(SwitchConfig config);
+
+  // ------------------------------------------------ control plane
+  // Installs an IPv4 route (LPM) to an egress port.
+  void AddRoute(std::uint32_t dst_ip, int prefix_len, std::size_t port);
+  // Installs a firewall rule; higher priority wins; permit=false denies.
+  void AddFirewallRule(const FirewallPattern& pattern, bool permit,
+                       std::int32_t priority);
+
+  // ------------------------------------------------ data plane
+  // Runs one packet through parser -> firewall -> route -> traffic
+  // manager at time `now_s` (non-decreasing across calls).
+  Verdict Inject(const net::Packet& packet, double now_s);
+
+  // Drains egress queues up to `until_s`, returning deliveries in
+  // departure order per port.
+  std::vector<Delivery> Drain(double until_s);
+
+  // ------------------------------------------------ observability
+  const SwitchStats& stats() const { return stats_; }
+  const energy::EnergyLedger& ledger() const { return ledger_; }
+  // Class 0 queue by default; pass service_class for multi-class ports.
+  const net::PacketQueue& egress_queue(std::size_t port,
+                                       std::size_t service_class = 0) const;
+  // The AQM guarding one class queue (each class has its own instance so
+  // derivative state never mixes across queues). Null when AQM disabled.
+  aqm::AnalogAqm* port_aqm(std::size_t port, std::size_t service_class = 0);
+  std::size_t port_count() const { return config_.port_count; }
+
+ private:
+  struct EgressPort {
+    // One FIFO per service class, index 0 = highest priority; each has
+    // its own AQM instance (empty vector when AQM disabled).
+    std::vector<net::PacketQueue> queues;
+    std::vector<std::unique_ptr<aqm::AnalogAqm>> aqms;
+    double next_free_s = 0.0;
+    // Weighted-round-robin rotation state.
+    std::size_t wrr_class = 0;
+    std::uint32_t wrr_credit = 0;
+  };
+
+  // Scheduler decision: which class the next service slot goes to,
+  // among classes whose head arrived by start_s. Asserts one exists.
+  std::size_t PickClass(EgressPort& port, double start_s);
+
+  // Service class a packet maps to under the current configuration.
+  std::size_t ClassOf(const net::PacketMeta& meta) const;
+
+  Verdict Classify(const net::Packet& packet, double now_s,
+                   std::size_t* out_port, net::PacketMeta* out_meta);
+
+  SwitchConfig config_;
+  net::Parser parser_;
+  tcam::LpmTable routes_;
+  tcam::TcamTable firewall_;
+  energy::DataMovementModel movement_;
+  std::vector<EgressPort> ports_;
+  SwitchStats stats_;
+  energy::EnergyLedger ledger_;
+  std::uint64_t next_packet_id_ = 0;
+};
+
+}  // namespace analognf::arch

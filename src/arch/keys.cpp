@@ -1,0 +1,50 @@
+#include "analognf/arch/keys.hpp"
+
+namespace analognf::arch {
+namespace {
+
+// Ternary encoding of a 16-bit field that may be wildcarded.
+tcam::TernaryWord U16Word(std::uint16_t value, bool any) {
+  std::string s;
+  s.reserve(16);
+  for (int i = 15; i >= 0; --i) {
+    const bool bit = ((static_cast<unsigned>(value) >> i) & 1u) != 0;
+    s.push_back(any ? 'X' : (bit ? '1' : '0'));
+  }
+  return tcam::TernaryWord::FromString(s);
+}
+
+tcam::TernaryWord U8Word(std::uint8_t value, bool any) {
+  std::string s;
+  s.reserve(8);
+  for (int i = 7; i >= 0; --i) {
+    const bool bit = ((static_cast<unsigned>(value) >> i) & 1u) != 0;
+    s.push_back(any ? 'X' : (bit ? '1' : '0'));
+  }
+  return tcam::TernaryWord::FromString(s);
+}
+
+}  // namespace
+
+tcam::BitKey FiveTupleKey(const net::FiveTuple& tuple) {
+  tcam::BitKey key;
+  key.AppendU32(tuple.src_ip);
+  key.AppendU32(tuple.dst_ip);
+  key.AppendU16(tuple.src_port);
+  key.AppendU16(tuple.dst_port);
+  key.AppendU8(tuple.protocol);
+  return key;
+}
+
+tcam::TernaryWord BuildFirewallWord(const FirewallPattern& pattern) {
+  tcam::TernaryWord word =
+      tcam::TernaryWord::FromPrefix(pattern.src_ip, pattern.src_prefix_len);
+  word.Append(
+      tcam::TernaryWord::FromPrefix(pattern.dst_ip, pattern.dst_prefix_len));
+  word.Append(U16Word(pattern.src_port, pattern.any_src_port));
+  word.Append(U16Word(pattern.dst_port, pattern.any_dst_port));
+  word.Append(U8Word(pattern.protocol, pattern.any_protocol));
+  return word;
+}
+
+}  // namespace analognf::arch

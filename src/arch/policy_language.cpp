@@ -1,0 +1,192 @@
+#include "analognf/arch/policy_language.hpp"
+
+#include <istream>
+#include <sstream>
+#include <vector>
+
+#include "analognf/common/units.hpp"
+
+namespace analognf::arch {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream ss(line);
+  std::string token;
+  while (ss >> token) {
+    if (token[0] == '#') break;  // comment to end of line
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+// Parses "a.b.c.d/len" into address + prefix length.
+void ParseCidr(const std::string& text, std::size_t line_no,
+               std::uint32_t* address, int* prefix_len) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) {
+    throw PolicyError(line_no, "expected <addr>/<prefix>, got '" + text +
+                                   "'");
+  }
+  try {
+    *address = net::ParseIpv4(text.substr(0, slash));
+    *prefix_len = std::stoi(text.substr(slash + 1));
+  } catch (const std::exception&) {
+    throw PolicyError(line_no, "bad CIDR '" + text + "'");
+  }
+  if (*prefix_len < 0 || *prefix_len > 32) {
+    throw PolicyError(line_no, "prefix length out of range in '" + text +
+                                   "'");
+  }
+}
+
+long ParseInt(const std::string& text, std::size_t line_no,
+              const std::string& what, long lo, long hi) {
+  long value = 0;
+  try {
+    std::size_t consumed = 0;
+    value = std::stol(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument(text);
+  } catch (const std::exception&) {
+    throw PolicyError(line_no, "bad " + what + " '" + text + "'");
+  }
+  if (value < lo || value > hi) {
+    throw PolicyError(line_no, what + " out of range: '" + text + "'");
+  }
+  return value;
+}
+
+// Parses "<float>ms" into seconds.
+double ParseMillis(const std::string& text, std::size_t line_no,
+                   const std::string& what) {
+  if (text.size() < 3 || text.substr(text.size() - 2) != "ms") {
+    throw PolicyError(line_no, what + " must end in 'ms': '" + text + "'");
+  }
+  try {
+    return std::stod(text.substr(0, text.size() - 2)) * analognf::kMilli;
+  } catch (const std::exception&) {
+    throw PolicyError(line_no, "bad " + what + " '" + text + "'");
+  }
+}
+
+}  // namespace
+
+std::size_t PolicyInterpreter::Apply(std::istream& program) {
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t applied = 0;
+  while (std::getline(program, line)) {
+    ++line_no;
+    const std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    ApplyLine(line, line_no);
+    ++applied;
+  }
+  return applied;
+}
+
+std::size_t PolicyInterpreter::ApplyText(const std::string& program) {
+  std::istringstream ss(program);
+  return Apply(ss);
+}
+
+void PolicyInterpreter::ApplyLine(const std::string& line,
+                                  std::size_t line_no) {
+  const std::vector<std::string> t = Tokenize(line);
+
+  if (t[0] == "place") {
+    // place <name> precision <bits>
+    if (t.size() != 4 || t[2] != "precision") {
+      throw PolicyError(line_no, "usage: place <name> precision <bits>");
+    }
+    const long bits = ParseInt(t[3], line_no, "precision", 1, 64);
+    controller_.Place(t[1], static_cast<unsigned>(bits));
+    return;
+  }
+
+  if (t[0] == "route") {
+    // route <cidr> port <n>
+    if (t.size() != 4 || t[2] != "port") {
+      throw PolicyError(line_no, "usage: route <cidr> port <n>");
+    }
+    std::uint32_t address = 0;
+    int prefix_len = 0;
+    ParseCidr(t[1], line_no, &address, &prefix_len);
+    const long port = ParseInt(
+        t[3], line_no, "port", 0,
+        static_cast<long>(controller_.data_plane().port_count()) - 1);
+    controller_.data_plane().AddRoute(address, prefix_len,
+                                      static_cast<std::size_t>(port));
+    return;
+  }
+
+  if (t[0] == "permit" || t[0] == "deny") {
+    // permit|deny [src <cidr>] [dst <cidr>] [sport <p>] [dport <p>]
+    //             [proto <n>] priority <n>
+    FirewallPattern pattern;
+    bool have_priority = false;
+    std::int32_t priority = 0;
+    std::size_t i = 1;
+    while (i < t.size()) {
+      const std::string& key = t[i];
+      if (i + 1 >= t.size()) {
+        throw PolicyError(line_no, "missing value after '" + key + "'");
+      }
+      const std::string& value = t[i + 1];
+      if (key == "src") {
+        ParseCidr(value, line_no, &pattern.src_ip, &pattern.src_prefix_len);
+      } else if (key == "dst") {
+        ParseCidr(value, line_no, &pattern.dst_ip, &pattern.dst_prefix_len);
+      } else if (key == "sport") {
+        pattern.src_port = static_cast<std::uint16_t>(
+            ParseInt(value, line_no, "sport", 0, 65535));
+        pattern.any_src_port = false;
+      } else if (key == "dport") {
+        pattern.dst_port = static_cast<std::uint16_t>(
+            ParseInt(value, line_no, "dport", 0, 65535));
+        pattern.any_dst_port = false;
+      } else if (key == "proto") {
+        pattern.protocol = static_cast<std::uint8_t>(
+            ParseInt(value, line_no, "proto", 0, 255));
+        pattern.any_protocol = false;
+      } else if (key == "priority") {
+        priority = static_cast<std::int32_t>(
+            ParseInt(value, line_no, "priority", -1000000, 1000000));
+        have_priority = true;
+      } else {
+        throw PolicyError(line_no, "unknown field '" + key + "'");
+      }
+      i += 2;
+    }
+    if (!have_priority) {
+      throw PolicyError(line_no, "firewall rule requires 'priority <n>'");
+    }
+    if (t[0] == "permit") {
+      controller_.InstallFirewallPermit(pattern, priority);
+    } else {
+      controller_.InstallFirewallDeny(pattern, priority);
+    }
+    return;
+  }
+
+  if (t[0] == "aqm") {
+    // aqm target <float>ms deviation <float>ms
+    if (t.size() != 5 || t[1] != "target" || t[3] != "deviation") {
+      throw PolicyError(
+          line_no, "usage: aqm target <float>ms deviation <float>ms");
+    }
+    const double target_s = ParseMillis(t[2], line_no, "target");
+    const double deviation_s = ParseMillis(t[4], line_no, "deviation");
+    if (!(target_s > 0.0) || !(deviation_s > 0.0) ||
+        deviation_s >= target_s) {
+      throw PolicyError(line_no,
+                        "require 0 < deviation < target for the AQM bound");
+    }
+    controller_.ProgramAqmTarget(target_s, deviation_s);
+    return;
+  }
+
+  throw PolicyError(line_no, "unknown command '" + t[0] + "'");
+}
+
+}  // namespace analognf::arch

@@ -1,0 +1,286 @@
+#include "analognf/arch/switch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace analognf::arch {
+
+std::string ToString(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kForwarded:
+      return "forwarded";
+    case Verdict::kParseError:
+      return "parse-error";
+    case Verdict::kFirewallDeny:
+      return "firewall-deny";
+    case Verdict::kNoRoute:
+      return "no-route";
+    case Verdict::kAqmDrop:
+      return "aqm-drop";
+    case Verdict::kQueueFull:
+      return "queue-full";
+  }
+  return "unknown";
+}
+
+void SwitchConfig::Validate() const {
+  if (port_count == 0) {
+    throw std::invalid_argument("SwitchConfig: zero ports");
+  }
+  if (!(port_rate_bps > 0.0)) {
+    throw std::invalid_argument("SwitchConfig: port rate <= 0");
+  }
+  digital_technology.Validate();
+  if (service_classes == 0) {
+    throw std::invalid_argument("SwitchConfig: zero service classes");
+  }
+  if (scheduler == SchedulerPolicy::kWeightedRoundRobin) {
+    if (wrr_weights.size() != service_classes) {
+      throw std::invalid_argument(
+          "SwitchConfig: wrr_weights size must equal service_classes");
+    }
+    for (std::uint32_t w : wrr_weights) {
+      if (w == 0) {
+        throw std::invalid_argument("SwitchConfig: zero WRR weight");
+      }
+    }
+  }
+  if (enable_aqm) aqm.Validate();
+}
+
+namespace {
+constexpr std::uint32_t kActionPermit = 1;
+constexpr std::uint32_t kActionDeny = 0;
+}  // namespace
+
+CognitiveSwitch::CognitiveSwitch(SwitchConfig config)
+    : config_([&] {
+        config.Validate();
+        return config;
+      }()),
+      routes_(config_.digital_technology),
+      firewall_(kFiveTupleBits, config_.digital_technology),
+      movement_() {
+  ports_.reserve(config_.port_count);
+  for (std::size_t p = 0; p < config_.port_count; ++p) {
+    EgressPort port;
+    for (std::size_t sc = 0; sc < config_.service_classes; ++sc) {
+      port.queues.emplace_back(config_.egress_queue);
+      if (config_.enable_aqm) {
+        aqm::AnalogAqmConfig aqm_config = config_.aqm;
+        aqm_config.seed =
+            config_.seed + 0xa9 * (p + 1) + 0x1d * (sc + 1);
+        port.aqms.push_back(std::make_unique<aqm::AnalogAqm>(aqm_config));
+      }
+    }
+    ports_.push_back(std::move(port));
+  }
+}
+
+void CognitiveSwitch::AddRoute(std::uint32_t dst_ip, int prefix_len,
+                               std::size_t port) {
+  if (port >= config_.port_count) {
+    throw std::invalid_argument("AddRoute: port out of range");
+  }
+  routes_.AddRoute(dst_ip, prefix_len, static_cast<std::uint32_t>(port));
+}
+
+void CognitiveSwitch::AddFirewallRule(const FirewallPattern& pattern,
+                                      bool permit, std::int32_t priority) {
+  tcam::TcamTable::Entry entry;
+  entry.pattern = BuildFirewallWord(pattern);
+  entry.action = permit ? kActionPermit : kActionDeny;
+  entry.priority = priority;
+  firewall_.Insert(std::move(entry));
+}
+
+Verdict CognitiveSwitch::Classify(const net::Packet& packet, double now_s,
+                                  std::size_t* out_port,
+                                  net::PacketMeta* out_meta) {
+  // --- Parser (digital front-end; Fig. 5 leftmost block). -------------
+  const net::ParsedPacket parsed = parser_.Parse(packet);
+  {
+    // Header extraction is a digital operation with the classic
+    // storage<->compute shuttling cost.
+    const auto header_bits = static_cast<std::uint64_t>(
+        8 * std::min<std::size_t>(packet.size(), 42));
+    const energy::MovementBreakdown cost = movement_.CostOf(header_bits);
+    ledger_.Record(energy::category::kDigitalCompute, cost.compute_j);
+    ledger_.Record(energy::category::kDataMovement, cost.movement_j);
+  }
+  if (!parsed.ok()) return Verdict::kParseError;
+  // The routing/firewall data plane is IPv4; a well-formed IPv6 packet
+  // parses but has no route here.
+  if (!parsed.ipv4.has_value()) return Verdict::kNoRoute;
+
+  const net::FiveTuple tuple = parsed.Key();
+
+  // --- Digital MAT 1: firewall (hard network policy, stays digital). --
+  const tcam::BitKey key = FiveTupleKey(tuple);
+  const auto fw = firewall_.Search(key);
+  ledger_.Record(energy::category::kTcamSearch, firewall_.SearchEnergyJ());
+  if (fw.has_value() && fw->action == kActionDeny) {
+    return Verdict::kFirewallDeny;
+  }
+
+  // --- Digital MAT 2: IP lookup (LPM). ---------------------------------
+  const auto route = routes_.Lookup(parsed.ipv4->dst_ip);
+  ledger_.Record(energy::category::kTcamSearch,
+                 routes_.table().SearchEnergyJ());
+  if (!route.has_value()) return Verdict::kNoRoute;
+
+  *out_port = route->action;
+  out_meta->id = next_packet_id_++;
+  out_meta->arrival_time_s = now_s;
+  out_meta->size_bytes = static_cast<std::uint32_t>(packet.size());
+  out_meta->flow_hash = tuple.Hash();
+  // DSCP class selector bits map onto our 3-bit priority.
+  out_meta->priority = static_cast<std::uint8_t>(parsed.ipv4->dscp >> 3);
+  return Verdict::kForwarded;
+}
+
+Verdict CognitiveSwitch::Inject(const net::Packet& packet, double now_s) {
+  ++stats_.injected;
+  std::size_t port_index = 0;
+  net::PacketMeta meta;
+  Verdict verdict = Classify(packet, now_s, &port_index, &meta);
+  switch (verdict) {
+    case Verdict::kParseError:
+      ++stats_.parse_errors;
+      return verdict;
+    case Verdict::kFirewallDeny:
+      ++stats_.firewall_denies;
+      return verdict;
+    case Verdict::kNoRoute:
+      ++stats_.no_route;
+      return verdict;
+    default:
+      break;
+  }
+
+  EgressPort& port = ports_[port_index];
+  const std::size_t service_class = ClassOf(meta);
+  net::PacketQueue& queue = port.queues[service_class];
+
+  // --- Cognitive traffic manager: analog AQM admission. ----------------
+  if (!port.aqms.empty()) {
+    aqm::AnalogAqm& class_aqm = *port.aqms[service_class];
+    aqm::AqmContext ctx;
+    ctx.now_s = now_s;
+    ctx.sojourn_s = queue.HeadSojourn(now_s);
+    ctx.queue_bytes = queue.bytes();
+    ctx.queue_packets = queue.packets();
+    ctx.packet = meta;
+    const double before_j = class_aqm.ConsumedEnergyJ();
+    const bool drop = class_aqm.ShouldDropOnEnqueue(ctx);
+    ledger_.Record(energy::category::kPcamSearch,
+                   class_aqm.ConsumedEnergyJ() - before_j);
+    if (drop) {
+      queue.NoteAqmDrop(meta);
+      ++stats_.aqm_drops;
+      return Verdict::kAqmDrop;
+    }
+  }
+
+  if (!queue.Enqueue(meta, now_s)) {
+    ++stats_.queue_full;
+    return Verdict::kQueueFull;
+  }
+  ++stats_.forwarded;
+  return Verdict::kForwarded;
+}
+
+std::size_t CognitiveSwitch::PickClass(EgressPort& port, double start_s) {
+  auto eligible = [&](std::size_t sc) {
+    const net::PacketMeta* head = port.queues[sc].Peek();
+    return head != nullptr && head->arrival_time_s <= start_s;
+  };
+  if (config_.scheduler == SchedulerPolicy::kStrictPriority) {
+    for (std::size_t sc = 0; sc < port.queues.size(); ++sc) {
+      if (eligible(sc)) return sc;
+    }
+    return 0;  // unreachable given the caller's emptiness check
+  }
+  // Weighted round robin: spend the current class's credit while it is
+  // eligible, otherwise rotate; classes found ineligible forfeit their
+  // remaining credit for this round.
+  const std::size_t classes = port.queues.size();
+  for (std::size_t hops = 0; hops < 2 * classes + 1; ++hops) {
+    if (port.wrr_credit > 0 && eligible(port.wrr_class)) {
+      --port.wrr_credit;
+      return port.wrr_class;
+    }
+    port.wrr_class = (port.wrr_class + 1) % classes;
+    port.wrr_credit = config_.wrr_weights[port.wrr_class];
+  }
+  return 0;  // unreachable: some class is eligible by precondition
+}
+
+std::size_t CognitiveSwitch::ClassOf(const net::PacketMeta& meta) const {
+  if (config_.service_classes == 1) return 0;
+  return meta.priority >= 4 ? 0 : config_.service_classes - 1;
+}
+
+std::vector<Delivery> CognitiveSwitch::Drain(double until_s) {
+  std::vector<Delivery> out;
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    EgressPort& port = ports_[p];
+    for (;;) {
+      // Strict-priority scheduling: the lowest class index whose head is
+      // already waiting at the link's next-free instant wins; if none is
+      // waiting yet, the earliest-arriving head starts the next busy
+      // period.
+      bool any = false;
+      double earliest_arrival = 0.0;
+      for (const net::PacketQueue& q : port.queues) {
+        const net::PacketMeta* head = q.Peek();
+        if (head == nullptr) continue;
+        if (!any || head->arrival_time_s < earliest_arrival) {
+          earliest_arrival = head->arrival_time_s;
+        }
+        any = true;
+      }
+      if (!any) break;  // all queues empty
+      // The next service slot starts when the link frees up or the first
+      // packet arrives; among heads already waiting then, the lowest
+      // class index (highest priority) is served.
+      const double start_s = std::max(port.next_free_s, earliest_arrival);
+      const std::size_t pick = PickClass(port, start_s);
+      const net::PacketMeta* head = port.queues[pick].Peek();
+      const double ready_s = std::max(port.next_free_s, head->arrival_time_s);
+      const double service_s = static_cast<double>(head->size_bytes) * 8.0 /
+                               config_.port_rate_bps;
+      const double depart_s = ready_s + service_s;
+      if (depart_s > until_s) break;
+      auto dequeued = port.queues[pick].Dequeue(depart_s);
+      port.next_free_s = depart_s;
+      Delivery d;
+      d.port = p;
+      d.service_class = pick;
+      d.meta = dequeued->meta;
+      d.departure_s = depart_s;
+      d.sojourn_s = dequeued->sojourn_s;
+      out.push_back(d);
+      ++stats_.delivered;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Delivery& a, const Delivery& b) {
+              return a.departure_s < b.departure_s;
+            });
+  return out;
+}
+
+const net::PacketQueue& CognitiveSwitch::egress_queue(
+    std::size_t port, std::size_t service_class) const {
+  return ports_.at(port).queues.at(service_class);
+}
+
+aqm::AnalogAqm* CognitiveSwitch::port_aqm(std::size_t port,
+                                          std::size_t service_class) {
+  EgressPort& p = ports_.at(port);
+  if (p.aqms.empty()) return nullptr;
+  return p.aqms.at(service_class).get();
+}
+
+}  // namespace analognf::arch

@@ -1,0 +1,115 @@
+#include "analognf/cognitive/classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace analognf::cognitive {
+namespace {
+
+// Feature-to-voltage domains. Sizes up to jumbo-ish, inter-arrivals from
+// 10 us to 1 s on a log axis, burstiness 0..5.
+constexpr double kMaxSizeBytes = 2000.0;
+constexpr double kLogIatLo = -5.0;  // log10(10 us)
+constexpr double kLogIatHi = 0.0;   // log10(1 s)
+constexpr double kMaxBurstiness = 5.0;
+
+double LogIat(double iat_s) {
+  return std::log10(std::max(iat_s, 1e-6));
+}
+
+}  // namespace
+
+FlowTracker::FlowTracker(double ewma_weight) : ewma_weight_(ewma_weight) {
+  if (!(ewma_weight > 0.0) || ewma_weight > 1.0) {
+    throw std::invalid_argument("FlowTracker: ewma_weight outside (0, 1]");
+  }
+}
+
+void FlowTracker::Observe(const net::PacketMeta& packet) {
+  FlowState& state = flows_[packet.flow_hash];
+  state.sizes.Add(packet.size_bytes);
+  if (state.has_arrival) {
+    const double gap = packet.arrival_time_s - state.last_arrival_s;
+    if (gap >= 0.0) state.gaps.Add(gap);
+  }
+  state.last_arrival_s = packet.arrival_time_s;
+  state.has_arrival = true;
+}
+
+FlowFeatures FlowTracker::Features(std::uint64_t flow_hash) const {
+  FlowFeatures out;
+  const auto it = flows_.find(flow_hash);
+  if (it == flows_.end()) return out;
+  const FlowState& state = it->second;
+  out.packets = state.sizes.count();
+  out.mean_packet_size_bytes = state.sizes.mean();
+  if (!state.gaps.empty()) {
+    out.mean_interarrival_s = state.gaps.mean();
+    if (state.gaps.mean() > 0.0) {
+      out.burstiness = state.gaps.stddev() / state.gaps.mean();
+    }
+  }
+  return out;
+}
+
+AnalogTrafficClassifier::AnalogTrafficClassifier(
+    core::HardwarePcamConfig hardware, double skirt_fraction)
+    : skirt_fraction_(skirt_fraction),
+      size_map_(0.0, kMaxSizeBytes, hardware.input_range),
+      iat_map_(kLogIatLo, kLogIatHi, hardware.input_range),
+      burst_map_(0.0, kMaxBurstiness, hardware.input_range),
+      table_(/*field_count=*/3, hardware) {
+  if (!(skirt_fraction > 0.0)) {
+    throw std::invalid_argument(
+        "AnalogTrafficClassifier: skirt_fraction <= 0");
+  }
+}
+
+std::size_t AnalogTrafficClassifier::AddClass(const ClassSpec& spec) {
+  if (!(spec.size_lo_bytes < spec.size_hi_bytes) ||
+      !(spec.iat_lo_s < spec.iat_hi_s) ||
+      !(spec.burst_lo < spec.burst_hi)) {
+    throw std::invalid_argument(
+        "AnalogTrafficClassifier: class bands must have lo < hi");
+  }
+  auto band = [this](const analog::LinearMap& map, double lo,
+                     double hi) {
+    const double v_lo = map.ToVoltage(lo);
+    const double v_hi = map.ToVoltage(hi);
+    const double width = std::max(v_hi - v_lo, 1e-3);
+    const double skirt = width * skirt_fraction_;
+    return core::PcamParams::MakeTrapezoid(v_lo - skirt, v_lo, v_hi,
+                                           v_hi + skirt);
+  };
+  core::PcamTable::Row row;
+  row.label = spec.label;
+  row.fields = {
+      band(size_map_, spec.size_lo_bytes, spec.size_hi_bytes),
+      band(iat_map_, LogIat(spec.iat_lo_s), LogIat(spec.iat_hi_s)),
+      band(burst_map_, spec.burst_lo, spec.burst_hi),
+  };
+  row.action = static_cast<std::uint32_t>(labels_.size());
+  labels_.push_back(spec.label);
+  return table_.Insert(std::move(row));
+}
+
+std::optional<Classification> AnalogTrafficClassifier::Classify(
+    const FlowFeatures& features, double min_confidence) {
+  const std::vector<double> query = {
+      size_map_.ToVoltage(features.mean_packet_size_bytes),
+      iat_map_.ToVoltage(LogIat(features.mean_interarrival_s)),
+      burst_map_.ToVoltage(features.burstiness),
+  };
+  const auto result = table_.Search(query);
+  if (!result.has_value() || result->match_degree <= min_confidence) {
+    return std::nullopt;
+  }
+  Classification out;
+  out.class_index = result->action;
+  out.label = labels_[result->action];
+  out.confidence = std::min(result->match_degree, 1.0);
+  return out;
+}
+
+}  // namespace analognf::cognitive

@@ -1,0 +1,103 @@
+// Analog traffic analysis (one of the cognitive network functions in
+// Fig. 5): classify flows by behavioural features using probabilistic
+// pCAM matches.
+//
+// A FlowTracker maintains per-flow feature estimates (mean packet size,
+// mean inter-arrival time, burstiness) online. The classifier stores one
+// pCAM row per traffic class, each row matching a band in feature space;
+// classification is a single analog table search whose *degree* output
+// doubles as a confidence — exactly the partial-match capability RQ1
+// argues digital TCAMs lack.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analognf/analog/signal.hpp"
+#include "analognf/common/stats.hpp"
+#include "analognf/core/pcam_array.hpp"
+#include "analognf/net/generator.hpp"
+
+namespace analognf::cognitive {
+
+// Behavioural fingerprint of one flow.
+struct FlowFeatures {
+  double mean_packet_size_bytes = 0.0;
+  double mean_interarrival_s = 0.0;
+  // Coefficient of variation of the inter-arrival time (1 for Poisson,
+  // higher for bursty traffic).
+  double burstiness = 0.0;
+  std::uint64_t packets = 0;
+};
+
+// Online per-flow feature extraction.
+class FlowTracker {
+ public:
+  // `ewma_weight` smooths the per-flow estimators.
+  explicit FlowTracker(double ewma_weight = 0.05);
+
+  void Observe(const net::PacketMeta& packet);
+
+  // Features of a flow (zeroed FlowFeatures if never seen).
+  FlowFeatures Features(std::uint64_t flow_hash) const;
+  std::size_t flows() const { return flows_.size(); }
+
+ private:
+  struct FlowState {
+    double last_arrival_s = 0.0;
+    bool has_arrival = false;
+    analognf::RunningStats sizes;
+    analognf::RunningStats gaps;
+  };
+
+  double ewma_weight_;
+  std::unordered_map<std::uint64_t, FlowState> flows_;
+};
+
+// Result of classifying one flow.
+struct Classification {
+  std::string label;
+  std::size_t class_index = 0;
+  double confidence = 0.0;  // analog match degree in [0, 1]
+};
+
+// pCAM-backed classifier over (packet size, inter-arrival, burstiness).
+class AnalogTrafficClassifier {
+ public:
+  struct ClassSpec {
+    std::string label;
+    // Feature bands: [lo, hi] deterministic-match windows; the skirt
+    // fraction widens each band probabilistically.
+    double size_lo_bytes, size_hi_bytes;
+    double iat_lo_s, iat_hi_s;
+    double burst_lo, burst_hi;
+  };
+
+  explicit AnalogTrafficClassifier(
+      core::HardwarePcamConfig hardware = {},
+      double skirt_fraction = 0.5);
+
+  // Registers a class; returns its index.
+  std::size_t AddClass(const ClassSpec& spec);
+  std::size_t classes() const { return labels_.size(); }
+
+  // Classifies a feature vector. nullopt if no class matches with a
+  // degree above `min_confidence`.
+  std::optional<Classification> Classify(const FlowFeatures& features,
+                                         double min_confidence = 0.0);
+
+  double ConsumedEnergyJ() const { return table_.ConsumedEnergyJ(); }
+
+ private:
+  double skirt_fraction_;
+  analog::LinearMap size_map_;
+  analog::LinearMap iat_map_;   // log10(inter-arrival) onto volts
+  analog::LinearMap burst_map_;
+  core::PcamTable table_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace analognf::cognitive

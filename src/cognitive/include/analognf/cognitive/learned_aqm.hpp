@@ -1,0 +1,68 @@
+// Self-learning analog AQM (future work, Sec. 8(2)).
+//
+// Instead of hand-programming the pCAM transfer functions (Fig. 6), this
+// policy *learns* the drop law online: queue features (sojourn, its
+// first derivative, buffer occupancy and its derivative) feed a
+// crossbar perceptron whose output is the PDP. The teaching signal is
+// self-supervised — the ideal PDP ramp implied by the programmed latency
+// bound — so after a convergence period the learned law reproduces (and
+// with the derivative features, anticipates) the programmed behaviour
+// without any explicit pCAM parameters.
+#pragma once
+
+#include <cstdint>
+
+#include "analognf/analog/differentiator.hpp"
+#include "analognf/aqm/aqm.hpp"
+#include "analognf/cognitive/perceptron.hpp"
+#include "analognf/common/rng.hpp"
+
+namespace analognf::cognitive {
+
+struct LearnedAqmConfig {
+  // The latency bound the self-supervision teaches toward.
+  double target_delay_s = 0.020;
+  double max_deviation_s = 0.010;
+  // Feature normalisation.
+  double buffer_reference_bytes = 150000.0;
+  double derivative_full_scale = 2.0;  // s/s, as in the programmed AQM
+  double derivative_time_constant_s = 0.005;
+  // Online learning switch (off = frozen weights, pure inference).
+  bool learn_online = true;
+  PerceptronConfig perceptron{};  // .inputs is overwritten (4 features)
+  std::uint64_t seed = 0x1ea4;
+
+  void Validate() const;  // throws std::invalid_argument
+};
+
+class LearnedAqm final : public aqm::AqmPolicy {
+ public:
+  explicit LearnedAqm(LearnedAqmConfig config);
+
+  bool ShouldDropOnEnqueue(const aqm::AqmContext& ctx) override;
+  std::string name() const override { return "learned-analog-aqm"; }
+  void Reset() override;
+  double LastDropProbability() const override { return last_pdp_; }
+
+  // The self-supervision target for a given sojourn time: the ideal
+  // PDP ramp of the programmed bound.
+  double TeacherPdp(double sojourn_s) const;
+
+  CrossbarPerceptron& perceptron() { return perceptron_; }
+  const CrossbarPerceptron& perceptron() const { return perceptron_; }
+  std::uint64_t decisions() const { return decisions_; }
+  double ConsumedEnergyJ() const { return perceptron_.ConsumedEnergyJ(); }
+
+ private:
+  std::vector<double> ExtractFeatures(const aqm::AqmContext& ctx);
+
+  LearnedAqmConfig config_;
+  CrossbarPerceptron perceptron_;
+  analog::DerivativeChain sojourn_chain_;
+  analog::DerivativeChain buffer_chain_;
+  analognf::RandomStream rng_;
+  double last_pdp_ = 0.0;
+  std::uint64_t decisions_ = 0;
+};
+
+}  // namespace analognf::cognitive

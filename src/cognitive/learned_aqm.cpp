@@ -1,0 +1,87 @@
+#include "analognf/cognitive/learned_aqm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace analognf::cognitive {
+
+void LearnedAqmConfig::Validate() const {
+  if (!(target_delay_s > 0.0) || !(max_deviation_s > 0.0) ||
+      max_deviation_s >= target_delay_s) {
+    throw std::invalid_argument(
+        "LearnedAqmConfig: require 0 < deviation < target");
+  }
+  if (!(buffer_reference_bytes > 0.0)) {
+    throw std::invalid_argument(
+        "LearnedAqmConfig: buffer_reference_bytes <= 0");
+  }
+  if (!(derivative_full_scale > 0.0)) {
+    throw std::invalid_argument(
+        "LearnedAqmConfig: derivative_full_scale <= 0");
+  }
+  if (!(derivative_time_constant_s > 0.0)) {
+    throw std::invalid_argument(
+        "LearnedAqmConfig: derivative_time_constant_s <= 0");
+  }
+}
+
+LearnedAqm::LearnedAqm(LearnedAqmConfig config)
+    : config_([&] {
+        config.Validate();
+        config.perceptron.inputs = 4;
+        config.perceptron.seed = config.seed ^ 0xbb;
+        return config;
+      }()),
+      perceptron_(config_.perceptron),
+      sojourn_chain_(1, config_.derivative_time_constant_s),
+      buffer_chain_(1, config_.derivative_time_constant_s),
+      rng_(config_.seed) {}
+
+double LearnedAqm::TeacherPdp(double sojourn_s) const {
+  const double lo = config_.target_delay_s - config_.max_deviation_s;
+  const double hi = config_.target_delay_s + config_.max_deviation_s;
+  return std::clamp((sojourn_s - lo) / (hi - lo), 0.0, 1.0);
+}
+
+std::vector<double> LearnedAqm::ExtractFeatures(
+    const aqm::AqmContext& ctx) {
+  const auto& sojourn = sojourn_chain_.Step(ctx.now_s, ctx.sojourn_s);
+  const auto& buffer = buffer_chain_.Step(
+      ctx.now_s,
+      static_cast<double>(ctx.queue_bytes) / config_.buffer_reference_bytes);
+  // Normalised to roughly [-1, 1] so the perceptron's weight range and
+  // the crossbar's voltage range are used sensibly.
+  const double bound =
+      2.0 * (config_.target_delay_s + config_.max_deviation_s);
+  return {
+      std::clamp(sojourn[0] / bound, 0.0, 1.0),
+      std::clamp(sojourn[1] / config_.derivative_full_scale, -1.0, 1.0),
+      std::clamp(buffer[0], 0.0, 1.5),
+      std::clamp(buffer[1] / (2.0 * config_.derivative_full_scale), -1.0,
+                 1.0),
+  };
+}
+
+bool LearnedAqm::ShouldDropOnEnqueue(const aqm::AqmContext& ctx) {
+  const std::vector<double> features = ExtractFeatures(ctx);
+  double pdp;
+  if (config_.learn_online) {
+    // Train-then-act: one delta-rule step toward the self-supervision
+    // target, then use the updated law for this packet's decision.
+    perceptron_.Train(features, TeacherPdp(ctx.sojourn_s));
+    pdp = perceptron_.Infer(features);
+  } else {
+    pdp = perceptron_.Infer(features);
+  }
+  last_pdp_ = pdp;
+  ++decisions_;
+  return rng_.NextBernoulli(pdp);
+}
+
+void LearnedAqm::Reset() {
+  sojourn_chain_.Reset();
+  buffer_chain_.Reset();
+  last_pdp_ = 0.0;
+}
+
+}  // namespace analognf::cognitive

@@ -1,0 +1,48 @@
+// Physical units and constants used across the analog network-function stack.
+//
+// All physical quantities in this codebase are `double`s in SI base units
+// (volts, amperes, ohms, seconds, joules, watts, bytes). Named multipliers
+// below make call sites read like the paper's figures ("20.0 * kMilli"
+// seconds, "0.16 * kNano" joules) without introducing a heavyweight unit
+// system into hot paths.
+#pragma once
+
+namespace analognf {
+
+// ---------------------------------------------------------------- prefixes
+inline constexpr double kTera = 1e12;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kMega = 1e6;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kPico = 1e-12;
+inline constexpr double kFemto = 1e-15;
+inline constexpr double kAtto = 1e-18;
+
+// ------------------------------------------------------ physical constants
+// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+// Room temperature [K]; all device models are evaluated at 300 K, matching
+// the lab conditions of the Nb:SrTiO3 measurements the paper builds on.
+inline constexpr double kRoomTemperatureK = 300.0;
+// Thermal voltage kT/q at 300 K [V].
+inline constexpr double kThermalVoltageV =
+    kBoltzmann * kRoomTemperatureK / kElementaryCharge;
+
+// ------------------------------------------------------------- conversions
+// Convert seconds to milliseconds (presentation only).
+constexpr double ToMillis(double seconds) { return seconds / kMilli; }
+// Convert joules to femtojoules (presentation only).
+constexpr double ToFemtojoules(double joules) { return joules / kFemto; }
+// Convert joules to nanojoules (presentation only).
+constexpr double ToNanojoules(double joules) { return joules / kNano; }
+// Convert a bit rate in bits/s to bytes/s.
+constexpr double BitsToBytesPerSecond(double bits_per_s) {
+  return bits_per_s / 8.0;
+}
+
+}  // namespace analognf

@@ -1,0 +1,90 @@
+#include "analognf/common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace analognf {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Ewma::Ewma(double weight) : weight_(weight) {
+  if (!(weight > 0.0) || weight > 1.0) {
+    throw std::invalid_argument("Ewma weight must be in (0, 1]");
+  }
+}
+
+double Ewma::Update(double sample) {
+  if (!initialized_) {
+    value_ = sample;
+    initialized_ = true;
+  } else {
+    value_ += weight_ * (sample - value_);
+  }
+  return value_;
+}
+
+void Ewma::Reset() {
+  value_ = 0.0;
+  initialized_ = false;
+}
+
+double Percentile(const std::vector<double>& samples, double q) {
+  if (samples.empty()) {
+    throw std::invalid_argument("Percentile of an empty sample set");
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double Mean(const std::vector<double>& samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("Mean of an empty sample set");
+  }
+  return std::accumulate(samples.begin(), samples.end(), 0.0) /
+         static_cast<double>(samples.size());
+}
+
+double FractionWithin(const std::vector<double>& samples, double lo,
+                      double hi) {
+  if (samples.empty()) {
+    throw std::invalid_argument("FractionWithin of an empty sample set");
+  }
+  const auto inside = std::count_if(
+      samples.begin(), samples.end(),
+      [lo, hi](double x) { return x >= lo && x <= hi; });
+  return static_cast<double>(inside) / static_cast<double>(samples.size());
+}
+
+}  // namespace analognf

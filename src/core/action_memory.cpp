@@ -1,0 +1,96 @@
+#include "analognf/core/action_memory.hpp"
+
+#include <stdexcept>
+
+namespace analognf::core {
+
+std::string ToString(ActionType type) {
+  switch (type) {
+    case ActionType::kForward:
+      return "forward";
+    case ActionType::kDrop:
+      return "drop";
+    case ActionType::kSetPriority:
+      return "set-priority";
+    case ActionType::kMarkEcn:
+      return "mark-ecn";
+    case ActionType::kUpdatePcam:
+      return "update-pcam";
+  }
+  return "unknown";
+}
+
+void ActionMemory::Config::Validate() const {
+  device.Validate();
+  if (cells_per_action == 0) {
+    throw std::invalid_argument("ActionMemory: zero cells per action");
+  }
+  if (!(read_voltage_v > 0.0)) {
+    throw std::invalid_argument("ActionMemory: read voltage <= 0");
+  }
+}
+
+ActionMemory::ActionMemory() : ActionMemory(Config()) {}
+
+ActionMemory::ActionMemory(Config config)
+    : config_([&] {
+        config.Validate();
+        return config;
+      }()),
+      rng_(config_.seed) {}
+
+std::uint32_t ActionMemory::Store(const Action& action) {
+  if (action.type == ActionType::kUpdatePcam) {
+    action.pcam_update.Validate();
+  }
+  actions_.push_back(action);
+  // The stored word occupies cells programmed to mid-range analog
+  // levels; the exact state encodes the action bits, and for the energy
+  // model a representative level suffices.
+  device::Memristor cell(config_.device,
+                         0.3 + 0.4 * rng_.NextUniform());
+  cells_.push_back(cell);
+  return static_cast<std::uint32_t>(actions_.size() - 1);
+}
+
+void ActionMemory::ChargeRead() {
+  ++fetches_;
+}
+
+const Action& ActionMemory::Fetch(std::uint32_t id) {
+  if (id >= actions_.size()) {
+    throw std::out_of_range("ActionMemory::Fetch: unknown action id");
+  }
+  consumed_energy_j_ +=
+      static_cast<double>(config_.cells_per_action) *
+      cells_[id].ReadEnergyJ(config_.read_voltage_v);
+  ChargeRead();
+  return actions_[id];
+}
+
+void ActionMemory::BindRange(double lo, double hi, std::uint32_t id) {
+  if (!(lo < hi)) {
+    throw std::invalid_argument("ActionMemory::BindRange: require lo < hi");
+  }
+  if (id >= actions_.size()) {
+    throw std::out_of_range("ActionMemory::BindRange: unknown action id");
+  }
+  for (const Binding& b : bindings_) {
+    if (lo < b.hi && b.lo < hi) {
+      throw std::invalid_argument(
+          "ActionMemory::BindRange: overlapping interval");
+    }
+  }
+  bindings_.push_back({lo, hi, id});
+}
+
+std::optional<Action> ActionMemory::FetchByOutput(double analog_output) {
+  for (const Binding& b : bindings_) {
+    if (analog_output >= b.lo && analog_output < b.hi) {
+      return Fetch(b.id);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace analognf::core

@@ -1,0 +1,95 @@
+// Action memory: the "memristor-based storage" blocks of Fig. 5.
+//
+// Sec. 5: the analog table's output "is the raw analog voltage, and it
+// can be used directly (like PDP for AQM) or indirectly by fetching the
+// stored actions related to the given output". This module provides the
+// indirect path: typed actions stored in memristor cells, fetched either
+// by id or by binding analog-output ranges to actions (so a pCAM result
+// selects an action without any digital comparison chain).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analognf/core/pcam_cell.hpp"
+#include "analognf/device/memristor.hpp"
+
+namespace analognf::core {
+
+enum class ActionType : std::uint8_t {
+  kForward,      // send to forward_port
+  kDrop,
+  kSetPriority,  // rewrite packet priority to `priority`
+  kMarkEcn,      // set CE
+  kUpdatePcam,   // reprogram pipeline stage `pcam_stage` with pcam_update
+};
+
+std::string ToString(ActionType type);
+
+struct Action {
+  ActionType type = ActionType::kDrop;
+  std::uint32_t forward_port = 0;
+  std::uint8_t priority = 0;
+  std::size_t pcam_stage = 0;
+  PcamParams pcam_update{};
+};
+
+class ActionMemory {
+ public:
+  struct Config {
+    device::MemristorParams device = device::MemristorParams::NbSrTiO3();
+    // Cells used to hold one action (multi-level encoding of the action
+    // word); determines the per-fetch read energy.
+    std::size_t cells_per_action = 16;
+    double read_voltage_v = 0.2;
+    std::uint64_t seed = 0xac710;
+
+    void Validate() const;  // throws std::invalid_argument
+  };
+
+  // Default-configured memory (Nb:SrTiO3 devices, 16 cells/action).
+  ActionMemory();
+  explicit ActionMemory(Config config);
+
+  // Stores an action; returns its id.
+  std::uint32_t Store(const Action& action);
+  std::size_t size() const { return actions_.size(); }
+
+  // Fetches by id (counts a memristor read). Throws std::out_of_range.
+  const Action& Fetch(std::uint32_t id);
+
+  // Binds the analog-output interval [lo, hi) to an action id, so a
+  // pCAM result can be resolved to an action directly. Intervals may
+  // not overlap. The id must exist.
+  void BindRange(double lo, double hi, std::uint32_t id);
+
+  // Resolves an analog output to its bound action (counting the read);
+  // nullopt when no interval covers the value.
+  std::optional<Action> FetchByOutput(double analog_output);
+
+  double ConsumedEnergyJ() const { return consumed_energy_j_; }
+  std::uint64_t fetches() const { return fetches_; }
+
+ private:
+  void ChargeRead();
+
+  struct Binding {
+    double lo;
+    double hi;
+    std::uint32_t id;
+  };
+
+  Config config_;
+  std::vector<Action> actions_;
+  // One representative storage cell per stored action; the energy model
+  // scales its read by cells_per_action.
+  std::vector<device::Memristor> cells_;
+  std::vector<Binding> bindings_;
+  double consumed_energy_j_ = 0.0;
+  std::uint64_t fetches_ = 0;
+  analognf::RandomStream rng_;
+};
+
+}  // namespace analognf::core

@@ -1,0 +1,131 @@
+// Non-linear analog match functions (the paper's future work, Sec. 8:
+// "modeling of non-linear match functions in the data plane").
+//
+// The trapezoid of Fig. 4a is one realisable transfer shape; analog CAM
+// circuits can also produce bell (Gaussian) and saturating (sigmoid)
+// responses, and compositions of cells can approximate arbitrary
+// responses. This module provides:
+//
+//   * a MatchFunction interface unifying all transfer shapes,
+//   * Gaussian / sigmoid / programmable piecewise-linear shapes,
+//   * a least-squares compiler (FitWeights / ResponseApproximator) that
+//     maps a desired response curve onto a weighted bank of analog basis
+//     cells — the "specify the I/O response and let the controller map
+//     it" workflow of RQ3 generalised beyond the trapezoid.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analognf/core/pcam_cell.hpp"
+
+namespace analognf::core {
+
+// A single-input analog transfer function.
+class MatchFunction {
+ public:
+  virtual ~MatchFunction() = default;
+  virtual double Evaluate(double input_v) const = 0;
+  virtual std::string name() const = 0;
+};
+
+// The Fig. 4a trapezoid as a MatchFunction.
+class TrapezoidFunction final : public MatchFunction {
+ public:
+  explicit TrapezoidFunction(PcamParams params) : cell_(params) {}
+  double Evaluate(double input_v) const override {
+    return cell_.Evaluate(input_v);
+  }
+  std::string name() const override { return "trapezoid"; }
+
+ private:
+  PcamCell cell_;
+};
+
+// Bell response: pmin + (pmax - pmin) * exp(-(v - center)^2 / (2 sigma^2)).
+// The analog-CAM literature realises this with a pair of opposing
+// transistor-memristor branches.
+class GaussianFunction final : public MatchFunction {
+ public:
+  // sigma > 0, pmin < pmax.
+  GaussianFunction(double center_v, double sigma_v, double pmax = 1.0,
+                   double pmin = 0.0);
+  double Evaluate(double input_v) const override;
+  std::string name() const override { return "gaussian"; }
+  double center() const { return center_v_; }
+  double sigma() const { return sigma_v_; }
+
+ private:
+  double center_v_;
+  double sigma_v_;
+  double pmax_;
+  double pmin_;
+};
+
+// Saturating response: pmin + (pmax - pmin) / (1 + exp(-k (v - center))).
+// k may be negative for a falling threshold.
+class SigmoidFunction final : public MatchFunction {
+ public:
+  SigmoidFunction(double center_v, double steepness_per_v,
+                  double pmax = 1.0, double pmin = 0.0);
+  double Evaluate(double input_v) const override;
+  std::string name() const override { return "sigmoid"; }
+
+ private:
+  double center_v_;
+  double steepness_per_v_;
+  double pmax_;
+  double pmin_;
+};
+
+// Fully programmable shape: linear interpolation through sorted
+// (voltage, output) breakpoints; clamps outside the span.
+class PiecewiseLinearFunction final : public MatchFunction {
+ public:
+  struct Point {
+    double input_v;
+    double output;
+  };
+
+  // Requires >= 2 points with strictly increasing input_v.
+  explicit PiecewiseLinearFunction(std::vector<Point> points);
+  double Evaluate(double input_v) const override;
+  std::string name() const override { return "piecewise-linear"; }
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+// A weighted bank of basis cells: output(v) = sum_k w_k * basis_k(v).
+// Physically: the cells share the search line and their output currents
+// sum on a common sense line scaled by programmable gains.
+class ResponseApproximator {
+ public:
+  explicit ResponseApproximator(
+      std::vector<std::unique_ptr<MatchFunction>> basis);
+
+  std::size_t basis_size() const { return basis_.size(); }
+  const std::vector<double>& weights() const { return weights_; }
+
+  // Least-squares fit of the weights to samples of a target response
+  // (ridge-regularised normal equations; lambda >= 0). Returns the RMS
+  // error of the fit over the provided samples.
+  double Fit(const std::vector<double>& inputs_v,
+             const std::vector<double>& targets, double ridge_lambda = 1e-9);
+
+  // Evaluates the weighted bank.
+  double Evaluate(double input_v) const;
+
+ private:
+  std::vector<std::unique_ptr<MatchFunction>> basis_;
+  std::vector<double> weights_;
+};
+
+// Convenience: a bank of `count` Gaussian cells with centers spread
+// evenly over [lo_v, hi_v] and sigma matched to the spacing.
+ResponseApproximator MakeGaussianBank(std::size_t count, double lo_v,
+                                      double hi_v);
+
+}  // namespace analognf::core

@@ -1,0 +1,105 @@
+// pCAM words and tables: analog match-action storage (Fig. 4b, Fig. 5).
+//
+// A word is one stored policy: a row of hardware pCAM cells, one per
+// match field, whose outputs multiply into the row's match degree (the
+// series composition of Fig. 4b). A table is a set of words with
+// actions; a search evaluates every row in parallel — like a TCAM, but
+// returning a *degree* of match per row instead of hit/miss, which is
+// what lets cognitive functions find "the closely matching stored
+// policies for an incoming query with zero [exact] matches" (RQ1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analognf/common/rng.hpp"
+#include "analognf/core/pcam_hardware.hpp"
+
+namespace analognf::core {
+
+// One stored policy row.
+class PcamWord {
+ public:
+  // One cell per field. `config` applies to every cell; per-cell seeds
+  // are derived so device variation differs across cells.
+  PcamWord(const std::vector<PcamParams>& fields,
+           const HardwarePcamConfig& config);
+
+  std::size_t width() const { return cells_.size(); }
+
+  // Evaluates all fields against `inputs` (size must equal width) and
+  // returns the product of cell outputs plus total energy.
+  PcamEvalResult Evaluate(const std::vector<double>& inputs);
+
+  // Reprograms field `index`.
+  void ProgramField(std::size_t index, const PcamParams& params);
+
+  HardwarePcamCell& cell(std::size_t index) { return cells_.at(index); }
+  const HardwarePcamCell& cell(std::size_t index) const {
+    return cells_.at(index);
+  }
+
+ private:
+  std::vector<HardwarePcamCell> cells_;
+};
+
+// Result of a table search.
+struct PcamTableResult {
+  std::size_t row_index = 0;
+  std::uint32_t action = 0;
+  double match_degree = 0.0;  // product of cell outputs for the best row
+  double energy_j = 0.0;      // whole-array search energy
+};
+
+// Analog match-action table.
+class PcamTable {
+ public:
+  struct Row {
+    std::string label;
+    std::vector<PcamParams> fields;
+    std::uint32_t action = 0;
+  };
+
+  // `field_count` fixes the table width; every row must match it.
+  PcamTable(std::size_t field_count, HardwarePcamConfig config);
+
+  std::size_t field_count() const { return field_count_; }
+  std::size_t size() const { return words_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  // Adds a row; returns its index.
+  std::size_t Insert(Row row);
+
+  // Full-array search: every row evaluates `inputs`; the highest match
+  // degree wins (ties: lowest index). Returns nullopt only for an empty
+  // table. Energy covers all rows (they all saw the search voltage).
+  std::optional<PcamTableResult> Search(const std::vector<double>& inputs);
+
+  // Per-row degrees of the last Search() (diagnostics / soft selection).
+  const std::vector<double>& last_degrees() const { return last_degrees_; }
+
+  // Probabilistic action selection: rows weighted by match degree
+  // (the "probable match" semantics of RQ1 turned into a decision).
+  // Returns nullopt if all degrees are zero or the table is empty.
+  std::optional<PcamTableResult> SampleByDegree(
+      const std::vector<double>& inputs, analognf::RandomStream& rng);
+
+  // Reprogram one field of one row.
+  void ProgramField(std::size_t row, std::size_t field,
+                    const PcamParams& params);
+
+  double ConsumedEnergyJ() const { return consumed_energy_j_; }
+
+ private:
+  std::size_t field_count_;
+  HardwarePcamConfig config_;
+  std::vector<Row> rows_;
+  std::vector<PcamWord> words_;
+  std::vector<double> last_degrees_;
+  double consumed_energy_j_ = 0.0;
+  std::uint64_t next_seed_salt_ = 1;
+};
+
+}  // namespace analognf::core

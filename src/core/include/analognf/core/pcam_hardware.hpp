@@ -1,0 +1,112 @@
+// Hardware-backed pCAM cell: the ideal transfer function of pcam_cell.hpp
+// realised on memristor devices.
+//
+// Physical mapping (following the analog-CAM circuit literature the paper
+// builds on [30, 40]): the deterministic match window [M2, M3] is stored
+// as the states of two memristors — a low-bound and a high-bound device —
+// while the probabilistic skirt widths (M1..M2 and M3..M4) and the output
+// rails pmax/pmin are set by the sense amplifier's programmable gain.
+// Consequences modelled here:
+//
+//   * Quantisation: a device offers a finite ladder of reliable states,
+//     so the programmed M2/M3 snap to the nearest rung (effective_params
+//     exposes the snapped function; RQ2's precision discussion).
+//   * Read energy: every search drives the input voltage across both
+//     devices, dissipating V^2 (G_lo + G_hi) t_read — the quantity the
+//     Sec. 6 energy analysis measures on the Nb:SrTiO3 dataset.
+//   * Signal integrity: the search line passes through an AnalogChannel
+//     (line loss / interference / AWGN) before reaching the cell.
+//   * Programming cost: reprogramming thresholds consumes pulse energy,
+//     accounted separately (the controller pays it, not the data path).
+#pragma once
+
+#include <cstdint>
+
+#include "analognf/analog/noise.hpp"
+#include "analognf/analog/signal.hpp"
+#include "analognf/core/pcam_cell.hpp"
+#include "analognf/device/memristor.hpp"
+#include "analognf/device/quantizer.hpp"
+
+namespace analognf::core {
+
+// Construction-time configuration of a hardware cell.
+struct HardwarePcamConfig {
+  device::MemristorParams device = device::MemristorParams::NbSrTiO3();
+  // Reliable programmable states per device.
+  std::size_t state_levels = 64;
+  // The voltage span thresholds live in (DAC output range feeding the
+  // search lines). Thresholds outside it clamp.
+  analog::VoltageRange input_range{-2.0, 4.0};
+  // Search-line signal integrity.
+  analog::ChannelParams channel = analog::ChannelParams::Ideal();
+  // Per-cell device-to-device variation (applied at construction).
+  bool apply_device_variation = false;
+  device::DeviceVariation variation{};
+  std::uint64_t seed = 0x9cab;
+
+  void Validate() const;  // throws std::invalid_argument
+};
+
+// Output of one hardware evaluation.
+struct PcamEvalResult {
+  double output = 0.0;
+  double energy_j = 0.0;     // search energy dissipated in the devices
+  MatchRegion region = MatchRegion::kMismatchLow;
+};
+
+class HardwarePcamCell {
+ public:
+  // Programs the cell to approximate `target`. Thresholds M2/M3 are
+  // quantised onto device states; M1/M4 keep the programmed skirt
+  // widths relative to the snapped M2/M3.
+  HardwarePcamCell(const PcamParams& target, HardwarePcamConfig config);
+
+  // One search: transmit the input over the (possibly noisy) channel,
+  // evaluate the snapped transfer function, dissipate read energy.
+  PcamEvalResult Evaluate(double input_v);
+
+  // Reprogram (update_pCAM). Accumulates programming energy.
+  void Program(const PcamParams& target);
+
+  // Ages the cell by `dt_s` of wall time: the threshold devices relax
+  // per their retention model and the realised transfer function shifts
+  // accordingly. A controller counters this with periodic Program()
+  // refreshes. No-op for ideal-retention devices.
+  void Age(double dt_s);
+
+  // The transfer function actually realised after quantisation.
+  const PcamParams& effective_params() const { return effective_.params(); }
+  // What the controller asked for.
+  const PcamParams& target_params() const { return target_; }
+
+  // Search energy for a given line voltage with the current states.
+  double SearchEnergyJ(double input_v) const;
+
+  // Cumulative energies since construction.
+  double ConsumedSearchEnergyJ() const { return search_energy_j_; }
+  double ConsumedProgrammingEnergyJ() const { return program_energy_j_; }
+  std::uint64_t searches() const { return searches_; }
+
+  const device::Memristor& low_device() const { return low_; }
+  const device::Memristor& high_device() const { return high_; }
+
+ private:
+  // Maps a threshold voltage onto a device state and back, returning the
+  // snapped voltage actually stored.
+  double SnapThreshold(double threshold_v, device::Memristor& dev);
+  void Reprogram(const PcamParams& target);
+
+  HardwarePcamConfig config_;
+  device::StateQuantizer quantizer_;
+  device::Memristor low_;    // stores M2 (low bound of the match window)
+  device::Memristor high_;   // stores M3 (high bound)
+  PcamParams target_;
+  PcamCell effective_;
+  analog::AnalogChannel channel_;
+  double search_energy_j_ = 0.0;
+  double program_energy_j_ = 0.0;
+  std::uint64_t searches_ = 0;
+};
+
+}  // namespace analognf::core

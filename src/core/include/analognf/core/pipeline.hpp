@@ -1,0 +1,74 @@
+// Multi-stage pCAM match pipeline (Fig. 4b, Fig. 6).
+//
+// "For multistage match-action process, multiple pCAM cells can be
+// combined in series to obtain the product of deterministic and
+// probabilistic matches at the output." Each stage owns one hardware
+// pCAM cell and consumes one input feature; the pipeline combines stage
+// outputs — product by default, with alternative fuzzy combiners for the
+// ablation benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analognf/core/pcam_hardware.hpp"
+
+namespace analognf::core {
+
+enum class CombineMode {
+  kProduct,        // the paper's series composition
+  kMin,            // fuzzy-AND alternative
+  kArithmeticMean, // linear blending
+  kGeometricMean,  // scale-free product
+};
+
+std::string ToString(CombineMode mode);
+
+// One pipeline stage: a labelled transfer function.
+struct StageConfig {
+  std::string label;   // e.g. "sojourn_time", "d/dt(sojourn_time)"
+  PcamParams params;
+};
+
+class PcamPipeline {
+ public:
+  struct Result {
+    double combined = 0.0;
+    std::vector<double> stage_outputs;
+    double energy_j = 0.0;
+  };
+
+  PcamPipeline(const std::vector<StageConfig>& stages,
+               const HardwarePcamConfig& hardware,
+               CombineMode mode = CombineMode::kProduct);
+
+  // Evaluates the pipeline: inputs.size() must equal stage_count().
+  Result Evaluate(const std::vector<double>& inputs);
+
+  // Reprograms one stage (the paper's update_pCAM(id, parameter[1:8])).
+  void ProgramStage(std::size_t index, const PcamParams& params);
+
+  std::size_t stage_count() const { return cells_.size(); }
+  const StageConfig& stage(std::size_t index) const {
+    return stages_.at(index);
+  }
+  CombineMode mode() const { return mode_; }
+
+  HardwarePcamCell& cell(std::size_t index) { return cells_.at(index); }
+  const HardwarePcamCell& cell(std::size_t index) const {
+    return cells_.at(index);
+  }
+
+  double ConsumedEnergyJ() const { return consumed_energy_j_; }
+  std::uint64_t evaluations() const { return evaluations_; }
+
+ private:
+  std::vector<StageConfig> stages_;
+  std::vector<HardwarePcamCell> cells_;
+  CombineMode mode_;
+  double consumed_energy_j_ = 0.0;
+  std::uint64_t evaluations_ = 0;
+};
+
+}  // namespace analognf::core

@@ -1,0 +1,190 @@
+#include "analognf/core/nonlinear.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace analognf::core {
+
+GaussianFunction::GaussianFunction(double center_v, double sigma_v,
+                                   double pmax, double pmin)
+    : center_v_(center_v), sigma_v_(sigma_v), pmax_(pmax), pmin_(pmin) {
+  if (!(sigma_v > 0.0)) {
+    throw std::invalid_argument("GaussianFunction: sigma <= 0");
+  }
+  if (!(pmin < pmax)) {
+    throw std::invalid_argument("GaussianFunction: pmin >= pmax");
+  }
+}
+
+double GaussianFunction::Evaluate(double input_v) const {
+  const double z = (input_v - center_v_) / sigma_v_;
+  return pmin_ + (pmax_ - pmin_) * std::exp(-0.5 * z * z);
+}
+
+SigmoidFunction::SigmoidFunction(double center_v, double steepness_per_v,
+                                 double pmax, double pmin)
+    : center_v_(center_v),
+      steepness_per_v_(steepness_per_v),
+      pmax_(pmax),
+      pmin_(pmin) {
+  if (steepness_per_v == 0.0) {
+    throw std::invalid_argument("SigmoidFunction: zero steepness");
+  }
+  if (!(pmin < pmax)) {
+    throw std::invalid_argument("SigmoidFunction: pmin >= pmax");
+  }
+}
+
+double SigmoidFunction::Evaluate(double input_v) const {
+  const double z = steepness_per_v_ * (input_v - center_v_);
+  return pmin_ + (pmax_ - pmin_) / (1.0 + std::exp(-z));
+}
+
+PiecewiseLinearFunction::PiecewiseLinearFunction(std::vector<Point> points)
+    : points_(std::move(points)) {
+  if (points_.size() < 2) {
+    throw std::invalid_argument(
+        "PiecewiseLinearFunction: need at least two points");
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (!(points_[i].input_v > points_[i - 1].input_v)) {
+      throw std::invalid_argument(
+          "PiecewiseLinearFunction: inputs must be strictly increasing");
+    }
+  }
+}
+
+double PiecewiseLinearFunction::Evaluate(double input_v) const {
+  if (input_v <= points_.front().input_v) return points_.front().output;
+  if (input_v >= points_.back().input_v) return points_.back().output;
+  // Binary search for the segment containing input_v.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), input_v,
+      [](double v, const Point& p) { return v < p.input_v; });
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  const double t = (input_v - lo.input_v) / (hi.input_v - lo.input_v);
+  return lo.output + t * (hi.output - lo.output);
+}
+
+ResponseApproximator::ResponseApproximator(
+    std::vector<std::unique_ptr<MatchFunction>> basis)
+    : basis_(std::move(basis)), weights_(basis_.size(), 0.0) {
+  if (basis_.empty()) {
+    throw std::invalid_argument("ResponseApproximator: empty basis");
+  }
+  for (const auto& b : basis_) {
+    if (b == nullptr) {
+      throw std::invalid_argument("ResponseApproximator: null basis cell");
+    }
+  }
+}
+
+double ResponseApproximator::Fit(const std::vector<double>& inputs_v,
+                                 const std::vector<double>& targets,
+                                 double ridge_lambda) {
+  if (inputs_v.size() != targets.size() || inputs_v.empty()) {
+    throw std::invalid_argument(
+        "ResponseApproximator::Fit: sample arity mismatch or empty");
+  }
+  if (ridge_lambda < 0.0) {
+    throw std::invalid_argument("ResponseApproximator::Fit: lambda < 0");
+  }
+  const std::size_t k = basis_.size();
+  const std::size_t n = inputs_v.size();
+
+  // Design matrix Phi (n x k).
+  std::vector<double> phi(n * k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      phi[i * k + j] = basis_[j]->Evaluate(inputs_v[i]);
+    }
+  }
+
+  // Normal equations A w = b with A = Phi^T Phi + lambda I.
+  std::vector<double> a(k * k, 0.0);
+  std::vector<double> b(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t r = 0; r < k; ++r) {
+      b[r] += phi[i * k + r] * targets[i];
+      for (std::size_t c = 0; c < k; ++c) {
+        a[r * k + c] += phi[i * k + r] * phi[i * k + c];
+      }
+    }
+  }
+  for (std::size_t d = 0; d < k; ++d) a[d * k + d] += ridge_lambda;
+
+  // Gaussian elimination with partial pivoting (k is small).
+  std::vector<double> w = b;
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < k; ++row) {
+      if (std::fabs(a[row * k + col]) > std::fabs(a[pivot * k + col])) {
+        pivot = row;
+      }
+    }
+    if (std::fabs(a[pivot * k + col]) < 1e-12) {
+      throw std::runtime_error(
+          "ResponseApproximator::Fit: singular normal matrix; increase "
+          "ridge_lambda or reduce basis size");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < k; ++c) {
+        std::swap(a[col * k + c], a[pivot * k + c]);
+      }
+      std::swap(w[col], w[pivot]);
+    }
+    for (std::size_t row = col + 1; row < k; ++row) {
+      const double factor = a[row * k + col] / a[col * k + col];
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < k; ++c) {
+        a[row * k + c] -= factor * a[col * k + c];
+      }
+      w[row] -= factor * w[col];
+    }
+  }
+  for (std::size_t col = k; col-- > 0;) {
+    for (std::size_t c = col + 1; c < k; ++c) {
+      w[col] -= a[col * k + c] * w[c];
+    }
+    w[col] /= a[col * k + col];
+  }
+  weights_ = w;
+
+  // Fit quality.
+  double sse = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double out = 0.0;
+    for (std::size_t j = 0; j < k; ++j) out += weights_[j] * phi[i * k + j];
+    const double diff = out - targets[i];
+    sse += diff * diff;
+  }
+  return std::sqrt(sse / static_cast<double>(n));
+}
+
+double ResponseApproximator::Evaluate(double input_v) const {
+  double out = 0.0;
+  for (std::size_t j = 0; j < basis_.size(); ++j) {
+    out += weights_[j] * basis_[j]->Evaluate(input_v);
+  }
+  return out;
+}
+
+ResponseApproximator MakeGaussianBank(std::size_t count, double lo_v,
+                                      double hi_v) {
+  if (count < 1 || !(hi_v > lo_v)) {
+    throw std::invalid_argument("MakeGaussianBank: bad configuration");
+  }
+  std::vector<std::unique_ptr<MatchFunction>> basis;
+  const double spacing =
+      count == 1 ? (hi_v - lo_v) : (hi_v - lo_v) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double center = lo_v + spacing * static_cast<double>(i);
+    basis.push_back(
+        std::make_unique<GaussianFunction>(center, spacing * 0.7));
+  }
+  return ResponseApproximator(std::move(basis));
+}
+
+}  // namespace analognf::core

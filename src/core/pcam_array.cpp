@@ -1,0 +1,118 @@
+#include "analognf/core/pcam_array.hpp"
+
+#include <stdexcept>
+
+namespace analognf::core {
+
+PcamWord::PcamWord(const std::vector<PcamParams>& fields,
+                   const HardwarePcamConfig& config) {
+  if (fields.empty()) {
+    throw std::invalid_argument("PcamWord: a word needs at least one field");
+  }
+  cells_.reserve(fields.size());
+  HardwarePcamConfig cell_config = config;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    // Distinct seed per cell so variation/noise streams are independent.
+    cell_config.seed = config.seed + 0x1000003 * (i + 1);
+    cells_.emplace_back(fields[i], cell_config);
+  }
+}
+
+PcamEvalResult PcamWord::Evaluate(const std::vector<double>& inputs) {
+  if (inputs.size() != cells_.size()) {
+    throw std::invalid_argument("PcamWord::Evaluate: input arity mismatch");
+  }
+  PcamEvalResult combined;
+  combined.output = 1.0;
+  combined.region = MatchRegion::kMatch;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const PcamEvalResult r = cells_[i].Evaluate(inputs[i]);
+    combined.output *= r.output;
+    combined.energy_j += r.energy_j;
+    // The word's region is the "worst" cell region: a single mismatch
+    // field makes the row a mismatch.
+    if (r.region != MatchRegion::kMatch) combined.region = r.region;
+  }
+  return combined;
+}
+
+void PcamWord::ProgramField(std::size_t index, const PcamParams& params) {
+  cells_.at(index).Program(params);
+}
+
+PcamTable::PcamTable(std::size_t field_count, HardwarePcamConfig config)
+    : field_count_(field_count), config_(config) {
+  if (field_count == 0) {
+    throw std::invalid_argument("PcamTable: zero field count");
+  }
+  config_.Validate();
+}
+
+std::size_t PcamTable::Insert(Row row) {
+  if (row.fields.size() != field_count_) {
+    throw std::invalid_argument("PcamTable::Insert: field arity mismatch");
+  }
+  HardwarePcamConfig word_config = config_;
+  word_config.seed = config_.seed + 0x9e3779b9ULL * next_seed_salt_++;
+  words_.emplace_back(row.fields, word_config);
+  rows_.push_back(std::move(row));
+  return rows_.size() - 1;
+}
+
+std::optional<PcamTableResult> PcamTable::Search(
+    const std::vector<double>& inputs) {
+  if (inputs.size() != field_count_) {
+    throw std::invalid_argument("PcamTable::Search: input arity mismatch");
+  }
+  last_degrees_.assign(words_.size(), 0.0);
+  if (words_.empty()) return std::nullopt;
+
+  double total_energy = 0.0;
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const PcamEvalResult r = words_[i].Evaluate(inputs);
+    last_degrees_[i] = r.output;
+    total_energy += r.energy_j;
+    if (r.output > last_degrees_[best]) best = i;
+  }
+  consumed_energy_j_ += total_energy;
+
+  PcamTableResult result;
+  result.row_index = best;
+  result.action = rows_[best].action;
+  result.match_degree = last_degrees_[best];
+  result.energy_j = total_energy;
+  return result;
+}
+
+std::optional<PcamTableResult> PcamTable::SampleByDegree(
+    const std::vector<double>& inputs, analognf::RandomStream& rng) {
+  auto best = Search(inputs);
+  if (!best.has_value()) return std::nullopt;
+
+  double total = 0.0;
+  for (double d : last_degrees_) total += d;
+  if (total <= 0.0) return std::nullopt;
+
+  double draw = rng.NextUniform() * total;
+  for (std::size_t i = 0; i < last_degrees_.size(); ++i) {
+    draw -= last_degrees_[i];
+    if (draw <= 0.0) {
+      PcamTableResult result;
+      result.row_index = i;
+      result.action = rows_[i].action;
+      result.match_degree = last_degrees_[i];
+      result.energy_j = best->energy_j;
+      return result;
+    }
+  }
+  return best;  // numerical tail: fall back to the arg-max row
+}
+
+void PcamTable::ProgramField(std::size_t row, std::size_t field,
+                             const PcamParams& params) {
+  words_.at(row).ProgramField(field, params);
+  rows_.at(row).fields.at(field) = params;
+}
+
+}  // namespace analognf::core

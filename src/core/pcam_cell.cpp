@@ -1,0 +1,95 @@
+#include "analognf/core/pcam_cell.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace analognf::core {
+
+std::string ToString(MatchRegion region) {
+  switch (region) {
+    case MatchRegion::kMismatchLow:
+      return "mismatch-low";
+    case MatchRegion::kProbableRising:
+      return "probable-rising";
+    case MatchRegion::kMatch:
+      return "match";
+    case MatchRegion::kProbableFalling:
+      return "probable-falling";
+    case MatchRegion::kMismatchHigh:
+      return "mismatch-high";
+  }
+  return "unknown";
+}
+
+void PcamParams::Validate() const {
+  if (!(m1 < m2) || !(m2 <= m3) || !(m3 < m4)) {
+    throw std::invalid_argument(
+        "PcamParams: require M1 < M2 <= M3 < M4");
+  }
+  if (!(pmin >= 0.0) || !(pmin < pmax)) {
+    throw std::invalid_argument("PcamParams: require 0 <= pmin < pmax");
+  }
+}
+
+PcamParams PcamParams::MakeTrapezoid(double m1, double m2, double m3,
+                                     double m4, double pmax, double pmin) {
+  PcamParams p;
+  p.m1 = m1;
+  p.m2 = m2;
+  p.m3 = m3;
+  p.m4 = m4;
+  p.pmax = pmax;
+  p.pmin = pmin;
+  p.sa = (pmax - pmin) / (m2 - m1);
+  p.sb = (pmin - pmax) / (m4 - m3);
+  p.Validate();
+  return p;
+}
+
+PcamParams PcamParams::MakeBand(double center, double tolerance,
+                                double skirt, double pmax, double pmin) {
+  if (!(tolerance >= 0.0) || !(skirt > 0.0)) {
+    throw std::invalid_argument(
+        "PcamParams::MakeBand: require tolerance >= 0 and skirt > 0");
+  }
+  return MakeTrapezoid(center - tolerance - skirt, center - tolerance,
+                       center + tolerance, center + tolerance + skirt,
+                       pmax, pmin);
+}
+
+PcamCell::PcamCell(PcamParams params) : params_(params) {
+  params_.Validate();
+}
+
+double PcamCell::Evaluate(double input_v) const {
+  const PcamParams& p = params_;
+  double output;
+  // Verbatim structure of the paper's pCAM() pseudocode (Sec. 5).
+  if (input_v <= p.m1 || input_v >= p.m4) {
+    output = p.pmin;
+  } else if (input_v > p.m3) {
+    output = p.sb * input_v + (p.m4 * p.pmax - p.m3 * p.pmin) / (p.m4 - p.m3);
+  } else if (input_v < p.m2) {
+    output = p.sa * input_v + (p.m2 * p.pmin - p.m1 * p.pmax) / (p.m2 - p.m1);
+  } else {
+    output = p.pmax;
+  }
+  // Physical output rails clip programmed slopes that over/undershoot.
+  return std::clamp(output, p.pmin, p.pmax);
+}
+
+MatchRegion PcamCell::RegionOf(double input_v) const {
+  const PcamParams& p = params_;
+  if (input_v <= p.m1) return MatchRegion::kMismatchLow;
+  if (input_v < p.m2) return MatchRegion::kProbableRising;
+  if (input_v <= p.m3) return MatchRegion::kMatch;
+  if (input_v < p.m4) return MatchRegion::kProbableFalling;
+  return MatchRegion::kMismatchHigh;
+}
+
+void PcamCell::Program(const PcamParams& params) {
+  params.Validate();
+  params_ = params;
+}
+
+}  // namespace analognf::core

@@ -1,0 +1,89 @@
+#include "analognf/core/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace analognf::core {
+
+std::string ToString(CombineMode mode) {
+  switch (mode) {
+    case CombineMode::kProduct:
+      return "product";
+    case CombineMode::kMin:
+      return "min";
+    case CombineMode::kArithmeticMean:
+      return "mean";
+    case CombineMode::kGeometricMean:
+      return "geomean";
+  }
+  return "unknown";
+}
+
+PcamPipeline::PcamPipeline(const std::vector<StageConfig>& stages,
+                           const HardwarePcamConfig& hardware,
+                           CombineMode mode)
+    : stages_(stages), mode_(mode) {
+  if (stages.empty()) {
+    throw std::invalid_argument("PcamPipeline: no stages");
+  }
+  cells_.reserve(stages.size());
+  HardwarePcamConfig cell_config = hardware;
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    cell_config.seed = hardware.seed + 0x51a9e * (i + 1);
+    cells_.emplace_back(stages[i].params, cell_config);
+  }
+}
+
+PcamPipeline::Result PcamPipeline::Evaluate(
+    const std::vector<double>& inputs) {
+  if (inputs.size() != cells_.size()) {
+    throw std::invalid_argument("PcamPipeline::Evaluate: arity mismatch");
+  }
+  Result result;
+  result.stage_outputs.reserve(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const PcamEvalResult r = cells_[i].Evaluate(inputs[i]);
+    result.stage_outputs.push_back(r.output);
+    result.energy_j += r.energy_j;
+  }
+
+  switch (mode_) {
+    case CombineMode::kProduct: {
+      double product = 1.0;
+      for (double o : result.stage_outputs) product *= o;
+      result.combined = product;
+      break;
+    }
+    case CombineMode::kMin: {
+      result.combined = *std::min_element(result.stage_outputs.begin(),
+                                          result.stage_outputs.end());
+      break;
+    }
+    case CombineMode::kArithmeticMean: {
+      double sum = 0.0;
+      for (double o : result.stage_outputs) sum += o;
+      result.combined = sum / static_cast<double>(result.stage_outputs.size());
+      break;
+    }
+    case CombineMode::kGeometricMean: {
+      double product = 1.0;
+      for (double o : result.stage_outputs) product *= std::max(o, 0.0);
+      result.combined = std::pow(
+          product, 1.0 / static_cast<double>(result.stage_outputs.size()));
+      break;
+    }
+  }
+
+  consumed_energy_j_ += result.energy_j;
+  ++evaluations_;
+  return result;
+}
+
+void PcamPipeline::ProgramStage(std::size_t index,
+                                const PcamParams& params) {
+  cells_.at(index).Program(params);
+  stages_.at(index).params = params;
+}
+
+}  // namespace analognf::core

@@ -1,0 +1,200 @@
+#include "analognf/device/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace analognf::device {
+
+void SynthesisConfig::Validate() const {
+  device.Validate();
+  if (state_machines < 1) {
+    throw std::invalid_argument("SynthesisConfig: state_machines < 1");
+  }
+  if (states_per_machine < 1) {
+    throw std::invalid_argument("SynthesisConfig: states_per_machine < 1");
+  }
+  if (!(min_program_v > 0.0) || !(max_program_v >= min_program_v)) {
+    throw std::invalid_argument(
+        "SynthesisConfig: require 0 < min_program_v <= max_program_v");
+  }
+  if (!(pulse_width_s > 0.0)) {
+    throw std::invalid_argument("SynthesisConfig: pulse_width_s <= 0");
+  }
+  if (read_voltages_v.empty()) {
+    throw std::invalid_argument("SynthesisConfig: no read voltages");
+  }
+  if (program_noise_sigma < 0.0) {
+    throw std::invalid_argument("SynthesisConfig: program_noise_sigma < 0");
+  }
+}
+
+MemristorDataset::MemristorDataset(std::vector<DatasetRecord> records)
+    : records_(std::move(records)) {}
+
+MemristorDataset MemristorDataset::Synthesize(const SynthesisConfig& config,
+                                              std::uint64_t seed) {
+  config.Validate();
+  analognf::RandomStream rng(seed);
+  std::vector<DatasetRecord> records;
+  records.reserve(static_cast<std::size_t>(config.state_machines) *
+                  static_cast<std::size_t>(config.states_per_machine) *
+                  config.read_voltages_v.size());
+
+  for (int machine = 1; machine <= config.state_machines; ++machine) {
+    // Each state machine is one programming-amplitude family, matching
+    // Fig. 2: the same pulse applied from different initial states walks
+    // a distinct state trajectory.
+    const double amplitude =
+        config.state_machines == 1
+            ? config.min_program_v
+            : config.min_program_v +
+                  (config.max_program_v - config.min_program_v) *
+                      static_cast<double>(machine - 1) /
+                      static_cast<double>(config.state_machines - 1);
+    MemristorParams params = config.device;
+    params.program_noise_sigma = config.program_noise_sigma;
+    Memristor cell(params, /*initial_state=*/0.0);
+    analognf::RandomStream machine_rng = rng.Fork();
+    int pulses_applied = 0;
+    // step 0 characterises the pristine (fully RESET) state; steps 1..m
+    // follow the pulse train.
+    for (int step = 0; step <= config.states_per_machine; ++step) {
+      if (step > 0) {
+        cell.ApplyPulse(amplitude, config.pulse_width_s, &machine_rng);
+        ++pulses_applied;
+      }
+      for (double v_read : config.read_voltages_v) {
+        DatasetRecord rec;
+        rec.state_machine = machine;
+        rec.state_index = step;
+        rec.pulse_amplitude_v = amplitude;
+        rec.pulse_count = pulses_applied;
+        rec.state = cell.state();
+        rec.resistance_ohm = cell.ResistanceOhm();
+        rec.read_voltage_v = v_read;
+        rec.read_current_a = cell.ReadCurrentA(v_read);
+        rec.read_energy_j = cell.ReadEnergyJ(v_read);
+        records.push_back(rec);
+      }
+    }
+  }
+  return MemristorDataset(std::move(records));
+}
+
+void MemristorDataset::SaveCsv(std::ostream& os) const {
+  os << "state_machine,state_index,pulse_amplitude_v,pulse_count,state,"
+        "resistance_ohm,read_voltage_v,read_current_a,read_energy_j\n";
+  os.precision(17);
+  for (const DatasetRecord& r : records_) {
+    os << r.state_machine << ',' << r.state_index << ','
+       << r.pulse_amplitude_v << ',' << r.pulse_count << ',' << r.state
+       << ',' << r.resistance_ohm << ',' << r.read_voltage_v << ','
+       << r.read_current_a << ',' << r.read_energy_j << '\n';
+  }
+}
+
+MemristorDataset MemristorDataset::LoadCsv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("MemristorDataset::LoadCsv: empty input");
+  }
+  std::vector<DatasetRecord> records;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    DatasetRecord r;
+    std::istringstream fields(line);
+    std::string cell;
+    std::vector<std::string> cells;
+    while (std::getline(fields, cell, ',')) cells.push_back(cell);
+    if (cells.size() != 9) {
+      throw std::runtime_error(
+          "MemristorDataset::LoadCsv: bad field count on line " +
+          std::to_string(line_no));
+    }
+    try {
+      r.state_machine = std::stoi(cells[0]);
+      r.state_index = std::stoi(cells[1]);
+      r.pulse_amplitude_v = std::stod(cells[2]);
+      r.pulse_count = std::stoi(cells[3]);
+      r.state = std::stod(cells[4]);
+      r.resistance_ohm = std::stod(cells[5]);
+      r.read_voltage_v = std::stod(cells[6]);
+      r.read_current_a = std::stod(cells[7]);
+      r.read_energy_j = std::stod(cells[8]);
+    } catch (const std::exception&) {
+      throw std::runtime_error(
+          "MemristorDataset::LoadCsv: unparsable value on line " +
+          std::to_string(line_no));
+    }
+    records.push_back(r);
+  }
+  return MemristorDataset(std::move(records));
+}
+
+EnergyEnvelope MemristorDataset::ComputeEnvelope() const {
+  if (records_.empty()) {
+    throw std::logic_error("ComputeEnvelope on empty dataset");
+  }
+  EnergyEnvelope env;
+  env.min_energy_j = records_.front().read_energy_j;
+  env.max_energy_j = records_.front().read_energy_j;
+  double sum = 0.0;
+  for (const DatasetRecord& r : records_) {
+    env.min_energy_j = std::min(env.min_energy_j, r.read_energy_j);
+    env.max_energy_j = std::max(env.max_energy_j, r.read_energy_j);
+    sum += r.read_energy_j;
+  }
+  env.mean_energy_j = sum / static_cast<double>(records_.size());
+  return env;
+}
+
+std::vector<double> MemristorDataset::DistinctResistances(
+    double tolerance) const {
+  std::vector<double> levels;
+  levels.reserve(records_.size());
+  for (const DatasetRecord& r : records_) {
+    levels.push_back(r.resistance_ohm);
+  }
+  std::sort(levels.begin(), levels.end());
+  std::vector<double> distinct;
+  for (double r : levels) {
+    if (distinct.empty() ||
+        std::fabs(r - distinct.back()) > tolerance * distinct.back()) {
+      distinct.push_back(r);
+    }
+  }
+  return distinct;
+}
+
+std::vector<DatasetRecord> MemristorDataset::Machine(
+    int state_machine) const {
+  std::vector<DatasetRecord> out;
+  for (const DatasetRecord& r : records_) {
+    if (r.state_machine == state_machine) out.push_back(r);
+  }
+  return out;
+}
+
+DatasetRecord MemristorDataset::CheapestReadAt(double v_read,
+                                               double v_tolerance) const {
+  const DatasetRecord* best = nullptr;
+  for (const DatasetRecord& r : records_) {
+    if (std::fabs(r.read_voltage_v - v_read) > v_tolerance) continue;
+    if (best == nullptr || r.read_energy_j < best->read_energy_j) {
+      best = &r;
+    }
+  }
+  if (best == nullptr) {
+    throw std::invalid_argument(
+        "CheapestReadAt: no record at requested read voltage");
+  }
+  return *best;
+}
+
+}  // namespace analognf::device

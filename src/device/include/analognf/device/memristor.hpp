@@ -1,0 +1,152 @@
+// Behavioural model of a Nb-doped SrTiO3 interface memristor.
+//
+// The paper's energy analysis (Sec. 6, Table 1) is grounded in the
+// experimental dataset of a Nb:SrTiO3 memristor chip (Goossens et al.,
+// J. Appl. Phys. 2018; Appl. Phys. Lett. 2023). That dataset is not
+// redistributable, so this module provides a physics-based behavioural
+// substitute with three calibrated properties the paper actually consumes:
+//
+//   1. A continuum of non-volatile resistance states spanning
+//      ~1e8..1e12 ohm, programmable by voltage pulses whose effect is
+//      exponential in amplitude (Schottky-barrier modulation) and
+//      saturating at the state bounds (Fig. 2's "analog state machine").
+//   2. Polarity-dependent switching: positive pulses lower the interface
+//      barrier (SET, toward the low-resistance state), negative pulses
+//      raise it (RESET).
+//   3. A per-read energy E = V_read^2 / R(state) * t_read whose envelope
+//      over states and read voltages reproduces the paper's numbers:
+//      max ~0.16 nJ/bit/cell (4 V into the 1e8-ohm state) down to
+//      ~0.01 fJ/bit/cell (0.1 V into the 1e12-ohm state).
+//
+// DESIGN.md Sec. 2 documents this substitution.
+#pragma once
+
+#include <cstdint>
+
+#include "analognf/common/rng.hpp"
+
+namespace analognf::device {
+
+// Device parameters. Defaults are the Nb:SrTiO3 calibration; Validate()
+// enforces the invariants every member function relies on.
+struct MemristorParams {
+  // Low-resistance (fully SET) and high-resistance (fully RESET) bounds.
+  double r_lrs_ohm = 1.0e8;
+  double r_hrs_ohm = 1.0e12;
+  // State-drift rate: fraction of full range moved per second by a pulse
+  // at amplitude v0_volt (before the window function). Calibrated so a
+  // 1 V / 1 ms pulse train walks the device through ~15 distinguishable
+  // states (the multi-level behaviour of the Goossens pulse data).
+  double drift_rate_per_s = 40.0;
+  // Voltage scale of the sinh() drift nonlinearity. Pulses well below
+  // this amplitude barely move the state (non-destructive reads).
+  double v0_volt = 0.8;
+  // Biolek-style window exponent p >= 1: SET drift scales with
+  // 1 - s^(2p) (saturating toward LRS), RESET with 1 - (1-s)^(2p)
+  // (saturating toward HRS), which pins the state inside [0, 1] while
+  // keeping a just-reset device fully programmable.
+  int window_exponent = 2;
+  // Read integration time. The lab dataset the paper draws its energy
+  // numbers from uses millisecond-scale pulses; Table 1's 1 ns pCAM
+  // latency is a separate in-pipeline projection (see energy module).
+  double read_time_s = 1.0e-3;
+  // Std-dev of multiplicative per-pulse programming noise (cycle-to-cycle
+  // variability). 0 disables stochastic programming.
+  double program_noise_sigma = 0.0;
+  // Retention: interface states relax toward the high-resistance
+  // equilibrium with this time constant (Goossens 2018 reports finite
+  // retention for shallow states). 0 = ideal non-volatility.
+  double retention_time_constant_s = 0.0;
+  // Operating temperature [K]. Switching is thermally activated: drift
+  // (and retention loss) scale with exp(-Ea/kT) relative to the 300 K
+  // calibration point (Goossens 2023 discusses the thermal sensitivity
+  // of the Schottky interface).
+  double temperature_k = 300.0;
+  // Activation energy of the interface switching process [eV].
+  double activation_energy_ev = 0.2;
+
+  // Calibrated Nb:SrTiO3 defaults (same as member initialisers; named for
+  // call-site clarity).
+  static MemristorParams NbSrTiO3() { return MemristorParams{}; }
+
+  // Throws std::invalid_argument on violated invariants
+  // (0 < r_lrs < r_hrs, positive rates/scales/times, exponent >= 1).
+  void Validate() const;
+};
+
+// Arrhenius drift-rate multiplier of `params` relative to the 300 K
+// calibration (1.0 at 300 K; > 1 hotter, < 1 colder).
+double ThermalActivationFactor(const MemristorParams& params);
+
+// Device-to-device variation: lognormal spread applied to the resistance
+// bounds and drift rate, modelling die-level mismatch across a pCAM array.
+struct DeviceVariation {
+  double resistance_sigma = 0.05;  // lognormal sigma on r_lrs / r_hrs
+  double drift_sigma = 0.05;       // lognormal sigma on drift_rate
+
+  // Returns a perturbed copy of `params` drawn from `rng`.
+  MemristorParams Apply(const MemristorParams& params,
+                        analognf::RandomStream& rng) const;
+};
+
+// A single memristor. State s in [0, 1] maps log-linearly onto
+// resistance: s = 0 -> r_hrs (HRS), s = 1 -> r_lrs (LRS).
+class Memristor {
+ public:
+  explicit Memristor(MemristorParams params, double initial_state = 0.0);
+
+  double state() const { return state_; }
+  const MemristorParams& params() const { return params_; }
+
+  // Directly programs the normalised state (clamped to [0, 1]). This is
+  // the controller-side "write an analog policy" operation; pulse-based
+  // programming below is the physical path to the same place.
+  void SetState(double s);
+
+  // Programs the state to hit a target resistance (clamped to the
+  // device's range).
+  void SetResistance(double r_ohm);
+
+  double ResistanceOhm() const;
+  double ConductanceS() const { return 1.0 / ResistanceOhm(); }
+
+  // Applies one programming pulse. Positive amplitude drifts toward LRS
+  // (s -> 1), negative toward HRS (s -> 0). Drift magnitude is
+  // drift_rate * sinh(|V|/v0) * window(s) * width. If `rng` is non-null
+  // and program_noise_sigma > 0, multiplicative cycle-to-cycle noise is
+  // applied. Returns the new state.
+  double ApplyPulse(double amplitude_v, double width_s,
+                    analognf::RandomStream* rng = nullptr);
+
+  // Applies `count` identical pulses; returns the final state.
+  double ApplyPulseTrain(double amplitude_v, double width_s, int count,
+                         analognf::RandomStream* rng = nullptr);
+
+  // Retention relaxation: lets `dt_s` of wall time pass. The state
+  // decays toward the HRS equilibrium (s = 0) as exp(-dt/tau); a zero
+  // retention_time_constant_s makes this a no-op (ideal retention).
+  // Returns the new state.
+  double Relax(double dt_s);
+
+  // Read current at the given (small, non-destructive) read voltage.
+  // Ohmic in the programmed state: I = V / R(s).
+  double ReadCurrentA(double v_read) const;
+
+  // Energy dissipated by one read: V^2 / R(s) * read_time. This is the
+  // "energy per bit per cell" quantity of Sec. 6 (one cell holds one
+  // match bit-equivalent).
+  double ReadEnergyJ(double v_read) const;
+
+  // Energy dissipated by one programming pulse, V^2 / R(s_before) * width.
+  // (Upper bound: resistance only rises if the pulse RESETs.)
+  double ProgramEnergyJ(double amplitude_v, double width_s) const;
+
+ private:
+  // dS for a single pulse, before noise.
+  double DriftDelta(double amplitude_v, double width_s) const;
+
+  MemristorParams params_;
+  double state_;
+};
+
+}  // namespace analognf::device

@@ -1,0 +1,153 @@
+#include "analognf/device/memristor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analognf/common/units.hpp"
+
+namespace analognf::device {
+
+void MemristorParams::Validate() const {
+  if (!(r_lrs_ohm > 0.0) || !(r_hrs_ohm > r_lrs_ohm)) {
+    throw std::invalid_argument(
+        "MemristorParams: require 0 < r_lrs_ohm < r_hrs_ohm");
+  }
+  if (!(drift_rate_per_s > 0.0)) {
+    throw std::invalid_argument("MemristorParams: drift_rate_per_s <= 0");
+  }
+  if (!(v0_volt > 0.0)) {
+    throw std::invalid_argument("MemristorParams: v0_volt <= 0");
+  }
+  if (window_exponent < 1) {
+    throw std::invalid_argument("MemristorParams: window_exponent < 1");
+  }
+  if (!(read_time_s > 0.0)) {
+    throw std::invalid_argument("MemristorParams: read_time_s <= 0");
+  }
+  if (program_noise_sigma < 0.0) {
+    throw std::invalid_argument("MemristorParams: program_noise_sigma < 0");
+  }
+  if (retention_time_constant_s < 0.0) {
+    throw std::invalid_argument(
+        "MemristorParams: retention_time_constant_s < 0");
+  }
+  if (!(temperature_k > 0.0)) {
+    throw std::invalid_argument("MemristorParams: temperature_k <= 0");
+  }
+  if (activation_energy_ev < 0.0) {
+    throw std::invalid_argument(
+        "MemristorParams: activation_energy_ev < 0");
+  }
+}
+
+double ThermalActivationFactor(const MemristorParams& params) {
+  // Arrhenius scaling relative to the 300 K calibration point.
+  const double ea_j = params.activation_energy_ev * kElementaryCharge;
+  const double at_t = std::exp(-ea_j / (kBoltzmann * params.temperature_k));
+  const double at_calibration =
+      std::exp(-ea_j / (kBoltzmann * kRoomTemperatureK));
+  return at_t / at_calibration;
+}
+
+MemristorParams DeviceVariation::Apply(const MemristorParams& params,
+                                       analognf::RandomStream& rng) const {
+  MemristorParams out = params;
+  out.r_lrs_ohm *= std::exp(rng.NextNormal(0.0, resistance_sigma));
+  out.r_hrs_ohm *= std::exp(rng.NextNormal(0.0, resistance_sigma));
+  out.drift_rate_per_s *= std::exp(rng.NextNormal(0.0, drift_sigma));
+  // Variation must not invert the resistance window.
+  if (out.r_hrs_ohm <= out.r_lrs_ohm) {
+    out.r_hrs_ohm = out.r_lrs_ohm * 10.0;
+  }
+  out.Validate();
+  return out;
+}
+
+Memristor::Memristor(MemristorParams params, double initial_state)
+    : params_(params), state_(std::clamp(initial_state, 0.0, 1.0)) {
+  params_.Validate();
+}
+
+void Memristor::SetState(double s) { state_ = std::clamp(s, 0.0, 1.0); }
+
+void Memristor::SetResistance(double r_ohm) {
+  const double r =
+      std::clamp(r_ohm, params_.r_lrs_ohm, params_.r_hrs_ohm);
+  // Invert R(s) = r_hrs * (r_lrs/r_hrs)^s.
+  state_ = std::log(r / params_.r_hrs_ohm) /
+           std::log(params_.r_lrs_ohm / params_.r_hrs_ohm);
+  state_ = std::clamp(state_, 0.0, 1.0);
+}
+
+double Memristor::ResistanceOhm() const {
+  return params_.r_hrs_ohm *
+         std::pow(params_.r_lrs_ohm / params_.r_hrs_ohm, state_);
+}
+
+double Memristor::DriftDelta(double amplitude_v, double width_s) const {
+  // Biolek-style window: full mobility at the edge the pulse moves away
+  // from, saturating (zero drift) at the edge it moves toward. SET
+  // (positive amplitude, toward s = 1) uses 1 - s^(2p); RESET uses
+  // 1 - (1 - s)^(2p).
+  const double toward = amplitude_v >= 0.0 ? state_ : 1.0 - state_;
+  const double w = 1.0 - std::pow(toward, 2 * params_.window_exponent);
+  const double magnitude = params_.drift_rate_per_s *
+                           ThermalActivationFactor(params_) *
+                           std::sinh(std::fabs(amplitude_v) / params_.v0_volt) *
+                           w * width_s;
+  return amplitude_v >= 0.0 ? magnitude : -magnitude;
+}
+
+double Memristor::ApplyPulse(double amplitude_v, double width_s,
+                             analognf::RandomStream* rng) {
+  if (width_s < 0.0) {
+    throw std::invalid_argument("ApplyPulse: negative pulse width");
+  }
+  double delta = DriftDelta(amplitude_v, width_s);
+  if (rng != nullptr && params_.program_noise_sigma > 0.0) {
+    delta *= std::exp(rng->NextNormal(0.0, params_.program_noise_sigma));
+  }
+  state_ = std::clamp(state_ + delta, 0.0, 1.0);
+  return state_;
+}
+
+double Memristor::ApplyPulseTrain(double amplitude_v, double width_s,
+                                  int count, analognf::RandomStream* rng) {
+  if (count < 0) {
+    throw std::invalid_argument("ApplyPulseTrain: negative pulse count");
+  }
+  for (int i = 0; i < count; ++i) ApplyPulse(amplitude_v, width_s, rng);
+  return state_;
+}
+
+double Memristor::Relax(double dt_s) {
+  if (dt_s < 0.0) {
+    throw std::invalid_argument("Relax: negative time step");
+  }
+  if (params_.retention_time_constant_s > 0.0 && dt_s > 0.0) {
+    // Retention loss is thermally activated too: hotter devices forget
+    // faster (effective time constant shrinks by the Arrhenius factor).
+    const double tau =
+        params_.retention_time_constant_s / ThermalActivationFactor(params_);
+    state_ *= std::exp(-dt_s / tau);
+  }
+  return state_;
+}
+
+double Memristor::ReadCurrentA(double v_read) const {
+  return v_read / ResistanceOhm();
+}
+
+double Memristor::ReadEnergyJ(double v_read) const {
+  return v_read * v_read / ResistanceOhm() * params_.read_time_s;
+}
+
+double Memristor::ProgramEnergyJ(double amplitude_v, double width_s) const {
+  if (width_s < 0.0) {
+    throw std::invalid_argument("ProgramEnergyJ: negative pulse width");
+  }
+  return amplitude_v * amplitude_v / ResistanceOhm() * width_s;
+}
+
+}  // namespace analognf::device

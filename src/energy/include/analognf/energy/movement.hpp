@@ -1,0 +1,55 @@
+// Digital data-movement energy model (Fig. 1).
+//
+// The paper's opening argument: digital packet processors spend "up to
+// 90%" of their energy shuttling bits between separate storage and
+// computation units, while memristor computation is colocalised. This
+// model decomposes an n-bit digital operation into compute energy plus
+// per-bit movement energy over a wire distance, so the Fig. 1 bench can
+// show the breakdown and the crossover against the analog path.
+#pragma once
+
+#include <cstdint>
+
+namespace analognf::energy {
+
+struct MovementModelParams {
+  // Energy to move one bit one millimetre on-chip [J/bit/mm].
+  // ~0.1 pJ/bit/mm is the commonly cited 28-45nm on-chip interconnect
+  // figure (Horowitz, ISSCC'14 keynote scale).
+  double wire_energy_j_per_bit_mm = 0.1e-12;
+  // Distance between the storage macro and the compute unit [mm].
+  double storage_to_compute_mm = 2.0;
+  // Pure computation energy per bit (ALU/comparator switching) [J/bit].
+  // With the defaults above, movement (wire both ways + storage read)
+  // comes to 405 fJ/bit vs 45 fJ/bit of compute: the 90/10 split of
+  // Fig. 1 / Sec. 1.
+  double compute_energy_j_per_bit = 45e-15;
+  // SRAM read energy per bit [J/bit].
+  double sram_read_j_per_bit = 5e-15;
+
+  void Validate() const;  // throws std::invalid_argument
+};
+
+// Cost of one digital operation over `bits` bits, split by origin.
+struct MovementBreakdown {
+  double compute_j = 0.0;
+  double movement_j = 0.0;  // wire transfer both ways + storage read
+  double total_j = 0.0;
+  double movement_fraction = 0.0;
+};
+
+class DataMovementModel {
+ public:
+  explicit DataMovementModel(MovementModelParams params = {});
+
+  // An n-bit operand is read from storage, moved to compute, processed,
+  // and the (same-width) result moved back.
+  MovementBreakdown CostOf(std::uint64_t bits) const;
+
+  const MovementModelParams& params() const { return params_; }
+
+ private:
+  MovementModelParams params_;
+};
+
+}  // namespace analognf::energy

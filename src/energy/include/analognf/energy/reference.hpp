@@ -1,0 +1,42 @@
+// Table 1 reference registry: the published digital designs the paper
+// compares pCAM against.
+//
+// Table 1 is a literature comparison; the numbers below are transcribed
+// from the paper (latency in ns, search energy in fJ/bit) together with
+// each design's computation domain (Digital/Analog) and technology
+// (Transistor/Memristor). The pCAM row is *not* hardcoded — the bench
+// recomputes it from the synthetic device dataset and checks it against
+// the paper's 0.01 fJ/bit, 1 ns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace analognf::energy {
+
+enum class Computation { kDigital, kAnalog };
+enum class Technology { kTransistor, kMemristor };
+
+struct ReferenceDesign {
+  std::string key;        // citation key as printed in Table 1
+  std::string description;
+  Computation computation = Computation::kDigital;
+  Technology technology = Technology::kTransistor;
+  double latency_s = 0.0;
+  // Published energy range [lo, hi] per bit per search; lo == hi for
+  // single-number rows.
+  double energy_lo_j_per_bit = 0.0;
+  double energy_hi_j_per_bit = 0.0;
+};
+
+// The eight digital rows of Table 1, in the paper's column order.
+const std::vector<ReferenceDesign>& Table1DigitalDesigns();
+
+// Best (lowest-energy) digital design in the registry — the comparison
+// point for the paper's ">= 50x more energy efficient" claim.
+const ReferenceDesign& BestDigitalDesign();
+
+std::string ToString(Computation computation);
+std::string ToString(Technology technology);
+
+}  // namespace analognf::energy

@@ -1,0 +1,52 @@
+// Standby (static) power: the non-volatility argument.
+//
+// Sec. 2: transistor-based TCAM "is volatile" — SRAM-style cells leak
+// continuously and lose state on power-down, while memristors hold their
+// state with zero standby power. This model quantifies the idle-energy
+// side of the paper's comparison: a table that is powered but not
+// searching still burns leakage on CMOS, and nothing on memristors
+// (which can even be power-gated between packets).
+#pragma once
+
+#include <cstdint>
+
+namespace analognf::energy {
+
+struct StandbyModelParams {
+  // CMOS leakage per stored bit [W/bit]. ~10 pW/bit is a representative
+  // 32 nm SRAM/TCAM cell figure at nominal voltage and temperature.
+  double cmos_leakage_w_per_bit = 10.0e-12;
+  // Memristor standby draw [W/bit]: non-volatile, zero static current.
+  double memristor_leakage_w_per_bit = 0.0;
+  // State restore cost after a power-gate cycle [J/bit]: zero for
+  // non-volatile storage; CMOS must be reloaded from backing store.
+  double cmos_reload_j_per_bit = 5.0e-15;
+  double memristor_reload_j_per_bit = 0.0;
+
+  void Validate() const;  // throws std::invalid_argument
+};
+
+// Idle-interval energy comparison for a table of `bits` searchable bits.
+struct StandbyBreakdown {
+  double cmos_idle_j = 0.0;        // leakage over the interval
+  double memristor_idle_j = 0.0;
+  double cmos_power_cycle_j = 0.0;       // gate off + reload on wake
+  double memristor_power_cycle_j = 0.0;  // zero: state persists
+};
+
+class StandbyModel {
+ public:
+  explicit StandbyModel(StandbyModelParams params = {});
+
+  // Energy consumed holding `bits` of table state for `idle_s` seconds,
+  // and the alternative of power-gating for the interval (pay reload on
+  // wake instead of leakage).
+  StandbyBreakdown CostOf(std::uint64_t bits, double idle_s) const;
+
+  const StandbyModelParams& params() const { return params_; }
+
+ private:
+  StandbyModelParams params_;
+};
+
+}  // namespace analognf::energy

@@ -1,0 +1,34 @@
+#include "analognf/energy/movement.hpp"
+
+#include <stdexcept>
+
+namespace analognf::energy {
+
+void MovementModelParams::Validate() const {
+  if (wire_energy_j_per_bit_mm < 0.0 || storage_to_compute_mm < 0.0 ||
+      compute_energy_j_per_bit < 0.0 || sram_read_j_per_bit < 0.0) {
+    throw std::invalid_argument("MovementModelParams: negative parameter");
+  }
+}
+
+DataMovementModel::DataMovementModel(MovementModelParams params)
+    : params_(params) {
+  params_.Validate();
+}
+
+MovementBreakdown DataMovementModel::CostOf(std::uint64_t bits) const {
+  MovementBreakdown out;
+  const auto n = static_cast<double>(bits);
+  // Operand in, result back: two traversals of the storage-compute wire.
+  const double wire = 2.0 * params_.wire_energy_j_per_bit_mm *
+                      params_.storage_to_compute_mm * n;
+  const double storage = params_.sram_read_j_per_bit * n;
+  out.movement_j = wire + storage;
+  out.compute_j = params_.compute_energy_j_per_bit * n;
+  out.total_j = out.movement_j + out.compute_j;
+  out.movement_fraction =
+      out.total_j > 0.0 ? out.movement_j / out.total_j : 0.0;
+  return out;
+}
+
+}  // namespace analognf::energy

@@ -1,0 +1,58 @@
+#include "analognf/energy/reference.hpp"
+
+#include <stdexcept>
+
+namespace analognf::energy {
+
+const std::vector<ReferenceDesign>& Table1DigitalDesigns() {
+  // Latency (ns) and energy (fJ/bit) exactly as printed in Table 1.
+  static const std::vector<ReferenceDesign> kDesigns = {
+      {"[2]", "Arsovski'13 32nm CMOS TCAM compiler", Computation::kDigital,
+       Technology::kTransistor, 1.0e-9, 0.58e-15, 0.58e-15},
+      {"[19]", "Hayashi'13 250MHz 18Mb full-ternary CAM (65nm CMOS)",
+       Computation::kDigital, Technology::kTransistor, 1.9e-9, 1.98e-15,
+       1.98e-15},
+      {"[42]", "Saleh'22 TCAmM memristor TCAM", Computation::kDigital,
+       Technology::kMemristor, 1.0e-9, 1.0e-15, 16.0e-15},
+      {"[33]", "Matsunaga'11 6T-2MTJ nonvolatile TCAM",
+       Computation::kDigital, Technology::kMemristor, 0.29e-9, 1.04e-15,
+       1.04e-15},
+      {"[11]", "Gnawali'21 high-speed memristive TCAM",
+       Computation::kDigital, Technology::kMemristor, 0.18e-9, 1.2e-15,
+       1.2e-15},
+      {"[4]", "Bontupalli'18 memristor intrusion detection",
+       Computation::kDigital, Technology::kMemristor, 1.0e-9, 2.15e-15,
+       2.15e-15},
+      {"[62]", "Zheng'16 RRAM TCAM for pattern search",
+       Computation::kDigital, Technology::kMemristor, 2.3e-9, 3.0e-15,
+       3.0e-15},
+      {"[59]", "Xu'09 STT-MRAM CAM/TCAM", Computation::kDigital,
+       Technology::kMemristor, 8.0e-9, 7.4e-15, 7.4e-15},
+  };
+  return kDesigns;
+}
+
+const ReferenceDesign& BestDigitalDesign() {
+  const auto& designs = Table1DigitalDesigns();
+  const ReferenceDesign* best = nullptr;
+  for (const ReferenceDesign& d : designs) {
+    if (best == nullptr ||
+        d.energy_lo_j_per_bit < best->energy_lo_j_per_bit) {
+      best = &d;
+    }
+  }
+  if (best == nullptr) {
+    throw std::logic_error("Table 1 registry is empty");
+  }
+  return *best;
+}
+
+std::string ToString(Computation computation) {
+  return computation == Computation::kDigital ? "D" : "A";
+}
+
+std::string ToString(Technology technology) {
+  return technology == Technology::kTransistor ? "T" : "M";
+}
+
+}  // namespace analognf::energy

@@ -1,0 +1,34 @@
+#include "analognf/energy/standby.hpp"
+
+#include <stdexcept>
+
+namespace analognf::energy {
+
+void StandbyModelParams::Validate() const {
+  if (cmos_leakage_w_per_bit < 0.0 || memristor_leakage_w_per_bit < 0.0 ||
+      cmos_reload_j_per_bit < 0.0 || memristor_reload_j_per_bit < 0.0) {
+    throw std::invalid_argument("StandbyModelParams: negative parameter");
+  }
+}
+
+StandbyModel::StandbyModel(StandbyModelParams params) : params_(params) {
+  params_.Validate();
+}
+
+StandbyBreakdown StandbyModel::CostOf(std::uint64_t bits,
+                                      double idle_s) const {
+  if (idle_s < 0.0) {
+    throw std::invalid_argument("StandbyModel::CostOf: negative interval");
+  }
+  StandbyBreakdown out;
+  const auto n = static_cast<double>(bits);
+  out.cmos_idle_j = params_.cmos_leakage_w_per_bit * n * idle_s;
+  out.memristor_idle_j = params_.memristor_leakage_w_per_bit * n * idle_s;
+  // Power-gating alternative: no leakage during the interval, but the
+  // state must come back when the table wakes.
+  out.cmos_power_cycle_j = params_.cmos_reload_j_per_bit * n;
+  out.memristor_power_cycle_j = params_.memristor_reload_j_per_bit * n;
+  return out;
+}
+
+}  // namespace analognf::energy

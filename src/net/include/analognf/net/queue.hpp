@@ -1,0 +1,81 @@
+// Packet FIFO with sojourn-time accounting.
+//
+// The analog AQM's two primary features are the per-packet sojourn time
+// and the queue's buffer occupancy (Fig. 6), so the queue tracks both
+// natively. Capacity can be bounded in packets and/or bytes; hitting
+// either bound is a (counted) tail drop — that is the "without AQM"
+// baseline of Fig. 8.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "analognf/net/generator.hpp"
+
+namespace analognf::net {
+
+// A dequeued packet together with how long it sat in the queue.
+struct DequeuedPacket {
+  PacketMeta meta;
+  double sojourn_s = 0.0;
+};
+
+// Lifetime counters.
+struct QueueStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t dropped_full = 0;  // tail drops (capacity)
+  std::uint64_t dropped_aqm = 0;   // drops decided by an AQM policy
+  std::uint64_t bytes_enqueued = 0;
+  std::uint64_t bytes_dequeued = 0;
+};
+
+class PacketQueue {
+ public:
+  struct Config {
+    // 0 = unbounded for either limit (but not both; an unbounded queue
+    // with no AQM is exactly the Fig. 8 no-AQM curve, which is the point,
+    // so both-unbounded is allowed and simply never tail-drops).
+    std::uint64_t max_packets = 0;
+    std::uint64_t max_bytes = 0;
+  };
+
+  PacketQueue() = default;
+  explicit PacketQueue(Config config) : config_(config) {}
+
+  // Attempts to enqueue at time `now_s`. Returns false (and counts a
+  // tail drop) if a capacity bound would be exceeded.
+  bool Enqueue(const PacketMeta& packet, double now_s);
+
+  // Counts an AQM-decided drop (the packet is not enqueued).
+  void NoteAqmDrop(const PacketMeta& packet);
+
+  // Removes the head, computing its sojourn time against `now_s`.
+  // Empty queue yields nullopt.
+  std::optional<DequeuedPacket> Dequeue(double now_s);
+
+  // Head-of-line packet without removing it (nullptr when empty).
+  const PacketMeta* Peek() const;
+  // Sojourn time the head would see if dequeued at `now_s` (0 if empty).
+  double HeadSojourn(double now_s) const;
+
+  std::uint64_t packets() const { return entries_.size(); }
+  std::uint64_t bytes() const { return bytes_; }
+  bool empty() const { return entries_.empty(); }
+  const Config& config() const { return config_; }
+  const QueueStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    PacketMeta meta;
+    double enqueue_time_s;
+  };
+
+  Config config_{};
+  std::deque<Entry> entries_;
+  std::uint64_t bytes_ = 0;
+  QueueStats stats_{};
+};
+
+}  // namespace analognf::net

@@ -1,0 +1,42 @@
+#include "analognf/net/queue.hpp"
+
+namespace analognf::net {
+
+bool PacketQueue::Enqueue(const PacketMeta& packet, double now_s) {
+  const bool over_packets =
+      config_.max_packets != 0 && entries_.size() >= config_.max_packets;
+  const bool over_bytes =
+      config_.max_bytes != 0 &&
+      bytes_ + packet.size_bytes > config_.max_bytes;
+  if (over_packets || over_bytes) {
+    ++stats_.dropped_full;
+    return false;
+  }
+  entries_.push_back({packet, now_s});
+  bytes_ += packet.size_bytes;
+  ++stats_.enqueued;
+  stats_.bytes_enqueued += packet.size_bytes;
+  return true;
+}
+
+void PacketQueue::NoteAqmDrop(const PacketMeta&) { ++stats_.dropped_aqm; }
+
+std::optional<DequeuedPacket> PacketQueue::Dequeue(double now_s) {
+  if (entries_.empty()) return std::nullopt;
+  const Entry entry = entries_.front();
+  entries_.pop_front();
+  bytes_ -= entry.meta.size_bytes;
+  ++stats_.dequeued;
+  stats_.bytes_dequeued += entry.meta.size_bytes;
+  return DequeuedPacket{entry.meta, now_s - entry.enqueue_time_s};
+}
+
+const PacketMeta* PacketQueue::Peek() const {
+  return entries_.empty() ? nullptr : &entries_.front().meta;
+}
+
+double PacketQueue::HeadSojourn(double now_s) const {
+  return entries_.empty() ? 0.0 : now_s - entries_.front().enqueue_time_s;
+}
+
+}  // namespace analognf::net

@@ -1,0 +1,41 @@
+#include "analognf/sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace analognf::sim {
+
+void EventQueue::Schedule(double time_s, Callback callback) {
+  if (time_s < now_s_) {
+    throw std::invalid_argument("EventQueue::Schedule: time in the past");
+  }
+  if (!callback) {
+    throw std::invalid_argument("EventQueue::Schedule: empty callback");
+  }
+  heap_.push({time_s, next_seq_++, std::move(callback)});
+}
+
+void EventQueue::ScheduleIn(double delay_s, Callback callback) {
+  Schedule(now_s_ + delay_s, std::move(callback));
+}
+
+bool EventQueue::RunNext() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; moving the callback requires the
+  // const_cast idiom or a copy — copy is fine at simulation scale.
+  Event event = heap_.top();
+  heap_.pop();
+  now_s_ = event.time_s;
+  ++processed_;
+  event.callback();
+  return true;
+}
+
+void EventQueue::RunUntil(double t_end_s) {
+  while (!heap_.empty() && heap_.top().time_s <= t_end_s) {
+    RunNext();
+  }
+  if (now_s_ < t_end_s) now_s_ = t_end_s;
+}
+
+}  // namespace analognf::sim

@@ -1,0 +1,93 @@
+// Closed-loop simulation: AIMD (TCP-like) sources reacting to the AQM.
+//
+// The open-loop Poisson experiments reproduce the paper's Fig. 8; this
+// harness adds what a deployed AQM actually faces — congestion-
+// controlled senders. Each source paces packets at cwnd/RTT; a delivered
+// packet acks after RTT/2 and grows the window (additive increase,
+// 1/cwnd per ack); a drop or an ECN CE mark halves it (multiplicative
+// decrease, at most once per RTT). This is the workload where ECN
+// marking genuinely sheds load without losing packets, and where
+// CoDel's design assumptions hold.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analognf/aqm/aqm.hpp"
+#include "analognf/common/stats.hpp"
+#include "analognf/common/timeseries.hpp"
+#include "analognf/net/queue.hpp"
+#include "analognf/sim/event_queue.hpp"
+
+namespace analognf::sim {
+
+struct ClosedLoopConfig {
+  std::size_t sources = 8;
+  // Two-way propagation delay per source (excludes queueing).
+  double base_rtt_s = 0.040;
+  std::uint32_t segment_bytes = 1000;
+  double initial_cwnd = 2.0;
+  double min_cwnd = 1.0;
+  double max_cwnd = 256.0;
+  // Fraction of sources that negotiate ECN.
+  double ecn_fraction = 0.0;
+  double duration_s = 20.0;
+  double warmup_s = 5.0;
+  double link_rate_bps = 10.0e6;
+  net::PacketQueue::Config queue{};
+  std::uint64_t seed = 0x7c9;
+
+  void Validate() const;  // throws std::invalid_argument
+};
+
+struct ClosedLoopReport {
+  analognf::TimeSeries delay{"sojourn_s"};
+  analognf::TimeSeries total_cwnd{"cwnd_pkts"};
+  analognf::RunningStats delay_stats;  // post-warmup
+  std::uint64_t offered_packets = 0;
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t dropped_packets = 0;  // AQM + tail drops
+  std::uint64_t marked_packets = 0;
+  std::vector<double> per_source_goodput_pps;  // post-warmup
+  double duration_s = 0.0;
+  double warmup_s = 0.0;
+
+  // Jain's fairness index over per-source goodput (1 = perfectly fair).
+  double FairnessIndex() const;
+  double LinkUtilization(double link_rate_bps,
+                         std::uint32_t segment_bytes) const;
+};
+
+class ClosedLoopSimulator {
+ public:
+  ClosedLoopSimulator(ClosedLoopConfig config, aqm::AqmPolicy& policy);
+
+  ClosedLoopReport Run();
+
+ private:
+  struct Source {
+    double cwnd = 2.0;
+    bool ecn = false;
+    double next_send_s = 0.0;
+    // Multiplicative decrease is applied at most once per RTT.
+    double decrease_blocked_until_s = 0.0;
+    std::uint64_t delivered_post_warmup = 0;
+  };
+
+  void SendFrom(std::size_t source);
+  void ScheduleSend(std::size_t source);
+  void OnDeparture();
+  void OnAck(std::size_t source, bool congestion_signal, double now_s);
+  void Decrease(std::size_t source, double now_s);
+
+  ClosedLoopConfig config_;
+  aqm::AqmPolicy& policy_;
+  EventQueue events_;
+  net::PacketQueue queue_;
+  std::vector<Source> sources_;
+  bool server_busy_ = false;
+  std::uint64_t next_packet_id_ = 0;
+  ClosedLoopReport report_;
+};
+
+}  // namespace analognf::sim

@@ -1,0 +1,54 @@
+// Discrete-event simulation core.
+//
+// A minimal calendar: events are (time, callback) pairs executed in time
+// order, with FIFO tie-breaking via a monotone sequence number so
+// same-timestamp events run in scheduling order (deterministic replay).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace analognf::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `callback` at absolute time `time_s`, which must not
+  // precede the current simulation time.
+  void Schedule(double time_s, Callback callback);
+  // Convenience: schedule relative to now.
+  void ScheduleIn(double delay_s, Callback callback);
+
+  // Executes the earliest event. Returns false if the calendar is empty.
+  bool RunNext();
+  // Runs events until the calendar is empty or the next event is after
+  // `t_end_s`. The clock advances to min(t_end_s, last event time).
+  void RunUntil(double t_end_s);
+
+  double now() const { return now_s_; }
+  bool empty() const { return heap_.empty(); }
+  std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    double time_s;
+    std::uint64_t seq;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time_s != b.time_s) return a.time_s > b.time_s;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_s_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace analognf::sim

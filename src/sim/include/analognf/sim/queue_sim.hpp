@@ -1,0 +1,104 @@
+// Single-queue link simulation: the Fig. 8 experiment harness.
+//
+// A traffic generator feeds a FIFO queue drained by a fixed-rate link.
+// An AQM policy sees every admission (enqueue hook) and every head
+// departure (dequeue hook). The simulator records the delay-versus-time
+// trace the paper plots, plus queue depth, drop-probability samples and
+// the AQM's energy account.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analognf/aqm/aqm.hpp"
+#include "analognf/aqm/controller.hpp"
+#include "analognf/common/quantile.hpp"
+#include "analognf/common/stats.hpp"
+#include "analognf/common/timeseries.hpp"
+#include "analognf/net/queue.hpp"
+#include "analognf/sim/event_queue.hpp"
+
+namespace analognf::sim {
+
+// A scheduled offered-load change (the congestion phases of Fig. 8).
+// Applies only when the simulator is driven by a PoissonGenerator.
+struct RatePhase {
+  double start_s = 0.0;
+  double rate_pps = 0.0;
+};
+
+struct QueueSimConfig {
+  double duration_s = 20.0;
+  // Samples before this time are excluded from the summary statistics
+  // (they still appear in the traces).
+  double warmup_s = 2.0;
+  double link_rate_bps = 10.0e6;
+  net::PacketQueue::Config queue{};
+  std::vector<RatePhase> phases;
+  // Queue-depth sampling period for the depth trace.
+  double sample_interval_s = 0.02;
+
+  void Validate() const;  // throws std::invalid_argument
+};
+
+struct SimReport {
+  analognf::TimeSeries delay{"sojourn_s"};        // per delivered packet
+  analognf::TimeSeries queue_depth{"queue_pkts"};
+  analognf::TimeSeries drop_prob{"pdp"};          // policy PDP samples
+  net::QueueStats queue_stats;
+  // Post-warmup summaries.
+  analognf::RunningStats delay_stats;
+  // Streaming p99 of post-warmup delays (P-square; O(1) memory even on
+  // very long runs).
+  analognf::P2Quantile delay_p99{0.99};
+  analognf::RunningStats delay_stats_high_priority;
+  analognf::RunningStats delay_stats_low_priority;
+  std::uint64_t offered_packets = 0;
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t ecn_marked_packets = 0;
+  std::uint64_t delivered_marked_packets = 0;
+  double delivered_bytes = 0.0;
+  double duration_s = 0.0;
+  double warmup_s = 0.0;
+  double aqm_energy_j = 0.0;
+
+  double DropRate() const;        // all drops / offered
+  double ThroughputBps() const;   // delivered payload bits per second
+  // Fraction of post-warmup delay samples within [lo, hi] seconds — the
+  // "delays kept within the programmed latency bounds" metric.
+  double DelayFractionWithin(double lo_s, double hi_s) const;
+};
+
+class QueueSimulator {
+ public:
+  // `controller` may be null (no adaptation). If `poisson` is non-null,
+  // config.phases drive SetRate on it.
+  QueueSimulator(QueueSimConfig config, net::TrafficGenerator& generator,
+                 aqm::AqmPolicy& policy,
+                 aqm::CognitiveAqmController* controller = nullptr,
+                 net::PoissonGenerator* poisson = nullptr);
+
+  SimReport Run();
+
+ private:
+  void OnArrival(const net::PacketMeta& packet);
+  void StartServiceIfIdle();
+  void OnDeparture();
+  void ScheduleNextArrival();
+  void SamplePdp();
+
+  QueueSimConfig config_;
+  net::TrafficGenerator& generator_;
+  aqm::AqmPolicy& policy_;
+  aqm::CognitiveAqmController* controller_;
+  net::PoissonGenerator* poisson_;
+
+  EventQueue events_;
+  net::PacketQueue queue_;
+  bool server_busy_ = false;
+  std::size_t next_phase_ = 0;
+  SimReport report_;
+};
+
+}  // namespace analognf::sim

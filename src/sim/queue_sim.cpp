@@ -1,0 +1,197 @@
+#include "analognf/sim/queue_sim.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analognf/aqm/analog_aqm.hpp"
+
+namespace analognf::sim {
+
+void QueueSimConfig::Validate() const {
+  if (!(duration_s > 0.0)) {
+    throw std::invalid_argument("QueueSimConfig: duration <= 0");
+  }
+  if (warmup_s < 0.0 || warmup_s >= duration_s) {
+    throw std::invalid_argument(
+        "QueueSimConfig: warmup must be in [0, duration)");
+  }
+  if (!(link_rate_bps > 0.0)) {
+    throw std::invalid_argument("QueueSimConfig: link rate <= 0");
+  }
+  if (!(sample_interval_s > 0.0)) {
+    throw std::invalid_argument("QueueSimConfig: sample interval <= 0");
+  }
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    if (phases[i].start_s < phases[i - 1].start_s) {
+      throw std::invalid_argument("QueueSimConfig: phases out of order");
+    }
+  }
+}
+
+double SimReport::DropRate() const {
+  if (offered_packets == 0) return 0.0;
+  const std::uint64_t drops =
+      queue_stats.dropped_full + queue_stats.dropped_aqm;
+  return static_cast<double>(drops) / static_cast<double>(offered_packets);
+}
+
+double SimReport::ThroughputBps() const {
+  if (duration_s <= 0.0) return 0.0;
+  return delivered_bytes * 8.0 / duration_s;
+}
+
+double SimReport::DelayFractionWithin(double lo_s, double hi_s) const {
+  std::size_t inside = 0;
+  std::size_t total = 0;
+  for (const auto& p : delay.points()) {
+    if (p.time < warmup_s) continue;
+    ++total;
+    if (p.value >= lo_s && p.value <= hi_s) ++inside;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(inside) /
+                          static_cast<double>(total);
+}
+
+QueueSimulator::QueueSimulator(QueueSimConfig config,
+                               net::TrafficGenerator& generator,
+                               aqm::AqmPolicy& policy,
+                               aqm::CognitiveAqmController* controller,
+                               net::PoissonGenerator* poisson)
+    : config_(config),
+      generator_(generator),
+      policy_(policy),
+      controller_(controller),
+      poisson_(poisson),
+      queue_(config.queue) {
+  config_.Validate();
+}
+
+void QueueSimulator::ScheduleNextArrival() {
+  net::PacketMeta packet = generator_.Next();
+  if (packet.arrival_time_s > config_.duration_s) return;
+  events_.Schedule(packet.arrival_time_s,
+                   [this, packet] { OnArrival(packet); });
+}
+
+void QueueSimulator::SamplePdp() {
+  const double pdp = policy_.LastDropProbability();
+  if (std::isfinite(pdp)) {
+    report_.drop_prob.Append(events_.now(), pdp);
+  }
+}
+
+void QueueSimulator::OnArrival(const net::PacketMeta& packet) {
+  const double now = events_.now();
+  ++report_.offered_packets;
+
+  // Apply any pending offered-load phase changes.
+  while (poisson_ != nullptr && next_phase_ < config_.phases.size() &&
+         config_.phases[next_phase_].start_s <= now) {
+    poisson_->SetRate(config_.phases[next_phase_].rate_pps);
+    ++next_phase_;
+  }
+
+  aqm::AqmContext ctx;
+  ctx.now_s = now;
+  ctx.sojourn_s = queue_.HeadSojourn(now);
+  ctx.queue_bytes = queue_.bytes();
+  ctx.queue_packets = queue_.packets();
+  ctx.packet = packet;
+
+  const aqm::AqmVerdict verdict = policy_.DecideOnEnqueue(ctx);
+  SamplePdp();
+  if (verdict == aqm::AqmVerdict::kDrop) {
+    queue_.NoteAqmDrop(packet);
+  } else {
+    net::PacketMeta admitted = packet;
+    if (verdict == aqm::AqmVerdict::kMark) {
+      admitted.ecn_marked = true;
+      ++report_.ecn_marked_packets;
+    }
+    if (queue_.Enqueue(admitted, now)) {
+      StartServiceIfIdle();
+    }
+  }
+  ScheduleNextArrival();
+}
+
+void QueueSimulator::StartServiceIfIdle() {
+  if (server_busy_) return;
+  const net::PacketMeta* head = queue_.Peek();
+  if (head == nullptr) return;
+  server_busy_ = true;
+  const double service_s =
+      static_cast<double>(head->size_bytes) * 8.0 / config_.link_rate_bps;
+  events_.ScheduleIn(service_s, [this] { OnDeparture(); });
+}
+
+void QueueSimulator::OnDeparture() {
+  const double now = events_.now();
+  server_busy_ = false;
+
+  auto dequeued = queue_.Dequeue(now);
+  if (!dequeued.has_value()) return;
+
+  // CoDel-style head-drop loop: the policy may discard the head and the
+  // server immediately takes the next packet in the same service slot.
+  while (dequeued.has_value()) {
+    aqm::AqmContext ctx;
+    ctx.now_s = now;
+    ctx.sojourn_s = dequeued->sojourn_s;
+    ctx.queue_bytes = queue_.bytes();
+    ctx.queue_packets = queue_.packets();
+    ctx.packet = dequeued->meta;
+    if (!policy_.ShouldDropOnDequeue(ctx)) break;
+    queue_.NoteAqmDrop(dequeued->meta);
+    dequeued = queue_.Dequeue(now);
+  }
+  if (!dequeued.has_value()) return;
+
+  // Deliver.
+  report_.delay.Append(now, dequeued->sojourn_s);
+  ++report_.delivered_packets;
+  if (dequeued->meta.ecn_marked) ++report_.delivered_marked_packets;
+  report_.delivered_bytes += dequeued->meta.size_bytes;
+  if (now >= config_.warmup_s) {
+    report_.delay_stats.Add(dequeued->sojourn_s);
+    report_.delay_p99.Add(dequeued->sojourn_s);
+    if (dequeued->meta.priority >= 4) {
+      report_.delay_stats_high_priority.Add(dequeued->sojourn_s);
+    } else {
+      report_.delay_stats_low_priority.Add(dequeued->sojourn_s);
+    }
+  }
+  if (controller_ != nullptr) {
+    controller_->ObserveDeparture(now, dequeued->sojourn_s);
+  }
+  StartServiceIfIdle();
+}
+
+SimReport QueueSimulator::Run() {
+  report_ = SimReport{};
+
+  // Queue-depth sampling clock.
+  const double sample_dt = config_.sample_interval_s;
+  std::function<void()> sampler = [this, sample_dt, &sampler] {
+    report_.queue_depth.Append(events_.now(),
+                               static_cast<double>(queue_.packets()));
+    if (events_.now() + sample_dt <= config_.duration_s) {
+      events_.ScheduleIn(sample_dt, sampler);
+    }
+  };
+  events_.Schedule(0.0, sampler);
+
+  ScheduleNextArrival();
+  events_.RunUntil(config_.duration_s);
+
+  report_.queue_stats = queue_.stats();
+  report_.duration_s = config_.duration_s;
+  report_.warmup_s = config_.warmup_s;
+  if (auto* analog = dynamic_cast<aqm::AnalogAqm*>(&policy_)) {
+    report_.aqm_energy_j = analog->ConsumedEnergyJ();
+  }
+  return report_;
+}
+
+}  // namespace analognf::sim

@@ -1,0 +1,28 @@
+// Range-to-ternary encoding.
+//
+// TCAMs match prefixes, not ranges, so a rule like "dst port 1024-65535"
+// must be expanded into a minimal set of ternary prefixes — the classic
+// range-expansion problem that inflates digital rule tables (one more
+// cost the paper's analog match sidesteps: a pCAM band *is* a range).
+// This module produces the canonical minimal prefix cover.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analognf/tcam/ternary.hpp"
+
+namespace analognf::tcam {
+
+// Minimal set of ternary words of `bits` width whose union matches
+// exactly the integers in [lo, hi]. Requires lo <= hi < 2^bits and
+// 1 <= bits <= 32. For a w-bit field the cover size is at most
+// 2w - 2 words (the classic bound).
+std::vector<TernaryWord> RangeToTernary(std::uint32_t lo, std::uint32_t hi,
+                                        unsigned bits);
+
+// Number of words RangeToTernary would produce, without building them.
+std::size_t RangeExpansionCost(std::uint32_t lo, std::uint32_t hi,
+                               unsigned bits);
+
+}  // namespace analognf::tcam

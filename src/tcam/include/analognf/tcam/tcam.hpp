@@ -1,0 +1,119 @@
+// TCAM table: the digital match-action baseline.
+//
+// Models the functional behaviour (parallel ternary search with priority
+// resolution) and the cost behaviour (every stored bit is searched every
+// cycle, which is exactly why TCAM energy scales with table size and why
+// the paper goes analog). Technology is a parameter: the transistor and
+// memristor variants of Table 1 share the functional model and differ in
+// per-bit search energy, latency, and the fraction of energy spent moving
+// data between storage and compute (Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analognf/tcam/ternary.hpp"
+
+namespace analognf::tcam {
+
+// Cost model of one search cycle.
+struct TcamTechnology {
+  std::string name;
+  double search_energy_per_bit_j = 0.0;
+  double search_latency_s = 0.0;
+  // Fraction of the per-bit energy attributable to data movement between
+  // separate storage and computation units (Fig. 1). Colocalised
+  // memristor designs drive this down; CMOS keeps it high (~0.9, the
+  // "up to 90%" of Sec. 1).
+  double data_movement_fraction = 0.0;
+
+  void Validate() const;  // throws std::invalid_argument
+
+  // Representative CMOS TCAM: Arsovski et al. 2013 (Table 1 col. [2]):
+  // 0.58 fJ/bit/search, 1 GHz, separate SRAM-style storage.
+  static TcamTechnology TransistorCmos();
+  // Representative memristor TCAM: Saleh et al. 2022 "TCAmM" (Table 1
+  // col. [42]) at its low-energy corner: 1 fJ/bit, 1 ns, colocalised.
+  static TcamTechnology MemristorTcam();
+};
+
+// Outcome of a search.
+struct TcamSearchResult {
+  std::size_t entry_index = 0;  // position in the table
+  std::uint32_t action = 0;     // opaque action id stored with the entry
+  std::int32_t priority = 0;
+  // Cost of this search cycle (the whole array is activated regardless
+  // of hit/miss).
+  double energy_j = 0.0;
+  double latency_s = 0.0;
+};
+
+// Priority-resolved ternary table of fixed key width.
+class TcamTable {
+ public:
+  struct Entry {
+    TernaryWord pattern;
+    std::uint32_t action = 0;
+    // Higher wins; ties resolve to the lowest index (hardware priority
+    // encoder order).
+    std::int32_t priority = 0;
+  };
+
+  TcamTable(std::size_t key_width, TcamTechnology technology);
+
+  std::size_t key_width() const { return key_width_; }
+  std::size_t size() const { return entries_.size(); }
+  const TcamTechnology& technology() const { return technology_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  // Adds an entry; pattern width must equal key_width.
+  // Returns the entry index.
+  std::size_t Insert(Entry entry);
+  // Removes the entry at `index` (shifts later entries down).
+  void Erase(std::size_t index);
+
+  // One search cycle: all entries in parallel, best (priority, index)
+  // match wins. nullopt on miss — but note the energy was still spent;
+  // MissCost() reports it.
+  std::optional<TcamSearchResult> Search(const BitKey& key);
+
+  // Energy/latency of one search cycle over the current table.
+  double SearchEnergyJ() const;
+  double SearchLatencyS() const { return technology_.search_latency_s; }
+  // Total stored (searchable) bits: entries * key_width. The energy
+  // model activates all of them per cycle.
+  std::size_t StoredBits() const { return entries_.size() * key_width_; }
+
+  // Cumulative energy spent by all Search() calls.
+  double ConsumedEnergyJ() const { return consumed_energy_j_; }
+  std::uint64_t searches() const { return searches_; }
+
+ private:
+  std::size_t key_width_;
+  TcamTechnology technology_;
+  std::vector<Entry> entries_;
+  double consumed_energy_j_ = 0.0;
+  std::uint64_t searches_ = 0;
+};
+
+// Longest-prefix-match convenience wrapper over TcamTable for IPv4
+// lookup (priority = prefix length, the classic TCAM LPM encoding).
+class LpmTable {
+ public:
+  explicit LpmTable(TcamTechnology technology);
+
+  // Adds route `value/prefix_len -> action`.
+  void AddRoute(std::uint32_t value, int prefix_len, std::uint32_t action);
+  // Looks up the longest matching prefix for `address`.
+  std::optional<TcamSearchResult> Lookup(std::uint32_t address);
+
+  TcamTable& table() { return table_; }
+  const TcamTable& table() const { return table_; }
+
+ private:
+  TcamTable table_;
+};
+
+}  // namespace analognf::tcam

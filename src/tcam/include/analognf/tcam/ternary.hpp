@@ -1,0 +1,83 @@
+// Ternary words and binary keys for the digital match path.
+//
+// The TCAM is the paper's digital baseline (Sec. 2): each stored bit is
+// 0, 1 or X (don't-care), a search key is a plain bit vector, and a word
+// matches iff every specified bit agrees. Hamming distance — the quantity
+// the paper says TCAMs "round to the nearest logic level" — is exposed
+// explicitly so the analog comparison (partial matches) can be made.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace analognf::tcam {
+
+enum class Tbit : std::uint8_t { kZero = 0, kOne = 1, kAny = 2 };
+
+// A search key: packed bit vector with typed append helpers, so match
+// keys are assembled the way a parser emits them (MSB first per field).
+class BitKey {
+ public:
+  BitKey() = default;
+
+  void AppendBit(bool bit) { bits_.push_back(bit); }
+  void AppendU8(std::uint8_t value) { AppendBits(value, 8); }
+  void AppendU16(std::uint16_t value) { AppendBits(value, 16); }
+  void AppendU32(std::uint32_t value) { AppendBits(value, 32); }
+
+  std::size_t width() const { return bits_.size(); }
+  bool bit(std::size_t i) const { return bits_[i]; }
+  const std::vector<bool>& bits() const { return bits_; }
+
+  // "0"/"1" string, MSB-first in append order.
+  std::string ToString() const;
+  // Parses a "01" string. Throws std::invalid_argument on other chars.
+  static BitKey FromString(const std::string& s);
+
+  friend bool operator==(const BitKey&, const BitKey&) = default;
+
+ private:
+  void AppendBits(std::uint32_t value, int width);
+
+  std::vector<bool> bits_;
+};
+
+// A stored ternary word.
+class TernaryWord {
+ public:
+  TernaryWord() = default;
+  explicit TernaryWord(std::vector<Tbit> bits) : bits_(std::move(bits)) {}
+
+  // Parses a string of '0', '1', 'X'/'x'/'*'. Throws on other chars.
+  static TernaryWord FromString(const std::string& s);
+  // All 32 bits exact.
+  static TernaryWord ExactU32(std::uint32_t value);
+  // IPv4-style prefix: the top `prefix_len` bits exact, the rest X.
+  // prefix_len in [0, 32].
+  static TernaryWord FromPrefix(std::uint32_t value, int prefix_len);
+  // Concatenation (multi-field rules).
+  TernaryWord& Append(const TernaryWord& other);
+
+  std::size_t width() const { return bits_.size(); }
+  Tbit bit(std::size_t i) const { return bits_[i]; }
+  std::string ToString() const;
+
+  // Number of specified (non-X) bits.
+  std::size_t SpecifiedBits() const;
+
+  // Exact ternary match: every specified bit equals the key bit.
+  // Throws std::invalid_argument on width mismatch.
+  bool Matches(const BitKey& key) const;
+
+  // Number of specified bits that disagree with the key — the Hamming
+  // distance a digital TCAM collapses to match/mismatch.
+  std::size_t HammingDistance(const BitKey& key) const;
+
+  friend bool operator==(const TernaryWord&, const TernaryWord&) = default;
+
+ private:
+  std::vector<Tbit> bits_;
+};
+
+}  // namespace analognf::tcam

@@ -1,0 +1,75 @@
+#include "analognf/tcam/range.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace analognf::tcam {
+namespace {
+
+void CheckArgs(std::uint32_t lo, std::uint32_t hi, unsigned bits) {
+  if (bits < 1 || bits > 32) {
+    throw std::invalid_argument("RangeToTernary: bits must be in [1, 32]");
+  }
+  if (lo > hi) {
+    throw std::invalid_argument("RangeToTernary: lo > hi");
+  }
+  const std::uint64_t limit = (std::uint64_t{1} << bits);
+  if (hi >= limit) {
+    throw std::invalid_argument("RangeToTernary: hi does not fit in bits");
+  }
+}
+
+// Greedy canonical cover: repeatedly take the largest aligned power-of-
+// two block starting at `lo` that stays inside [lo, hi].
+template <typename Emit>
+void Cover(std::uint32_t lo, std::uint32_t hi, unsigned bits, Emit emit) {
+  std::uint64_t cursor = lo;
+  const std::uint64_t end = hi;
+  while (cursor <= end) {
+    // Largest block size allowed by alignment of `cursor`.
+    unsigned block_bits = 0;
+    while (block_bits < bits &&
+           (cursor & ((std::uint64_t{1} << (block_bits + 1)) - 1)) == 0) {
+      ++block_bits;
+    }
+    // Shrink until the block fits in the remaining range.
+    while (block_bits > 0 &&
+           cursor + (std::uint64_t{1} << block_bits) - 1 > end) {
+      --block_bits;
+    }
+    emit(static_cast<std::uint32_t>(cursor), block_bits);
+    cursor += std::uint64_t{1} << block_bits;
+  }
+}
+
+}  // namespace
+
+std::vector<TernaryWord> RangeToTernary(std::uint32_t lo, std::uint32_t hi,
+                                        unsigned bits) {
+  CheckArgs(lo, hi, bits);
+  std::vector<TernaryWord> words;
+  Cover(lo, hi, bits, [&](std::uint32_t base, unsigned block_bits) {
+    // Prefix of (bits - block_bits) exact high bits, block_bits X's.
+    std::string pattern;
+    pattern.reserve(bits);
+    for (unsigned i = bits; i-- > 0;) {
+      if (i < block_bits) {
+        pattern.push_back('X');
+      } else {
+        pattern.push_back(((base >> i) & 1u) != 0 ? '1' : '0');
+      }
+    }
+    words.push_back(TernaryWord::FromString(pattern));
+  });
+  return words;
+}
+
+std::size_t RangeExpansionCost(std::uint32_t lo, std::uint32_t hi,
+                               unsigned bits) {
+  CheckArgs(lo, hi, bits);
+  std::size_t count = 0;
+  Cover(lo, hi, bits, [&](std::uint32_t, unsigned) { ++count; });
+  return count;
+}
+
+}  // namespace analognf::tcam

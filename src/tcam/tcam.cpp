@@ -1,0 +1,111 @@
+#include "analognf/tcam/tcam.hpp"
+
+#include <stdexcept>
+
+namespace analognf::tcam {
+
+void TcamTechnology::Validate() const {
+  if (!(search_energy_per_bit_j >= 0.0)) {
+    throw std::invalid_argument("TcamTechnology: negative per-bit energy");
+  }
+  if (!(search_latency_s >= 0.0)) {
+    throw std::invalid_argument("TcamTechnology: negative latency");
+  }
+  if (data_movement_fraction < 0.0 || data_movement_fraction > 1.0) {
+    throw std::invalid_argument(
+        "TcamTechnology: data_movement_fraction outside [0,1]");
+  }
+}
+
+TcamTechnology TcamTechnology::TransistorCmos() {
+  TcamTechnology tech;
+  tech.name = "cmos-tcam (Arsovski'13)";
+  tech.search_energy_per_bit_j = 0.58e-15;
+  tech.search_latency_s = 1.0e-9;
+  tech.data_movement_fraction = 0.9;
+  return tech;
+}
+
+TcamTechnology TcamTechnology::MemristorTcam() {
+  TcamTechnology tech;
+  tech.name = "memristor-tcam (TCAmM'22)";
+  tech.search_energy_per_bit_j = 1.0e-15;
+  tech.search_latency_s = 1.0e-9;
+  tech.data_movement_fraction = 0.1;
+  return tech;
+}
+
+TcamTable::TcamTable(std::size_t key_width, TcamTechnology technology)
+    : key_width_(key_width), technology_(technology) {
+  if (key_width == 0) {
+    throw std::invalid_argument("TcamTable: zero key width");
+  }
+  technology_.Validate();
+}
+
+std::size_t TcamTable::Insert(Entry entry) {
+  if (entry.pattern.width() != key_width_) {
+    throw std::invalid_argument("TcamTable::Insert: pattern width mismatch");
+  }
+  entries_.push_back(std::move(entry));
+  return entries_.size() - 1;
+}
+
+void TcamTable::Erase(std::size_t index) {
+  if (index >= entries_.size()) {
+    throw std::out_of_range("TcamTable::Erase: index out of range");
+  }
+  entries_.erase(entries_.begin() +
+                 static_cast<std::ptrdiff_t>(index));
+}
+
+std::optional<TcamSearchResult> TcamTable::Search(const BitKey& key) {
+  if (key.width() != key_width_) {
+    throw std::invalid_argument("TcamTable::Search: key width mismatch");
+  }
+  const double energy = SearchEnergyJ();
+  consumed_energy_j_ += energy;
+  ++searches_;
+
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].pattern.Matches(key)) continue;
+    if (!best.has_value() ||
+        entries_[i].priority > entries_[*best].priority) {
+      best = i;
+    }
+  }
+  if (!best.has_value()) return std::nullopt;
+  TcamSearchResult result;
+  result.entry_index = *best;
+  result.action = entries_[*best].action;
+  result.priority = entries_[*best].priority;
+  result.energy_j = energy;
+  result.latency_s = technology_.search_latency_s;
+  return result;
+}
+
+double TcamTable::SearchEnergyJ() const {
+  return static_cast<double>(StoredBits()) *
+         technology_.search_energy_per_bit_j;
+}
+
+LpmTable::LpmTable(TcamTechnology technology)
+    : table_(32, std::move(technology)) {}
+
+void LpmTable::AddRoute(std::uint32_t value, int prefix_len,
+                        std::uint32_t action) {
+  TcamTable::Entry entry;
+  entry.pattern = TernaryWord::FromPrefix(value, prefix_len);
+  entry.action = action;
+  entry.priority = prefix_len;
+  table_.Insert(std::move(entry));
+}
+
+std::optional<TcamSearchResult> LpmTable::Lookup(std::uint32_t address) {
+  BitKey key;
+  key.AppendU32(address);
+  return table_.Search(key);
+}
+
+}  // namespace analognf::tcam

@@ -1,0 +1,116 @@
+#include "analognf/tcam/ternary.hpp"
+
+#include <stdexcept>
+
+namespace analognf::tcam {
+
+void BitKey::AppendBits(std::uint32_t value, int width) {
+  for (int i = width - 1; i >= 0; --i) {
+    bits_.push_back(((value >> i) & 1u) != 0);
+  }
+}
+
+std::string BitKey::ToString() const {
+  std::string out;
+  out.reserve(bits_.size());
+  for (bool b : bits_) out.push_back(b ? '1' : '0');
+  return out;
+}
+
+BitKey BitKey::FromString(const std::string& s) {
+  BitKey key;
+  for (char c : s) {
+    if (c == '0') {
+      key.AppendBit(false);
+    } else if (c == '1') {
+      key.AppendBit(true);
+    } else {
+      throw std::invalid_argument("BitKey::FromString: bad character");
+    }
+  }
+  return key;
+}
+
+TernaryWord TernaryWord::FromString(const std::string& s) {
+  std::vector<Tbit> bits;
+  bits.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '0':
+        bits.push_back(Tbit::kZero);
+        break;
+      case '1':
+        bits.push_back(Tbit::kOne);
+        break;
+      case 'X':
+      case 'x':
+      case '*':
+        bits.push_back(Tbit::kAny);
+        break;
+      default:
+        throw std::invalid_argument("TernaryWord::FromString: bad character");
+    }
+  }
+  return TernaryWord(std::move(bits));
+}
+
+TernaryWord TernaryWord::ExactU32(std::uint32_t value) {
+  return FromPrefix(value, 32);
+}
+
+TernaryWord TernaryWord::FromPrefix(std::uint32_t value, int prefix_len) {
+  if (prefix_len < 0 || prefix_len > 32) {
+    throw std::invalid_argument("TernaryWord::FromPrefix: bad prefix length");
+  }
+  std::vector<Tbit> bits;
+  bits.reserve(32);
+  for (int i = 31; i >= 0; --i) {
+    if (31 - i < prefix_len) {
+      bits.push_back(((value >> i) & 1u) != 0 ? Tbit::kOne : Tbit::kZero);
+    } else {
+      bits.push_back(Tbit::kAny);
+    }
+  }
+  return TernaryWord(std::move(bits));
+}
+
+TernaryWord& TernaryWord::Append(const TernaryWord& other) {
+  bits_.insert(bits_.end(), other.bits_.begin(), other.bits_.end());
+  return *this;
+}
+
+std::string TernaryWord::ToString() const {
+  std::string out;
+  out.reserve(bits_.size());
+  for (Tbit b : bits_) {
+    out.push_back(b == Tbit::kZero ? '0' : b == Tbit::kOne ? '1' : 'X');
+  }
+  return out;
+}
+
+std::size_t TernaryWord::SpecifiedBits() const {
+  std::size_t count = 0;
+  for (Tbit b : bits_) {
+    if (b != Tbit::kAny) ++count;
+  }
+  return count;
+}
+
+bool TernaryWord::Matches(const BitKey& key) const {
+  return HammingDistance(key) == 0;
+}
+
+std::size_t TernaryWord::HammingDistance(const BitKey& key) const {
+  if (key.width() != bits_.size()) {
+    throw std::invalid_argument("TernaryWord: key width mismatch");
+  }
+  std::size_t distance = 0;
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i] == Tbit::kAny) continue;
+    const bool stored = bits_[i] == Tbit::kOne;
+    if (stored != key.bit(i)) ++distance;
+  }
+  return distance;
+}
+
+}  // namespace analognf::tcam

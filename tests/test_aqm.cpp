@@ -1,0 +1,743 @@
+// Tests for the AQM policies: RED, CoDel, PIE baselines and the paper's
+// pCAM-based analog AQM with its cognitive controller.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analognf/aqm/analog_aqm.hpp"
+#include "analognf/aqm/aqm.hpp"
+#include "analognf/aqm/codel.hpp"
+#include "analognf/aqm/controller.hpp"
+#include "analognf/aqm/pie.hpp"
+#include "analognf/aqm/red.hpp"
+#include "analognf/aqm/wred.hpp"
+
+namespace analognf::aqm {
+namespace {
+
+AqmContext MakeContext(double now_s, double sojourn_s,
+                       std::uint64_t queue_packets,
+                       std::uint64_t queue_bytes = 0,
+                       std::uint8_t priority = 0) {
+  AqmContext ctx;
+  ctx.now_s = now_s;
+  ctx.sojourn_s = sojourn_s;
+  ctx.queue_packets = queue_packets;
+  ctx.queue_bytes = queue_bytes == 0 ? queue_packets * 1000 : queue_bytes;
+  ctx.packet.size_bytes = 1000;
+  ctx.packet.priority = priority;
+  return ctx;
+}
+
+// ------------------------------------------------------------ taildrop
+
+TEST(TailDropTest, NeverDrops) {
+  TailDropOnly policy;
+  EXPECT_FALSE(policy.ShouldDropOnEnqueue(MakeContext(0.0, 10.0, 1000)));
+  EXPECT_FALSE(policy.ShouldDropOnDequeue(MakeContext(0.0, 10.0, 1000)));
+  EXPECT_TRUE(std::isnan(policy.LastDropProbability()));
+  EXPECT_EQ(policy.name(), "taildrop");
+}
+
+// ----------------------------------------------------------------- RED
+
+TEST(RedTest, ConfigValidation) {
+  RedConfig c;
+  c.min_threshold_pkts = 10.0;
+  c.max_threshold_pkts = 5.0;
+  EXPECT_THROW(Red(c, 1), std::invalid_argument);
+  c = RedConfig{};
+  c.max_p = 0.0;
+  EXPECT_THROW(Red(c, 1), std::invalid_argument);
+  c = RedConfig{};
+  c.queue_weight = 2.0;
+  EXPECT_THROW(Red(c, 1), std::invalid_argument);
+}
+
+TEST(RedTest, NoDropsBelowMinThreshold) {
+  Red red(RedConfig{}, 1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(red.ShouldDropOnEnqueue(MakeContext(0.001 * i, 0.0, 2)));
+  }
+  EXPECT_EQ(red.LastDropProbability(), 0.0);
+}
+
+TEST(RedTest, AlwaysDropsFarAboveMaxThreshold) {
+  RedConfig c;
+  c.queue_weight = 1.0;  // instant average for the test
+  c.gentle = false;
+  Red red(c, 2);
+  EXPECT_TRUE(red.ShouldDropOnEnqueue(MakeContext(0.0, 0.0, 100)));
+  EXPECT_EQ(red.LastDropProbability(), 1.0);
+}
+
+TEST(RedTest, IntermediateLoadDropsProportionally) {
+  RedConfig c;
+  c.queue_weight = 1.0;
+  Red red(c, 3);
+  int drops = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    // Average queue = 10, midway between 5 and 15: base p = max_p/2.
+    if (red.ShouldDropOnEnqueue(MakeContext(0.001 * i, 0.0, 10))) ++drops;
+  }
+  const double rate = static_cast<double>(drops) / n;
+  EXPECT_GT(rate, 0.02);
+  EXPECT_LT(rate, 0.12);
+}
+
+TEST(RedTest, GentleModeRampsAboveMaxThreshold) {
+  RedConfig c;
+  c.queue_weight = 1.0;
+  c.gentle = true;
+  Red red(c, 4);
+  red.ShouldDropOnEnqueue(MakeContext(0.0, 0.0, 20));  // 20 < 2*15
+  EXPECT_LT(red.LastDropProbability(), 1.0);
+  EXPECT_GT(red.LastDropProbability(), 0.1);
+}
+
+TEST(RedTest, AverageTracksEwma) {
+  RedConfig c;
+  c.queue_weight = 0.5;
+  Red red(c, 5);
+  red.ShouldDropOnEnqueue(MakeContext(0.0, 0.0, 4));
+  EXPECT_NEAR(red.average_queue_pkts(), 4.0, 1e-12);
+  red.ShouldDropOnEnqueue(MakeContext(0.001, 0.0, 8));
+  EXPECT_NEAR(red.average_queue_pkts(), 6.0, 1e-12);
+}
+
+TEST(RedTest, ResetClearsState) {
+  Red red(RedConfig{}, 6);
+  red.ShouldDropOnEnqueue(MakeContext(0.0, 0.0, 50));
+  red.Reset();
+  EXPECT_EQ(red.LastDropProbability(), 0.0);
+  EXPECT_EQ(red.average_queue_pkts(), 0.0);
+}
+
+// --------------------------------------------------------------- CoDel
+
+TEST(CodelTest, ConfigValidation) {
+  CodelConfig c;
+  c.target_s = 0.0;
+  EXPECT_THROW(Codel{c}, std::invalid_argument);
+}
+
+TEST(CodelTest, NoDropsWhileBelowTarget) {
+  Codel codel;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(
+        codel.ShouldDropOnDequeue(MakeContext(0.001 * i, 0.001, 10)));
+  }
+  EXPECT_FALSE(codel.dropping());
+}
+
+TEST(CodelTest, SustainedHighSojournTriggersDropping) {
+  Codel codel;
+  int drops = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (codel.ShouldDropOnDequeue(MakeContext(0.001 * i, 0.050, 10))) {
+      ++drops;
+    }
+  }
+  EXPECT_TRUE(codel.dropping());
+  EXPECT_GT(drops, 5);
+}
+
+TEST(CodelTest, DropRateAcceleratesWithSqrtLaw) {
+  Codel codel;
+  std::vector<double> drop_times;
+  for (int i = 0; i < 20000; ++i) {
+    const double now = 0.0005 * i;
+    if (codel.ShouldDropOnDequeue(MakeContext(now, 0.050, 10))) {
+      drop_times.push_back(now);
+    }
+  }
+  ASSERT_GT(drop_times.size(), 6u);
+  // Gaps between consecutive drops shrink.
+  const double first_gap = drop_times[1] - drop_times[0];
+  const double later_gap = drop_times[5] - drop_times[4];
+  EXPECT_LT(later_gap, first_gap);
+}
+
+TEST(CodelTest, RecoversWhenDelayFalls) {
+  Codel codel;
+  for (int i = 0; i < 2000; ++i) {
+    codel.ShouldDropOnDequeue(MakeContext(0.001 * i, 0.050, 10));
+  }
+  ASSERT_TRUE(codel.dropping());
+  // Sojourn falls below target: dropping state exits.
+  codel.ShouldDropOnDequeue(MakeContext(2.5, 0.001, 10));
+  codel.ShouldDropOnDequeue(MakeContext(2.6, 0.001, 10));
+  EXPECT_FALSE(codel.dropping());
+}
+
+TEST(CodelTest, NearEmptyQueueSuppressesDrops) {
+  Codel codel;
+  // Single-packet queue: never drop even at high sojourn.
+  AqmContext ctx = MakeContext(0.0, 0.050, 1);
+  ctx.queue_bytes = ctx.packet.size_bytes;  // only this packet
+  for (int i = 0; i < 500; ++i) {
+    ctx.now_s = 0.001 * i;
+    EXPECT_FALSE(codel.ShouldDropOnDequeue(ctx));
+  }
+}
+
+TEST(CodelTest, ResetClearsState) {
+  Codel codel;
+  for (int i = 0; i < 2000; ++i) {
+    codel.ShouldDropOnDequeue(MakeContext(0.001 * i, 0.050, 10));
+  }
+  codel.Reset();
+  EXPECT_FALSE(codel.dropping());
+  EXPECT_EQ(codel.drop_count(), 0u);
+}
+
+// ----------------------------------------------------------------- PIE
+
+TEST(PieTest, ConfigValidation) {
+  PieConfig c;
+  c.target_delay_s = 0.0;
+  EXPECT_THROW(Pie(c, 1), std::invalid_argument);
+  c = PieConfig{};
+  c.drain_rate_bps = 0.0;
+  EXPECT_THROW(Pie(c, 1), std::invalid_argument);
+}
+
+TEST(PieTest, BurstAllowanceSuppressesEarlyDrops) {
+  Pie pie(PieConfig{}, 2);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(pie.ShouldDropOnEnqueue(
+        MakeContext(0.001 * i, 0.0, 100, 2000000)));
+  }
+}
+
+TEST(PieTest, DropProbabilityRisesUnderSustainedDelay) {
+  PieConfig c;
+  c.drain_rate_bps = 10e6;
+  Pie pie(c, 3);
+  // 125 kB queue at 10 Mb/s = 100 ms >> 15 ms target.
+  for (int i = 0; i < 3000; ++i) {
+    pie.ShouldDropOnEnqueue(MakeContext(0.001 * i, 0.0, 125, 125000));
+  }
+  EXPECT_GT(pie.LastDropProbability(), 0.01);
+  EXPECT_GT(pie.current_delay_estimate_s(), 0.05);
+}
+
+TEST(PieTest, DropProbabilityFallsWhenDelayClears) {
+  PieConfig c;
+  Pie pie(c, 4);
+  for (int i = 0; i < 3000; ++i) {
+    pie.ShouldDropOnEnqueue(MakeContext(0.001 * i, 0.0, 125, 125000));
+  }
+  const double peak = pie.LastDropProbability();
+  for (int i = 3000; i < 9000; ++i) {
+    pie.ShouldDropOnEnqueue(MakeContext(0.001 * i, 0.0, 1, 100));
+  }
+  EXPECT_LT(pie.LastDropProbability(), peak);
+}
+
+TEST(PieTest, TinyQueueNeverDropped) {
+  Pie pie(PieConfig{}, 5);
+  for (int i = 0; i < 3000; ++i) {
+    pie.ShouldDropOnEnqueue(MakeContext(0.001 * i, 0.0, 125, 125000));
+  }
+  // Even with high probability, a <2 packet queue is protected.
+  EXPECT_FALSE(pie.ShouldDropOnEnqueue(MakeContext(3.1, 0.0, 1, 1000)));
+}
+
+TEST(PieTest, ResetRestoresBurstAllowance) {
+  Pie pie(PieConfig{}, 6);
+  for (int i = 0; i < 3000; ++i) {
+    pie.ShouldDropOnEnqueue(MakeContext(0.001 * i, 0.0, 125, 125000));
+  }
+  pie.Reset();
+  EXPECT_EQ(pie.LastDropProbability(), 0.0);
+}
+
+// ------------------------------------------------------------- Analog
+
+AnalogAqmConfig TestAnalogConfig() {
+  AnalogAqmConfig c;
+  c.hardware.state_levels = 256;
+  return c;
+}
+
+TEST(AnalogAqmTest, ConfigValidation) {
+  AnalogAqmConfig c = TestAnalogConfig();
+  c.max_deviation_s = 0.030;  // > target
+  EXPECT_THROW(AnalogAqm{c}, std::invalid_argument);
+  c = TestAnalogConfig();
+  c.derivative_orders = 4;
+  EXPECT_THROW(AnalogAqm{c}, std::invalid_argument);
+  c = TestAnalogConfig();
+  c.high_priority_relief = 1.5;
+  EXPECT_THROW(AnalogAqm{c}, std::invalid_argument);
+}
+
+TEST(AnalogAqmTest, SpecHasPaperFieldNames) {
+  AnalogAqm aqm(TestAnalogConfig());
+  const auto& read = aqm.table().spec().read;
+  // 1 sojourn + 3 derivatives + 1 buffer + 3 derivatives = 8 stages.
+  ASSERT_EQ(read.size(), 8u);
+  EXPECT_EQ(read[0].name, "sojourn_time");
+  EXPECT_EQ(read[1].name, "d/dt(sojourn_time)");
+  EXPECT_EQ(read[3].name, "d3/dt3(sojourn_time)");
+  EXPECT_EQ(read[4].name, "buffer_size");
+  EXPECT_EQ(read[7].name, "d3/dt3(buffer_size)");
+}
+
+TEST(AnalogAqmTest, FeatureFamiliesFollowConfig) {
+  AnalogAqmConfig c = TestAnalogConfig();
+  c.derivative_orders = 1;
+  c.use_buffer_features = false;
+  AnalogAqm aqm(c);
+  EXPECT_EQ(aqm.table().spec().read.size(), 2u);
+}
+
+TEST(AnalogAqmTest, NoDropsWhenQueueIsHealthy) {
+  AnalogAqm aqm(TestAnalogConfig());
+  for (int i = 0; i < 2000; ++i) {
+    // 2 ms sojourn, small queue: far below the 20 ms target.
+    EXPECT_FALSE(aqm.ShouldDropOnEnqueue(
+        MakeContext(0.001 * i, 0.002, 3, 3000)));
+  }
+  EXPECT_EQ(aqm.LastDropProbability(), 0.0);
+}
+
+TEST(AnalogAqmTest, SaturatedQueueAlwaysDrops) {
+  AnalogAqm aqm(TestAnalogConfig());
+  int drops = 0;
+  for (int i = 0; i < 3000; ++i) {
+    // 80 ms sojourn: far above target + deviation.
+    if (aqm.ShouldDropOnEnqueue(
+            MakeContext(0.001 * i, 0.080, 200, 200000))) {
+      ++drops;
+    }
+  }
+  // After derivative transients settle, PDP saturates to ~1.
+  EXPECT_GT(drops, 2500);
+  EXPECT_GT(aqm.LastDropProbability(), 0.9);
+}
+
+TEST(AnalogAqmTest, PdpRampsInsideDeviationBand) {
+  AnalogAqm aqm(TestAnalogConfig());
+  // Hold sojourn at the target: PDP should be mid-ramp (not 0, not 1).
+  double pdp = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    aqm.ShouldDropOnEnqueue(MakeContext(0.001 * i, 0.020, 20, 20000));
+    pdp = aqm.LastDropProbability();
+  }
+  EXPECT_GT(pdp, 0.2);
+  EXPECT_LT(pdp, 0.8);
+}
+
+TEST(AnalogAqmTest, HighPriorityGetsRelief) {
+  // Two identical policies, fed identical congestion; the only change is
+  // the packet priority at the final decision.
+  AnalogAqmConfig c = TestAnalogConfig();
+  AnalogAqm low(c);
+  AnalogAqm high(c);
+  double low_pdp = 0.0;
+  double high_pdp = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    low.ShouldDropOnEnqueue(
+        MakeContext(0.001 * i, 0.028, 30, 30000, /*priority=*/0));
+    high.ShouldDropOnEnqueue(
+        MakeContext(0.001 * i, 0.028, 30, 30000, /*priority=*/7));
+    low_pdp = low.LastDropProbability();
+    high_pdp = high.LastDropProbability();
+  }
+  EXPECT_GT(low_pdp, 0.0);
+  EXPECT_NEAR(high_pdp, low_pdp * c.high_priority_relief, 0.05);
+}
+
+TEST(AnalogAqmTest, EnergyLedgerPopulated) {
+  AnalogAqm aqm(TestAnalogConfig());
+  aqm.ShouldDropOnEnqueue(MakeContext(0.0, 0.010, 10, 10000));
+  EXPECT_GT(aqm.ConsumedEnergyJ(), 0.0);
+  EXPECT_GT(aqm.ledger().Of(energy::category::kPcamSearch).operations, 0u);
+  EXPECT_GT(aqm.ledger().Of(energy::category::kDacConvert).operations, 0u);
+}
+
+TEST(AnalogAqmTest, EvaluatePdpMonotoneInSojournVoltage) {
+  AnalogAqm aqm(TestAnalogConfig());
+  // Build feature vectors with quiescent derivatives and sweep the
+  // sojourn stage input across its ramp.
+  const std::vector<double> low =
+      aqm.FeaturesToVoltages({0.005, 0.0, 0.0, 0.0}, {0.1, 0.0, 0.0, 0.0});
+  const std::vector<double> mid =
+      aqm.FeaturesToVoltages({0.020, 0.0, 0.0, 0.0}, {0.1, 0.0, 0.0, 0.0});
+  const std::vector<double> high =
+      aqm.FeaturesToVoltages({0.040, 0.0, 0.0, 0.0}, {0.1, 0.0, 0.0, 0.0});
+  const double p_low = aqm.EvaluatePdp(low);
+  const double p_mid = aqm.EvaluatePdp(mid);
+  const double p_high = aqm.EvaluatePdp(high);
+  EXPECT_LT(p_low, p_mid);
+  EXPECT_LT(p_mid, p_high);
+  EXPECT_NEAR(p_low, 0.0, 0.05);
+  EXPECT_NEAR(p_high, 1.0, 0.05);
+}
+
+TEST(AnalogAqmTest, QuiescentDerivativesAreNeutral) {
+  AnalogAqm aqm(TestAnalogConfig());
+  // With all derivatives at 0 and a mid-ramp sojourn, the product of the
+  // modulator stages should sit near 1 so the base ramp dominates.
+  const std::vector<double> features =
+      aqm.FeaturesToVoltages({0.020, 0.0, 0.0, 0.0}, {0.1, 0.0, 0.0, 0.0});
+  const auto out = aqm.table().Apply(features);
+  double modulators = 1.0;
+  for (std::size_t i = 1; i < out.per_field.size(); ++i) {
+    modulators *= out.per_field[i];
+  }
+  EXPECT_NEAR(modulators, 1.0, 0.15);
+}
+
+TEST(AnalogAqmTest, RisingCongestionBoostsPdp) {
+  AnalogAqm aqm(TestAnalogConfig());
+  // Same sojourn, but a strongly positive first derivative.
+  const std::vector<double> steady =
+      aqm.FeaturesToVoltages({0.020, 0.0, 0.0, 0.0}, {0.1, 0.0, 0.0, 0.0});
+  const std::vector<double> rising =
+      aqm.FeaturesToVoltages({0.020, 0.8, 0.0, 0.0}, {0.1, 0.0, 0.0, 0.0});
+  EXPECT_GT(aqm.EvaluatePdp(rising), aqm.EvaluatePdp(steady));
+}
+
+TEST(AnalogAqmTest, DrainingQueueCutsPdp) {
+  AnalogAqm aqm(TestAnalogConfig());
+  const std::vector<double> steady =
+      aqm.FeaturesToVoltages({0.020, 0.0, 0.0, 0.0}, {0.1, 0.0, 0.0, 0.0});
+  const std::vector<double> draining =
+      aqm.FeaturesToVoltages({0.020, -0.8, 0.0, 0.0}, {0.1, 0.0, 0.0, 0.0});
+  EXPECT_LT(aqm.EvaluatePdp(draining), aqm.EvaluatePdp(steady));
+}
+
+TEST(AnalogAqmTest, ResetClearsDerivativeState) {
+  AnalogAqm aqm(TestAnalogConfig());
+  for (int i = 0; i < 100; ++i) {
+    aqm.ShouldDropOnEnqueue(MakeContext(0.001 * i, 0.050, 50, 50000));
+  }
+  aqm.Reset();
+  EXPECT_EQ(aqm.LastDropProbability(), 0.0);
+  EXPECT_EQ(aqm.ConsumedEnergyJ(), 0.0);
+}
+
+TEST(AnalogAqmTest, UpdatePcamRetargetsRamp) {
+  // The update_pCAM action: reprogram the sojourn stage for a much lower
+  // target and verify a formerly-safe delay now draws drops.
+  AnalogAqm aqm(TestAnalogConfig());
+  const std::vector<double> features =
+      aqm.FeaturesToVoltages({0.008, 0.0, 0.0, 0.0}, {0.1, 0.0, 0.0, 0.0});
+  EXPECT_NEAR(aqm.EvaluatePdp(features), 0.0, 0.05);
+
+  // Reprogram: ramp now spans 2..6 ms.
+  const auto& c = aqm.config();
+  const analog::LinearMap map(
+      0.0, 2.0 * (c.target_delay_s + c.max_deviation_s), c.feature_range);
+  aqm.table().UpdatePcam(
+      "sojourn_time",
+      core::PcamParams::MakeTrapezoid(map.ToVoltage(0.002),
+                                      map.ToVoltage(0.006),
+                                      c.feature_range.hi_v + 0.5,
+                                      c.feature_range.hi_v + 1.0, 1.0, 0.0));
+  EXPECT_GT(aqm.EvaluatePdp(features), 0.9);
+}
+
+// ---------------------------------------------------------- controller
+
+TEST(AqmControllerTest, ConfigValidation) {
+  AnalogAqm aqm(TestAnalogConfig());
+  AqmControllerConfig c;
+  c.gain = 0.0;
+  EXPECT_THROW(CognitiveAqmController(aqm, c), std::invalid_argument);
+  c = AqmControllerConfig{};
+  c.min_scale = 2.0;
+  c.max_scale = 1.0;
+  EXPECT_THROW(CognitiveAqmController(aqm, c), std::invalid_argument);
+}
+
+TEST(AqmControllerTest, SustainedHighDelayTightensThresholds) {
+  AnalogAqm aqm(TestAnalogConfig());
+  CognitiveAqmController controller(aqm);
+  for (int i = 0; i < 5000; ++i) {
+    controller.ObserveDeparture(0.001 * i, 0.045);  // way above 20 ms
+  }
+  EXPECT_GT(controller.adaptations(), 0u);
+  EXPECT_LT(controller.current_scale(), 1.0);
+}
+
+TEST(AqmControllerTest, SustainedLowDelayRelaxesThresholds) {
+  AnalogAqm aqm(TestAnalogConfig());
+  CognitiveAqmController controller(aqm);
+  for (int i = 0; i < 5000; ++i) {
+    controller.ObserveDeparture(0.001 * i, 0.004);  // way below 20 ms
+  }
+  EXPECT_GT(controller.adaptations(), 0u);
+  EXPECT_GT(controller.current_scale(), 1.0);
+}
+
+TEST(AqmControllerTest, DeadBandSuppressesAdaptation) {
+  AnalogAqm aqm(TestAnalogConfig());
+  CognitiveAqmController controller(aqm);
+  for (int i = 0; i < 5000; ++i) {
+    controller.ObserveDeparture(0.001 * i, 0.0205);  // within 10% band
+  }
+  EXPECT_EQ(controller.adaptations(), 0u);
+  EXPECT_EQ(controller.current_scale(), 1.0);
+}
+
+TEST(AqmControllerTest, AdaptationChangesPdp) {
+  AnalogAqm aqm(TestAnalogConfig());
+  const std::vector<double> features =
+      aqm.FeaturesToVoltages({0.014, 0.0, 0.0, 0.0}, {0.1, 0.0, 0.0, 0.0});
+  const double before = aqm.EvaluatePdp(features);
+  CognitiveAqmController controller(aqm);
+  for (int i = 0; i < 5000; ++i) {
+    controller.ObserveDeparture(0.001 * i, 0.045);
+  }
+  // Tightened thresholds: same 14 ms sojourn now maps to a higher PDP.
+  EXPECT_GT(aqm.EvaluatePdp(features), before);
+}
+
+
+// ----------------------------------------------------------------- ECN
+
+TEST(AnalogAqmEcnTest, MarksInsteadOfDroppingEctTraffic) {
+  AnalogAqmConfig c = TestAnalogConfig();
+  c.ecn_enabled = true;
+  AnalogAqm aqm(c);
+  int marks = 0;
+  int drops = 0;
+  for (int i = 0; i < 2000; ++i) {
+    AqmContext ctx = MakeContext(0.001 * i, 0.025, 25);  // mid-ramp
+    ctx.packet.ecn_capable = true;
+    switch (aqm.DecideOnEnqueue(ctx)) {
+      case AqmVerdict::kMark:
+        ++marks;
+        break;
+      case AqmVerdict::kDrop:
+        ++drops;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_GT(marks, 200);
+  EXPECT_EQ(drops, 0);  // PDP stays below the 0.85 drop threshold
+}
+
+TEST(AnalogAqmEcnTest, SevereCongestionDropsEvenEct) {
+  AnalogAqmConfig c = TestAnalogConfig();
+  c.ecn_enabled = true;
+  AnalogAqm aqm(c);
+  int drops = 0;
+  for (int i = 0; i < 1000; ++i) {
+    AqmContext ctx = MakeContext(0.001 * i, 0.090, 200);  // saturated
+    ctx.packet.ecn_capable = true;
+    if (aqm.DecideOnEnqueue(ctx) == AqmVerdict::kDrop) ++drops;
+  }
+  EXPECT_GT(drops, 800);
+}
+
+TEST(AnalogAqmEcnTest, NonEctTrafficStillDrops) {
+  AnalogAqmConfig c = TestAnalogConfig();
+  c.ecn_enabled = true;
+  AnalogAqm aqm(c);
+  int marks = 0;
+  int drops = 0;
+  for (int i = 0; i < 2000; ++i) {
+    AqmContext ctx = MakeContext(0.001 * i, 0.025, 25);
+    ctx.packet.ecn_capable = false;
+    switch (aqm.DecideOnEnqueue(ctx)) {
+      case AqmVerdict::kMark:
+        ++marks;
+        break;
+      case AqmVerdict::kDrop:
+        ++drops;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(marks, 0);
+  EXPECT_GT(drops, 200);
+}
+
+TEST(AnalogAqmEcnTest, EcnDisabledNeverMarks) {
+  AnalogAqmConfig c = TestAnalogConfig();
+  AnalogAqm aqm(c);
+  for (int i = 0; i < 500; ++i) {
+    AqmContext ctx = MakeContext(0.001 * i, 0.025, 25);
+    ctx.packet.ecn_capable = true;
+    EXPECT_NE(aqm.DecideOnEnqueue(ctx), AqmVerdict::kMark);
+  }
+}
+
+TEST(AnalogAqmEcnTest, ThresholdValidated) {
+  AnalogAqmConfig c = TestAnalogConfig();
+  c.ecn_drop_threshold = 1.5;
+  EXPECT_THROW(AnalogAqm{c}, std::invalid_argument);
+}
+
+TEST(AqmVerdictTest, DefaultAdapterMapsDropDecision) {
+  // A drop-only policy's DecideOnEnqueue must mirror its boolean hook.
+  Red red(RedConfig{.min_threshold_pkts = 0.0,
+                    .max_threshold_pkts = 1.0,
+                    .max_p = 1.0,
+                    .queue_weight = 1.0,
+                    .gentle = false},
+          3);
+  EXPECT_EQ(red.DecideOnEnqueue(MakeContext(0.0, 0.0, 100)),
+            AqmVerdict::kDrop);
+  TailDropOnly taildrop;
+  EXPECT_EQ(taildrop.DecideOnEnqueue(MakeContext(0.0, 0.0, 100)),
+            AqmVerdict::kAccept);
+}
+
+
+// Property: across random contexts the analog AQM's PDP is always a
+// valid probability and the energy account never decreases.
+class AnalogAqmFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalogAqmFuzz, PdpAlwaysValidEnergyMonotone) {
+  analognf::RandomStream rng(GetParam());
+  AnalogAqmConfig c = TestAnalogConfig();
+  c.hardware.channel = analog::ChannelParams::Noisy(0.05);
+  c.ecn_enabled = rng.NextBernoulli(0.5);
+  AnalogAqm aqm(c);
+  double now = 0.0;
+  double last_energy = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    now += rng.NextUniform(0.0, 0.01);
+    AqmContext ctx = MakeContext(
+        now, rng.NextUniform(0.0, 0.2),
+        rng.NextIndex(500),
+        rng.NextIndex(500000) + 1,
+        static_cast<std::uint8_t>(rng.NextIndex(8)));
+    ctx.packet.ecn_capable = rng.NextBernoulli(0.5);
+    aqm.DecideOnEnqueue(ctx);
+    EXPECT_GE(aqm.LastDropProbability(), 0.0);
+    EXPECT_LE(aqm.LastDropProbability(), 1.0);
+    EXPECT_GE(aqm.ConsumedEnergyJ(), last_energy);
+    last_energy = aqm.ConsumedEnergyJ();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalogAqmFuzz,
+                         ::testing::Values(31, 32, 33, 34));
+
+
+TEST(AnalogAqmTest, DerivativeStagesCostEnergy) {
+  AnalogAqm aqm(TestAnalogConfig());
+  aqm.ShouldDropOnEnqueue(MakeContext(0.001, 0.010, 10, 10000));
+  EXPECT_GT(aqm.ledger().Of("analog.derivative").energy_j, 0.0);
+  EXPECT_GT(aqm.ledger().Of("analog.derivative").operations, 0u);
+}
+
+
+// ---------------------------------------------------------------- WRED
+
+RedConfig HighProfile() {
+  RedConfig c;
+  c.min_threshold_pkts = 10.0;
+  c.max_threshold_pkts = 30.0;
+  c.max_p = 0.05;
+  c.queue_weight = 1.0;
+  return c;
+}
+
+RedConfig LowProfile() {
+  RedConfig c;
+  c.min_threshold_pkts = 3.0;
+  c.max_threshold_pkts = 12.0;
+  c.max_p = 0.3;
+  c.queue_weight = 1.0;
+  return c;
+}
+
+TEST(WredTest, HighPriorityDropsLess) {
+  Wred wred(HighProfile(), LowProfile(), 11);
+  int high_drops = 0;
+  int low_drops = 0;
+  for (int i = 0; i < 10000; ++i) {
+    // Average queue sits at 11: above low's min (3) and just above
+    // high's min (10).
+    if (wred.ShouldDropOnEnqueue(
+            MakeContext(0.001 * i, 0.0, 11, 11000, /*priority=*/7))) {
+      ++high_drops;
+    }
+    if (wred.ShouldDropOnEnqueue(
+            MakeContext(0.001 * i, 0.0, 11, 11000, /*priority=*/0))) {
+      ++low_drops;
+    }
+  }
+  EXPECT_LT(high_drops * 5, low_drops);
+  EXPECT_GT(low_drops, 500);
+}
+
+TEST(WredTest, NoDropsBelowBothThresholds) {
+  Wred wred(HighProfile(), LowProfile(), 12);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(wred.ShouldDropOnEnqueue(
+        MakeContext(0.001 * i, 0.0, 2, 2000, 0)));
+  }
+}
+
+TEST(WredTest, SaturationDropsEverything) {
+  Wred wred(HighProfile(), LowProfile(), 13);
+  EXPECT_TRUE(wred.ShouldDropOnEnqueue(MakeContext(0.0, 0.0, 100, 0, 0)));
+  EXPECT_EQ(wred.LastDropProbability(), 1.0);
+}
+
+TEST(WredTest, ResetClears) {
+  Wred wred(HighProfile(), LowProfile(), 14);
+  wred.ShouldDropOnEnqueue(MakeContext(0.0, 0.0, 50, 0, 0));
+  wred.Reset();
+  EXPECT_EQ(wred.LastDropProbability(), 0.0);
+  EXPECT_EQ(wred.average_queue_pkts(), 0.0);
+}
+
+TEST(WredTest, ValidatesProfiles) {
+  RedConfig bad = HighProfile();
+  bad.max_p = 0.0;
+  EXPECT_THROW(Wred(bad, LowProfile(), 1), std::invalid_argument);
+  EXPECT_THROW(Wred(HighProfile(), bad, 1), std::invalid_argument);
+}
+
+
+// Fuzz: the digital policies never emit out-of-range probabilities and
+// never throw on any queue state.
+class DigitalAqmFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DigitalAqmFuzz, PoliciesAreTotalFunctions) {
+  analognf::RandomStream rng(GetParam());
+  Red red(RedConfig{}, GetParam());
+  Pie pie(PieConfig{}, GetParam());
+  Codel codel;
+  aqm::RedConfig high;
+  high.min_threshold_pkts = 10.0;
+  high.max_threshold_pkts = 30.0;
+  Wred wred(high, RedConfig{}, GetParam());
+  double now = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    now += rng.NextUniform(0.0, 0.02);
+    AqmContext ctx = MakeContext(
+        now, rng.NextUniform(0.0, 1.0), rng.NextIndex(2000),
+        rng.NextIndex(2000000) + 1,
+        static_cast<std::uint8_t>(rng.NextIndex(8)));
+    red.ShouldDropOnEnqueue(ctx);
+    pie.ShouldDropOnEnqueue(ctx);
+    wred.ShouldDropOnEnqueue(ctx);
+    codel.ShouldDropOnDequeue(ctx);
+    for (double p : {red.LastDropProbability(), pie.LastDropProbability(),
+                     wred.LastDropProbability()}) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DigitalAqmFuzz,
+                         ::testing::Values(71, 72, 73));
+
+}  // namespace
+}  // namespace analognf::aqm

@@ -1,0 +1,598 @@
+// Tests for the Fig. 5 architecture: key building, the cognitive switch
+// pipeline, and the cognitive network controller.
+#include <gtest/gtest.h>
+
+#include "analognf/arch/controller.hpp"
+#include "analognf/arch/policy_language.hpp"
+#include "analognf/common/stats.hpp"
+#include "analognf/arch/keys.hpp"
+#include "analognf/arch/switch.hpp"
+#include "analognf/arch/topology.hpp"
+#include "analognf/net/generator.hpp"
+
+#include <memory>
+
+namespace analognf::arch {
+namespace {
+
+net::Packet MakeUdpPacket(const std::string& src, const std::string& dst,
+                          std::uint16_t sport, std::uint16_t dport,
+                          std::size_t payload = 100,
+                          std::uint8_t dscp = 0) {
+  net::EthernetHeader eth;
+  eth.dst = {2, 0, 0, 0, 0, 1};
+  eth.src = {2, 0, 0, 0, 0, 2};
+  net::Ipv4Header ip;
+  ip.src_ip = net::ParseIpv4(src);
+  ip.dst_ip = net::ParseIpv4(dst);
+  ip.protocol = net::kIpProtoUdp;
+  ip.dscp = dscp;
+  net::UdpHeader udp;
+  udp.src_port = sport;
+  udp.dst_port = dport;
+  return net::PacketBuilder()
+      .Ethernet(eth)
+      .Ipv4(ip)
+      .Udp(udp)
+      .Payload(payload)
+      .Build();
+}
+
+SwitchConfig SmallSwitch(bool enable_aqm = true) {
+  SwitchConfig c;
+  c.port_count = 2;
+  c.port_rate_bps = 10.0e6;
+  c.enable_aqm = enable_aqm;
+  return c;
+}
+
+// ----------------------------------------------------------------- keys
+
+TEST(KeysTest, FiveTupleKeyWidth) {
+  net::FiveTuple t{0x0A000001, 0x0A000002, 1000, 2000, 17};
+  const tcam::BitKey key = FiveTupleKey(t);
+  EXPECT_EQ(key.width(), kFiveTupleBits);
+}
+
+TEST(KeysTest, FullyWildcardPatternMatchesAnything) {
+  const tcam::TernaryWord word = BuildFirewallWord(FirewallPattern{});
+  EXPECT_EQ(word.width(), kFiveTupleBits);
+  EXPECT_EQ(word.SpecifiedBits(), 0u);
+  net::FiveTuple t{123, 456, 7, 8, 9};
+  EXPECT_TRUE(word.Matches(FiveTupleKey(t)));
+}
+
+TEST(KeysTest, PatternFieldsConstrainMatching) {
+  FirewallPattern p;
+  p.dst_ip = net::ParseIpv4("10.0.0.0");
+  p.dst_prefix_len = 8;
+  p.dst_port = 53;
+  p.any_dst_port = false;
+  const tcam::TernaryWord word = BuildFirewallWord(p);
+  EXPECT_EQ(word.SpecifiedBits(), 8u + 16u);
+
+  net::FiveTuple hit{1, net::ParseIpv4("10.9.9.9"), 1111, 53, 17};
+  net::FiveTuple wrong_port{1, net::ParseIpv4("10.9.9.9"), 1111, 54, 17};
+  net::FiveTuple wrong_net{1, net::ParseIpv4("11.9.9.9"), 1111, 53, 17};
+  EXPECT_TRUE(word.Matches(FiveTupleKey(hit)));
+  EXPECT_FALSE(word.Matches(FiveTupleKey(wrong_port)));
+  EXPECT_FALSE(word.Matches(FiveTupleKey(wrong_net)));
+}
+
+// --------------------------------------------------------------- switch
+
+TEST(SwitchTest, ConfigValidation) {
+  SwitchConfig c = SmallSwitch();
+  c.port_count = 0;
+  EXPECT_THROW(CognitiveSwitch{c}, std::invalid_argument);
+  c = SmallSwitch();
+  c.port_rate_bps = 0.0;
+  EXPECT_THROW(CognitiveSwitch{c}, std::invalid_argument);
+}
+
+TEST(SwitchTest, RoutesAndForwards) {
+  CognitiveSwitch sw(SmallSwitch(/*enable_aqm=*/false));
+  sw.AddRoute(net::ParseIpv4("10.0.0.0"), 8, 0);
+  sw.AddRoute(net::ParseIpv4("192.168.0.0"), 16, 1);
+
+  EXPECT_EQ(sw.Inject(MakeUdpPacket("1.1.1.1", "10.1.2.3", 1, 2), 0.0),
+            Verdict::kForwarded);
+  EXPECT_EQ(sw.egress_queue(0).packets(), 1u);
+  EXPECT_EQ(sw.Inject(MakeUdpPacket("1.1.1.1", "192.168.5.5", 1, 2), 0.0),
+            Verdict::kForwarded);
+  EXPECT_EQ(sw.egress_queue(1).packets(), 1u);
+  EXPECT_EQ(sw.stats().forwarded, 2u);
+}
+
+TEST(SwitchTest, NoRouteDropsPacket) {
+  CognitiveSwitch sw(SmallSwitch(false));
+  sw.AddRoute(net::ParseIpv4("10.0.0.0"), 8, 0);
+  EXPECT_EQ(sw.Inject(MakeUdpPacket("1.1.1.1", "99.9.9.9", 1, 2), 0.0),
+            Verdict::kNoRoute);
+  EXPECT_EQ(sw.stats().no_route, 1u);
+}
+
+TEST(SwitchTest, FirewallDenyBeatsRoute) {
+  CognitiveSwitch sw(SmallSwitch(false));
+  sw.AddRoute(net::ParseIpv4("10.0.0.0"), 8, 0);
+  FirewallPattern deny;
+  deny.src_ip = net::ParseIpv4("66.0.0.0");
+  deny.src_prefix_len = 8;
+  sw.AddFirewallRule(deny, /*permit=*/false, /*priority=*/10);
+
+  EXPECT_EQ(sw.Inject(MakeUdpPacket("66.6.6.6", "10.0.0.1", 1, 2), 0.0),
+            Verdict::kFirewallDeny);
+  EXPECT_EQ(sw.Inject(MakeUdpPacket("8.8.8.8", "10.0.0.1", 1, 2), 0.0),
+            Verdict::kForwarded);
+  EXPECT_EQ(sw.stats().firewall_denies, 1u);
+}
+
+TEST(SwitchTest, HigherPriorityPermitOverridesDeny) {
+  CognitiveSwitch sw(SmallSwitch(false));
+  sw.AddRoute(net::ParseIpv4("10.0.0.0"), 8, 0);
+  FirewallPattern deny;  // deny everything
+  sw.AddFirewallRule(deny, false, 1);
+  FirewallPattern allow_dns;
+  allow_dns.dst_port = 53;
+  allow_dns.any_dst_port = false;
+  sw.AddFirewallRule(allow_dns, true, 5);
+
+  EXPECT_EQ(sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 99, 53), 0.0),
+            Verdict::kForwarded);
+  EXPECT_EQ(sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 99, 80), 0.0),
+            Verdict::kFirewallDeny);
+}
+
+TEST(SwitchTest, ParseErrorCounted) {
+  CognitiveSwitch sw(SmallSwitch(false));
+  net::Packet junk(std::vector<std::uint8_t>(10, 0xff));
+  EXPECT_EQ(sw.Inject(junk, 0.0), Verdict::kParseError);
+  EXPECT_EQ(sw.stats().parse_errors, 1u);
+}
+
+TEST(SwitchTest, DrainDeliversInFifoOrderWithSojourn) {
+  CognitiveSwitch sw(SmallSwitch(false));
+  sw.AddRoute(net::ParseIpv4("10.0.0.0"), 8, 0);
+  for (int i = 0; i < 3; ++i) {
+    sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2, 1000), 0.0);
+  }
+  // 1042-byte frames at 10 Mb/s: ~0.83 ms each.
+  const auto deliveries = sw.Drain(1.0);
+  ASSERT_EQ(deliveries.size(), 3u);
+  EXPECT_LT(deliveries[0].departure_s, deliveries[1].departure_s);
+  EXPECT_GT(deliveries[2].sojourn_s, deliveries[0].sojourn_s);
+  EXPECT_EQ(sw.stats().delivered, 3u);
+}
+
+TEST(SwitchTest, DrainRespectsTimeBound) {
+  CognitiveSwitch sw(SmallSwitch(false));
+  sw.AddRoute(net::ParseIpv4("10.0.0.0"), 8, 0);
+  for (int i = 0; i < 10; ++i) {
+    sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2, 1000), 0.0);
+  }
+  const auto early = sw.Drain(0.002);  // room for ~2 frames
+  EXPECT_LT(early.size(), 4u);
+  const auto rest = sw.Drain(100.0);
+  EXPECT_EQ(early.size() + rest.size(), 10u);
+}
+
+TEST(SwitchTest, AqmDropsUnderFlood) {
+  SwitchConfig c = SmallSwitch(true);
+  CognitiveSwitch sw(c);
+  sw.AddRoute(net::ParseIpv4("10.0.0.0"), 8, 0);
+  // Inject 4000 packets over 2 simulated seconds while draining slowly:
+  // the egress queue saturates and the analog AQM must start dropping.
+  int aqm_drops = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const double now = i * 0.0005;
+    const Verdict v =
+        sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2, 1000), now);
+    if (v == Verdict::kAqmDrop) ++aqm_drops;
+    sw.Drain(now);
+  }
+  EXPECT_GT(aqm_drops, 100);
+  EXPECT_EQ(sw.stats().aqm_drops, static_cast<std::uint64_t>(aqm_drops));
+}
+
+TEST(SwitchTest, EnergyLedgerCoversAllDomains) {
+  CognitiveSwitch sw(SmallSwitch(true));
+  sw.AddRoute(net::ParseIpv4("10.0.0.0"), 8, 0);
+  FirewallPattern any;
+  sw.AddFirewallRule(any, true, 0);
+  sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2), 0.0);
+
+  const energy::EnergyLedger& ledger = sw.ledger();
+  EXPECT_GT(ledger.Of(energy::category::kTcamSearch).energy_j, 0.0);
+  EXPECT_GT(ledger.Of(energy::category::kDataMovement).energy_j, 0.0);
+  EXPECT_GT(ledger.Of(energy::category::kDigitalCompute).energy_j, 0.0);
+  EXPECT_GT(ledger.Of(energy::category::kPcamSearch).energy_j, 0.0);
+}
+
+TEST(SwitchTest, DscpMapsToPriority) {
+  CognitiveSwitch sw(SmallSwitch(false));
+  sw.AddRoute(net::ParseIpv4("10.0.0.0"), 8, 0);
+  sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2, 50, /*dscp=*/46),
+            0.0);
+  const auto deliveries = sw.Drain(1.0);
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].meta.priority, 46 >> 3);
+}
+
+// ------------------------------------------------------------ controller
+
+TEST(ControllerTest, PlacementByPrecision) {
+  CognitiveSwitch sw(SmallSwitch(true));
+  CognitiveNetworkController controller(sw);
+  const auto lookup = controller.Place("ip-lookup", 32);
+  const auto aqm_fn = controller.Place("aqm", 8);
+  EXPECT_EQ(lookup.domain, Domain::kDigital);
+  EXPECT_EQ(aqm_fn.domain, Domain::kAnalog);
+  EXPECT_EQ(controller.placements().size(), 2u);
+  EXPECT_EQ(ToString(Domain::kAnalog), "analog");
+}
+
+TEST(ControllerTest, InstallRouteProgramsDataPlane) {
+  CognitiveSwitch sw(SmallSwitch(false));
+  CognitiveNetworkController controller(sw);
+  controller.InstallRoute("10.0.0.0", 8, 0);
+  EXPECT_EQ(sw.Inject(MakeUdpPacket("1.1.1.1", "10.1.1.1", 1, 2), 0.0),
+            Verdict::kForwarded);
+}
+
+TEST(ControllerTest, InstallFirewallDenyBlocks) {
+  CognitiveSwitch sw(SmallSwitch(false));
+  CognitiveNetworkController controller(sw);
+  controller.InstallRoute("10.0.0.0", 8, 0);
+  FirewallPattern evil;
+  evil.src_ip = net::ParseIpv4("66.0.0.0");
+  evil.src_prefix_len = 8;
+  controller.InstallFirewallDeny(evil, 9);
+  EXPECT_EQ(sw.Inject(MakeUdpPacket("66.1.2.3", "10.0.0.1", 1, 2), 0.0),
+            Verdict::kFirewallDeny);
+}
+
+TEST(ControllerTest, ProgramAqmTargetReprogramsAllPorts) {
+  CognitiveSwitch sw(SmallSwitch(true));
+  CognitiveNetworkController controller(sw);
+  const double m1_before =
+      sw.port_aqm(0)->table().spec().read[0].program.m1;
+  controller.ProgramAqmTarget(0.005, 0.002);
+  const double m1_after = sw.port_aqm(0)->table().spec().read[0].program.m1;
+  EXPECT_LT(m1_after, m1_before);
+  // Both ports reprogrammed identically.
+  EXPECT_EQ(sw.port_aqm(1)->table().spec().read[0].program.m1, m1_after);
+}
+
+
+// ------------------------------------------------------ policy language
+
+TEST(PolicyLanguageTest, AppliesFullProgram) {
+  CognitiveSwitch sw(SmallSwitch(true));
+  CognitiveNetworkController controller(sw);
+  PolicyInterpreter interp(controller);
+  const std::size_t applied = interp.ApplyText(R"(
+# deployment policy
+place ip-lookup precision 32
+place aqm precision 8
+
+route 10.0.0.0/8 port 0
+route 192.168.0.0/16 port 1
+
+deny src 66.0.0.0/8 priority 10
+permit dport 53 priority 20
+
+aqm target 15ms deviation 5ms
+)");
+  EXPECT_EQ(applied, 7u);
+  EXPECT_EQ(controller.placements().size(), 2u);
+  EXPECT_EQ(controller.placements()[1].domain, Domain::kAnalog);
+
+  // Routes and firewall took effect in the data plane.
+  EXPECT_EQ(sw.Inject(MakeUdpPacket("8.8.8.8", "10.1.1.1", 1, 2), 0.0),
+            Verdict::kForwarded);
+  EXPECT_EQ(sw.Inject(MakeUdpPacket("66.6.6.6", "10.1.1.1", 1, 2), 0.0),
+            Verdict::kFirewallDeny);
+  // The dport-53 permit outranks the deny.
+  EXPECT_EQ(sw.Inject(MakeUdpPacket("66.6.6.6", "10.1.1.1", 1, 53), 0.0),
+            Verdict::kForwarded);
+}
+
+TEST(PolicyLanguageTest, AqmCommandReprogramsBound) {
+  CognitiveSwitch sw(SmallSwitch(true));
+  CognitiveNetworkController controller(sw);
+  PolicyInterpreter interp(controller);
+  const double m1_before = sw.port_aqm(0)->table().spec().read[0].program.m1;
+  interp.ApplyText("aqm target 10ms deviation 4ms\n");
+  EXPECT_LT(sw.port_aqm(0)->table().spec().read[0].program.m1, m1_before);
+}
+
+TEST(PolicyLanguageTest, ErrorsCarryLineNumbers) {
+  CognitiveSwitch sw(SmallSwitch(false));
+  CognitiveNetworkController controller(sw);
+  PolicyInterpreter interp(controller);
+  try {
+    interp.ApplyText("route 10.0.0.0/8 port 0\nbogus command here\n");
+    FAIL() << "expected PolicyError";
+  } catch (const PolicyError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(PolicyLanguageTest, RejectsMalformedCommands) {
+  CognitiveSwitch sw(SmallSwitch(false));
+  CognitiveNetworkController controller(sw);
+  PolicyInterpreter interp(controller);
+  EXPECT_THROW(interp.ApplyText("route 10.0.0.0 port 0\n"), PolicyError);
+  EXPECT_THROW(interp.ApplyText("route 10.0.0.0/33 port 0\n"), PolicyError);
+  EXPECT_THROW(interp.ApplyText("route 10.0.0.0/8 port 9\n"), PolicyError);
+  EXPECT_THROW(interp.ApplyText("deny src 1.2.3.4/8\n"), PolicyError);
+  EXPECT_THROW(interp.ApplyText("aqm target 5ms deviation 9ms\n"),
+               PolicyError);
+  EXPECT_THROW(interp.ApplyText("place x precision 0\n"), PolicyError);
+  EXPECT_THROW(interp.ApplyText("permit dport notanumber priority 1\n"),
+               PolicyError);
+}
+
+TEST(PolicyLanguageTest, CommentsAndBlanksIgnored) {
+  CognitiveSwitch sw(SmallSwitch(false));
+  CognitiveNetworkController controller(sw);
+  PolicyInterpreter interp(controller);
+  EXPECT_EQ(interp.ApplyText("\n# nothing\n   \n"), 0u);
+  EXPECT_EQ(interp.ApplyText("route 10.0.0.0/8 port 0  # inline\n"), 1u);
+}
+
+// ------------------------------------------------- multi-class egress
+
+TEST(MultiClassTest, HighPriorityServedFirst) {
+  SwitchConfig c = SmallSwitch(false);
+  c.service_classes = 2;
+  CognitiveSwitch sw(c);
+  sw.AddRoute(net::ParseIpv4("10.0.0.0"), 8, 0);
+  // Queue 6 low-priority then 2 high-priority (EF DSCP) packets at t=0.
+  for (int i = 0; i < 6; ++i) {
+    sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2, 1000, /*dscp=*/0),
+              0.0);
+  }
+  for (int i = 0; i < 2; ++i) {
+    sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2, 1000, /*dscp=*/46),
+              0.0);
+  }
+  const auto deliveries = sw.Drain(1.0);
+  ASSERT_EQ(deliveries.size(), 8u);
+  // Strict priority: the two EF packets leave first.
+  EXPECT_EQ(deliveries[0].service_class, 0u);
+  EXPECT_EQ(deliveries[1].service_class, 0u);
+  EXPECT_GE(deliveries[0].meta.priority, 4);
+  for (std::size_t i = 2; i < deliveries.size(); ++i) {
+    EXPECT_EQ(deliveries[i].service_class, 1u);
+  }
+}
+
+TEST(MultiClassTest, SingleClassKeepsFifo) {
+  CognitiveSwitch sw(SmallSwitch(false));
+  sw.AddRoute(net::ParseIpv4("10.0.0.0"), 8, 0);
+  sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2, 500, 0), 0.0);
+  sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2, 500, 46), 0.0);
+  const auto deliveries = sw.Drain(1.0);
+  ASSERT_EQ(deliveries.size(), 2u);
+  // FIFO: the low-priority packet injected first leaves first.
+  EXPECT_LT(deliveries[0].meta.priority, 4);
+}
+
+TEST(MultiClassTest, HighPriorityDelayLowerUnderCongestion) {
+  SwitchConfig c = SmallSwitch(false);
+  c.service_classes = 2;
+  CognitiveSwitch sw(c);
+  sw.AddRoute(net::ParseIpv4("10.0.0.0"), 8, 0);
+  analognf::RunningStats high_delay;
+  analognf::RunningStats low_delay;
+  for (int i = 0; i < 3000; ++i) {
+    const double now = i * 0.0004;  // 2500 pps >> drain
+    const bool ef = (i % 4 == 0);
+    sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2, 1000,
+                            ef ? 46 : 0),
+              now);
+    for (const auto& d : sw.Drain(now)) {
+      (d.meta.priority >= 4 ? high_delay : low_delay).Add(d.sojourn_s);
+    }
+  }
+  ASSERT_GT(high_delay.count(), 100u);
+  ASSERT_GT(low_delay.count(), 100u);
+  EXPECT_LT(high_delay.mean() * 3.0, low_delay.mean());
+}
+
+TEST(MultiClassTest, ZeroClassesRejected) {
+  SwitchConfig c = SmallSwitch(false);
+  c.service_classes = 0;
+  EXPECT_THROW(CognitiveSwitch{c}, std::invalid_argument);
+}
+
+
+// --------------------------------------------------------- WRR egress
+
+TEST(WrrSchedulerTest, ConfigValidation) {
+  SwitchConfig c = SmallSwitch(false);
+  c.service_classes = 2;
+  c.scheduler = SchedulerPolicy::kWeightedRoundRobin;
+  EXPECT_THROW(CognitiveSwitch{c}, std::invalid_argument);  // no weights
+  c.wrr_weights = {1, 0};
+  EXPECT_THROW(CognitiveSwitch{c}, std::invalid_argument);  // zero weight
+  c.wrr_weights = {3, 1};
+  EXPECT_NO_THROW(CognitiveSwitch{c});
+}
+
+TEST(WrrSchedulerTest, ServesClassesInWeightRatio) {
+  SwitchConfig c = SmallSwitch(false);
+  c.service_classes = 2;
+  c.scheduler = SchedulerPolicy::kWeightedRoundRobin;
+  c.wrr_weights = {3, 1};
+  CognitiveSwitch sw(c);
+  sw.AddRoute(net::ParseIpv4("10.0.0.0"), 8, 0);
+  // Backlog both classes, then drain and inspect the service pattern.
+  for (int i = 0; i < 40; ++i) {
+    sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2, 1000,
+                            /*dscp=*/46),
+              0.0);
+    sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2, 1000,
+                            /*dscp=*/0),
+              0.0);
+  }
+  const auto deliveries = sw.Drain(100.0);
+  ASSERT_EQ(deliveries.size(), 80u);
+  // In the backlogged region, every group of 4 services contains 3
+  // high-class and 1 low-class packet.
+  int high_in_first_40 = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    if (deliveries[i].service_class == 0) ++high_in_first_40;
+  }
+  EXPECT_NEAR(high_in_first_40, 30, 2);
+}
+
+TEST(WrrSchedulerTest, LowClassNotStarved) {
+  // Strict priority starves the low class under a persistent high-class
+  // backlog; WRR must not.
+  auto run = [](SchedulerPolicy policy) {
+    SwitchConfig c = SmallSwitch(false);
+    c.service_classes = 2;
+    c.scheduler = policy;
+    if (policy == SchedulerPolicy::kWeightedRoundRobin) {
+      c.wrr_weights = {4, 1};
+    }
+    CognitiveSwitch sw(c);
+    sw.AddRoute(net::ParseIpv4("10.0.0.0"), 8, 0);
+    // Continuous overload in both classes for 1 simulated second.
+    std::size_t low_delivered = 0;
+    for (int i = 0; i < 2500; ++i) {
+      const double now = i * 0.0004;
+      sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2, 1000, 46), now);
+      sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2, 1000, 0), now);
+      for (const auto& d : sw.Drain(now)) {
+        if (d.service_class == 1) ++low_delivered;
+      }
+    }
+    return low_delivered;
+  };
+  const std::size_t strict = run(SchedulerPolicy::kStrictPriority);
+  const std::size_t wrr = run(SchedulerPolicy::kWeightedRoundRobin);
+  EXPECT_EQ(strict, 0u);  // fully starved
+  EXPECT_GT(wrr, 100u);   // guaranteed share
+}
+
+
+// ------------------------------------------------------------ topology
+
+TopologyConfig TwoHops(bool aqm) {
+  TopologyConfig c;
+  c.hops = 2;
+  c.propagation_delay_s = 0.002;
+  c.duration_s = 6.0;
+  c.warmup_s = 1.0;
+  c.hop.port_count = 1;
+  c.hop.port_rate_bps = 10.0e6;
+  c.hop.enable_aqm = aqm;
+  return c;
+}
+
+TEST(TopologyTest, ConfigValidation) {
+  TopologyConfig c = TwoHops(false);
+  c.hops = 0;
+  EXPECT_THROW(LineTopology{c}, std::invalid_argument);
+  c = TwoHops(false);
+  c.step_s = 0.0;
+  EXPECT_THROW(LineTopology{c}, std::invalid_argument);
+}
+
+TEST(TopologyTest, UnderloadEndToEndIsPropagationPlusService) {
+  LineTopology line(TwoHops(false));
+  net::PoissonGenerator::Config gc;
+  gc.rate_pps = 300.0;  // far below the 1250 pps per-hop capacity
+  net::PoissonGenerator gen(gc, std::make_unique<net::FixedSize>(1000),
+                            3);
+  const TopologyReport report = line.Run(gen);
+  ASSERT_GT(report.delivered, 500u);
+  // Two propagation legs (2 ms each) + two ~0.83 ms services + small
+  // queueing + step-quantisation: comfortably under 12 ms.
+  EXPECT_GT(report.end_to_end.mean(), 0.004);
+  EXPECT_LT(report.end_to_end.mean(), 0.012);
+}
+
+TEST(TopologyTest, PerHopAqmBoundsEndToEndUnderOverload) {
+  LineTopology line(TwoHops(true));
+  net::PoissonGenerator::Config gc;
+  gc.rate_pps = 1800.0;  // 144% of hop capacity
+  net::PoissonGenerator gen(gc, std::make_unique<net::FixedSize>(1000),
+                            4);
+  const TopologyReport report = line.Run(gen);
+  ASSERT_GT(report.delivered, 1000u);
+  // Only hop 0 is congested (its drops thin the traffic for hop 1), so
+  // the end-to-end bound is roughly one AQM target + propagation.
+  EXPECT_LT(report.end_to_end.mean(), 0.045);
+  EXPECT_GT(report.hop_stats[0].aqm_drops, 100u);
+  EXPECT_GT(report.total_pcam_energy_j, 0.0);
+}
+
+TEST(TopologyTest, WithoutAqmOverloadDelayExplodes) {
+  LineTopology line(TwoHops(false));
+  net::PoissonGenerator::Config gc;
+  gc.rate_pps = 1800.0;
+  net::PoissonGenerator gen(gc, std::make_unique<net::FixedSize>(1000),
+                            4);
+  const TopologyReport report = line.Run(gen);
+  EXPECT_GT(report.end_to_end.mean(), 0.3);
+}
+
+TEST(TopologyTest, ConservationAcrossHops) {
+  LineTopology line(TwoHops(true));
+  net::PoissonGenerator::Config gc;
+  gc.rate_pps = 1500.0;
+  net::PoissonGenerator gen(gc, std::make_unique<net::FixedSize>(1000),
+                            5);
+  const TopologyReport report = line.Run(gen);
+  EXPECT_LE(report.delivered, report.offered);
+  ASSERT_EQ(report.hop_stats.size(), 2u);
+  // Hop 1 can never see more packets than hop 0 forwarded.
+  EXPECT_LE(report.hop_stats[1].injected, report.hop_stats[0].delivered);
+}
+
+
+// Fuzz: the policy interpreter is total — random garbage either applies
+// or raises PolicyError with the right line number; it never crashes or
+// corrupts the controller.
+class PolicyFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolicyFuzz, GarbageRaisesTypedErrorsOnly) {
+  analognf::RandomStream rng(GetParam());
+  CognitiveSwitch sw(SmallSwitch(false));
+  CognitiveNetworkController controller(sw);
+  PolicyInterpreter interp(controller);
+  const char* words[] = {"route", "deny",  "permit", "aqm",   "place",
+                         "port",  "src",   "dst",    "10.0.0.0/8",
+                         "priority", "5",  "x",      "20ms",  "#"};
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string line;
+    const std::size_t tokens = 1 + rng.NextIndex(6);
+    for (std::size_t t = 0; t < tokens; ++t) {
+      line += words[rng.NextIndex(std::size(words))];
+      line += ' ';
+    }
+    line += '\n';
+    try {
+      interp.ApplyText(line);
+    } catch (const PolicyError& e) {
+      EXPECT_EQ(e.line(), 1u);
+    }
+  }
+  // The controller still works after the fuzz barrage. Some random
+  // token sequences form *valid* rules (e.g. "deny priority 5"), so the
+  // probe may legitimately be denied — what matters is a clean,
+  // deterministic classification.
+  controller.InstallRoute("10.0.0.0", 8, 0);
+  const Verdict v =
+      sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2), 1e6);
+  EXPECT_TRUE(v == Verdict::kForwarded || v == Verdict::kFirewallDeny);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyFuzz, ::testing::Values(5, 6, 7));
+
+}  // namespace
+}  // namespace analognf::arch

@@ -1,0 +1,409 @@
+// Tests for the cognitive (neuromorphic/self-learning) layer: crossbar
+// perceptron, the learned AQM, and the analog traffic classifier.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "analognf/cognitive/associative.hpp"
+#include "analognf/cognitive/classifier.hpp"
+#include "analognf/cognitive/learned_aqm.hpp"
+#include "analognf/cognitive/perceptron.hpp"
+#include "analognf/net/generator.hpp"
+
+namespace analognf::cognitive {
+namespace {
+
+// ---------------------------------------------------------- perceptron
+
+TEST(PerceptronConfigTest, Validation) {
+  PerceptronConfig c;
+  EXPECT_NO_THROW(c.Validate());
+  c.inputs = 0;
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+  c = PerceptronConfig{};
+  c.learning_rate = 0.0;
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+  c = PerceptronConfig{};
+  c.max_weight = 100.0;
+  c.weight_unit_siemens = 1.0e-9;  // 1e-7 S > 1e-8 S device max
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+}
+
+TEST(PerceptronTest, UntrainedOutputsHalf) {
+  PerceptronConfig c;
+  c.inputs = 3;
+  CrossbarPerceptron p(c);
+  // All weights ~0 (conductance floor residue is ~1e-12/1e-9 = 1e-3
+  // weight units): output should be very close to 0.5.
+  EXPECT_NEAR(p.Infer({0.5, 0.5, 0.5}), 0.5, 0.01);
+}
+
+TEST(PerceptronTest, InferRejectsArityMismatch) {
+  PerceptronConfig c;
+  c.inputs = 2;
+  CrossbarPerceptron p(c);
+  EXPECT_THROW(p.Infer({1.0}), std::invalid_argument);
+  EXPECT_THROW(p.Train({1.0, 2.0}, 1.5), std::invalid_argument);
+}
+
+TEST(PerceptronTest, LearnsLinearlySeparableRule) {
+  // Teach y = 1 iff x0 > 0.5 (x1 is noise).
+  PerceptronConfig c;
+  c.inputs = 2;
+  c.learning_rate = 0.3;
+  c.activation_gain = 2.0;
+  CrossbarPerceptron p(c);
+  analognf::RandomStream rng(3);
+  for (int step = 0; step < 3000; ++step) {
+    const double x0 = rng.NextUniform();
+    const double x1 = rng.NextUniform();
+    p.Train({x0, x1}, x0 > 0.5 ? 1.0 : 0.0);
+  }
+  EXPECT_GT(p.Infer({0.9, 0.5}), 0.7);
+  EXPECT_LT(p.Infer({0.1, 0.5}), 0.3);
+  EXPECT_EQ(p.updates(), 3000u);
+}
+
+TEST(PerceptronTest, LearnsRampRegression) {
+  // Teach the AQM-style ramp y = clamp(x, 0, 1) on one input.
+  PerceptronConfig c;
+  c.inputs = 1;
+  c.learning_rate = 0.2;
+  c.activation_gain = 4.0;
+  CrossbarPerceptron p(c);
+  analognf::RandomStream rng(5);
+  for (int step = 0; step < 5000; ++step) {
+    const double x = rng.NextUniform();
+    p.Train({x}, x);
+  }
+  // Mid-ramp accuracy.
+  EXPECT_NEAR(p.Infer({0.5}), 0.5, 0.12);
+  EXPECT_LT(p.Infer({0.05}), 0.35);
+  EXPECT_GT(p.Infer({0.95}), 0.65);
+}
+
+TEST(PerceptronTest, WeightsAreClamped) {
+  PerceptronConfig c;
+  c.inputs = 1;
+  c.learning_rate = 1.0;
+  c.max_weight = 2.0;
+  CrossbarPerceptron p(c);
+  for (int i = 0; i < 200; ++i) p.Train({1.0}, 1.0);
+  for (double w : p.weights()) {
+    EXPECT_LE(std::fabs(w), 2.0 + 1e-12);
+  }
+}
+
+TEST(PerceptronTest, TrainRejectsBadTarget) {
+  PerceptronConfig c;
+  c.inputs = 1;
+  CrossbarPerceptron p(c);
+  EXPECT_THROW(p.Train({0.5}, 1.5), std::invalid_argument);
+  EXPECT_THROW(p.Train({0.5}, -0.1), std::invalid_argument);
+}
+
+TEST(PerceptronTest, InferenceConsumesAnalogEnergy) {
+  PerceptronConfig c;
+  c.inputs = 2;
+  CrossbarPerceptron p(c);
+  EXPECT_EQ(p.ConsumedEnergyJ(), 0.0);
+  p.Infer({0.5, 0.5});
+  EXPECT_GT(p.ConsumedEnergyJ(), 0.0);
+}
+
+// ---------------------------------------------------------- learned AQM
+
+TEST(LearnedAqmTest, ConfigValidation) {
+  LearnedAqmConfig c;
+  EXPECT_NO_THROW(c.Validate());
+  c.max_deviation_s = c.target_delay_s;
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+}
+
+TEST(LearnedAqmTest, TeacherIsTheProgrammedRamp) {
+  LearnedAqm aqm(LearnedAqmConfig{});
+  EXPECT_EQ(aqm.TeacherPdp(0.005), 0.0);
+  EXPECT_NEAR(aqm.TeacherPdp(0.020), 0.5, 1e-12);
+  EXPECT_EQ(aqm.TeacherPdp(0.050), 1.0);
+}
+
+TEST(LearnedAqmTest, ConvergesToTeacherUnderExperience) {
+  LearnedAqmConfig c;
+  c.perceptron.learning_rate = 0.3;
+  c.perceptron.activation_gain = 4.0;
+  LearnedAqm aqm(c);
+  analognf::RandomStream rng(9);
+
+  aqm::AqmContext ctx;
+  ctx.packet.size_bytes = 1000;
+  // Replay a few thousand decisions across the sojourn range.
+  for (int i = 0; i < 6000; ++i) {
+    ctx.now_s = 0.001 * i;
+    ctx.sojourn_s = rng.NextUniform(0.0, 0.050);
+    ctx.queue_packets = 20;
+    ctx.queue_bytes = 20000;
+    aqm.ShouldDropOnEnqueue(ctx);
+  }
+  // After convergence: low sojourn -> low PDP, high sojourn -> high PDP.
+  int low_drops = 0;
+  int high_drops = 0;
+  for (int i = 0; i < 500; ++i) {
+    ctx.now_s += 0.001;
+    ctx.sojourn_s = 0.004;
+    if (aqm.ShouldDropOnEnqueue(ctx)) ++low_drops;
+    ctx.now_s += 0.001;
+    ctx.sojourn_s = 0.045;
+    if (aqm.ShouldDropOnEnqueue(ctx)) ++high_drops;
+  }
+  EXPECT_LT(low_drops, 200);
+  EXPECT_GT(high_drops, 300);
+}
+
+TEST(LearnedAqmTest, FrozenWeightsDoNotLearn) {
+  LearnedAqmConfig c;
+  c.learn_online = false;
+  LearnedAqm aqm(c);
+  aqm::AqmContext ctx;
+  ctx.packet.size_bytes = 1000;
+  for (int i = 0; i < 100; ++i) {
+    ctx.now_s = 0.001 * i;
+    ctx.sojourn_s = 0.050;
+    aqm.ShouldDropOnEnqueue(ctx);
+  }
+  EXPECT_EQ(aqm.perceptron().updates(), 0u);
+}
+
+TEST(LearnedAqmTest, ReportsPdpAndEnergy) {
+  LearnedAqm aqm(LearnedAqmConfig{});
+  aqm::AqmContext ctx;
+  ctx.packet.size_bytes = 1000;
+  ctx.now_s = 0.001;
+  ctx.sojourn_s = 0.020;
+  aqm.ShouldDropOnEnqueue(ctx);
+  EXPECT_GE(aqm.LastDropProbability(), 0.0);
+  EXPECT_LE(aqm.LastDropProbability(), 1.0);
+  EXPECT_GT(aqm.ConsumedEnergyJ(), 0.0);
+  EXPECT_EQ(aqm.decisions(), 1u);
+}
+
+// ---------------------------------------------------------- classifier
+
+TEST(FlowTrackerTest, TracksPerFlowFeatures) {
+  FlowTracker tracker;
+  net::PacketMeta p;
+  p.flow_hash = 7;
+  for (int i = 0; i < 100; ++i) {
+    p.arrival_time_s = 0.010 * i;
+    p.size_bytes = 200;
+    tracker.Observe(p);
+  }
+  const FlowFeatures f = tracker.Features(7);
+  EXPECT_EQ(f.packets, 100u);
+  EXPECT_NEAR(f.mean_packet_size_bytes, 200.0, 1e-9);
+  EXPECT_NEAR(f.mean_interarrival_s, 0.010, 1e-9);
+  EXPECT_NEAR(f.burstiness, 0.0, 1e-9);  // CBR: zero CoV
+  EXPECT_EQ(tracker.Features(999).packets, 0u);
+}
+
+TEST(FlowTrackerTest, PoissonFlowHasUnitBurstiness) {
+  FlowTracker tracker;
+  analognf::RandomStream rng(11);
+  net::PacketMeta p;
+  p.flow_hash = 1;
+  double t = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    t += rng.NextExponential(1000.0);
+    p.arrival_time_s = t;
+    p.size_bytes = 100;
+    tracker.Observe(p);
+  }
+  EXPECT_NEAR(tracker.Features(1).burstiness, 1.0, 0.05);
+}
+
+AnalogTrafficClassifier MakeClassifier() {
+  core::HardwarePcamConfig hw;
+  hw.state_levels = 1024;
+  AnalogTrafficClassifier clf(hw);
+  // VoIP: small packets, 10-30 ms spacing, smooth.
+  clf.AddClass({"voip", 40, 240, 0.008, 0.040, 0.0, 0.6});
+  // Bulk transfer: big packets, tight spacing.
+  clf.AddClass({"bulk", 1000, 1600, 0.00005, 0.004, 0.0, 1.4});
+  // Bursty video: large packets, bursty arrivals.
+  clf.AddClass({"video", 700, 1600, 0.0005, 0.040, 1.2, 4.0});
+  return clf;
+}
+
+TEST(ClassifierTest, ClassifiesPrototypeFlows) {
+  AnalogTrafficClassifier clf = MakeClassifier();
+  FlowFeatures voip;
+  voip.mean_packet_size_bytes = 120;
+  voip.mean_interarrival_s = 0.020;
+  voip.burstiness = 0.2;
+  auto result = clf.Classify(voip, 0.3);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->label, "voip");
+  EXPECT_GT(result->confidence, 0.5);
+
+  FlowFeatures bulk;
+  bulk.mean_packet_size_bytes = 1450;
+  bulk.mean_interarrival_s = 0.0008;
+  bulk.burstiness = 0.9;
+  result = clf.Classify(bulk, 0.3);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->label, "bulk");
+
+  FlowFeatures video;
+  video.mean_packet_size_bytes = 1200;
+  video.mean_interarrival_s = 0.005;
+  video.burstiness = 2.5;
+  result = clf.Classify(video, 0.3);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->label, "video");
+}
+
+TEST(ClassifierTest, UnknownTrafficRejectedByConfidence) {
+  AnalogTrafficClassifier clf = MakeClassifier();
+  FlowFeatures weird;
+  weird.mean_packet_size_bytes = 400;  // matches nothing well
+  weird.mean_interarrival_s = 0.3;
+  weird.burstiness = 4.5;
+  EXPECT_FALSE(clf.Classify(weird, 0.5).has_value());
+}
+
+TEST(ClassifierTest, PartialMatchGivesGradedConfidence) {
+  AnalogTrafficClassifier clf = MakeClassifier();
+  // Slightly-too-large voip-like packets: on the skirt.
+  FlowFeatures nearly;
+  nearly.mean_packet_size_bytes = 300;
+  nearly.mean_interarrival_s = 0.020;
+  nearly.burstiness = 0.2;
+  const auto result = clf.Classify(nearly, 0.05);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->label, "voip");
+  EXPECT_LT(result->confidence, 0.95);
+  EXPECT_GT(result->confidence, 0.05);
+}
+
+TEST(ClassifierTest, RejectsBadClassSpec) {
+  AnalogTrafficClassifier clf;
+  EXPECT_THROW(clf.AddClass({"bad", 100, 50, 0.001, 0.01, 0.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(ClassifierTest, EndToEndOverGeneratedTraffic) {
+  // Feed real generator traffic through tracker + classifier.
+  AnalogTrafficClassifier clf = MakeClassifier();
+  FlowTracker tracker;
+  net::CbrGenerator voip_gen(50.0, 160, /*flow_hash=*/0xb0);
+  for (int i = 0; i < 500; ++i) tracker.Observe(voip_gen.Next());
+  const auto result = clf.Classify(tracker.Features(0xb0), 0.2);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->label, "voip");
+}
+
+
+// ------------------------------------------------- associative memory
+
+TEST(AssociativeMemoryTest, ConfigValidation) {
+  AssociativeMemoryConfig c;
+  EXPECT_NO_THROW(c.Validate());
+  c.dimensions = 0;
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+  c = AssociativeMemoryConfig{};
+  c.conductance_unit_siemens = 1.0;  // way above device max
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+}
+
+TEST(AssociativeMemoryTest, ExactRecall) {
+  AssociativeMemoryConfig c;
+  c.dimensions = 4;
+  AssociativeMemory mem(c);
+  mem.Store("a", {1.0, 0.0, 0.0, 0.0});
+  mem.Store("b", {0.0, 1.0, 0.0, 0.0});
+  mem.Store("c", {0.0, 0.0, 1.0, 1.0});
+
+  const auto r = mem.Recall({0.0, 0.0, 0.9, 0.9});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->label, "c");
+  EXPECT_GT(r->similarity, 0.99);
+}
+
+TEST(AssociativeMemoryTest, NoisyProbeStillRecalls) {
+  AssociativeMemoryConfig c;
+  c.dimensions = 8;
+  AssociativeMemory mem(c);
+  const std::vector<double> stored = {1.0, 0.8, 0.0, 0.2,
+                                      0.9, 0.1, 0.0, 0.7};
+  mem.Store("target", stored);
+  mem.Store("other", {0.0, 0.1, 1.0, 0.9, 0.0, 0.8, 1.0, 0.1});
+
+  analognf::RandomStream rng(3);
+  std::vector<double> probe = stored;
+  for (double& v : probe) {
+    v = std::clamp(v + rng.NextNormal(0.0, 0.15), 0.0, 1.0);
+  }
+  const auto r = mem.Recall(probe, 0.5);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->label, "target");
+}
+
+TEST(AssociativeMemoryTest, MinSimilarityRejects) {
+  AssociativeMemoryConfig c;
+  c.dimensions = 4;
+  AssociativeMemory mem(c);
+  mem.Store("a", {1.0, 0.0, 0.0, 0.0});
+  // Orthogonal probe: similarity ~0.
+  EXPECT_FALSE(mem.Recall({0.0, 1.0, 0.0, 0.0}, 0.5).has_value());
+}
+
+TEST(AssociativeMemoryTest, SampleRecallWeightsBySimilarity) {
+  AssociativeMemoryConfig c;
+  c.dimensions = 2;
+  AssociativeMemory mem(c);
+  mem.Store("close", {1.0, 0.2});
+  mem.Store("far", {0.2, 1.0});
+  analognf::RandomStream rng(5);
+  int close_hits = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto r = mem.SampleRecall({1.0, 0.1}, rng, 0.0);
+    ASSERT_TRUE(r.has_value());
+    if (r->label == "close") ++close_hits;
+  }
+  EXPECT_GT(close_hits, 300);  // strongly biased toward the closer pattern
+  EXPECT_LT(close_hits, 500);  // but the far one is sampled sometimes
+}
+
+TEST(AssociativeMemoryTest, CapacityAndValidationErrors) {
+  AssociativeMemoryConfig c;
+  c.dimensions = 2;
+  c.capacity = 1;
+  AssociativeMemory mem(c);
+  mem.Store("only", {0.5, 0.5});
+  EXPECT_THROW(mem.Store("overflow", {1.0, 0.0}), std::length_error);
+  AssociativeMemory fresh(AssociativeMemoryConfig{});
+  EXPECT_THROW(fresh.Store("bad", {2.0}), std::invalid_argument);  // arity
+  std::vector<double> out_of_range(fresh.dimensions(), 2.0);
+  EXPECT_THROW(fresh.Store("bad", out_of_range), std::invalid_argument);
+  std::vector<double> zeros(fresh.dimensions(), 0.0);
+  EXPECT_THROW(fresh.Store("zero", zeros), std::invalid_argument);
+}
+
+TEST(AssociativeMemoryTest, EmptyMemoryRecallsNothing) {
+  AssociativeMemory mem(AssociativeMemoryConfig{});
+  std::vector<double> probe(mem.dimensions(), 0.5);
+  EXPECT_FALSE(mem.Recall(probe).has_value());
+}
+
+TEST(AssociativeMemoryTest, RecallConsumesAnalogEnergy) {
+  AssociativeMemoryConfig c;
+  c.dimensions = 4;
+  AssociativeMemory mem(c);
+  mem.Store("a", {1.0, 0.0, 1.0, 0.0});
+  EXPECT_EQ(mem.ConsumedEnergyJ(), 0.0);
+  mem.Recall({1.0, 0.0, 1.0, 0.0});
+  EXPECT_GT(mem.ConsumedEnergyJ(), 0.0);
+}
+
+}  // namespace
+}  // namespace analognf::cognitive

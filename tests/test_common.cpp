@@ -1,0 +1,473 @@
+// Unit and property tests for the common substrate: RNG, statistics,
+// time series, and report formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "analognf/common/rng.hpp"
+#include "analognf/common/stats.hpp"
+#include "analognf/common/table.hpp"
+#include "analognf/common/quantile.hpp"
+#include "analognf/common/timeseries.hpp"
+#include "analognf/common/units.hpp"
+
+namespace analognf {
+namespace {
+
+// ---------------------------------------------------------------- RNG
+
+TEST(SplitMix64Test, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256Test, IsDeterministic) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256Test, ForkProducesIndependentStream) {
+  Xoshiro256 parent(9);
+  Xoshiro256 child = parent.Fork();
+  // Child and parent outputs should not coincide on the next draws.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next() == child.Next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RandomStreamTest, UniformInUnitInterval) {
+  RandomStream rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextUniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RandomStreamTest, UniformMeanIsHalf) {
+  RandomStream rng(2);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.NextUniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(RandomStreamTest, UniformRangeRespectsBounds) {
+  RandomStream rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.NextUniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RandomStreamTest, NextIndexStaysBelowBound) {
+  RandomStream rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextIndex(7), 7u);
+  }
+}
+
+TEST(RandomStreamTest, NextIndexCoversAllValues) {
+  RandomStream rng(5);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) {
+    ++counts[static_cast<std::size_t>(rng.NextIndex(5))];
+  }
+  for (int c : counts) EXPECT_GT(c, 700);  // ~1000 expected each
+}
+
+TEST(RandomStreamTest, ExponentialMeanMatchesRate) {
+  RandomStream rng(6);
+  RunningStats stats;
+  const double rate = 4.0;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.NextExponential(rate));
+  EXPECT_NEAR(stats.mean(), 1.0 / rate, 0.01);
+}
+
+TEST(RandomStreamTest, ExponentialIsPositive) {
+  RandomStream rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.NextExponential(2.0), 0.0);
+}
+
+TEST(RandomStreamTest, NormalMomentsMatch) {
+  RandomStream rng(8);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.NextNormal(3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RandomStreamTest, PoissonMeanMatchesLambdaSmall) {
+  RandomStream rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.Add(static_cast<double>(rng.NextPoisson(3.5)));
+  }
+  EXPECT_NEAR(stats.mean(), 3.5, 0.1);
+}
+
+TEST(RandomStreamTest, PoissonMeanMatchesLambdaLarge) {
+  RandomStream rng(10);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.Add(static_cast<double>(rng.NextPoisson(200.0)));
+  }
+  EXPECT_NEAR(stats.mean(), 200.0, 2.0);
+}
+
+TEST(RandomStreamTest, PoissonZeroLambdaYieldsZero) {
+  RandomStream rng(11);
+  EXPECT_EQ(rng.NextPoisson(0.0), 0u);
+}
+
+TEST(RandomStreamTest, BernoulliEdgesAreDeterministic) {
+  RandomStream rng(12);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+  EXPECT_FALSE(rng.NextBernoulli(-0.5));
+  EXPECT_TRUE(rng.NextBernoulli(1.5));
+}
+
+TEST(RandomStreamTest, BernoulliFrequencyMatchesP) {
+  RandomStream rng(13);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 50000.0, 0.3, 0.01);
+}
+
+TEST(RandomStreamTest, ParetoRespectsScale) {
+  RandomStream rng(14);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.NextPareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(RandomStreamTest, ForkedStreamsDecorrelate) {
+  RandomStream a(15);
+  RandomStream b = a.Fork();
+  RunningStats diff;
+  for (int i = 0; i < 1000; ++i) {
+    diff.Add(a.NextUniform() - b.NextUniform());
+  }
+  EXPECT_NEAR(diff.mean(), 0.0, 0.05);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats stats;
+  stats.Add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.mean(), 5.0);
+  EXPECT_EQ(stats.min(), 5.0);
+  EXPECT_EQ(stats.max(), 5.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchComputation) {
+  RunningStats stats;
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  double sum = 0.0;
+  for (double x : xs) {
+    stats.Add(x);
+    sum += x;
+  }
+  const double mean = sum / 5.0;
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  EXPECT_NEAR(stats.mean(), mean, 1e-12);
+  EXPECT_NEAR(stats.variance(), ss / 4.0, 1e-12);
+  EXPECT_EQ(stats.min(), 1.0);
+  EXPECT_EQ(stats.max(), 16.0);
+  EXPECT_NEAR(stats.sum(), sum, 1e-12);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats stats;
+  stats.Add(1.0);
+  stats.Reset();
+  EXPECT_TRUE(stats.empty());
+}
+
+TEST(EwmaTest, RejectsBadWeight) {
+  EXPECT_THROW(Ewma(0.0), std::invalid_argument);
+  EXPECT_THROW(Ewma(1.5), std::invalid_argument);
+  EXPECT_NO_THROW(Ewma(1.0));
+}
+
+TEST(EwmaTest, FirstSampleInitializes) {
+  Ewma ewma(0.1);
+  EXPECT_FALSE(ewma.initialized());
+  EXPECT_EQ(ewma.Update(10.0), 10.0);
+  EXPECT_TRUE(ewma.initialized());
+}
+
+TEST(EwmaTest, ConvergesTowardConstant) {
+  Ewma ewma(0.2);
+  ewma.Update(0.0);
+  for (int i = 0; i < 100; ++i) ewma.Update(5.0);
+  EXPECT_NEAR(ewma.value(), 5.0, 1e-6);
+}
+
+TEST(EwmaTest, WeightOneTracksExactly) {
+  Ewma ewma(1.0);
+  ewma.Update(1.0);
+  EXPECT_EQ(ewma.Update(42.0), 42.0);
+}
+
+TEST(PercentileTest, ThrowsOnEmpty) {
+  EXPECT_THROW(Percentile({}, 0.5), std::invalid_argument);
+}
+
+TEST(PercentileTest, MedianOfOddSet) {
+  EXPECT_EQ(Percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(PercentileTest, Extremes) {
+  const std::vector<double> xs = {5.0, 1.0, 9.0};
+  EXPECT_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_EQ(Percentile(xs, 1.0), 9.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  EXPECT_NEAR(Percentile({0.0, 10.0}, 0.25), 2.5, 1e-12);
+}
+
+TEST(FractionWithinTest, CountsInclusiveBounds) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(FractionWithin(xs, 2.0, 3.0), 0.5, 1e-12);
+  EXPECT_NEAR(FractionWithin(xs, 0.0, 10.0), 1.0, 1e-12);
+  EXPECT_NEAR(FractionWithin(xs, 5.0, 6.0), 0.0, 1e-12);
+}
+
+// ------------------------------------------------------------ timeseries
+
+TEST(TimeSeriesTest, AppendsInOrder) {
+  TimeSeries ts("x");
+  ts.Append(0.0, 1.0);
+  ts.Append(1.0, 2.0);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts[1].value, 2.0);
+}
+
+TEST(TimeSeriesTest, RejectsBackwardsTime) {
+  TimeSeries ts;
+  ts.Append(2.0, 0.0);
+  EXPECT_THROW(ts.Append(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(TimeSeriesTest, AllowsEqualTimes) {
+  TimeSeries ts;
+  ts.Append(1.0, 0.0);
+  EXPECT_NO_THROW(ts.Append(1.0, 1.0));
+}
+
+TEST(TimeSeriesTest, ValuesFromFilters) {
+  TimeSeries ts;
+  ts.Append(0.0, 1.0);
+  ts.Append(5.0, 2.0);
+  ts.Append(10.0, 3.0);
+  const auto vals = ts.ValuesFrom(5.0);
+  ASSERT_EQ(vals.size(), 2u);
+  EXPECT_EQ(vals[0], 2.0);
+}
+
+TEST(TimeSeriesTest, DownsampleReducesPoints) {
+  TimeSeries ts;
+  for (int i = 0; i < 1000; ++i) {
+    ts.Append(static_cast<double>(i), static_cast<double>(i));
+  }
+  const TimeSeries small = ts.Downsample(10);
+  EXPECT_LE(small.size(), 10u);
+  EXPECT_GE(small.size(), 5u);
+}
+
+TEST(TimeSeriesTest, DownsamplePreservesMeanRoughly) {
+  TimeSeries ts;
+  for (int i = 0; i < 1000; ++i) {
+    ts.Append(static_cast<double>(i), 7.0);
+  }
+  const TimeSeries small = ts.Downsample(16);
+  for (const auto& p : small.points()) {
+    EXPECT_NEAR(p.value, 7.0, 1e-9);
+  }
+}
+
+TEST(TimeSeriesTest, DownsampleNoOpWhenSmall) {
+  TimeSeries ts;
+  ts.Append(0.0, 1.0);
+  EXPECT_EQ(ts.Downsample(10).size(), 1u);
+}
+
+TEST(TimeSeriesTest, DownsampleRejectsTinyBudget) {
+  TimeSeries ts;
+  EXPECT_THROW(ts.Downsample(1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(TableTest, RequiresHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableTest, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, PrintsAlignedWithPrefix) {
+  Table t({"name", "value"});
+  t.AddRow({"x", "1"});
+  std::ostringstream os;
+  t.Print(os, "[REPRO] ");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("[REPRO] name"), std::string::npos);
+  EXPECT_NE(out.find("[REPRO] x"), std::string::npos);
+}
+
+TEST(TableTest, CsvQuotesSpecialCells) {
+  Table t({"a"});
+  t.AddRow({"has,comma"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+}
+
+TEST(TableTest, NumericRowFormats) {
+  Table t({"label", "v1", "v2"});
+  t.AddNumericRow("row", {1.23456, 7.0}, 3);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(FormatTest, SignificantDigits) {
+  EXPECT_EQ(FormatSig(1.23456, 3), "1.23");
+}
+
+TEST(FormatTest, EnergyScalesToFemtojoules) {
+  EXPECT_EQ(FormatEnergy(1.0e-17, 3), "0.01 fJ");
+  EXPECT_EQ(FormatEnergy(0.58e-15, 3), "0.58 fJ");
+  EXPECT_EQ(FormatEnergy(0.16e-9, 3), "0.16 nJ");
+}
+
+TEST(FormatTest, DurationScales) {
+  EXPECT_EQ(FormatDuration(1.0e-9, 3), "1 ns");
+  EXPECT_EQ(FormatDuration(0.02, 3), "20 ms");
+}
+
+// ------------------------------------------------------------------ units
+
+TEST(UnitsTest, ConversionsAreConsistent) {
+  EXPECT_DOUBLE_EQ(ToMillis(0.02), 20.0);
+  EXPECT_DOUBLE_EQ(ToFemtojoules(1e-15), 1.0);
+  EXPECT_NEAR(ToNanojoules(1.6e-10), 0.16, 1e-12);
+  EXPECT_DOUBLE_EQ(BitsToBytesPerSecond(8.0e6), 1.0e6);
+}
+
+TEST(UnitsTest, ThermalVoltageIsRoomTemperature) {
+  EXPECT_NEAR(kThermalVoltageV, 0.02585, 1e-4);
+}
+
+// Property sweep: percentile is monotone in q for any sample set.
+class PercentileMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PercentileMonotone, MonotoneInQ) {
+  RandomStream rng(GetParam());
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(rng.NextNormal(0.0, 10.0));
+  double prev = Percentile(xs, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = Percentile(xs, q);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+
+// ------------------------------------------------------------- quantile
+
+TEST(P2QuantileTest, RejectsBadQ) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+}
+
+TEST(P2QuantileTest, ExactForSmallSamples) {
+  P2Quantile median(0.5);
+  median.Add(3.0);
+  EXPECT_EQ(median.Value(), 3.0);
+  median.Add(1.0);
+  median.Add(2.0);
+  EXPECT_EQ(median.Value(), 2.0);
+}
+
+TEST(P2QuantileTest, MedianOfUniformStream) {
+  P2Quantile median(0.5);
+  RandomStream rng(17);
+  for (int i = 0; i < 50000; ++i) median.Add(rng.NextUniform());
+  EXPECT_NEAR(median.Value(), 0.5, 0.02);
+}
+
+TEST(P2QuantileTest, TailQuantileOfExponentialStream) {
+  P2Quantile p99(0.99);
+  RandomStream rng(18);
+  for (int i = 0; i < 100000; ++i) p99.Add(rng.NextExponential(1.0));
+  // True p99 of Exp(1) is ln(100) ~ 4.605.
+  EXPECT_NEAR(p99.Value(), 4.605, 0.35);
+}
+
+TEST(P2QuantileTest, ResetClears) {
+  P2Quantile q(0.9);
+  for (int i = 0; i < 100; ++i) q.Add(static_cast<double>(i));
+  q.Reset();
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_EQ(q.Value(), 0.0);
+}
+
+// Property: the P2 estimate tracks the exact percentile across
+// distributions and quantiles.
+class P2Accuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2Accuracy, TracksExactPercentile) {
+  const double q = GetParam();
+  P2Quantile estimator(q);
+  RandomStream rng(static_cast<std::uint64_t>(q * 1000));
+  std::vector<double> exact;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.NextNormal(10.0, 3.0);
+    estimator.Add(x);
+    exact.push_back(x);
+  }
+  const double truth = Percentile(exact, q);
+  EXPECT_NEAR(estimator.Value(), truth, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2Accuracy,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9,
+                                           0.95));
+
+}  // namespace
+}  // namespace analognf

@@ -1,0 +1,744 @@
+// Tests for the paper's core contribution: the pCAM cell's five-region
+// transfer function (Fig. 4a), the hardware-backed cell, series
+// composition (Fig. 4b), tables, pipelines and the programming
+// abstractions of Sec. 5.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analognf/common/rng.hpp"
+#include "analognf/common/stats.hpp"
+#include "analognf/core/pcam_array.hpp"
+#include "analognf/core/pcam_cell.hpp"
+#include "analognf/core/pcam_hardware.hpp"
+#include "analognf/analog/crossbar.hpp"
+#include "analognf/core/action_memory.hpp"
+#include "analognf/core/nonlinear.hpp"
+#include "analognf/core/pipeline.hpp"
+#include "analognf/core/program.hpp"
+
+namespace analognf::core {
+namespace {
+
+PcamParams UnitTrapezoid() {
+  return PcamParams::MakeTrapezoid(1.0, 2.0, 3.0, 4.0);
+}
+
+// -------------------------------------------------------------- params
+
+TEST(PcamParamsTest, ValidatesOrdering) {
+  PcamParams p = UnitTrapezoid();
+  EXPECT_NO_THROW(p.Validate());
+  p.m2 = 0.5;  // m2 < m1
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = UnitTrapezoid();
+  p.m3 = 1.5;  // m3 < m2
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+}
+
+TEST(PcamParamsTest, AllowsDegeneratePlateau) {
+  // M2 == M3 (triangle) is legal.
+  EXPECT_NO_THROW(PcamParams::MakeTrapezoid(0.0, 1.0, 1.0, 2.0).Validate());
+}
+
+TEST(PcamParamsTest, ValidatesRails) {
+  PcamParams p = UnitTrapezoid();
+  p.pmin = -0.1;
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = UnitTrapezoid();
+  p.pmin = 1.0;
+  p.pmax = 0.5;
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+}
+
+TEST(PcamParamsTest, TrapezoidSlopesPreserveContinuity) {
+  const PcamParams p = UnitTrapezoid();
+  EXPECT_NEAR(p.sa, 1.0, 1e-12);   // (1-0)/(2-1)
+  EXPECT_NEAR(p.sb, -1.0, 1e-12);  // (0-1)/(4-3)
+}
+
+TEST(PcamParamsTest, MakeBandIsSymmetric) {
+  const PcamParams p = PcamParams::MakeBand(2.5, 0.1, 0.9);
+  EXPECT_NEAR(p.m1, 1.5, 1e-12);
+  EXPECT_NEAR(p.m2, 2.4, 1e-12);
+  EXPECT_NEAR(p.m3, 2.6, 1e-12);
+  EXPECT_NEAR(p.m4, 3.5, 1e-12);
+  EXPECT_THROW(PcamParams::MakeBand(1.0, 0.1, 0.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- cell
+
+TEST(PcamCellTest, FiveRegionOutputs) {
+  const PcamCell cell(UnitTrapezoid());
+  EXPECT_EQ(cell.Evaluate(0.5), 0.0);   // mismatch low
+  EXPECT_EQ(cell.Evaluate(1.0), 0.0);   // boundary: <= M1
+  EXPECT_NEAR(cell.Evaluate(1.5), 0.5, 1e-12);  // rising skirt
+  EXPECT_EQ(cell.Evaluate(2.0), 1.0);   // boundary M2
+  EXPECT_EQ(cell.Evaluate(2.5), 1.0);   // plateau
+  EXPECT_EQ(cell.Evaluate(3.0), 1.0);   // boundary M3
+  EXPECT_NEAR(cell.Evaluate(3.5), 0.5, 1e-12);  // falling skirt
+  EXPECT_EQ(cell.Evaluate(4.0), 0.0);   // boundary: >= M4
+  EXPECT_EQ(cell.Evaluate(9.0), 0.0);   // mismatch high
+}
+
+TEST(PcamCellTest, RegionClassification) {
+  const PcamCell cell(UnitTrapezoid());
+  EXPECT_EQ(cell.RegionOf(0.0), MatchRegion::kMismatchLow);
+  EXPECT_EQ(cell.RegionOf(1.5), MatchRegion::kProbableRising);
+  EXPECT_EQ(cell.RegionOf(2.5), MatchRegion::kMatch);
+  EXPECT_EQ(cell.RegionOf(3.5), MatchRegion::kProbableFalling);
+  EXPECT_EQ(cell.RegionOf(5.0), MatchRegion::kMismatchHigh);
+  EXPECT_EQ(ToString(MatchRegion::kMatch), "match");
+}
+
+TEST(PcamCellTest, PaperExamplePolicy) {
+  // RQ1's worked example: "for a stored policy of 2.5 V ... Match:
+  // [2.4-2.6] V, Mismatch: [0-1.5] V, analog (0-1): (1.5-2.4) V".
+  const PcamParams p =
+      PcamParams::MakeTrapezoid(1.5, 2.4, 2.6, 3.5, 1.0, 0.0);
+  const PcamCell cell(p);
+  EXPECT_EQ(cell.Evaluate(1.0), 0.0);            // mismatch region
+  EXPECT_EQ(cell.Evaluate(2.5), 1.0);            // deterministic match
+  const double partial = cell.Evaluate(2.0);     // probable match
+  EXPECT_GT(partial, 0.0);
+  EXPECT_LT(partial, 1.0);
+}
+
+TEST(PcamCellTest, CustomRailsRespected) {
+  const PcamParams p = PcamParams::MakeTrapezoid(0.0, 1.0, 2.0, 3.0,
+                                                 /*pmax=*/1.5,
+                                                 /*pmin=*/0.5);
+  const PcamCell cell(p);
+  EXPECT_EQ(cell.Evaluate(-1.0), 0.5);
+  EXPECT_EQ(cell.Evaluate(1.5), 1.5);
+  EXPECT_NEAR(cell.Evaluate(0.5), 1.0, 1e-12);  // midway up the skirt
+}
+
+TEST(PcamCellTest, OvershootingSlopeIsClamped) {
+  PcamParams p = UnitTrapezoid();
+  p.sa = 100.0;  // wildly steep rising edge
+  const PcamCell cell(p);
+  for (double v = 1.01; v < 2.0; v += 0.05) {
+    const double out = cell.Evaluate(v);
+    EXPECT_GE(out, p.pmin);
+    EXPECT_LE(out, p.pmax);
+  }
+}
+
+TEST(PcamCellTest, ProgramReplacesFunction) {
+  PcamCell cell(UnitTrapezoid());
+  cell.Program(PcamParams::MakeTrapezoid(10.0, 11.0, 12.0, 13.0));
+  EXPECT_EQ(cell.Evaluate(2.5), 0.0);
+  EXPECT_EQ(cell.Evaluate(11.5), 1.0);
+}
+
+// Property: for any trapezoid the transfer function is continuous and
+// bounded by the rails.
+class PcamCellProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PcamCellProperty, ContinuousAndBounded) {
+  analognf::RandomStream rng(GetParam());
+  const double m1 = rng.NextUniform(-2.0, 1.0);
+  const double m2 = m1 + rng.NextUniform(0.1, 1.0);
+  const double m3 = m2 + rng.NextUniform(0.0, 1.0);
+  const double m4 = m3 + rng.NextUniform(0.1, 1.0);
+  const double pmin = rng.NextUniform(0.0, 0.4);
+  const double pmax = pmin + rng.NextUniform(0.1, 1.0);
+  const PcamCell cell(PcamParams::MakeTrapezoid(m1, m2, m3, m4, pmax, pmin));
+
+  double prev = cell.Evaluate(m1 - 1.0);
+  for (double v = m1 - 1.0; v <= m4 + 1.0; v += 0.002) {
+    const double out = cell.Evaluate(v);
+    EXPECT_GE(out, pmin - 1e-9);
+    EXPECT_LE(out, pmax + 1e-9);
+    // Continuity: small input step -> small output step (slope-bounded).
+    const double max_slope =
+        std::max(std::fabs((pmax - pmin) / (m2 - m1)),
+                 std::fabs((pmax - pmin) / (m4 - m3)));
+    EXPECT_LE(std::fabs(out - prev), max_slope * 0.002 + 1e-9);
+    prev = out;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PcamCellProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// Property: rising region is monotone non-decreasing, falling region
+// monotone non-increasing.
+TEST_P(PcamCellProperty, SkirtsAreMonotone) {
+  analognf::RandomStream rng(GetParam() ^ 0xbeef);
+  const double m1 = rng.NextUniform(-2.0, 1.0);
+  const double m2 = m1 + rng.NextUniform(0.1, 1.0);
+  const double m3 = m2 + rng.NextUniform(0.0, 1.0);
+  const double m4 = m3 + rng.NextUniform(0.1, 1.0);
+  const PcamCell cell(PcamParams::MakeTrapezoid(m1, m2, m3, m4));
+  double prev = cell.Evaluate(m1);
+  for (double v = m1; v <= m2; v += (m2 - m1) / 50.0) {
+    const double out = cell.Evaluate(v);
+    EXPECT_GE(out, prev - 1e-9);
+    prev = out;
+  }
+  prev = cell.Evaluate(m3);
+  for (double v = m3; v <= m4; v += (m4 - m3) / 50.0) {
+    const double out = cell.Evaluate(v);
+    EXPECT_LE(out, prev + 1e-9);
+    prev = out;
+  }
+}
+
+// ------------------------------------------------------------ hardware
+
+HardwarePcamConfig TestHardware() {
+  HardwarePcamConfig config;
+  config.state_levels = 256;
+  return config;
+}
+
+TEST(HardwarePcamTest, ConfigValidates) {
+  HardwarePcamConfig config = TestHardware();
+  config.state_levels = 1;
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+}
+
+TEST(HardwarePcamTest, IdealChannelMatchesIdealCellUpToQuantisation) {
+  const PcamParams target = UnitTrapezoid();
+  HardwarePcamCell hw(target, TestHardware());
+  const PcamCell ideal(hw.effective_params());
+  for (double v = 0.0; v <= 5.0; v += 0.1) {
+    EXPECT_NEAR(hw.Evaluate(v).output, ideal.Evaluate(v), 1e-12);
+  }
+}
+
+TEST(HardwarePcamTest, QuantisationSnapsThresholds) {
+  HardwarePcamConfig config = TestHardware();
+  config.state_levels = 8;  // coarse ladder over [-2, 4]
+  const PcamParams target = UnitTrapezoid();
+  HardwarePcamCell hw(target, config);
+  const PcamParams& eff = hw.effective_params();
+  // Thresholds moved to the ladder but the window ordering held.
+  EXPECT_NE(eff.m2, target.m2);
+  EXPECT_LE(eff.m2, eff.m3);
+  // Skirt widths preserved.
+  EXPECT_NEAR(eff.m2 - eff.m1, target.m2 - target.m1, 1e-12);
+  EXPECT_NEAR(eff.m4 - eff.m3, target.m4 - target.m3, 1e-12);
+}
+
+TEST(HardwarePcamTest, FinerLadderSmallerSnapError) {
+  const PcamParams target = UnitTrapezoid();
+  HardwarePcamConfig coarse = TestHardware();
+  coarse.state_levels = 8;
+  HardwarePcamConfig fine = TestHardware();
+  fine.state_levels = 1024;
+  HardwarePcamCell hw_coarse(target, coarse);
+  HardwarePcamCell hw_fine(target, fine);
+  EXPECT_LE(std::fabs(hw_fine.effective_params().m2 - target.m2),
+            std::fabs(hw_coarse.effective_params().m2 - target.m2) + 1e-12);
+}
+
+TEST(HardwarePcamTest, SearchEnergyPositiveAndAccumulates) {
+  HardwarePcamCell hw(UnitTrapezoid(), TestHardware());
+  const PcamEvalResult r1 = hw.Evaluate(2.5);
+  EXPECT_GT(r1.energy_j, 0.0);
+  const double after_one = hw.ConsumedSearchEnergyJ();
+  hw.Evaluate(2.5);
+  EXPECT_NEAR(hw.ConsumedSearchEnergyJ(), 2.0 * after_one, 1e-18);
+  EXPECT_EQ(hw.searches(), 2u);
+}
+
+TEST(HardwarePcamTest, ZeroInputCostsNothing) {
+  HardwarePcamCell hw(UnitTrapezoid(), TestHardware());
+  EXPECT_EQ(hw.Evaluate(0.0).energy_j, 0.0);
+}
+
+TEST(HardwarePcamTest, ProgrammingEnergyCharged) {
+  HardwarePcamCell hw(UnitTrapezoid(), TestHardware());
+  const double initial = hw.ConsumedProgrammingEnergyJ();
+  EXPECT_GT(initial, 0.0);  // construction programs the devices
+  hw.Program(PcamParams::MakeTrapezoid(0.0, 0.5, 1.0, 1.5));
+  EXPECT_GT(hw.ConsumedProgrammingEnergyJ(), initial);
+}
+
+TEST(HardwarePcamTest, NoisyChannelPerturbsOutput) {
+  HardwarePcamConfig config = TestHardware();
+  config.channel = analog::ChannelParams::Noisy(0.2);
+  HardwarePcamCell hw(UnitTrapezoid(), config);
+  // On a skirt, channel noise must show up as output variance.
+  analognf::RunningStats stats;
+  for (int i = 0; i < 500; ++i) stats.Add(hw.Evaluate(1.5).output);
+  EXPECT_GT(stats.stddev(), 0.01);
+  EXPECT_NEAR(stats.mean(), 0.5, 0.1);
+}
+
+TEST(HardwarePcamTest, DeviceVariationChangesEnergyNotLogic) {
+  HardwarePcamConfig a = TestHardware();
+  a.apply_device_variation = true;
+  a.seed = 1;
+  HardwarePcamConfig b = TestHardware();
+  b.apply_device_variation = true;
+  b.seed = 2;
+  HardwarePcamCell cell_a(UnitTrapezoid(), a);
+  HardwarePcamCell cell_b(UnitTrapezoid(), b);
+  EXPECT_NE(cell_a.Evaluate(2.5).energy_j, cell_b.Evaluate(2.5).energy_j);
+}
+
+// ----------------------------------------------------------- word/table
+
+TEST(PcamWordTest, ProductOfFields) {
+  const std::vector<PcamParams> fields = {UnitTrapezoid(), UnitTrapezoid()};
+  PcamWord word(fields, TestHardware());
+  EXPECT_EQ(word.width(), 2u);
+  // Both in plateau: product 1. One at half skirt: product ~0.5
+  // (threshold snapping at 256 levels shifts skirts by up to ~0.012 V).
+  EXPECT_NEAR(word.Evaluate({2.5, 2.5}).output, 1.0, 1e-9);
+  EXPECT_NEAR(word.Evaluate({2.5, 1.5}).output, 0.5, 0.05);
+  EXPECT_NEAR(word.Evaluate({1.5, 1.5}).output, 0.25, 0.05);
+}
+
+TEST(PcamWordTest, ArityChecked) {
+  PcamWord word({UnitTrapezoid()}, TestHardware());
+  EXPECT_THROW(word.Evaluate({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(PcamWord({}, TestHardware()), std::invalid_argument);
+}
+
+TEST(PcamTableTest, BestRowWins) {
+  PcamTable table(1, TestHardware());
+  table.Insert({"low", {PcamParams::MakeBand(1.0, 0.2, 0.3)}, 10});
+  table.Insert({"mid", {PcamParams::MakeBand(2.0, 0.2, 0.3)}, 20});
+  table.Insert({"high", {PcamParams::MakeBand(3.0, 0.2, 0.3)}, 30});
+
+  const auto result = table.Search({2.05});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->action, 20u);
+  EXPECT_NEAR(result->match_degree, 1.0, 1e-9);
+  EXPECT_EQ(table.last_degrees().size(), 3u);
+}
+
+TEST(PcamTableTest, PartialMatchStillRanksRows) {
+  // RQ1: "identifying the closely matching stored policies for an
+  // incoming query with zero [deterministic] matches".
+  PcamTable table(1, TestHardware());
+  table.Insert({"a", {PcamParams::MakeBand(1.0, 0.1, 0.5)}, 1});
+  table.Insert({"b", {PcamParams::MakeBand(3.0, 0.1, 0.5)}, 2});
+  const auto result = table.Search({1.4});  // on a's skirt, far from b
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->action, 1u);
+  EXPECT_GT(result->match_degree, 0.0);
+  EXPECT_LT(result->match_degree, 1.0);
+}
+
+TEST(PcamTableTest, EmptyTableReturnsNullopt) {
+  PcamTable table(1, TestHardware());
+  EXPECT_FALSE(table.Search({1.0}).has_value());
+}
+
+TEST(PcamTableTest, SampleByDegreeRespectsWeights) {
+  PcamTable table(1, TestHardware());
+  table.Insert({"a", {PcamParams::MakeBand(1.0, 0.5, 0.5)}, 1});
+  table.Insert({"b", {PcamParams::MakeBand(9.0, 0.5, 0.5)}, 2});
+  analognf::RandomStream rng(3);
+  int hits_a = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto pick = table.SampleByDegree({1.0}, rng);
+    ASSERT_TRUE(pick.has_value());
+    if (pick->action == 1) ++hits_a;
+  }
+  EXPECT_EQ(hits_a, 200);  // b has degree 0 at input 1.0
+}
+
+TEST(PcamTableTest, SampleByDegreeNulloptWhenAllZero) {
+  PcamTable table(1, TestHardware());
+  table.Insert({"a", {PcamParams::MakeBand(1.0, 0.1, 0.1)}, 1});
+  analognf::RandomStream rng(4);
+  EXPECT_FALSE(table.SampleByDegree({3.9}, rng).has_value());
+}
+
+TEST(PcamTableTest, InsertValidatesArity) {
+  PcamTable table(2, TestHardware());
+  EXPECT_THROW(table.Insert({"bad", {UnitTrapezoid()}, 0}),
+               std::invalid_argument);
+}
+
+TEST(PcamTableTest, EnergyGrowsWithRows) {
+  PcamTable table(1, TestHardware());
+  table.Insert({"a", {UnitTrapezoid()}, 1});
+  table.Search({2.5});
+  const double one_row = table.ConsumedEnergyJ();
+  table.Insert({"b", {UnitTrapezoid()}, 2});
+  table.Search({2.5});
+  EXPECT_GT(table.ConsumedEnergyJ() - one_row, one_row * 1.5);
+}
+
+// ------------------------------------------------------------- pipeline
+
+TEST(PcamPipelineTest, ProductMatchesManual) {
+  const std::vector<StageConfig> stages = {
+      {"s0", UnitTrapezoid()},
+      {"s1", PcamParams::MakeTrapezoid(0.0, 1.0, 2.0, 3.0, 1.5, 0.5)},
+  };
+  PcamPipeline pipeline(stages, TestHardware());
+  const auto r = pipeline.Evaluate({1.5, 1.5});
+  ASSERT_EQ(r.stage_outputs.size(), 2u);
+  EXPECT_NEAR(r.combined, r.stage_outputs[0] * r.stage_outputs[1], 1e-12);
+  EXPECT_GT(r.energy_j, 0.0);
+}
+
+TEST(PcamPipelineTest, CombineModes) {
+  const std::vector<StageConfig> stages = {
+      {"a", PcamParams::MakeTrapezoid(0.0, 1.0, 5.0, 6.0, 0.8, 0.0)},
+      {"b", PcamParams::MakeTrapezoid(0.0, 1.0, 5.0, 6.0, 0.4, 0.0)},
+  };
+  const std::vector<double> inputs = {2.0, 2.0};  // plateaus: 0.8, 0.4
+
+  PcamPipeline product(stages, TestHardware(), CombineMode::kProduct);
+  EXPECT_NEAR(product.Evaluate(inputs).combined, 0.32, 1e-9);
+
+  PcamPipeline minimum(stages, TestHardware(), CombineMode::kMin);
+  EXPECT_NEAR(minimum.Evaluate(inputs).combined, 0.4, 1e-9);
+
+  PcamPipeline mean(stages, TestHardware(), CombineMode::kArithmeticMean);
+  EXPECT_NEAR(mean.Evaluate(inputs).combined, 0.6, 1e-9);
+
+  PcamPipeline geo(stages, TestHardware(), CombineMode::kGeometricMean);
+  EXPECT_NEAR(geo.Evaluate(inputs).combined, std::sqrt(0.32), 1e-9);
+}
+
+TEST(PcamPipelineTest, RejectsEmptyAndArityMismatch) {
+  EXPECT_THROW(PcamPipeline({}, TestHardware()), std::invalid_argument);
+  PcamPipeline p({{"a", UnitTrapezoid()}}, TestHardware());
+  EXPECT_THROW(p.Evaluate({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(PcamPipelineTest, ProgramStageTakesEffect) {
+  PcamPipeline p({{"a", UnitTrapezoid()}}, TestHardware());
+  EXPECT_NEAR(p.Evaluate({2.5}).combined, 1.0, 1e-9);
+  p.ProgramStage(0, PcamParams::MakeTrapezoid(10.0, 11.0, 12.0, 13.0));
+  EXPECT_NEAR(p.Evaluate({2.5}).combined, 0.0, 1e-9);
+  EXPECT_EQ(p.stage(0).params.m1, 10.0);
+}
+
+TEST(PcamPipelineTest, CombineModeNames) {
+  EXPECT_EQ(ToString(CombineMode::kProduct), "product");
+  EXPECT_EQ(ToString(CombineMode::kGeometricMean), "geomean");
+}
+
+// ------------------------------------------------- programming surface
+
+TEST(ProgramTest, ProgPcamBuildsValidatedParams) {
+  const PcamParams p = ProgPcam(1.0, 2.0, 3.0, 4.0, 1.0, -1.0, 1.0, 0.0);
+  EXPECT_EQ(p.m1, 1.0);
+  EXPECT_EQ(p.sb, -1.0);
+  EXPECT_THROW(ProgPcam(4.0, 2.0, 3.0, 1.0, 1.0, -1.0, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+AnalogTableSpec TestSpec() {
+  AnalogTableSpec spec;
+  spec.name = "analogAQM";
+  spec.read.push_back({"sojourn_time", UnitTrapezoid()});
+  spec.read.push_back(
+      {"d/dt(sojourn_time)",
+       PcamParams::MakeTrapezoid(-1.0, 0.0, 5.0, 6.0, 1.5, 0.5)});
+  return spec;
+}
+
+TEST(ProgramTest, SpecValidation) {
+  EXPECT_NO_THROW(TestSpec().Validate());
+  AnalogTableSpec empty;
+  empty.name = "x";
+  EXPECT_THROW(empty.Validate(), std::invalid_argument);
+  AnalogTableSpec unnamed = TestSpec();
+  unnamed.name.clear();
+  EXPECT_THROW(unnamed.Validate(), std::invalid_argument);
+}
+
+TEST(ProgramTest, TableAppliesPipeline) {
+  AnalogMatchActionTable table(TestSpec(), TestHardware());
+  const auto out = table.Apply({2.5, 2.0});
+  EXPECT_EQ(out.per_field.size(), 2u);
+  EXPECT_NEAR(out.value, out.per_field[0] * out.per_field[1], 1e-12);
+  EXPECT_GT(out.energy_j, 0.0);
+}
+
+TEST(ProgramTest, FieldIndexLookup) {
+  AnalogMatchActionTable table(TestSpec(), TestHardware());
+  EXPECT_EQ(table.FieldIndex("sojourn_time"), 0u);
+  EXPECT_EQ(table.FieldIndex("d/dt(sojourn_time)"), 1u);
+  EXPECT_FALSE(table.FieldIndex("nope").has_value());
+}
+
+TEST(ProgramTest, UpdatePcamByNameAndId) {
+  AnalogMatchActionTable table(TestSpec(), TestHardware());
+  const PcamParams newer = PcamParams::MakeTrapezoid(7.0, 8.0, 9.0, 10.0);
+  table.UpdatePcam("sojourn_time", newer);
+  EXPECT_EQ(table.spec().read[0].program.m1, 7.0);
+  table.UpdatePcam(1, newer);
+  EXPECT_EQ(table.spec().read[1].program.m1, 7.0);
+  EXPECT_THROW(table.UpdatePcam("ghost", newer), std::invalid_argument);
+}
+
+
+// ------------------------------------------------------------ retention
+
+TEST(HardwarePcamTest, AgingShiftsThresholdsDownward) {
+  HardwarePcamConfig config = TestHardware();
+  config.device.retention_time_constant_s = 100.0;
+  HardwarePcamCell cell(UnitTrapezoid(), config);
+  const double m2_fresh = cell.effective_params().m2;
+  cell.Age(100.0);  // one time constant
+  EXPECT_LT(cell.effective_params().m2, m2_fresh);
+  // Ordering invariants survive aging.
+  const PcamParams& aged = cell.effective_params();
+  EXPECT_LT(aged.m1, aged.m2);
+  EXPECT_LE(aged.m2, aged.m3);
+  EXPECT_LT(aged.m3, aged.m4);
+}
+
+TEST(HardwarePcamTest, ReprogramRestoresAgedCell) {
+  HardwarePcamConfig config = TestHardware();
+  config.device.retention_time_constant_s = 50.0;
+  HardwarePcamCell cell(UnitTrapezoid(), config);
+  const double m2_fresh = cell.effective_params().m2;
+  cell.Age(200.0);
+  ASSERT_NE(cell.effective_params().m2, m2_fresh);
+  cell.Program(UnitTrapezoid());  // controller refresh
+  EXPECT_NEAR(cell.effective_params().m2, m2_fresh, 1e-12);
+}
+
+TEST(HardwarePcamTest, IdealDeviceDoesNotAge) {
+  HardwarePcamCell cell(UnitTrapezoid(), TestHardware());
+  const PcamParams before = cell.effective_params();
+  cell.Age(1.0e6);
+  EXPECT_EQ(cell.effective_params().m2, before.m2);
+}
+
+// ------------------------------------------------------------ nonlinear
+
+TEST(NonlinearTest, GaussianShape) {
+  GaussianFunction g(2.0, 0.5);
+  EXPECT_NEAR(g.Evaluate(2.0), 1.0, 1e-12);
+  EXPECT_NEAR(g.Evaluate(2.5), std::exp(-0.5), 1e-12);
+  EXPECT_LT(g.Evaluate(5.0), 1e-6);
+  // Symmetric.
+  EXPECT_NEAR(g.Evaluate(1.3), g.Evaluate(2.7), 1e-12);
+  EXPECT_THROW(GaussianFunction(0.0, 0.0), std::invalid_argument);
+}
+
+TEST(NonlinearTest, SigmoidShape) {
+  SigmoidFunction s(1.0, 4.0);
+  EXPECT_NEAR(s.Evaluate(1.0), 0.5, 1e-12);
+  EXPECT_GT(s.Evaluate(3.0), 0.99);
+  EXPECT_LT(s.Evaluate(-1.0), 0.01);
+  // Falling variant.
+  SigmoidFunction falling(1.0, -4.0);
+  EXPECT_GT(falling.Evaluate(-1.0), 0.99);
+  EXPECT_THROW(SigmoidFunction(0.0, 0.0), std::invalid_argument);
+}
+
+TEST(NonlinearTest, SigmoidIsMonotone) {
+  SigmoidFunction s(0.0, 2.5);
+  double prev = -1.0;
+  for (double v = -3.0; v <= 3.0; v += 0.01) {
+    const double out = s.Evaluate(v);
+    EXPECT_GT(out, prev);
+    prev = out;
+  }
+}
+
+TEST(NonlinearTest, PiecewiseLinearInterpolatesAndClamps) {
+  PiecewiseLinearFunction f({{0.0, 0.0}, {1.0, 1.0}, {2.0, 0.5}});
+  EXPECT_EQ(f.Evaluate(-1.0), 0.0);   // clamp low
+  EXPECT_NEAR(f.Evaluate(0.5), 0.5, 1e-12);
+  EXPECT_NEAR(f.Evaluate(1.5), 0.75, 1e-12);
+  EXPECT_EQ(f.Evaluate(5.0), 0.5);    // clamp high
+  EXPECT_THROW(PiecewiseLinearFunction({{0.0, 0.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinearFunction({{1.0, 0.0}, {1.0, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(NonlinearTest, TrapezoidFunctionWrapsCell) {
+  TrapezoidFunction f(PcamParams::MakeTrapezoid(1.0, 2.0, 3.0, 4.0));
+  EXPECT_EQ(f.Evaluate(2.5), 1.0);
+  EXPECT_EQ(f.Evaluate(0.0), 0.0);
+}
+
+TEST(NonlinearTest, ApproximatorFitsGaussianTarget) {
+  // A Gaussian bank must reproduce a Gaussian target near-exactly.
+  ResponseApproximator bank = MakeGaussianBank(9, 0.0, 4.0);
+  GaussianFunction target(2.0, 0.6, 0.9, 0.0);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (double v = 0.0; v <= 4.0; v += 0.05) {
+    xs.push_back(v);
+    ys.push_back(target.Evaluate(v));
+  }
+  const double rms = bank.Fit(xs, ys);
+  EXPECT_LT(rms, 0.01);
+  EXPECT_NEAR(bank.Evaluate(2.0), 0.9, 0.03);
+}
+
+TEST(NonlinearTest, ApproximatorFitsNonTrapezoidResponse) {
+  // Future work Sec. 8: arbitrary non-linear match responses. Fit a
+  // double-humped response no single trapezoid can express.
+  ResponseApproximator bank = MakeGaussianBank(16, 0.0, 4.0);
+  auto target = [](double v) {
+    const double a = std::exp(-8.0 * (v - 1.0) * (v - 1.0));
+    const double b = 0.6 * std::exp(-8.0 * (v - 3.0) * (v - 3.0));
+    return a + b;
+  };
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (double v = 0.0; v <= 4.0; v += 0.04) {
+    xs.push_back(v);
+    ys.push_back(target(v));
+  }
+  const double rms = bank.Fit(xs, ys);
+  EXPECT_LT(rms, 0.02);
+  EXPECT_NEAR(bank.Evaluate(1.0), 1.0, 0.05);
+  EXPECT_NEAR(bank.Evaluate(3.0), 0.6, 0.05);
+  EXPECT_LT(bank.Evaluate(2.0), 0.4);
+}
+
+TEST(NonlinearTest, FitRejectsBadInput) {
+  ResponseApproximator bank = MakeGaussianBank(4, 0.0, 1.0);
+  EXPECT_THROW(bank.Fit({}, {}), std::invalid_argument);
+  EXPECT_THROW(bank.Fit({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(bank.Fit({1.0}, {1.0}, -1.0), std::invalid_argument);
+}
+
+TEST(NonlinearTest, MakeGaussianBankValidation) {
+  EXPECT_THROW(MakeGaussianBank(0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(MakeGaussianBank(4, 1.0, 1.0), std::invalid_argument);
+}
+
+
+// --------------------------------------------------------- action memory
+
+TEST(ActionMemoryTest, StoreAndFetch) {
+  ActionMemory memory;
+  Action forward;
+  forward.type = ActionType::kForward;
+  forward.forward_port = 3;
+  const std::uint32_t id = memory.Store(forward);
+  const Action& fetched = memory.Fetch(id);
+  EXPECT_EQ(fetched.type, ActionType::kForward);
+  EXPECT_EQ(fetched.forward_port, 3u);
+  EXPECT_EQ(memory.size(), 1u);
+  EXPECT_EQ(memory.fetches(), 1u);
+  EXPECT_THROW(memory.Fetch(99), std::out_of_range);
+}
+
+TEST(ActionMemoryTest, FetchChargesMemristorReadEnergy) {
+  ActionMemory memory;
+  const std::uint32_t id = memory.Store(Action{});
+  EXPECT_EQ(memory.ConsumedEnergyJ(), 0.0);
+  memory.Fetch(id);
+  const double one_fetch = memory.ConsumedEnergyJ();
+  EXPECT_GT(one_fetch, 0.0);
+  memory.Fetch(id);
+  EXPECT_NEAR(memory.ConsumedEnergyJ(), 2.0 * one_fetch, 1e-20);
+}
+
+TEST(ActionMemoryTest, OutputRangeBinding) {
+  // The Sec. 5 indirect path: pCAM output selects an action by range.
+  ActionMemory memory;
+  Action accept;
+  accept.type = ActionType::kForward;
+  Action mark;
+  mark.type = ActionType::kMarkEcn;
+  Action drop;
+  drop.type = ActionType::kDrop;
+  const auto a = memory.Store(accept);
+  const auto m = memory.Store(mark);
+  const auto d = memory.Store(drop);
+  memory.BindRange(0.0, 0.3, a);
+  memory.BindRange(0.3, 0.8, m);
+  memory.BindRange(0.8, 1.01, d);
+
+  EXPECT_EQ(memory.FetchByOutput(0.1)->type, ActionType::kForward);
+  EXPECT_EQ(memory.FetchByOutput(0.5)->type, ActionType::kMarkEcn);
+  EXPECT_EQ(memory.FetchByOutput(0.95)->type, ActionType::kDrop);
+  EXPECT_FALSE(memory.FetchByOutput(-1.0).has_value());
+}
+
+TEST(ActionMemoryTest, OverlappingBindingsRejected) {
+  ActionMemory memory;
+  const auto id = memory.Store(Action{});
+  memory.BindRange(0.0, 0.5, id);
+  EXPECT_THROW(memory.BindRange(0.4, 0.9, id), std::invalid_argument);
+  EXPECT_THROW(memory.BindRange(0.6, 0.6, id), std::invalid_argument);
+  EXPECT_THROW(memory.BindRange(0.6, 0.9, 42), std::out_of_range);
+}
+
+TEST(ActionMemoryTest, UpdatePcamActionValidated) {
+  ActionMemory memory;
+  Action update;
+  update.type = ActionType::kUpdatePcam;
+  EXPECT_THROW(memory.Store(update), std::invalid_argument);  // default params
+  update.pcam_update = PcamParams::MakeTrapezoid(1.0, 2.0, 3.0, 4.0);
+  EXPECT_NO_THROW(memory.Store(update));
+}
+
+TEST(ActionMemoryTest, ActionTypeNames) {
+  EXPECT_EQ(ToString(ActionType::kForward), "forward");
+  EXPECT_EQ(ToString(ActionType::kUpdatePcam), "update-pcam");
+}
+
+
+// Property: hardware threshold snapping error is bounded by half the
+// device ladder's step over the input range, for any level count.
+class HardwareSnapProperty : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(HardwareSnapProperty, SnapErrorBoundedByHalfStep) {
+  const std::size_t levels = GetParam();
+  HardwarePcamConfig config;
+  config.state_levels = levels;
+  const double step =
+      config.input_range.span() / static_cast<double>(levels - 1);
+  analognf::RandomStream rng(levels);
+  for (int i = 0; i < 50; ++i) {
+    const double m2 = rng.NextUniform(-1.5, 2.0);
+    const double m3 = m2 + rng.NextUniform(0.1, 1.0);
+    const PcamParams target =
+        PcamParams::MakeTrapezoid(m2 - 0.5, m2, m3, m3 + 0.5);
+    HardwarePcamCell cell(target, config);
+    EXPECT_LE(std::fabs(cell.effective_params().m2 - target.m2),
+              step / 2.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, HardwareSnapProperty,
+                         ::testing::Values(8, 16, 64, 256, 1024));
+
+// Property: crossbar VMM equals the dense dot product for random
+// programs and inputs.
+class CrossbarVmmProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CrossbarVmmProperty, MatchesDenseComputation) {
+  analognf::RandomStream rng(GetParam());
+  const std::size_t rows = 1 + rng.NextIndex(6);
+  const std::size_t cols = 1 + rng.NextIndex(6);
+  analog::Crossbar xbar(rows, cols, device::MemristorParams::NbSrTiO3());
+  std::vector<double> g(rows * cols);
+  for (double& v : g) v = rng.NextUniform(1e-11, 1e-8);
+  xbar.ProgramConductances(g);
+  std::vector<double> volts(rows);
+  for (double& v : volts) v = rng.NextUniform(-2.0, 4.0);
+  const std::vector<double> currents = xbar.Multiply(volts);
+  for (std::size_t c = 0; c < cols; ++c) {
+    double expected = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      expected += volts[r] * g[r * cols + c];
+    }
+    EXPECT_NEAR(currents[c], expected,
+                std::max(std::fabs(expected) * 1e-5, 1e-15));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossbarVmmProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace analognf::core

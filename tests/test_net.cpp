@@ -1,0 +1,902 @@
+// Tests for the network substrate: byte-accurate packets and parsing,
+// traffic generation, and the sojourn-tracking queue.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "analognf/common/stats.hpp"
+#include "analognf/net/generator.hpp"
+#include "analognf/net/packet.hpp"
+#include "analognf/net/parser.hpp"
+#include "analognf/net/pcap.hpp"
+#include "analognf/net/queue.hpp"
+
+namespace analognf::net {
+namespace {
+
+EthernetHeader TestEth() {
+  EthernetHeader eth;
+  eth.dst = {0x02, 0x00, 0x00, 0x00, 0x00, 0x01};
+  eth.src = {0x02, 0x00, 0x00, 0x00, 0x00, 0x02};
+  return eth;
+}
+
+Ipv4Header TestIp(std::uint8_t proto) {
+  Ipv4Header ip;
+  ip.src_ip = ParseIpv4("10.0.0.1");
+  ip.dst_ip = ParseIpv4("192.168.1.20");
+  ip.protocol = proto;
+  ip.ttl = 17;
+  ip.dscp = 46;  // EF
+  ip.ecn = 1;
+  return ip;
+}
+
+// ----------------------------------------------------------- checksum
+
+TEST(ChecksumTest, Rfc1071KnownVector) {
+  // Classic example from RFC 1071 erratum discussions:
+  // 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03,
+                               0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(InternetChecksum(data, sizeof data), 0x220d);
+}
+
+TEST(ChecksumTest, OddLengthPadsWithZero) {
+  const std::uint8_t data[] = {0xff};
+  // sum = 0xff00 -> ~ = 0x00ff
+  EXPECT_EQ(InternetChecksum(data, 1), 0x00ff);
+}
+
+TEST(ChecksumTest, VerificationOverHeaderYieldsZero) {
+  const Packet p =
+      PacketBuilder().Ethernet(TestEth()).Ipv4(TestIp(kIpProtoUdp)).Udp({})
+          .Payload(10).Build();
+  // Checksum computed over the IPv4 header including its checksum field
+  // must be zero.
+  EXPECT_EQ(InternetChecksum(p.bytes().data() + EthernetHeader::kSize,
+                             Ipv4Header::kSize),
+            0);
+}
+
+// ------------------------------------------------------------ address
+
+TEST(Ipv4AddressTest, ParseAndFormatRoundTrip) {
+  for (const char* s : {"0.0.0.0", "255.255.255.255", "10.1.2.3"}) {
+    EXPECT_EQ(FormatIpv4(ParseIpv4(s)), s);
+  }
+}
+
+TEST(Ipv4AddressTest, RejectsMalformed) {
+  EXPECT_THROW(ParseIpv4("256.0.0.1"), std::invalid_argument);
+  EXPECT_THROW(ParseIpv4("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(ParseIpv4("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(ParseIpv4("a.b.c.d"), std::invalid_argument);
+}
+
+// ------------------------------------------------------ build + parse
+
+TEST(PacketRoundTripTest, UdpPacket) {
+  UdpHeader udp;
+  udp.src_port = 5353;
+  udp.dst_port = 8080;
+  const Packet p = PacketBuilder()
+                       .Ethernet(TestEth())
+                       .Ipv4(TestIp(kIpProtoUdp))
+                       .Udp(udp)
+                       .Payload(100)
+                       .Build();
+  EXPECT_EQ(p.size(), 14u + 20u + 8u + 100u);
+
+  const ParsedPacket parsed = Parser().Parse(p);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed.ipv4.has_value());
+  ASSERT_TRUE(parsed.udp.has_value());
+  EXPECT_FALSE(parsed.tcp.has_value());
+  EXPECT_EQ(parsed.ipv4->src_ip, ParseIpv4("10.0.0.1"));
+  EXPECT_EQ(parsed.ipv4->dst_ip, ParseIpv4("192.168.1.20"));
+  EXPECT_EQ(parsed.ipv4->ttl, 17);
+  EXPECT_EQ(parsed.ipv4->dscp, 46);
+  EXPECT_EQ(parsed.ipv4->ecn, 1);
+  EXPECT_EQ(parsed.udp->src_port, 5353);
+  EXPECT_EQ(parsed.udp->dst_port, 8080);
+  EXPECT_EQ(parsed.payload_length, 100u);
+}
+
+TEST(PacketRoundTripTest, TcpPacket) {
+  TcpHeader tcp;
+  tcp.src_port = 443;
+  tcp.dst_port = 51000;
+  tcp.seq = 0xdeadbeef;
+  tcp.ack = 0x01020304;
+  tcp.flags = 0x18;  // PSH|ACK
+  const Packet p = PacketBuilder()
+                       .Ethernet(TestEth())
+                       .Ipv4(TestIp(kIpProtoTcp))
+                       .Tcp(tcp)
+                       .Payload(7)
+                       .Build();
+  const ParsedPacket parsed = Parser().Parse(p);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed.tcp.has_value());
+  EXPECT_EQ(parsed.tcp->src_port, 443);
+  EXPECT_EQ(parsed.tcp->dst_port, 51000);
+  EXPECT_EQ(parsed.tcp->seq, 0xdeadbeefu);
+  EXPECT_EQ(parsed.tcp->ack, 0x01020304u);
+  EXPECT_EQ(parsed.tcp->flags, 0x18);
+  EXPECT_EQ(parsed.payload_length, 7u);
+}
+
+TEST(PacketRoundTripTest, Ipv4TotalLengthIsPatched) {
+  const Packet p = PacketBuilder()
+                       .Ethernet(TestEth())
+                       .Ipv4(TestIp(kIpProtoUdp))
+                       .Udp({})
+                       .Payload(50)
+                       .Build();
+  const ParsedPacket parsed = Parser().Parse(p);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.ipv4->total_length, 20u + 8u + 50u);
+  EXPECT_EQ(parsed.udp->length, 8u + 50u);
+}
+
+TEST(PacketBuilderTest, LayeringErrors) {
+  EXPECT_THROW(PacketBuilder().Ipv4(TestIp(kIpProtoUdp)).Build(),
+               std::logic_error);  // no Ethernet
+  EXPECT_THROW(PacketBuilder().Ethernet(TestEth()).Udp({}).Build(),
+               std::logic_error);  // L4 without IPv4
+  EXPECT_THROW(PacketBuilder()
+                   .Ethernet(TestEth())
+                   .Ipv4(TestIp(kIpProtoTcp))
+                   .Tcp({})
+                   .Udp({})
+                   .Build(),
+               std::logic_error);  // both L4s
+}
+
+TEST(PacketBuilderTest, EthernetOnlyIsAllowed) {
+  EthernetHeader eth = TestEth();
+  eth.ether_type = kEtherTypeArp;
+  const Packet p = PacketBuilder().Ethernet(eth).Build();
+  EXPECT_EQ(p.size(), 14u);
+  const ParsedPacket parsed = Parser().Parse(p);
+  EXPECT_EQ(parsed.error, ParseError::kUnsupportedEtherType);
+}
+
+// ------------------------------------------------------ parse errors
+
+TEST(ParserErrorTest, TruncatedEthernet) {
+  const std::uint8_t junk[5] = {};
+  EXPECT_EQ(Parser().Parse(junk, 5).error, ParseError::kTruncatedEthernet);
+}
+
+TEST(ParserErrorTest, TruncatedIpv4) {
+  Packet p = PacketBuilder()
+                 .Ethernet(TestEth())
+                 .Ipv4(TestIp(kIpProtoUdp))
+                 .Udp({})
+                 .Build();
+  EXPECT_EQ(Parser().Parse(p.bytes().data(), 20).error,
+            ParseError::kTruncatedIpv4);
+}
+
+TEST(ParserErrorTest, BadVersion) {
+  Packet p = PacketBuilder()
+                 .Ethernet(TestEth())
+                 .Ipv4(TestIp(kIpProtoUdp))
+                 .Udp({})
+                 .Build();
+  p.bytes()[14] = 0x65;  // version 6
+  EXPECT_EQ(Parser().Parse(p).error, ParseError::kBadIpVersion);
+}
+
+TEST(ParserErrorTest, CorruptedChecksumDetected) {
+  Packet p = PacketBuilder()
+                 .Ethernet(TestEth())
+                 .Ipv4(TestIp(kIpProtoUdp))
+                 .Udp({})
+                 .Payload(4)
+                 .Build();
+  p.bytes()[14 + 8] ^= 0xff;  // flip TTL without fixing the checksum
+  EXPECT_EQ(Parser().Parse(p).error, ParseError::kBadIpChecksum);
+  // With verification off the packet parses.
+  Parser lax(Parser::Options{.verify_checksum = false});
+  EXPECT_TRUE(lax.Parse(p).ok());
+}
+
+TEST(ParserErrorTest, TruncatedL4) {
+  Packet p = PacketBuilder()
+                 .Ethernet(TestEth())
+                 .Ipv4(TestIp(kIpProtoTcp))
+                 .Tcp({})
+                 .Build();
+  EXPECT_EQ(Parser().Parse(p.bytes().data(), 14 + 20 + 5).error,
+            ParseError::kTruncatedL4);
+}
+
+TEST(ParserErrorTest, UnknownL4ProtocolStillParses) {
+  const Packet p = PacketBuilder()
+                       .Ethernet(TestEth())
+                       .Ipv4(TestIp(47))  // GRE: no L4 model
+                       .Payload(8)
+                       .Build();
+  const ParsedPacket parsed = Parser().Parse(p);
+  EXPECT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.tcp.has_value());
+  EXPECT_FALSE(parsed.udp.has_value());
+}
+
+TEST(ParserErrorTest, ToStringCoversAll) {
+  EXPECT_EQ(ToString(ParseError::kNone), "ok");
+  EXPECT_EQ(ToString(ParseError::kBadIpChecksum), "bad-ip-checksum");
+}
+
+// ---------------------------------------------------------- 5-tuple
+
+TEST(FiveTupleTest, KeyExtractsPorts) {
+  UdpHeader udp;
+  udp.src_port = 1111;
+  udp.dst_port = 2222;
+  const Packet p = PacketBuilder()
+                       .Ethernet(TestEth())
+                       .Ipv4(TestIp(kIpProtoUdp))
+                       .Udp(udp)
+                       .Build();
+  const FiveTuple key = Parser().Parse(p).Key();
+  EXPECT_EQ(key.src_port, 1111);
+  EXPECT_EQ(key.dst_port, 2222);
+  EXPECT_EQ(key.protocol, kIpProtoUdp);
+}
+
+TEST(FiveTupleTest, HashIsStableAndDiscriminates) {
+  FiveTuple a{1, 2, 3, 4, 5};
+  FiveTuple b{1, 2, 3, 4, 5};
+  FiveTuple c{1, 2, 3, 4, 6};
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a.Hash(), c.Hash());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a == c, true);
+}
+
+// --------------------------------------------------------- generators
+
+TEST(PoissonGeneratorTest, RateMatchesConfig) {
+  PoissonGenerator::Config c;
+  c.rate_pps = 2000.0;
+  PoissonGenerator gen(c, std::make_unique<FixedSize>(500), 1);
+  RunningStats gaps;
+  double prev = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const PacketMeta p = gen.Next();
+    gaps.Add(p.arrival_time_s - prev);
+    prev = p.arrival_time_s;
+  }
+  EXPECT_NEAR(gaps.mean(), 1.0 / 2000.0, 2e-5);
+}
+
+TEST(PoissonGeneratorTest, DeterministicAcrossRuns) {
+  PoissonGenerator::Config c;
+  PoissonGenerator a(c, std::make_unique<FixedSize>(100), 7);
+  PoissonGenerator b(c, std::make_unique<FixedSize>(100), 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next().arrival_time_s, b.Next().arrival_time_s);
+  }
+}
+
+TEST(PoissonGeneratorTest, TimesAreMonotone) {
+  PoissonGenerator::Config c;
+  PoissonGenerator gen(c, std::make_unique<FixedSize>(100), 8);
+  double prev = -1.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = gen.Next().arrival_time_s;
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PoissonGeneratorTest, FlowsAndPrioritiesStable) {
+  PoissonGenerator::Config c;
+  c.flows = 4;
+  c.high_priority_fraction = 0.5;
+  PoissonGenerator gen(c, std::make_unique<FixedSize>(100), 9);
+  std::set<std::uint64_t> hashes;
+  int high = 0;
+  int total = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const PacketMeta p = gen.Next();
+    hashes.insert(p.flow_hash);
+    ++total;
+    if (p.priority >= 4) ++high;
+  }
+  EXPECT_EQ(hashes.size(), 4u);
+  EXPECT_NEAR(static_cast<double>(high) / total, 0.5, 0.05);
+}
+
+TEST(PoissonGeneratorTest, SetRateChangesTempo) {
+  PoissonGenerator::Config c;
+  c.rate_pps = 100.0;
+  PoissonGenerator gen(c, std::make_unique<FixedSize>(100), 10);
+  for (int i = 0; i < 100; ++i) gen.Next();
+  const double t0 = gen.Next().arrival_time_s;
+  gen.SetRate(100000.0);
+  double t1 = t0;
+  for (int i = 0; i < 1000; ++i) t1 = gen.Next().arrival_time_s;
+  // 1000 arrivals at 100k pps take about 10 ms.
+  EXPECT_LT(t1 - t0, 0.1);
+  EXPECT_THROW(gen.SetRate(0.0), std::invalid_argument);
+}
+
+TEST(CbrGeneratorTest, FixedSpacing) {
+  CbrGenerator gen(100.0, 1000);
+  const PacketMeta a = gen.Next();
+  const PacketMeta b = gen.Next();
+  EXPECT_NEAR(b.arrival_time_s - a.arrival_time_s, 0.01, 1e-12);
+  EXPECT_EQ(a.size_bytes, 1000u);
+}
+
+TEST(CbrGeneratorTest, RejectsBadConfig) {
+  EXPECT_THROW(CbrGenerator(0.0, 100), std::invalid_argument);
+  EXPECT_THROW(CbrGenerator(10.0, 0), std::invalid_argument);
+}
+
+TEST(MmppGeneratorTest, BurstRateExceedsCalmRate) {
+  MmppGenerator::Config c;
+  c.calm_rate_pps = 100.0;
+  c.burst_rate_pps = 10000.0;
+  MmppGenerator gen(c, std::make_unique<FixedSize>(200), 11);
+  // Count arrivals in burst vs calm periods via inter-arrival gaps.
+  RunningStats calm_gaps;
+  RunningStats burst_gaps;
+  double prev = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    const PacketMeta p = gen.Next();
+    const double gap = p.arrival_time_s - prev;
+    prev = p.arrival_time_s;
+    if (gen.in_burst()) {
+      burst_gaps.Add(gap);
+    } else {
+      calm_gaps.Add(gap);
+    }
+  }
+  ASSERT_GT(burst_gaps.count(), 100u);
+  ASSERT_GT(calm_gaps.count(), 100u);
+  EXPECT_LT(burst_gaps.mean() * 5.0, calm_gaps.mean());
+}
+
+TEST(MmppGeneratorTest, TimesAreMonotone) {
+  MmppGenerator::Config c;
+  MmppGenerator gen(c, std::make_unique<ImixSize>(), 12);
+  double prev = -1.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double t = gen.Next().arrival_time_s;
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(ImixSizeTest, ProducesOnlyImixSizes) {
+  ImixSize sizes;
+  RandomStream rng(13);
+  int small = 0;
+  int total = 0;
+  for (int i = 0; i < 12000; ++i) {
+    const std::uint32_t s = sizes.Sample(rng);
+    EXPECT_TRUE(s == 64 || s == 576 || s == 1500);
+    if (s == 64) ++small;
+    ++total;
+  }
+  EXPECT_NEAR(static_cast<double>(small) / total, 7.0 / 12.0, 0.03);
+}
+
+TEST(MergedGeneratorTest, OutputIsTimeOrdered) {
+  std::vector<std::unique_ptr<TrafficGenerator>> sources;
+  sources.push_back(std::make_unique<CbrGenerator>(100.0, 100));
+  sources.push_back(std::make_unique<CbrGenerator>(333.0, 200));
+  MergedGenerator merged(std::move(sources));
+  double prev = -1.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = merged.Next().arrival_time_s;
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(MergedGeneratorTest, RejectsEmptyOrNull) {
+  EXPECT_THROW(
+      MergedGenerator(std::vector<std::unique_ptr<TrafficGenerator>>{}),
+      std::invalid_argument);
+}
+
+// -------------------------------------------------------------- queue
+
+TEST(PacketQueueTest, FifoOrderAndSojourn) {
+  PacketQueue q;
+  PacketMeta a;
+  a.id = 1;
+  a.size_bytes = 100;
+  PacketMeta b;
+  b.id = 2;
+  b.size_bytes = 200;
+  ASSERT_TRUE(q.Enqueue(a, 1.0));
+  ASSERT_TRUE(q.Enqueue(b, 2.0));
+  EXPECT_EQ(q.packets(), 2u);
+  EXPECT_EQ(q.bytes(), 300u);
+
+  auto first = q.Dequeue(5.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->meta.id, 1u);
+  EXPECT_NEAR(first->sojourn_s, 4.0, 1e-12);
+  auto second = q.Dequeue(6.0);
+  EXPECT_EQ(second->meta.id, 2u);
+  EXPECT_NEAR(second->sojourn_s, 4.0, 1e-12);
+  EXPECT_FALSE(q.Dequeue(7.0).has_value());
+}
+
+TEST(PacketQueueTest, PacketCapacityDrops) {
+  PacketQueue q(PacketQueue::Config{.max_packets = 2, .max_bytes = 0});
+  PacketMeta p;
+  p.size_bytes = 10;
+  EXPECT_TRUE(q.Enqueue(p, 0.0));
+  EXPECT_TRUE(q.Enqueue(p, 0.0));
+  EXPECT_FALSE(q.Enqueue(p, 0.0));
+  EXPECT_EQ(q.stats().dropped_full, 1u);
+}
+
+TEST(PacketQueueTest, ByteCapacityDrops) {
+  PacketQueue q(PacketQueue::Config{.max_packets = 0, .max_bytes = 250});
+  PacketMeta p;
+  p.size_bytes = 100;
+  EXPECT_TRUE(q.Enqueue(p, 0.0));
+  EXPECT_TRUE(q.Enqueue(p, 0.0));
+  EXPECT_FALSE(q.Enqueue(p, 0.0));  // 300 > 250
+  EXPECT_EQ(q.bytes(), 200u);
+}
+
+TEST(PacketQueueTest, UnboundedNeverTailDrops) {
+  PacketQueue q;
+  PacketMeta p;
+  p.size_bytes = 1500;
+  for (int i = 0; i < 10000; ++i) EXPECT_TRUE(q.Enqueue(p, 0.0));
+  EXPECT_EQ(q.stats().dropped_full, 0u);
+}
+
+TEST(PacketQueueTest, HeadSojournAndPeek) {
+  PacketQueue q;
+  EXPECT_EQ(q.Peek(), nullptr);
+  EXPECT_EQ(q.HeadSojourn(9.0), 0.0);
+  PacketMeta p;
+  p.id = 42;
+  p.size_bytes = 10;
+  q.Enqueue(p, 1.0);
+  ASSERT_NE(q.Peek(), nullptr);
+  EXPECT_EQ(q.Peek()->id, 42u);
+  EXPECT_NEAR(q.HeadSojourn(3.5), 2.5, 1e-12);
+}
+
+TEST(PacketQueueTest, StatsAccumulate) {
+  PacketQueue q;
+  PacketMeta p;
+  p.size_bytes = 50;
+  q.Enqueue(p, 0.0);
+  q.NoteAqmDrop(p);
+  q.Dequeue(1.0);
+  const QueueStats& s = q.stats();
+  EXPECT_EQ(s.enqueued, 1u);
+  EXPECT_EQ(s.dequeued, 1u);
+  EXPECT_EQ(s.dropped_aqm, 1u);
+  EXPECT_EQ(s.bytes_enqueued, 50u);
+  EXPECT_EQ(s.bytes_dequeued, 50u);
+}
+
+// Property: conservation — enqueued = dequeued + still queued, across
+// random operation sequences.
+class QueueConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueueConservation, HoldsAcrossRandomOps) {
+  RandomStream rng(GetParam());
+  PacketQueue q(PacketQueue::Config{.max_packets = 16, .max_bytes = 0});
+  double now = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    now += rng.NextUniform(0.0, 0.01);
+    if (rng.NextBernoulli(0.6)) {
+      PacketMeta p;
+      p.size_bytes = static_cast<std::uint32_t>(rng.NextIndex(1400) + 64);
+      q.Enqueue(p, now);
+    } else {
+      q.Dequeue(now);
+    }
+  }
+  EXPECT_EQ(q.stats().enqueued, q.stats().dequeued + q.packets());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueConservation,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+
+// ---------------------------------------------------------------- VLAN
+
+TEST(VlanTest, TaggedPacketRoundTrips) {
+  VlanTag tag;
+  tag.pcp = 5;
+  tag.dei = true;
+  tag.vlan_id = 0x123;
+  const Packet p = PacketBuilder()
+                       .Ethernet(TestEth())
+                       .Vlan(tag)
+                       .Ipv4(TestIp(kIpProtoUdp))
+                       .Udp({})
+                       .Payload(10)
+                       .Build();
+  EXPECT_EQ(p.size(), 14u + 4u + 20u + 8u + 10u);
+  const ParsedPacket parsed = Parser().Parse(p);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed.vlan.has_value());
+  EXPECT_EQ(parsed.vlan->pcp, 5);
+  EXPECT_TRUE(parsed.vlan->dei);
+  EXPECT_EQ(parsed.vlan->vlan_id, 0x123);
+  EXPECT_EQ(parsed.eth.ether_type, kEtherTypeIpv4);
+  ASSERT_TRUE(parsed.udp.has_value());
+  EXPECT_EQ(parsed.payload_length, 10u);
+}
+
+TEST(VlanTest, UntaggedPacketHasNoVlan) {
+  const Packet p = PacketBuilder()
+                       .Ethernet(TestEth())
+                       .Ipv4(TestIp(kIpProtoUdp))
+                       .Udp({})
+                       .Build();
+  EXPECT_FALSE(Parser().Parse(p).vlan.has_value());
+}
+
+TEST(VlanTest, BuilderValidatesFields) {
+  VlanTag bad_vid;
+  bad_vid.vlan_id = 0x1fff;
+  EXPECT_THROW(PacketBuilder().Vlan(bad_vid), std::invalid_argument);
+  VlanTag bad_pcp;
+  bad_pcp.pcp = 9;
+  EXPECT_THROW(PacketBuilder().Vlan(bad_pcp), std::invalid_argument);
+}
+
+TEST(VlanTest, TruncatedTagIsEthernetError) {
+  Packet p = PacketBuilder()
+                 .Ethernet(TestEth())
+                 .Vlan({})
+                 .Ipv4(TestIp(kIpProtoUdp))
+                 .Udp({})
+                 .Build();
+  // Cut inside the VLAN tag.
+  EXPECT_EQ(Parser().Parse(p.bytes().data(), 15).error,
+            ParseError::kTruncatedEthernet);
+}
+
+// ----------------------------------------------------------------- ECN
+
+TEST(EcnFlowTest, GeneratorMarksEcnCapableFlows) {
+  PoissonGenerator::Config c;
+  c.flows = 4;
+  c.ecn_capable_fraction = 0.5;
+  PoissonGenerator gen(c, std::make_unique<FixedSize>(100), 21);
+  int ect = 0;
+  int total = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (gen.Next().ecn_capable) ++ect;
+    ++total;
+  }
+  EXPECT_NEAR(static_cast<double>(ect) / total, 0.5, 0.05);
+}
+
+TEST(EcnFlowTest, DefaultIsNotEcnCapable) {
+  PoissonGenerator::Config c;
+  PoissonGenerator gen(c, std::make_unique<FixedSize>(100), 22);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(gen.Next().ecn_capable);
+  }
+}
+
+
+// ----------------------------------------------------- parser fuzzing
+
+// Property: for randomly generated valid packets, build -> parse is a
+// lossless round trip.
+class ParserRoundTripFuzz : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ParserRoundTripFuzz, RandomValidPacketsRoundTrip) {
+  RandomStream rng(GetParam());
+  Parser parser;
+  for (int iter = 0; iter < 200; ++iter) {
+    EthernetHeader eth = TestEth();
+    Ipv4Header ip;
+    ip.src_ip = static_cast<std::uint32_t>(rng.NextIndex(0x100000000ULL));
+    ip.dst_ip = static_cast<std::uint32_t>(rng.NextIndex(0x100000000ULL));
+    ip.dscp = static_cast<std::uint8_t>(rng.NextIndex(64));
+    ip.ecn = static_cast<std::uint8_t>(rng.NextIndex(4));
+    ip.ttl = static_cast<std::uint8_t>(rng.NextIndex(255) + 1);
+    ip.identification = static_cast<std::uint16_t>(rng.NextIndex(65536));
+    const bool use_tcp = rng.NextBernoulli(0.5);
+    const bool use_vlan = rng.NextBernoulli(0.3);
+    ip.protocol = use_tcp ? kIpProtoTcp : kIpProtoUdp;
+    const auto payload = static_cast<std::size_t>(rng.NextIndex(1400));
+
+    PacketBuilder builder;
+    builder.Ethernet(eth);
+    VlanTag tag;
+    if (use_vlan) {
+      tag.pcp = static_cast<std::uint8_t>(rng.NextIndex(8));
+      tag.vlan_id = static_cast<std::uint16_t>(rng.NextIndex(4096));
+      builder.Vlan(tag);
+    }
+    builder.Ipv4(ip);
+    TcpHeader tcp;
+    UdpHeader udp;
+    if (use_tcp) {
+      tcp.src_port = static_cast<std::uint16_t>(rng.NextIndex(65536));
+      tcp.dst_port = static_cast<std::uint16_t>(rng.NextIndex(65536));
+      tcp.seq = static_cast<std::uint32_t>(rng.NextIndex(0x100000000ULL));
+      tcp.flags = static_cast<std::uint8_t>(rng.NextIndex(256));
+      builder.Tcp(tcp);
+    } else {
+      udp.src_port = static_cast<std::uint16_t>(rng.NextIndex(65536));
+      udp.dst_port = static_cast<std::uint16_t>(rng.NextIndex(65536));
+      builder.Udp(udp);
+    }
+    builder.Payload(payload);
+
+    const Packet packet = builder.Build();
+    const ParsedPacket parsed = parser.Parse(packet);
+    ASSERT_TRUE(parsed.ok()) << ToString(parsed.error);
+    ASSERT_TRUE(parsed.ipv4.has_value());
+    EXPECT_EQ(parsed.ipv4->src_ip, ip.src_ip);
+    EXPECT_EQ(parsed.ipv4->dst_ip, ip.dst_ip);
+    EXPECT_EQ(parsed.ipv4->dscp, ip.dscp);
+    EXPECT_EQ(parsed.ipv4->ecn, ip.ecn);
+    EXPECT_EQ(parsed.ipv4->ttl, ip.ttl);
+    EXPECT_EQ(parsed.vlan.has_value(), use_vlan);
+    if (use_vlan) {
+      EXPECT_EQ(parsed.vlan->vlan_id, tag.vlan_id);
+      EXPECT_EQ(parsed.vlan->pcp, tag.pcp);
+    }
+    if (use_tcp) {
+      ASSERT_TRUE(parsed.tcp.has_value());
+      EXPECT_EQ(parsed.tcp->src_port, tcp.src_port);
+      EXPECT_EQ(parsed.tcp->seq, tcp.seq);
+      EXPECT_EQ(parsed.tcp->flags, tcp.flags);
+    } else {
+      ASSERT_TRUE(parsed.udp.has_value());
+      EXPECT_EQ(parsed.udp->dst_port, udp.dst_port);
+    }
+    EXPECT_EQ(parsed.payload_length, payload);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRoundTripFuzz,
+                         ::testing::Values(101, 102, 103, 104));
+
+// Property: the parser never crashes or reads out of bounds on random
+// byte garbage and on randomly truncated/corrupted valid packets — it
+// must always return a typed verdict.
+class ParserGarbageFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserGarbageFuzz, GarbageNeverCrashes) {
+  RandomStream rng(GetParam());
+  Parser parser;
+  for (int iter = 0; iter < 500; ++iter) {
+    const auto len = static_cast<std::size_t>(rng.NextIndex(200));
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) {
+      b = static_cast<std::uint8_t>(rng.NextIndex(256));
+    }
+    const ParsedPacket parsed = parser.Parse(bytes.data(), bytes.size());
+    // ok() implies the headers claim to be a well-formed IPv4 packet;
+    // either way no crash and a valid enum.
+    EXPECT_LE(static_cast<int>(parsed.error),
+              static_cast<int>(ParseError::kTruncatedL4));
+  }
+}
+
+TEST_P(ParserGarbageFuzz, TruncationsNeverCrash) {
+  RandomStream rng(GetParam() ^ 0x7777);
+  Parser parser;
+  const Packet valid = PacketBuilder()
+                           .Ethernet(TestEth())
+                           .Vlan({})
+                           .Ipv4(TestIp(kIpProtoTcp))
+                           .Tcp({})
+                           .Payload(64)
+                           .Build();
+  for (std::size_t cut = 0; cut <= valid.size(); ++cut) {
+    const ParsedPacket parsed = parser.Parse(valid.bytes().data(), cut);
+    if (cut == valid.size()) {
+      EXPECT_TRUE(parsed.ok());
+    }
+  }
+  // Single-byte corruptions parse to *some* verdict without crashing.
+  for (int iter = 0; iter < 300; ++iter) {
+    Packet copy = valid;
+    const auto pos = static_cast<std::size_t>(
+        rng.NextIndex(copy.size()));
+    copy.bytes()[pos] ^= static_cast<std::uint8_t>(
+        1u << rng.NextIndex(8));
+    parser.Parse(copy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserGarbageFuzz,
+                         ::testing::Values(7, 8, 9));
+
+
+// ---------------------------------------------------------------- IPv6
+
+Ipv6Header TestIp6(std::uint8_t next_header) {
+  Ipv6Header ip;
+  ip.traffic_class = 0xb8;  // EF DSCP + ECT(0)
+  ip.flow_label = 0x12345;
+  ip.next_header = next_header;
+  ip.hop_limit = 63;
+  for (std::size_t i = 0; i < 16; ++i) {
+    ip.src[i] = static_cast<std::uint8_t>(i);
+    ip.dst[i] = static_cast<std::uint8_t>(0xf0 + i);
+  }
+  return ip;
+}
+
+TEST(Ipv6Test, UdpRoundTrips) {
+  UdpHeader udp;
+  udp.src_port = 546;
+  udp.dst_port = 547;
+  const Packet p = PacketBuilder()
+                       .Ethernet(TestEth())
+                       .Ipv6(TestIp6(kIpProtoUdp))
+                       .Udp(udp)
+                       .Payload(64)
+                       .Build();
+  EXPECT_EQ(p.size(), 14u + 40u + 8u + 64u);
+  const ParsedPacket parsed = Parser().Parse(p);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed.ipv6.has_value());
+  EXPECT_FALSE(parsed.ipv4.has_value());
+  EXPECT_EQ(parsed.ipv6->traffic_class, 0xb8);
+  EXPECT_EQ(parsed.ipv6->flow_label, 0x12345u);
+  EXPECT_EQ(parsed.ipv6->hop_limit, 63);
+  EXPECT_EQ(parsed.ipv6->payload_length, 8u + 64u);
+  EXPECT_EQ(parsed.ipv6->src[0], 0);
+  EXPECT_EQ(parsed.ipv6->dst[15], 0xff);
+  ASSERT_TRUE(parsed.udp.has_value());
+  EXPECT_EQ(parsed.udp->dst_port, 547);
+  EXPECT_EQ(parsed.payload_length, 64u);
+}
+
+TEST(Ipv6Test, TcpRoundTrips) {
+  TcpHeader tcp;
+  tcp.src_port = 179;
+  tcp.dst_port = 33000;
+  tcp.seq = 0xcafef00d;
+  const Packet p = PacketBuilder()
+                       .Ethernet(TestEth())
+                       .Ipv6(TestIp6(kIpProtoTcp))
+                       .Tcp(tcp)
+                       .Build();
+  const ParsedPacket parsed = Parser().Parse(p);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed.tcp.has_value());
+  EXPECT_EQ(parsed.tcp->seq, 0xcafef00du);
+}
+
+TEST(Ipv6Test, VlanPlusIpv6) {
+  const Packet p = PacketBuilder()
+                       .Ethernet(TestEth())
+                       .Vlan({})
+                       .Ipv6(TestIp6(kIpProtoUdp))
+                       .Udp({})
+                       .Build();
+  const ParsedPacket parsed = Parser().Parse(p);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.vlan.has_value());
+  EXPECT_TRUE(parsed.ipv6.has_value());
+}
+
+TEST(Ipv6Test, TruncatedHeaderDetected) {
+  const Packet p = PacketBuilder()
+                       .Ethernet(TestEth())
+                       .Ipv6(TestIp6(kIpProtoUdp))
+                       .Udp({})
+                       .Build();
+  EXPECT_EQ(Parser().Parse(p.bytes().data(), 14 + 20).error,
+            ParseError::kTruncatedIpv6);
+  EXPECT_EQ(Parser().Parse(p.bytes().data(), 14 + 40 + 3).error,
+            ParseError::kTruncatedL4);
+}
+
+TEST(Ipv6Test, BuilderRejectsMixedIpLayers) {
+  EXPECT_THROW(PacketBuilder()
+                   .Ethernet(TestEth())
+                   .Ipv4(TestIp(kIpProtoUdp))
+                   .Ipv6(TestIp6(kIpProtoUdp))
+                   .Udp({})
+                   .Build(),
+               std::logic_error);
+  Ipv6Header bad = TestIp6(kIpProtoUdp);
+  bad.flow_label = 0x200000;  // > 20 bits
+  EXPECT_THROW(PacketBuilder().Ipv6(bad), std::invalid_argument);
+}
+
+
+// ---------------------------------------------------------------- pcap
+
+TEST(PcapTest, RoundTripsFrames) {
+  std::stringstream buffer;
+  PcapWriter writer(buffer);
+  const Packet a = PacketBuilder()
+                       .Ethernet(TestEth())
+                       .Ipv4(TestIp(kIpProtoUdp))
+                       .Udp({})
+                       .Payload(40)
+                       .Build();
+  const Packet b = PacketBuilder()
+                       .Ethernet(TestEth())
+                       .Ipv4(TestIp(kIpProtoTcp))
+                       .Tcp({})
+                       .Payload(10)
+                       .Build();
+  writer.Write(1.000001, a);
+  writer.Write(2.5, b);
+  EXPECT_EQ(writer.frames(), 2u);
+
+  const auto records = ReadPcap(buffer);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_NEAR(records[0].timestamp_s, 1.000001, 1e-6);
+  EXPECT_NEAR(records[1].timestamp_s, 2.5, 1e-6);
+  EXPECT_EQ(records[0].packet.bytes(), a.bytes());
+  EXPECT_EQ(records[1].packet.bytes(), b.bytes());
+  // The replayed frames parse identically.
+  EXPECT_TRUE(Parser().Parse(records[0].packet).ok());
+  EXPECT_TRUE(Parser().Parse(records[1].packet).udp.has_value() == false);
+}
+
+TEST(PcapTest, GlobalHeaderIsStandard) {
+  std::stringstream buffer;
+  PcapWriter writer(buffer);
+  const std::string bytes = buffer.str();
+  ASSERT_GE(bytes.size(), 24u);
+  // Little-endian microsecond magic.
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0xd4);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[1]), 0xc3);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[2]), 0xb2);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[3]), 0xa1);
+  // Link type Ethernet at offset 20.
+  EXPECT_EQ(static_cast<unsigned char>(bytes[20]), 1);
+}
+
+TEST(PcapTest, SnapLenTruncatesOnDisk) {
+  std::stringstream buffer;
+  PcapWriter writer(buffer, /*snap_len=*/64);
+  const Packet big = PacketBuilder()
+                         .Ethernet(TestEth())
+                         .Ipv4(TestIp(kIpProtoUdp))
+                         .Udp({})
+                         .Payload(1000)
+                         .Build();
+  writer.Write(0.0, big);
+  const auto records = ReadPcap(buffer);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].packet.size(), 64u);
+}
+
+TEST(PcapTest, RejectsBackwardsTimestamps) {
+  std::stringstream buffer;
+  PcapWriter writer(buffer);
+  const Packet p = PacketBuilder().Ethernet(TestEth()).Build();
+  writer.Write(5.0, p);
+  EXPECT_THROW(writer.Write(4.0, p), std::invalid_argument);
+}
+
+TEST(PcapTest, ReaderRejectsGarbage) {
+  std::stringstream bad("not a pcap file at all");
+  EXPECT_THROW(ReadPcap(bad), std::runtime_error);
+  std::stringstream empty;
+  EXPECT_THROW(ReadPcap(empty), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace analognf::net

@@ -1,0 +1,482 @@
+// Tests for the discrete-event core and the single-queue simulation
+// harness (the Fig. 8 experiment machinery).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analognf/aqm/analog_aqm.hpp"
+#include "analognf/aqm/codel.hpp"
+#include "analognf/net/generator.hpp"
+#include "analognf/sim/closed_loop.hpp"
+#include "analognf/sim/event_queue.hpp"
+#include "analognf/sim/queue_sim.hpp"
+
+namespace analognf::sim {
+namespace {
+
+// ----------------------------------------------------------- event queue
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue events;
+  std::vector<int> order;
+  events.Schedule(2.0, [&] { order.push_back(2); });
+  events.Schedule(1.0, [&] { order.push_back(1); });
+  events.Schedule(3.0, [&] { order.push_back(3); });
+  while (events.RunNext()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(events.processed(), 3u);
+}
+
+TEST(EventQueueTest, TiesRunInScheduleOrder) {
+  EventQueue events;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    events.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (events.RunNext()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, NowAdvancesWithEvents) {
+  EventQueue events;
+  events.Schedule(5.0, [] {});
+  EXPECT_EQ(events.now(), 0.0);
+  events.RunNext();
+  EXPECT_EQ(events.now(), 5.0);
+}
+
+TEST(EventQueueTest, SchedulingInPastThrows) {
+  EventQueue events;
+  events.Schedule(5.0, [] {});
+  events.RunNext();
+  EXPECT_THROW(events.Schedule(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(events.Schedule(6.0, {}), std::invalid_argument);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue events;
+  int fired = 0;
+  events.Schedule(1.0, [&] {
+    ++fired;
+    events.ScheduleIn(1.0, [&] { ++fired; });
+  });
+  events.RunUntil(10.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(events.now(), 10.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue events;
+  int fired = 0;
+  events.Schedule(1.0, [&] { ++fired; });
+  events.Schedule(5.0, [&] { ++fired; });
+  events.RunUntil(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(events.empty());
+}
+
+// ------------------------------------------------------------- sim config
+
+TEST(QueueSimConfigTest, Validation) {
+  QueueSimConfig c;
+  EXPECT_NO_THROW(c.Validate());
+  c.warmup_s = 30.0;  // >= duration
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+  c = QueueSimConfig{};
+  c.link_rate_bps = 0.0;
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+  c = QueueSimConfig{};
+  c.phases = {{2.0, 100.0}, {1.0, 100.0}};
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+}
+
+// A 10 Mb/s link serving 1000-byte packets handles 1250 pps.
+QueueSimConfig ShortSim() {
+  QueueSimConfig c;
+  c.duration_s = 5.0;
+  c.warmup_s = 1.0;
+  c.link_rate_bps = 10.0e6;
+  return c;
+}
+
+std::unique_ptr<net::PoissonGenerator> MakePoisson(double rate_pps,
+                                                   std::uint64_t seed) {
+  net::PoissonGenerator::Config c;
+  c.rate_pps = rate_pps;
+  return std::make_unique<net::PoissonGenerator>(
+      c, std::make_unique<net::FixedSize>(1000), seed);
+}
+
+// ------------------------------------------------------------- behaviour
+
+TEST(QueueSimulatorTest, UnderloadHasTinyDelaysAndNoDrops) {
+  auto gen = MakePoisson(500.0, 1);  // 40% load
+  aqm::TailDropOnly policy;
+  QueueSimulator sim(ShortSim(), *gen, policy);
+  const SimReport report = sim.Run();
+  EXPECT_EQ(report.queue_stats.dropped_full, 0u);
+  EXPECT_EQ(report.queue_stats.dropped_aqm, 0u);
+  EXPECT_LT(report.delay_stats.mean(), 0.005);
+  EXPECT_GT(report.delivered_packets, 1000u);
+}
+
+TEST(QueueSimulatorTest, OverloadWithoutAqmGrowsUnbounded) {
+  // The "without AQM" curve of Fig. 8: delays keep climbing.
+  auto gen = MakePoisson(2000.0, 2);  // 160% load, unbounded queue
+  aqm::TailDropOnly policy;
+  QueueSimulator sim(ShortSim(), *gen, policy);
+  const SimReport report = sim.Run();
+  EXPECT_GT(report.delay_stats.max(), 0.5);
+  // Delay at the end is far above delay early on.
+  const auto& pts = report.delay.points();
+  ASSERT_GT(pts.size(), 100u);
+  EXPECT_GT(pts.back().value, 10.0 * pts[pts.size() / 10].value);
+}
+
+TEST(QueueSimulatorTest, AnalogAqmHoldsProgrammedBound) {
+  // The headline Fig. 8 behaviour: 20 ms +/- 10 ms under 160% load.
+  auto gen = MakePoisson(2000.0, 3);
+  aqm::AnalogAqmConfig aqm_config;
+  aqm::AnalogAqm policy(aqm_config);
+  QueueSimulator sim(ShortSim(), *gen, policy);
+  const SimReport report = sim.Run();
+  EXPECT_GT(report.queue_stats.dropped_aqm, 100u);
+  EXPECT_GT(report.delay_stats.mean(), 0.005);
+  EXPECT_LT(report.delay_stats.mean(), 0.032);
+  EXPECT_GT(report.DelayFractionWithin(0.0, 0.035), 0.9);
+  EXPECT_GT(report.aqm_energy_j, 0.0);
+}
+
+TEST(QueueSimulatorTest, ConservationLaw) {
+  auto gen = MakePoisson(1500.0, 4);
+  aqm::TailDropOnly policy;
+  QueueSimConfig c = ShortSim();
+  c.queue.max_packets = 20;
+  QueueSimulator sim(c, *gen, policy);
+  const SimReport report = sim.Run();
+  // offered = delivered + tail drops + aqm drops + in flight at the end.
+  const std::uint64_t accounted = report.delivered_packets +
+                                  report.queue_stats.dropped_full +
+                                  report.queue_stats.dropped_aqm;
+  EXPECT_GE(report.offered_packets, accounted);
+  EXPECT_LE(report.offered_packets, accounted + 21);  // queue + in service
+}
+
+TEST(QueueSimulatorTest, ThroughputBoundedByLink) {
+  auto gen = MakePoisson(5000.0, 5);
+  aqm::TailDropOnly policy;
+  QueueSimConfig c = ShortSim();
+  c.queue.max_packets = 50;
+  QueueSimulator sim(c, *gen, policy);
+  const SimReport report = sim.Run();
+  EXPECT_LE(report.ThroughputBps(), 10.0e6 * 1.05);
+  EXPECT_GT(report.ThroughputBps(), 10.0e6 * 0.8);
+  EXPECT_GT(report.DropRate(), 0.3);
+}
+
+TEST(QueueSimulatorTest, CodelRunsAtDequeue) {
+  // CoDel's sqrt control law shrinks the drop spacing slowly, so from a
+  // sustained overload it converges over tens of seconds; assert the
+  // behavioural property (head drops happen and delay is pulled far
+  // below the uncontrolled baseline) rather than a settled setpoint.
+  const auto run = [](aqm::AqmPolicy& policy) {
+    auto gen = MakePoisson(1500.0, 6);
+    QueueSimConfig c = ShortSim();
+    c.duration_s = 12.0;
+    QueueSimulator sim(c, *gen, policy);
+    return sim.Run();
+  };
+  aqm::Codel codel;
+  aqm::TailDropOnly taildrop;
+  const SimReport with = run(codel);
+  const SimReport without = run(taildrop);
+  EXPECT_GT(with.queue_stats.dropped_aqm, 50u);
+  EXPECT_LT(with.delay_stats.mean(), 0.5 * without.delay_stats.mean());
+}
+
+TEST(QueueSimulatorTest, PhasesChangeOfferedLoad) {
+  auto gen = MakePoisson(200.0, 7);
+  aqm::TailDropOnly policy;
+  QueueSimConfig c = ShortSim();
+  c.phases = {{2.0, 3000.0}};  // congestion starts at t = 2 s
+  QueueSimulator sim(c, *gen, policy, nullptr, gen.get());
+  const SimReport report = sim.Run();
+  // Delays before the phase flip stay tiny; after it they blow up.
+  double early_max = 0.0;
+  double late_max = 0.0;
+  for (const auto& p : report.delay.points()) {
+    if (p.time < 1.9) {
+      early_max = std::max(early_max, p.value);
+    } else {
+      late_max = std::max(late_max, p.value);
+    }
+  }
+  EXPECT_LT(early_max, 0.01);
+  EXPECT_GT(late_max, 0.05);
+}
+
+TEST(QueueSimulatorTest, DropProbTraceRecordedForAnalog) {
+  auto gen = MakePoisson(2000.0, 8);
+  aqm::AnalogAqm policy(aqm::AnalogAqmConfig{});
+  QueueSimulator sim(ShortSim(), *gen, policy);
+  const SimReport report = sim.Run();
+  EXPECT_GT(report.drop_prob.size(), 1000u);
+  for (const auto& p : report.drop_prob.points()) {
+    EXPECT_GE(p.value, 0.0);
+    EXPECT_LE(p.value, 1.0);
+  }
+}
+
+TEST(QueueSimulatorTest, QueueDepthSampled) {
+  auto gen = MakePoisson(500.0, 9);
+  aqm::TailDropOnly policy;
+  QueueSimulator sim(ShortSim(), *gen, policy);
+  const SimReport report = sim.Run();
+  // 5 s at 20 ms sampling = ~250 samples.
+  EXPECT_GT(report.queue_depth.size(), 200u);
+}
+
+TEST(QueueSimulatorTest, ControllerAdaptsDuringRun) {
+  auto gen = MakePoisson(2000.0, 10);
+  aqm::AnalogAqmConfig aqm_config;
+  aqm::AnalogAqm policy(aqm_config);
+  aqm::CognitiveAqmController controller(policy);
+  QueueSimulator sim(ShortSim(), *gen, policy, &controller);
+  sim.Run();
+  // Under sustained overload the controller should have reprogrammed at
+  // least once (or legitimately decided the delay is in band — accept
+  // either, but the plumbing must have run).
+  SUCCEED();
+}
+
+TEST(QueueSimulatorTest, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    auto gen = MakePoisson(1200.0, 11);
+    aqm::AnalogAqm policy(aqm::AnalogAqmConfig{});
+    QueueSimulator sim(ShortSim(), *gen, policy);
+    return sim.Run();
+  };
+  const SimReport a = run_once();
+  const SimReport b = run_once();
+  EXPECT_EQ(a.delivered_packets, b.delivered_packets);
+  EXPECT_EQ(a.queue_stats.dropped_aqm, b.queue_stats.dropped_aqm);
+  EXPECT_EQ(a.delay_stats.mean(), b.delay_stats.mean());
+}
+
+// Priority handling end to end: high-priority flows should see a lower
+// drop rate through the analog AQM.
+TEST(QueueSimulatorTest, HighPriorityFlowsFavoured) {
+  net::PoissonGenerator::Config gc;
+  gc.rate_pps = 2500.0;
+  gc.flows = 8;
+  gc.high_priority_fraction = 0.5;
+  auto gen = std::make_unique<net::PoissonGenerator>(
+      gc, std::make_unique<net::FixedSize>(1000), 12);
+  aqm::AnalogAqm policy(aqm::AnalogAqmConfig{});
+  QueueSimConfig c = ShortSim();
+  QueueSimulator sim(c, *gen, policy);
+  const SimReport report = sim.Run();
+  ASSERT_GT(report.delay_stats_high_priority.count(), 100u);
+  ASSERT_GT(report.delay_stats_low_priority.count(), 100u);
+  // More high-priority packets survive per offered packet; since flows
+  // are symmetric, the delivered high-priority count should exceed the
+  // low-priority count.
+  EXPECT_GT(report.delay_stats_high_priority.count(),
+            report.delay_stats_low_priority.count());
+}
+
+
+// ------------------------------------------------------- ECN in the sim
+
+TEST(QueueSimulatorTest, EcnMarksAreCountedAndDelivered) {
+  net::PoissonGenerator::Config gc;
+  gc.rate_pps = 2000.0;
+  gc.ecn_capable_fraction = 1.0;
+  auto gen = std::make_unique<net::PoissonGenerator>(
+      gc, std::make_unique<net::FixedSize>(1000), 41);
+  aqm::AnalogAqmConfig ac;
+  ac.ecn_enabled = true;
+  aqm::AnalogAqm policy(ac);
+  QueueSimulator sim(ShortSim(), *gen, policy);
+  const SimReport report = sim.Run();
+  EXPECT_GT(report.ecn_marked_packets, 100u);
+  EXPECT_GT(report.delivered_marked_packets, 100u);
+  // Every delivered mark was once an admitted mark.
+  EXPECT_LE(report.delivered_marked_packets, report.ecn_marked_packets);
+}
+
+TEST(QueueSimulatorTest, NoMarksWithoutEcn) {
+  auto gen = MakePoisson(2000.0, 42);
+  aqm::AnalogAqm policy(aqm::AnalogAqmConfig{});
+  QueueSimulator sim(ShortSim(), *gen, policy);
+  const SimReport report = sim.Run();
+  EXPECT_EQ(report.ecn_marked_packets, 0u);
+}
+
+// -------------------------------------------------------- closed loop
+
+TEST(ClosedLoopConfigTest, Validation) {
+  ClosedLoopConfig c;
+  EXPECT_NO_THROW(c.Validate());
+  c.sources = 0;
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+  c = ClosedLoopConfig{};
+  c.ecn_fraction = 1.5;
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+  c = ClosedLoopConfig{};
+  c.min_cwnd = 4.0;
+  c.initial_cwnd = 2.0;
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+}
+
+ClosedLoopConfig SmallClosedLoop() {
+  ClosedLoopConfig c;
+  c.sources = 4;
+  c.duration_s = 15.0;
+  c.warmup_s = 5.0;
+  c.link_rate_bps = 10.0e6;
+  c.base_rtt_s = 0.040;
+  return c;
+}
+
+TEST(ClosedLoopTest, AimdSourcesFillTheLink) {
+  aqm::AnalogAqm policy(aqm::AnalogAqmConfig{});
+  ClosedLoopSimulator sim(SmallClosedLoop(), policy);
+  const ClosedLoopReport report = sim.Run();
+  // AIMD should keep the bottleneck busy.
+  EXPECT_GT(report.LinkUtilization(10.0e6, 1000), 0.7);
+  EXPECT_GT(report.delivered_packets, 5000u);
+}
+
+TEST(ClosedLoopTest, AimdIsReasonablyFair) {
+  aqm::AnalogAqm policy(aqm::AnalogAqmConfig{});
+  ClosedLoopSimulator sim(SmallClosedLoop(), policy);
+  const ClosedLoopReport report = sim.Run();
+  EXPECT_GT(report.FairnessIndex(), 0.8);
+}
+
+TEST(ClosedLoopTest, AqmKeepsClosedLoopDelayLow) {
+  // Against responsive traffic, the analog AQM holds queueing delay near
+  // its programmed bound while tail-drop lets the queue fill.
+  aqm::AnalogAqm analog_policy(aqm::AnalogAqmConfig{});
+  ClosedLoopSimulator with_aqm(SmallClosedLoop(), analog_policy);
+  const ClosedLoopReport aqm_report = with_aqm.Run();
+
+  aqm::TailDropOnly taildrop;
+  ClosedLoopConfig c = SmallClosedLoop();
+  c.queue.max_packets = 200;  // deep buffer: the bufferbloat case
+  ClosedLoopSimulator without(c, taildrop);
+  const ClosedLoopReport taildrop_report = without.Run();
+
+  EXPECT_LT(aqm_report.delay_stats.mean(),
+            0.5 * taildrop_report.delay_stats.mean());
+  EXPECT_LT(aqm_report.delay_stats.mean(), 0.035);
+}
+
+TEST(ClosedLoopTest, EcnShedsLoadWithFewerDrops) {
+  // Same AQM program, ECN on vs off, all sources ECN-capable: marking
+  // should replace most drops while holding comparable delay.
+  const auto run = [](bool ecn) {
+    aqm::AnalogAqmConfig ac;
+    ac.ecn_enabled = ecn;
+    aqm::AnalogAqm policy(ac);
+    ClosedLoopConfig c = SmallClosedLoop();
+    c.ecn_fraction = 1.0;
+    ClosedLoopSimulator sim(c, policy);
+    return sim.Run();
+  };
+  const ClosedLoopReport with_ecn = run(true);
+  const ClosedLoopReport without_ecn = run(false);
+  EXPECT_GT(with_ecn.marked_packets, 100u);
+  EXPECT_LT(with_ecn.dropped_packets, without_ecn.dropped_packets / 2);
+  EXPECT_LT(with_ecn.delay_stats.mean(), 0.05);
+}
+
+TEST(ClosedLoopTest, CwndRespondsToCongestionSignals) {
+  aqm::AnalogAqm policy(aqm::AnalogAqmConfig{});
+  ClosedLoopSimulator sim(SmallClosedLoop(), policy);
+  const ClosedLoopReport report = sim.Run();
+  // The aggregate window must neither collapse to the floor nor pin at
+  // the cap: AIMD sawtooths in between.
+  analognf::RunningStats cwnd;
+  for (const auto& p : report.total_cwnd.points()) {
+    if (p.time >= report.warmup_s) cwnd.Add(p.value);
+  }
+  EXPECT_GT(cwnd.mean(), 4.0 * 1.0);     // above all-at-min
+  EXPECT_LT(cwnd.mean(), 4.0 * 256.0);   // below all-at-max
+  EXPECT_GT(cwnd.stddev(), 0.1);         // actually oscillating
+}
+
+TEST(ClosedLoopTest, DeterministicAcrossRuns) {
+  const auto run = [] {
+    aqm::AnalogAqm policy(aqm::AnalogAqmConfig{});
+    ClosedLoopConfig c = SmallClosedLoop();
+    c.duration_s = 5.0;
+    c.warmup_s = 1.0;
+    ClosedLoopSimulator sim(c, policy);
+    const ClosedLoopReport r = sim.Run();
+    return std::make_pair(r.delivered_packets, r.dropped_packets);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+
+// Stability: the Fig. 8 delay bound holds across independent seeds, not
+// just the one the headline test uses.
+class Fig8Stability : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Fig8Stability, BoundHoldsAcrossSeeds) {
+  auto gen = MakePoisson(1900.0, GetParam());
+  aqm::AnalogAqm policy(aqm::AnalogAqmConfig{});
+  QueueSimConfig c = ShortSim();
+  c.duration_s = 6.0;
+  QueueSimulator sim(c, *gen, policy);
+  const SimReport report = sim.Run();
+  EXPECT_GT(report.DelayFractionWithin(0.0, 0.035), 0.9);
+  EXPECT_LT(report.delay_stats.mean(), 0.032);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fig8Stability,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+
+TEST(QueueSimulatorTest, StreamingP99MatchesBatchPercentile) {
+  auto gen = MakePoisson(1800.0, 61);
+  aqm::AnalogAqm policy(aqm::AnalogAqmConfig{});
+  QueueSimulator sim(ShortSim(), *gen, policy);
+  const SimReport report = sim.Run();
+  const auto delays = report.delay.ValuesFrom(report.warmup_s);
+  ASSERT_GT(delays.size(), 1000u);
+  const double exact = Percentile(delays, 0.99);
+  EXPECT_NEAR(report.delay_p99.Value(), exact, exact * 0.15);
+}
+
+// Conservation holds in the closed-loop simulator too, across seeds.
+class ClosedLoopConservation
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClosedLoopConservation, OfferedEqualsDeliveredPlusDropped) {
+  aqm::AnalogAqmConfig ac;
+  ac.seed = GetParam();
+  aqm::AnalogAqm policy(ac);
+  ClosedLoopConfig c;
+  c.sources = 4;
+  c.duration_s = 6.0;
+  c.warmup_s = 1.0;
+  c.seed = GetParam();
+  ClosedLoopSimulator sim(c, policy);
+  const ClosedLoopReport r = sim.Run();
+  // offered = delivered + dropped + still queued/in flight (bounded by
+  // the bandwidth-delay product plus queue contents; 300 is generous).
+  EXPECT_GE(r.offered_packets, r.delivered_packets + r.dropped_packets);
+  EXPECT_LE(r.offered_packets,
+            r.delivered_packets + r.dropped_packets + 300);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosedLoopConservation,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace analognf::sim

@@ -1,0 +1,332 @@
+// Tests for the digital TCAM baseline: ternary logic, search semantics,
+// LPM, and the energy/latency cost model.
+#include <gtest/gtest.h>
+
+#include "analognf/common/rng.hpp"
+#include "analognf/tcam/range.hpp"
+#include "analognf/tcam/tcam.hpp"
+#include "analognf/tcam/ternary.hpp"
+
+namespace analognf::tcam {
+namespace {
+
+// ------------------------------------------------------------- BitKey
+
+TEST(BitKeyTest, AppendersAreMsbFirst) {
+  BitKey key;
+  key.AppendU8(0xA5);
+  EXPECT_EQ(key.ToString(), "10100101");
+  key.AppendBit(true);
+  EXPECT_EQ(key.width(), 9u);
+  EXPECT_TRUE(key.bit(8));
+}
+
+TEST(BitKeyTest, U16AndU32Widths) {
+  BitKey key;
+  key.AppendU16(0xFFFF);
+  key.AppendU32(0);
+  EXPECT_EQ(key.width(), 48u);
+}
+
+TEST(BitKeyTest, FromStringRoundTrips) {
+  const BitKey key = BitKey::FromString("1010011");
+  EXPECT_EQ(key.ToString(), "1010011");
+  EXPECT_THROW(BitKey::FromString("10X"), std::invalid_argument);
+}
+
+// -------------------------------------------------------- TernaryWord
+
+TEST(TernaryWordTest, FromStringAcceptsWildcards) {
+  const TernaryWord w = TernaryWord::FromString("10Xx*");
+  EXPECT_EQ(w.width(), 5u);
+  EXPECT_EQ(w.ToString(), "10XXX");
+  EXPECT_EQ(w.SpecifiedBits(), 2u);
+  EXPECT_THROW(TernaryWord::FromString("102"), std::invalid_argument);
+}
+
+TEST(TernaryWordTest, ExactMatchSemantics) {
+  const TernaryWord w = TernaryWord::FromString("10X");
+  EXPECT_TRUE(w.Matches(BitKey::FromString("100")));
+  EXPECT_TRUE(w.Matches(BitKey::FromString("101")));
+  EXPECT_FALSE(w.Matches(BitKey::FromString("110")));
+}
+
+TEST(TernaryWordTest, HammingDistanceCountsSpecifiedOnly) {
+  const TernaryWord w = TernaryWord::FromString("1X0X");
+  EXPECT_EQ(w.HammingDistance(BitKey::FromString("1000")), 0u);
+  EXPECT_EQ(w.HammingDistance(BitKey::FromString("0011")), 2u);
+  EXPECT_EQ(w.HammingDistance(BitKey::FromString("1110")), 1u);
+}
+
+TEST(TernaryWordTest, WidthMismatchThrows) {
+  const TernaryWord w = TernaryWord::FromString("101");
+  EXPECT_THROW(w.Matches(BitKey::FromString("10")), std::invalid_argument);
+}
+
+TEST(TernaryWordTest, PrefixEncoding) {
+  const TernaryWord w = TernaryWord::FromPrefix(0xC0000000, 2);  // 192.0.0.0/2
+  EXPECT_EQ(w.ToString().substr(0, 2), "11");
+  EXPECT_EQ(w.SpecifiedBits(), 2u);
+  EXPECT_THROW(TernaryWord::FromPrefix(0, 33), std::invalid_argument);
+}
+
+TEST(TernaryWordTest, ExactU32FullySpecified) {
+  const TernaryWord w = TernaryWord::ExactU32(0x0A000001);
+  EXPECT_EQ(w.SpecifiedBits(), 32u);
+  BitKey key;
+  key.AppendU32(0x0A000001);
+  EXPECT_TRUE(w.Matches(key));
+}
+
+TEST(TernaryWordTest, AppendConcatenates) {
+  TernaryWord w = TernaryWord::FromString("11");
+  w.Append(TernaryWord::FromString("XX"));
+  EXPECT_EQ(w.ToString(), "11XX");
+}
+
+// ---------------------------------------------------------- TcamTable
+
+TEST(TcamTechnologyTest, PresetsValidate) {
+  EXPECT_NO_THROW(TcamTechnology::TransistorCmos().Validate());
+  EXPECT_NO_THROW(TcamTechnology::MemristorTcam().Validate());
+  TcamTechnology bad = TcamTechnology::TransistorCmos();
+  bad.data_movement_fraction = 1.5;
+  EXPECT_THROW(bad.Validate(), std::invalid_argument);
+}
+
+TEST(TcamTableTest, RejectsZeroWidth) {
+  EXPECT_THROW(TcamTable(0, TcamTechnology::TransistorCmos()),
+               std::invalid_argument);
+}
+
+TEST(TcamTableTest, InsertRejectsWidthMismatch) {
+  TcamTable t(4, TcamTechnology::TransistorCmos());
+  TcamTable::Entry e;
+  e.pattern = TernaryWord::FromString("101");
+  EXPECT_THROW(t.Insert(std::move(e)), std::invalid_argument);
+}
+
+TEST(TcamTableTest, SearchFindsMatch) {
+  TcamTable t(4, TcamTechnology::TransistorCmos());
+  t.Insert({TernaryWord::FromString("10XX"), 7, 0});
+  const auto result = t.Search(BitKey::FromString("1011"));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->action, 7u);
+  EXPECT_EQ(result->entry_index, 0u);
+}
+
+TEST(TcamTableTest, MissReturnsNullopt) {
+  TcamTable t(4, TcamTechnology::TransistorCmos());
+  t.Insert({TernaryWord::FromString("1111"), 1, 0});
+  EXPECT_FALSE(t.Search(BitKey::FromString("0000")).has_value());
+  // Energy was still spent on the miss.
+  EXPECT_GT(t.ConsumedEnergyJ(), 0.0);
+}
+
+TEST(TcamTableTest, HighestPriorityWins) {
+  TcamTable t(4, TcamTechnology::TransistorCmos());
+  t.Insert({TernaryWord::FromString("XXXX"), 1, 0});
+  t.Insert({TernaryWord::FromString("10XX"), 2, 10});
+  const auto result = t.Search(BitKey::FromString("1010"));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->action, 2u);
+}
+
+TEST(TcamTableTest, TiesResolveToLowestIndex) {
+  TcamTable t(2, TcamTechnology::TransistorCmos());
+  t.Insert({TernaryWord::FromString("1X"), 100, 5});
+  t.Insert({TernaryWord::FromString("X1"), 200, 5});
+  const auto result = t.Search(BitKey::FromString("11"));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->entry_index, 0u);
+}
+
+TEST(TcamTableTest, EraseShiftsEntries) {
+  TcamTable t(2, TcamTechnology::TransistorCmos());
+  t.Insert({TernaryWord::FromString("00"), 1, 0});
+  t.Insert({TernaryWord::FromString("11"), 2, 0});
+  t.Erase(0);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_FALSE(t.Search(BitKey::FromString("00")).has_value());
+  EXPECT_TRUE(t.Search(BitKey::FromString("11")).has_value());
+  EXPECT_THROW(t.Erase(9), std::out_of_range);
+}
+
+TEST(TcamTableTest, SearchEnergyScalesWithStoredBits) {
+  TcamTable t(32, TcamTechnology::TransistorCmos());
+  EXPECT_EQ(t.SearchEnergyJ(), 0.0);  // empty table
+  t.Insert({TernaryWord::ExactU32(1), 0, 0});
+  const double one_entry = t.SearchEnergyJ();
+  EXPECT_NEAR(one_entry, 32 * 0.58e-15, 1e-20);
+  t.Insert({TernaryWord::ExactU32(2), 0, 0});
+  EXPECT_NEAR(t.SearchEnergyJ(), 2.0 * one_entry, 1e-20);
+}
+
+TEST(TcamTableTest, ConsumedEnergyAccumulatesPerSearch) {
+  TcamTable t(8, TcamTechnology::MemristorTcam());
+  t.Insert({TernaryWord::FromString("XXXXXXXX"), 0, 0});
+  BitKey key = BitKey::FromString("10101010");
+  t.Search(key);
+  t.Search(key);
+  EXPECT_EQ(t.searches(), 2u);
+  EXPECT_NEAR(t.ConsumedEnergyJ(), 2.0 * 8.0 * 1.0e-15, 1e-20);
+}
+
+TEST(TcamTableTest, SearchRejectsWidthMismatch) {
+  TcamTable t(4, TcamTechnology::TransistorCmos());
+  EXPECT_THROW(t.Search(BitKey::FromString("101")), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- LpmTable
+
+TEST(LpmTableTest, LongestPrefixWins) {
+  LpmTable lpm(TcamTechnology::MemristorTcam());
+  lpm.AddRoute(0x0A000000, 8, 1);   // 10.0.0.0/8 -> 1
+  lpm.AddRoute(0x0A010000, 16, 2);  // 10.1.0.0/16 -> 2
+  lpm.AddRoute(0x0A010200, 24, 3);  // 10.1.2.0/24 -> 3
+
+  auto r = lpm.Lookup(0x0A010203);  // 10.1.2.3
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->action, 3u);
+
+  r = lpm.Lookup(0x0A01FF01);  // 10.1.255.1
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->action, 2u);
+
+  r = lpm.Lookup(0x0AFF0001);  // 10.255.0.1
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->action, 1u);
+
+  EXPECT_FALSE(lpm.Lookup(0x0B000001).has_value());  // 11.0.0.1
+}
+
+TEST(LpmTableTest, DefaultRouteMatchesEverything) {
+  LpmTable lpm(TcamTechnology::MemristorTcam());
+  lpm.AddRoute(0, 0, 9);
+  EXPECT_EQ(lpm.Lookup(0xFFFFFFFF)->action, 9u);
+}
+
+// Property: for random route sets, the returned route's prefix always
+// matches and no longer matching prefix exists.
+class LpmProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpmProperty, ReturnedRouteIsLongestMatch) {
+  analognf::RandomStream rng(GetParam());
+  LpmTable lpm(TcamTechnology::MemristorTcam());
+  struct Route {
+    std::uint32_t value;
+    int len;
+  };
+  std::vector<Route> routes;
+  for (int i = 0; i < 32; ++i) {
+    const auto value = static_cast<std::uint32_t>(rng.NextIndex(1u << 16))
+                       << 16;
+    const int len = static_cast<int>(rng.NextIndex(17));  // 0..16
+    routes.push_back({value, len});
+    lpm.AddRoute(value, len, static_cast<std::uint32_t>(i));
+  }
+  for (int probe = 0; probe < 200; ++probe) {
+    const auto addr =
+        static_cast<std::uint32_t>(rng.NextIndex(0x100000000ULL));
+    const auto result = lpm.Lookup(addr);
+    int best_len = -1;
+    for (const Route& r : routes) {
+      const int shift = 32 - r.len;
+      const bool matches =
+          r.len == 0 || (addr >> shift) == (r.value >> shift);
+      if (matches && r.len > best_len) best_len = r.len;
+    }
+    if (best_len < 0) {
+      EXPECT_FALSE(result.has_value());
+    } else {
+      ASSERT_TRUE(result.has_value());
+      EXPECT_EQ(result->priority, best_len);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpmProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+
+// ------------------------------------------------------ range encoding
+
+TEST(RangeToTernaryTest, ExactValueIsOneWord) {
+  const auto words = RangeToTernary(53, 53, 16);
+  ASSERT_EQ(words.size(), 1u);
+  BitKey key;
+  key.AppendU16(53);
+  EXPECT_TRUE(words[0].Matches(key));
+}
+
+TEST(RangeToTernaryTest, FullRangeIsOneWildcard) {
+  const auto words = RangeToTernary(0, 65535, 16);
+  ASSERT_EQ(words.size(), 1u);
+  EXPECT_EQ(words[0].SpecifiedBits(), 0u);
+}
+
+TEST(RangeToTernaryTest, ClassicEphemeralPortRange) {
+  // 1024-65535 = the canonical example; covers with 6 prefixes.
+  const auto words = RangeToTernary(1024, 65535, 16);
+  EXPECT_EQ(words.size(), 6u);
+  EXPECT_EQ(RangeExpansionCost(1024, 65535, 16), 6u);
+}
+
+TEST(RangeToTernaryTest, ValidatesArguments) {
+  EXPECT_THROW(RangeToTernary(5, 4, 16), std::invalid_argument);
+  EXPECT_THROW(RangeToTernary(0, 300, 8), std::invalid_argument);
+  EXPECT_THROW(RangeToTernary(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(RangeToTernary(0, 1, 33), std::invalid_argument);
+}
+
+// Property: the cover matches exactly [lo, hi] — every value inside
+// matches at least one word, every value outside matches none — and
+// respects the 2w-2 bound.
+class RangeCoverProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RangeCoverProperty, CoverIsExactAndBounded) {
+  analognf::RandomStream rng(GetParam());
+  for (int iter = 0; iter < 40; ++iter) {
+    const unsigned bits = 8;
+    const auto a = static_cast<std::uint32_t>(rng.NextIndex(256));
+    const auto b = static_cast<std::uint32_t>(rng.NextIndex(256));
+    const std::uint32_t lo = std::min(a, b);
+    const std::uint32_t hi = std::max(a, b);
+    const auto words = RangeToTernary(lo, hi, bits);
+    EXPECT_LE(words.size(), 2u * bits - 2u + 1u);
+    for (std::uint32_t v = 0; v < 256; ++v) {
+      BitKey key;
+      key.AppendU8(static_cast<std::uint8_t>(v));
+      bool matched = false;
+      for (const auto& w : words) {
+        if (w.Matches(key)) {
+          matched = true;
+          break;
+        }
+      }
+      EXPECT_EQ(matched, v >= lo && v <= hi)
+          << "value " << v << " range [" << lo << ", " << hi << "]";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeCoverProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(RangeToTernaryTest, WorksInsideATcamTable) {
+  // A firewall-style port-range rule expanded into table entries.
+  TcamTable table(16, TcamTechnology::MemristorTcam());
+  for (const auto& word : RangeToTernary(8000, 8999, 16)) {
+    table.Insert({word, 1, 0});
+  }
+  BitKey inside;
+  inside.AppendU16(8500);
+  BitKey outside;
+  outside.AppendU16(9000);
+  EXPECT_TRUE(table.Search(inside).has_value());
+  EXPECT_FALSE(table.Search(outside).has_value());
+}
+
+}  // namespace
+}  // namespace analognf::tcam
