@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_derivatives.dir/bench_ablation_derivatives.cpp.o"
+  "CMakeFiles/bench_ablation_derivatives.dir/bench_ablation_derivatives.cpp.o.d"
+  "bench_ablation_derivatives"
+  "bench_ablation_derivatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_derivatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

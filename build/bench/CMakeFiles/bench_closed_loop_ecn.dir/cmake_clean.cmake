@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_closed_loop_ecn.dir/bench_closed_loop_ecn.cpp.o"
+  "CMakeFiles/bench_closed_loop_ecn.dir/bench_closed_loop_ecn.cpp.o.d"
+  "bench_closed_loop_ecn"
+  "bench_closed_loop_ecn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_closed_loop_ecn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_closed_loop_ecn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_energy_envelope.dir/bench_energy_envelope.cpp.o"
+  "CMakeFiles/bench_energy_envelope.dir/bench_energy_envelope.cpp.o.d"
+  "bench_energy_envelope"
+  "bench_energy_envelope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_envelope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_colocalization.dir/bench_fig1_colocalization.cpp.o"
+  "CMakeFiles/bench_fig1_colocalization.dir/bench_fig1_colocalization.cpp.o.d"
+  "bench_fig1_colocalization"
+  "bench_fig1_colocalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_colocalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_state_machine.dir/bench_fig2_state_machine.cpp.o"
+  "CMakeFiles/bench_fig2_state_machine.dir/bench_fig2_state_machine.cpp.o.d"
+  "bench_fig2_state_machine"
+  "bench_fig2_state_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_state_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_aqm_output.dir/bench_fig7_aqm_output.cpp.o"
+  "CMakeFiles/bench_fig7_aqm_output.dir/bench_fig7_aqm_output.cpp.o.d"
+  "bench_fig7_aqm_output"
+  "bench_fig7_aqm_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_aqm_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

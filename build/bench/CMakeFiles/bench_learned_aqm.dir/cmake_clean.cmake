@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_learned_aqm.dir/bench_learned_aqm.cpp.o"
+  "CMakeFiles/bench_learned_aqm.dir/bench_learned_aqm.cpp.o.d"
+  "bench_learned_aqm"
+  "bench_learned_aqm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_learned_aqm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_search_throughput.dir/bench_search_throughput.cpp.o"
+  "CMakeFiles/bench_search_throughput.dir/bench_search_throughput.cpp.o.d"
+  "bench_search_throughput"
+  "bench_search_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_search_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

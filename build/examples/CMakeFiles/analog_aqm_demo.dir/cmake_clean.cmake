@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analog_aqm_demo.dir/analog_aqm_demo.cpp.o"
+  "CMakeFiles/analog_aqm_demo.dir/analog_aqm_demo.cpp.o.d"
+  "analog_aqm_demo"
+  "analog_aqm_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analog_aqm_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

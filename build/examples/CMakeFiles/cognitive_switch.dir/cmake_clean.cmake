@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cognitive_switch.dir/cognitive_switch.cpp.o"
+  "CMakeFiles/cognitive_switch.dir/cognitive_switch.cpp.o.d"
+  "cognitive_switch"
+  "cognitive_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cognitive_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

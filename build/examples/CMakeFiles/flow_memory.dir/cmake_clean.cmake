@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_memory.dir/flow_memory.cpp.o"
+  "CMakeFiles/flow_memory.dir/flow_memory.cpp.o.d"
+  "flow_memory"
+  "flow_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

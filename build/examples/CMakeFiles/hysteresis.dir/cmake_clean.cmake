@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hysteresis.dir/hysteresis.cpp.o"
+  "CMakeFiles/hysteresis.dir/hysteresis.cpp.o.d"
+  "hysteresis"
+  "hysteresis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hysteresis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

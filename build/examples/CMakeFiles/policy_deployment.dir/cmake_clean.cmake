@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_deployment.dir/policy_deployment.cpp.o"
+  "CMakeFiles/policy_deployment.dir/policy_deployment.cpp.o.d"
+  "policy_deployment"
+  "policy_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

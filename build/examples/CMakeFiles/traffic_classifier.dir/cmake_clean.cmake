@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_classifier.dir/traffic_classifier.cpp.o"
+  "CMakeFiles/traffic_classifier.dir/traffic_classifier.cpp.o.d"
+  "traffic_classifier"
+  "traffic_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/converter.cpp" "src/analog/CMakeFiles/analognf_analog.dir/converter.cpp.o" "gcc" "src/analog/CMakeFiles/analognf_analog.dir/converter.cpp.o.d"
+  "/root/repo/src/analog/crossbar.cpp" "src/analog/CMakeFiles/analognf_analog.dir/crossbar.cpp.o" "gcc" "src/analog/CMakeFiles/analognf_analog.dir/crossbar.cpp.o.d"
+  "/root/repo/src/analog/differentiator.cpp" "src/analog/CMakeFiles/analognf_analog.dir/differentiator.cpp.o" "gcc" "src/analog/CMakeFiles/analognf_analog.dir/differentiator.cpp.o.d"
+  "/root/repo/src/analog/noise.cpp" "src/analog/CMakeFiles/analognf_analog.dir/noise.cpp.o" "gcc" "src/analog/CMakeFiles/analognf_analog.dir/noise.cpp.o.d"
+  "/root/repo/src/analog/sample_hold.cpp" "src/analog/CMakeFiles/analognf_analog.dir/sample_hold.cpp.o" "gcc" "src/analog/CMakeFiles/analognf_analog.dir/sample_hold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/analognf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/analognf_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analognf_analog.dir/converter.cpp.o"
+  "CMakeFiles/analognf_analog.dir/converter.cpp.o.d"
+  "CMakeFiles/analognf_analog.dir/crossbar.cpp.o"
+  "CMakeFiles/analognf_analog.dir/crossbar.cpp.o.d"
+  "CMakeFiles/analognf_analog.dir/differentiator.cpp.o"
+  "CMakeFiles/analognf_analog.dir/differentiator.cpp.o.d"
+  "CMakeFiles/analognf_analog.dir/noise.cpp.o"
+  "CMakeFiles/analognf_analog.dir/noise.cpp.o.d"
+  "CMakeFiles/analognf_analog.dir/sample_hold.cpp.o"
+  "CMakeFiles/analognf_analog.dir/sample_hold.cpp.o.d"
+  "libanalognf_analog.a"
+  "libanalognf_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analognf_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libanalognf_analog.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aqm/analog_aqm.cpp" "src/aqm/CMakeFiles/analognf_aqm.dir/analog_aqm.cpp.o" "gcc" "src/aqm/CMakeFiles/analognf_aqm.dir/analog_aqm.cpp.o.d"
+  "/root/repo/src/aqm/codel.cpp" "src/aqm/CMakeFiles/analognf_aqm.dir/codel.cpp.o" "gcc" "src/aqm/CMakeFiles/analognf_aqm.dir/codel.cpp.o.d"
+  "/root/repo/src/aqm/controller.cpp" "src/aqm/CMakeFiles/analognf_aqm.dir/controller.cpp.o" "gcc" "src/aqm/CMakeFiles/analognf_aqm.dir/controller.cpp.o.d"
+  "/root/repo/src/aqm/pie.cpp" "src/aqm/CMakeFiles/analognf_aqm.dir/pie.cpp.o" "gcc" "src/aqm/CMakeFiles/analognf_aqm.dir/pie.cpp.o.d"
+  "/root/repo/src/aqm/red.cpp" "src/aqm/CMakeFiles/analognf_aqm.dir/red.cpp.o" "gcc" "src/aqm/CMakeFiles/analognf_aqm.dir/red.cpp.o.d"
+  "/root/repo/src/aqm/wred.cpp" "src/aqm/CMakeFiles/analognf_aqm.dir/wred.cpp.o" "gcc" "src/aqm/CMakeFiles/analognf_aqm.dir/wred.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/analognf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/analognf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/analognf_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/analognf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/analognf_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/analognf_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

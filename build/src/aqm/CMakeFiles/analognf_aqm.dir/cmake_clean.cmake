@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analognf_aqm.dir/analog_aqm.cpp.o"
+  "CMakeFiles/analognf_aqm.dir/analog_aqm.cpp.o.d"
+  "CMakeFiles/analognf_aqm.dir/codel.cpp.o"
+  "CMakeFiles/analognf_aqm.dir/codel.cpp.o.d"
+  "CMakeFiles/analognf_aqm.dir/controller.cpp.o"
+  "CMakeFiles/analognf_aqm.dir/controller.cpp.o.d"
+  "CMakeFiles/analognf_aqm.dir/pie.cpp.o"
+  "CMakeFiles/analognf_aqm.dir/pie.cpp.o.d"
+  "CMakeFiles/analognf_aqm.dir/red.cpp.o"
+  "CMakeFiles/analognf_aqm.dir/red.cpp.o.d"
+  "CMakeFiles/analognf_aqm.dir/wred.cpp.o"
+  "CMakeFiles/analognf_aqm.dir/wred.cpp.o.d"
+  "libanalognf_aqm.a"
+  "libanalognf_aqm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analognf_aqm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

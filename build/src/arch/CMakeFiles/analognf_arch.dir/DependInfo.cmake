@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/controller.cpp" "src/arch/CMakeFiles/analognf_arch.dir/controller.cpp.o" "gcc" "src/arch/CMakeFiles/analognf_arch.dir/controller.cpp.o.d"
+  "/root/repo/src/arch/keys.cpp" "src/arch/CMakeFiles/analognf_arch.dir/keys.cpp.o" "gcc" "src/arch/CMakeFiles/analognf_arch.dir/keys.cpp.o.d"
+  "/root/repo/src/arch/policy_language.cpp" "src/arch/CMakeFiles/analognf_arch.dir/policy_language.cpp.o" "gcc" "src/arch/CMakeFiles/analognf_arch.dir/policy_language.cpp.o.d"
+  "/root/repo/src/arch/switch.cpp" "src/arch/CMakeFiles/analognf_arch.dir/switch.cpp.o" "gcc" "src/arch/CMakeFiles/analognf_arch.dir/switch.cpp.o.d"
+  "/root/repo/src/arch/topology.cpp" "src/arch/CMakeFiles/analognf_arch.dir/topology.cpp.o" "gcc" "src/arch/CMakeFiles/analognf_arch.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/analognf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/analognf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/analognf_tcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/analognf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqm/CMakeFiles/analognf_aqm.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/analognf_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/analognf_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/analognf_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

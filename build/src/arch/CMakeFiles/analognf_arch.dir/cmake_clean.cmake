@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analognf_arch.dir/controller.cpp.o"
+  "CMakeFiles/analognf_arch.dir/controller.cpp.o.d"
+  "CMakeFiles/analognf_arch.dir/keys.cpp.o"
+  "CMakeFiles/analognf_arch.dir/keys.cpp.o.d"
+  "CMakeFiles/analognf_arch.dir/policy_language.cpp.o"
+  "CMakeFiles/analognf_arch.dir/policy_language.cpp.o.d"
+  "CMakeFiles/analognf_arch.dir/switch.cpp.o"
+  "CMakeFiles/analognf_arch.dir/switch.cpp.o.d"
+  "CMakeFiles/analognf_arch.dir/topology.cpp.o"
+  "CMakeFiles/analognf_arch.dir/topology.cpp.o.d"
+  "libanalognf_arch.a"
+  "libanalognf_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analognf_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

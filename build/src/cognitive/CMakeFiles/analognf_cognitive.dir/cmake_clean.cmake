@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analognf_cognitive.dir/associative.cpp.o"
+  "CMakeFiles/analognf_cognitive.dir/associative.cpp.o.d"
+  "CMakeFiles/analognf_cognitive.dir/classifier.cpp.o"
+  "CMakeFiles/analognf_cognitive.dir/classifier.cpp.o.d"
+  "CMakeFiles/analognf_cognitive.dir/learned_aqm.cpp.o"
+  "CMakeFiles/analognf_cognitive.dir/learned_aqm.cpp.o.d"
+  "CMakeFiles/analognf_cognitive.dir/perceptron.cpp.o"
+  "CMakeFiles/analognf_cognitive.dir/perceptron.cpp.o.d"
+  "libanalognf_cognitive.a"
+  "libanalognf_cognitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analognf_cognitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

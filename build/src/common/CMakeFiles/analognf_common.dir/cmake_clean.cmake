@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analognf_common.dir/quantile.cpp.o"
+  "CMakeFiles/analognf_common.dir/quantile.cpp.o.d"
+  "CMakeFiles/analognf_common.dir/rng.cpp.o"
+  "CMakeFiles/analognf_common.dir/rng.cpp.o.d"
+  "CMakeFiles/analognf_common.dir/stats.cpp.o"
+  "CMakeFiles/analognf_common.dir/stats.cpp.o.d"
+  "CMakeFiles/analognf_common.dir/table.cpp.o"
+  "CMakeFiles/analognf_common.dir/table.cpp.o.d"
+  "CMakeFiles/analognf_common.dir/timeseries.cpp.o"
+  "CMakeFiles/analognf_common.dir/timeseries.cpp.o.d"
+  "libanalognf_common.a"
+  "libanalognf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analognf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/action_memory.cpp" "src/core/CMakeFiles/analognf_core.dir/action_memory.cpp.o" "gcc" "src/core/CMakeFiles/analognf_core.dir/action_memory.cpp.o.d"
+  "/root/repo/src/core/nonlinear.cpp" "src/core/CMakeFiles/analognf_core.dir/nonlinear.cpp.o" "gcc" "src/core/CMakeFiles/analognf_core.dir/nonlinear.cpp.o.d"
+  "/root/repo/src/core/pcam_array.cpp" "src/core/CMakeFiles/analognf_core.dir/pcam_array.cpp.o" "gcc" "src/core/CMakeFiles/analognf_core.dir/pcam_array.cpp.o.d"
+  "/root/repo/src/core/pcam_cell.cpp" "src/core/CMakeFiles/analognf_core.dir/pcam_cell.cpp.o" "gcc" "src/core/CMakeFiles/analognf_core.dir/pcam_cell.cpp.o.d"
+  "/root/repo/src/core/pcam_hardware.cpp" "src/core/CMakeFiles/analognf_core.dir/pcam_hardware.cpp.o" "gcc" "src/core/CMakeFiles/analognf_core.dir/pcam_hardware.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/analognf_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/analognf_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/program.cpp" "src/core/CMakeFiles/analognf_core.dir/program.cpp.o" "gcc" "src/core/CMakeFiles/analognf_core.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/analognf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/analognf_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/analognf_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/analognf_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

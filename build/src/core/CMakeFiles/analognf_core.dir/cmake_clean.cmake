@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analognf_core.dir/action_memory.cpp.o"
+  "CMakeFiles/analognf_core.dir/action_memory.cpp.o.d"
+  "CMakeFiles/analognf_core.dir/nonlinear.cpp.o"
+  "CMakeFiles/analognf_core.dir/nonlinear.cpp.o.d"
+  "CMakeFiles/analognf_core.dir/pcam_array.cpp.o"
+  "CMakeFiles/analognf_core.dir/pcam_array.cpp.o.d"
+  "CMakeFiles/analognf_core.dir/pcam_cell.cpp.o"
+  "CMakeFiles/analognf_core.dir/pcam_cell.cpp.o.d"
+  "CMakeFiles/analognf_core.dir/pcam_hardware.cpp.o"
+  "CMakeFiles/analognf_core.dir/pcam_hardware.cpp.o.d"
+  "CMakeFiles/analognf_core.dir/pipeline.cpp.o"
+  "CMakeFiles/analognf_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/analognf_core.dir/program.cpp.o"
+  "CMakeFiles/analognf_core.dir/program.cpp.o.d"
+  "libanalognf_core.a"
+  "libanalognf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analognf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/characterization.cpp" "src/device/CMakeFiles/analognf_device.dir/characterization.cpp.o" "gcc" "src/device/CMakeFiles/analognf_device.dir/characterization.cpp.o.d"
+  "/root/repo/src/device/dataset.cpp" "src/device/CMakeFiles/analognf_device.dir/dataset.cpp.o" "gcc" "src/device/CMakeFiles/analognf_device.dir/dataset.cpp.o.d"
+  "/root/repo/src/device/memristor.cpp" "src/device/CMakeFiles/analognf_device.dir/memristor.cpp.o" "gcc" "src/device/CMakeFiles/analognf_device.dir/memristor.cpp.o.d"
+  "/root/repo/src/device/quantizer.cpp" "src/device/CMakeFiles/analognf_device.dir/quantizer.cpp.o" "gcc" "src/device/CMakeFiles/analognf_device.dir/quantizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/analognf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

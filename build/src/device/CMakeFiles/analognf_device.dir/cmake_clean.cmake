@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analognf_device.dir/characterization.cpp.o"
+  "CMakeFiles/analognf_device.dir/characterization.cpp.o.d"
+  "CMakeFiles/analognf_device.dir/dataset.cpp.o"
+  "CMakeFiles/analognf_device.dir/dataset.cpp.o.d"
+  "CMakeFiles/analognf_device.dir/memristor.cpp.o"
+  "CMakeFiles/analognf_device.dir/memristor.cpp.o.d"
+  "CMakeFiles/analognf_device.dir/quantizer.cpp.o"
+  "CMakeFiles/analognf_device.dir/quantizer.cpp.o.d"
+  "libanalognf_device.a"
+  "libanalognf_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analognf_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

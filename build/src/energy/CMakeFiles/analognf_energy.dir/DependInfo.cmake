@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/ledger.cpp" "src/energy/CMakeFiles/analognf_energy.dir/ledger.cpp.o" "gcc" "src/energy/CMakeFiles/analognf_energy.dir/ledger.cpp.o.d"
+  "/root/repo/src/energy/movement.cpp" "src/energy/CMakeFiles/analognf_energy.dir/movement.cpp.o" "gcc" "src/energy/CMakeFiles/analognf_energy.dir/movement.cpp.o.d"
+  "/root/repo/src/energy/reference.cpp" "src/energy/CMakeFiles/analognf_energy.dir/reference.cpp.o" "gcc" "src/energy/CMakeFiles/analognf_energy.dir/reference.cpp.o.d"
+  "/root/repo/src/energy/standby.cpp" "src/energy/CMakeFiles/analognf_energy.dir/standby.cpp.o" "gcc" "src/energy/CMakeFiles/analognf_energy.dir/standby.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/analognf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analognf_energy.dir/ledger.cpp.o"
+  "CMakeFiles/analognf_energy.dir/ledger.cpp.o.d"
+  "CMakeFiles/analognf_energy.dir/movement.cpp.o"
+  "CMakeFiles/analognf_energy.dir/movement.cpp.o.d"
+  "CMakeFiles/analognf_energy.dir/reference.cpp.o"
+  "CMakeFiles/analognf_energy.dir/reference.cpp.o.d"
+  "CMakeFiles/analognf_energy.dir/standby.cpp.o"
+  "CMakeFiles/analognf_energy.dir/standby.cpp.o.d"
+  "libanalognf_energy.a"
+  "libanalognf_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analognf_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/generator.cpp" "src/net/CMakeFiles/analognf_net.dir/generator.cpp.o" "gcc" "src/net/CMakeFiles/analognf_net.dir/generator.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/analognf_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/analognf_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/parser.cpp" "src/net/CMakeFiles/analognf_net.dir/parser.cpp.o" "gcc" "src/net/CMakeFiles/analognf_net.dir/parser.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/net/CMakeFiles/analognf_net.dir/pcap.cpp.o" "gcc" "src/net/CMakeFiles/analognf_net.dir/pcap.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/net/CMakeFiles/analognf_net.dir/queue.cpp.o" "gcc" "src/net/CMakeFiles/analognf_net.dir/queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/analognf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

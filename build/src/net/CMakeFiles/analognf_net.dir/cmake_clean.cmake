@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analognf_net.dir/generator.cpp.o"
+  "CMakeFiles/analognf_net.dir/generator.cpp.o.d"
+  "CMakeFiles/analognf_net.dir/packet.cpp.o"
+  "CMakeFiles/analognf_net.dir/packet.cpp.o.d"
+  "CMakeFiles/analognf_net.dir/parser.cpp.o"
+  "CMakeFiles/analognf_net.dir/parser.cpp.o.d"
+  "CMakeFiles/analognf_net.dir/pcap.cpp.o"
+  "CMakeFiles/analognf_net.dir/pcap.cpp.o.d"
+  "CMakeFiles/analognf_net.dir/queue.cpp.o"
+  "CMakeFiles/analognf_net.dir/queue.cpp.o.d"
+  "libanalognf_net.a"
+  "libanalognf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analognf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

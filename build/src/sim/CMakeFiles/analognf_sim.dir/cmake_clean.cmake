@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analognf_sim.dir/closed_loop.cpp.o"
+  "CMakeFiles/analognf_sim.dir/closed_loop.cpp.o.d"
+  "CMakeFiles/analognf_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/analognf_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/analognf_sim.dir/queue_sim.cpp.o"
+  "CMakeFiles/analognf_sim.dir/queue_sim.cpp.o.d"
+  "libanalognf_sim.a"
+  "libanalognf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analognf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

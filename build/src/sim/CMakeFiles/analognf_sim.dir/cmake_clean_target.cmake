@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libanalognf_sim.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analognf_tcam.dir/range.cpp.o"
+  "CMakeFiles/analognf_tcam.dir/range.cpp.o.d"
+  "CMakeFiles/analognf_tcam.dir/tcam.cpp.o"
+  "CMakeFiles/analognf_tcam.dir/tcam.cpp.o.d"
+  "CMakeFiles/analognf_tcam.dir/ternary.cpp.o"
+  "CMakeFiles/analognf_tcam.dir/ternary.cpp.o.d"
+  "libanalognf_tcam.a"
+  "libanalognf_tcam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analognf_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analog.cpp" "tests/CMakeFiles/test_analog.dir/test_analog.cpp.o" "gcc" "tests/CMakeFiles/test_analog.dir/test_analog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analog/CMakeFiles/analognf_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/analognf_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/analognf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
