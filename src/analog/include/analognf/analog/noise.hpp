@@ -8,6 +8,8 @@
 // analysed quantitatively (bench_ablation_noise).
 #pragma once
 
+#include <cstddef>
+
 #include "analognf/common/rng.hpp"
 
 namespace analognf::analog {
@@ -29,6 +31,13 @@ struct ChannelParams {
 
   void Validate() const;  // throws std::invalid_argument
 
+  // True when Transmit() is a pure per-sample gain (no RNG draws, no
+  // phase state): the batched pCAM search engine uses this to skip
+  // channel bookkeeping entirely on the hot path.
+  bool IsStateless() const {
+    return awgn_sigma_v == 0.0 && interference_peak_v == 0.0;
+  }
+
   // Convenience presets used across tests and benches.
   static ChannelParams Ideal() { return {}; }
   static ChannelParams Noisy(double sigma_v) {
@@ -48,6 +57,13 @@ class AnalogChannel {
   static AnalogChannel MakeIdeal();
 
   double Transmit(double voltage_v);
+
+  // Transmits `count` samples in one call: out[i] is exactly what
+  // Transmit(in[i]) would have returned, in order, but the loss/crosstalk/
+  // AWGN sampling runs in one tight loop. Batched pCAM searches use this
+  // to amortize channel sampling across a whole probe batch per cell.
+  // `in` and `out` may alias.
+  void TransmitBatch(const double* in, double* out, std::size_t count);
 
   const ChannelParams& params() const { return params_; }
 

@@ -42,6 +42,17 @@ double AnalogChannel::Transmit(double voltage_v) {
   return out;
 }
 
+void AnalogChannel::TransmitBatch(const double* in, double* out,
+                                  std::size_t count) {
+  if (params_.IsStateless()) {
+    // Pure gain: one vectorizable pass, no RNG or phase bookkeeping.
+    const double gain = params_.line_gain;
+    for (std::size_t i = 0; i < count; ++i) out[i] = in[i] * gain;
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) out[i] = Transmit(in[i]);
+}
+
 double ThermalNoiseSigmaV(double resistance_ohm, double bandwidth_hz,
                           double temperature_k) {
   if (resistance_ohm < 0.0 || bandwidth_hz < 0.0 || temperature_k < 0.0) {

@@ -185,13 +185,21 @@ AnalogAqm::AnalogAqm(AnalogAqmConfig config)
 std::vector<double> AnalogAqm::FeaturesToVoltages(
     const std::vector<double>& sojourn_derivs,
     const std::vector<double>& buffer_derivs) {
+  std::vector<double> volts;
+  FeaturesToVoltagesInto(sojourn_derivs, buffer_derivs, volts);
+  return volts;
+}
+
+void AnalogAqm::FeaturesToVoltagesInto(
+    const std::vector<double>& sojourn_derivs,
+    const std::vector<double>& buffer_derivs, std::vector<double>& volts) {
   const std::size_t per_family = config_.derivative_orders + 1;
   if (sojourn_derivs.size() < per_family ||
       (config_.use_buffer_features && buffer_derivs.size() < per_family)) {
     throw std::invalid_argument(
         "AnalogAqm::FeaturesToVoltages: not enough derivative values");
   }
-  std::vector<double> volts;
+  volts.clear();
   volts.reserve(dacs_.size());
   std::size_t dac = 0;
   for (std::size_t k = 0; k < per_family; ++k) {
@@ -205,13 +213,12 @@ std::vector<double> AnalogAqm::FeaturesToVoltages(
   ledger_.Record(energy::category::kDacConvert,
                  config_.dac_energy_j * static_cast<double>(volts.size()),
                  volts.size());
-  return volts;
 }
 
 double AnalogAqm::EvaluatePdp(const std::vector<double>& features_v) {
-  const auto out = table_->Apply(features_v);
-  ledger_.Record(energy::category::kPcamSearch, out.energy_j, 1);
-  return std::clamp(out.value, 0.0, 1.0);
+  table_->Apply(features_v, apply_scratch_);
+  ledger_.Record(energy::category::kPcamSearch, apply_scratch_.energy_j, 1);
+  return std::clamp(apply_scratch_.value, 0.0, 1.0);
 }
 
 bool AnalogAqm::ShouldDropOnEnqueue(const AqmContext& ctx) {
@@ -236,8 +243,8 @@ AqmVerdict AnalogAqm::DecideOnEnqueue(const AqmContext& ctx) {
                  config_.derivative_energy_j * chain_stages,
                  static_cast<std::uint64_t>(chain_stages));
 
-  const std::vector<double> volts = FeaturesToVoltages(sojourn, buffer);
-  double pdp = EvaluatePdp(volts);
+  FeaturesToVoltagesInto(sojourn, buffer, volts_scratch_);
+  double pdp = EvaluatePdp(volts_scratch_);
   if (ctx.packet.priority >= 4) pdp *= config_.high_priority_relief;
   last_pdp_ = pdp;
   if (!rng_.NextBernoulli(pdp)) return AqmVerdict::kAccept;

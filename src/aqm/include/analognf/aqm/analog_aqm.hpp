@@ -131,6 +131,10 @@ class AnalogAqm final : public AqmPolicy {
  private:
   core::AnalogTableSpec BuildSpec() const;
   void BuildDacs();
+  // Fills `volts` (table order) without allocating.
+  void FeaturesToVoltagesInto(const std::vector<double>& sojourn_derivs,
+                              const std::vector<double>& buffer_derivs,
+                              std::vector<double>& volts);
 
   AnalogAqmConfig config_;
   analognf::RandomStream rng_;
@@ -140,6 +144,10 @@ class AnalogAqm final : public AqmPolicy {
   std::vector<analog::Dac> dacs_;  // one per read field, in table order
   energy::EnergyLedger ledger_;
   double last_pdp_ = 0.0;
+  // Per-packet scratch, reused across DecideOnEnqueue calls so the data
+  // path stays allocation-free after warm-up.
+  std::vector<double> volts_scratch_;
+  core::AnalogMatchActionTable::Output apply_scratch_;
 };
 
 }  // namespace analognf::aqm

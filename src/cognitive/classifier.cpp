@@ -112,4 +112,29 @@ std::optional<Classification> AnalogTrafficClassifier::Classify(
   return out;
 }
 
+std::vector<std::optional<Classification>>
+AnalogTrafficClassifier::ClassifyBatch(
+    const std::vector<FlowFeatures>& features, double min_confidence) {
+  std::vector<std::optional<Classification>> out(features.size());
+  if (features.empty()) return out;
+  std::vector<double> queries;
+  queries.reserve(features.size() * 3);
+  for (const FlowFeatures& f : features) {
+    queries.push_back(size_map_.ToVoltage(f.mean_packet_size_bytes));
+    queries.push_back(iat_map_.ToVoltage(LogIat(f.mean_interarrival_s)));
+    queries.push_back(burst_map_.ToVoltage(f.burstiness));
+  }
+  const auto results = table_.SearchBatchFlat(queries);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const core::PcamTableResult& r = results[i];
+    if (r.match_degree <= min_confidence) continue;
+    Classification c;
+    c.class_index = r.action;
+    c.label = labels_[r.action];
+    c.confidence = std::min(r.match_degree, 1.0);
+    out[i] = std::move(c);
+  }
+  return out;
+}
+
 }  // namespace analognf::cognitive

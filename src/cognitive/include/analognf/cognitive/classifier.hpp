@@ -89,6 +89,12 @@ class AnalogTrafficClassifier {
   std::optional<Classification> Classify(const FlowFeatures& features,
                                          double min_confidence = 0.0);
 
+  // Classifies many flows with one batched table search (one snapshot
+  // refresh, shared scratch). Result i corresponds to features[i] and
+  // matches what Classify(features[i]) would return.
+  std::vector<std::optional<Classification>> ClassifyBatch(
+      const std::vector<FlowFeatures>& features, double min_confidence = 0.0);
+
   double ConsumedEnergyJ() const { return table_.ConsumedEnergyJ(); }
 
  private:

@@ -1,0 +1,60 @@
+// A small reusable worker pool for data-parallel loops.
+//
+// The pCAM search engine shards row evaluation across cores for large
+// tables (pcam_search_engine.hpp); simulations and benches may reuse the
+// same pool. The pool is deliberately minimal: one blocking ParallelFor
+// at a time, no futures, no task graph. The calling thread participates
+// in the loop, so a pool with zero workers degrades to a plain `for` —
+// which is also the single-core fallback.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace analognf {
+
+class ThreadPool {
+ public:
+  // Spawns `workers` background threads (0 is valid: all work then runs
+  // inline on the calling thread).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Runs fn(0) .. fn(tasks - 1), concurrently across the workers and the
+  // calling thread, and blocks until all calls have returned. Tasks must
+  // not submit further work to the same pool. Concurrent ParallelFor
+  // calls from different threads are serialized.
+  void ParallelFor(std::size_t tasks,
+                   const std::function<void(std::size_t)>& fn);
+
+  // Process-wide pool sized to the machine (hardware_concurrency - 1
+  // workers, so loops use every core including the caller's).
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+  void RunTasks();
+
+  std::vector<std::thread> workers_;
+  std::mutex submit_mutex_;  // one job at a time
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t total_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t done_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace analognf

@@ -24,6 +24,11 @@ class TimeSeries {
   // last appended time.
   void Append(double time, double value);
 
+  // Pre-allocates storage for `capacity` samples. Simulations that know
+  // their sample count up front (duration / sample interval) call this to
+  // keep the Append hot path free of reallocation.
+  void Reserve(std::size_t capacity) { points_.reserve(capacity); }
+
   const std::string& name() const { return name_; }
   bool empty() const { return points_.empty(); }
   std::size_t size() const { return points_.size(); }

@@ -7,6 +7,11 @@
 // returning a *degree* of match per row instead of hit/miss, which is
 // what lets cognitive functions find "the closely matching stored
 // policies for an incoming query with zero [exact] matches" (RQ1).
+//
+// Searches run on a PcamSearchEngine snapshot (pcam_search_engine.hpp):
+// a structure-of-arrays mirror of every cell's effective transfer
+// function that evaluates whole columns per probe, dirty-tracked so that
+// Insert/ProgramField/Age refresh only the touched rows.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +21,7 @@
 
 #include "analognf/common/rng.hpp"
 #include "analognf/core/pcam_hardware.hpp"
+#include "analognf/core/pcam_search_engine.hpp"
 
 namespace analognf::core {
 
@@ -30,11 +36,16 @@ class PcamWord {
   std::size_t width() const { return cells_.size(); }
 
   // Evaluates all fields against `inputs` (size must equal width) and
-  // returns the product of cell outputs plus total energy.
+  // returns the product of cell outputs plus total energy. The combined
+  // region is the worst cell region under RegionSeverity (a single
+  // deterministically mismatching field outranks any skirt hit).
   PcamEvalResult Evaluate(const std::vector<double>& inputs);
 
   // Reprograms field `index`.
   void ProgramField(std::size_t index, const PcamParams& params);
+
+  // Ages every cell by `dt_s` of wall time (retention relaxation).
+  void Age(double dt_s);
 
   HardwarePcamCell& cell(std::size_t index) { return cells_.at(index); }
   const HardwarePcamCell& cell(std::size_t index) const {
@@ -63,11 +74,15 @@ class PcamTable {
   };
 
   // `field_count` fixes the table width; every row must match it.
-  PcamTable(std::size_t field_count, HardwarePcamConfig config);
+  // `search_config` tunes the search engine (thread sharding).
+  PcamTable(std::size_t field_count, HardwarePcamConfig config,
+            PcamSearchConfig search_config = {});
 
   std::size_t field_count() const { return field_count_; }
   std::size_t size() const { return words_.size(); }
   const std::vector<Row>& rows() const { return rows_; }
+  // Read access to a stored word (diagnostics and tests).
+  const PcamWord& word(std::size_t index) const { return words_.at(index); }
 
   // Adds a row; returns its index.
   std::size_t Insert(Row row);
@@ -76,6 +91,17 @@ class PcamTable {
   // degree wins (ties: lowest index). Returns nullopt only for an empty
   // table. Energy covers all rows (they all saw the search voltage).
   std::optional<PcamTableResult> Search(const std::vector<double>& inputs);
+
+  // Batched search: one snapshot refresh and shared scratch buffers
+  // across all probes; with noisy channels, per-cell noise is sampled
+  // for the whole batch at once. Returns one result per query (empty if
+  // the table is empty); last_degrees() afterwards holds the final
+  // query's per-row degrees.
+  std::vector<PcamTableResult> SearchBatch(
+      const std::vector<std::vector<double>>& queries);
+  // Same, with the queries packed row-major (size = k * field_count).
+  std::vector<PcamTableResult> SearchBatchFlat(
+      const std::vector<double>& queries_flat);
 
   // Per-row degrees of the last Search() (diagnostics / soft selection).
   const std::vector<double>& last_degrees() const { return last_degrees_; }
@@ -86,18 +112,37 @@ class PcamTable {
   std::optional<PcamTableResult> SampleByDegree(
       const std::vector<double>& inputs, analognf::RandomStream& rng);
 
+  // Deterministic core of SampleByDegree, exposed for tests and replay:
+  // `unit_draw` in [0, 1) selects a row by cumulative degree mass;
+  // values >= 1 exercise the numerical-tail fallback (the arg-max row).
+  std::optional<PcamTableResult> SampleWithDraw(
+      const std::vector<double>& inputs, double unit_draw);
+
   // Reprogram one field of one row.
   void ProgramField(std::size_t row, std::size_t field,
                     const PcamParams& params);
 
+  // Ages every cell in the table by `dt_s` (retention relaxation); the
+  // search snapshot is refreshed on the next probe.
+  void Age(double dt_s);
+
   double ConsumedEnergyJ() const { return consumed_energy_j_; }
 
  private:
+  void CheckArity(std::size_t got) const;
+  PcamTableResult MakeResult(const PcamSearchOutcome& outcome) const;
+  std::optional<PcamTableResult> PickByMass(const PcamTableResult& best,
+                                            double unit_draw,
+                                            double total) const;
+
   std::size_t field_count_;
   HardwarePcamConfig config_;
   std::vector<Row> rows_;
   std::vector<PcamWord> words_;
+  PcamSearchEngine engine_;
   std::vector<double> last_degrees_;
+  std::vector<PcamSearchOutcome> batch_outcomes_;  // scratch
+  std::vector<double> batch_queries_;              // scratch
   double consumed_energy_j_ = 0.0;
   std::uint64_t next_seed_salt_ = 1;
 };

@@ -38,6 +38,13 @@ enum class MatchRegion {
 
 std::string ToString(MatchRegion region);
 
+// Severity rank used when combining per-cell regions into a word-level
+// verdict: a deterministic mismatch (2) dominates a probabilistic skirt
+// (1), which dominates a deterministic match (0). A multi-field word
+// reports the worst region across its cells — one hard-mismatching field
+// makes the whole row a mismatch regardless of what later fields say.
+int RegionSeverity(MatchRegion region);
+
 // The eight prog_pCAM() parameters.
 struct PcamParams {
   double m1 = 0.0;

@@ -83,6 +83,17 @@ class HardwarePcamCell {
   // Search energy for a given line voltage with the current states.
   double SearchEnergyJ(double input_v) const;
 
+  // Combined conductance of both threshold devices, G_lo + G_hi. Cached
+  // at (re)programming/aging time so the per-search energy term is a
+  // multiply instead of two exponentials; the search-engine snapshot
+  // reads it straight into its structure-of-arrays layout.
+  double ConductanceSumS() const { return conductance_sum_s_; }
+
+  // The cell's search-line channel. The search engine drives it directly
+  // so that engine searches consume exactly the noise stream per-cell
+  // Evaluate() calls would have.
+  analog::AnalogChannel& channel() { return channel_; }
+
   // Cumulative energies since construction.
   double ConsumedSearchEnergyJ() const { return search_energy_j_; }
   double ConsumedProgrammingEnergyJ() const { return program_energy_j_; }
@@ -104,6 +115,7 @@ class HardwarePcamCell {
   PcamParams target_;
   PcamCell effective_;
   analog::AnalogChannel channel_;
+  double conductance_sum_s_ = 0.0;
   double search_energy_j_ = 0.0;
   double program_energy_j_ = 0.0;
   std::uint64_t searches_ = 0;

@@ -1,0 +1,144 @@
+// Vectorized batched pCAM search engine.
+//
+// Real analog CAM hardware evaluates every stored row in parallel on a
+// single search voltage (Li et al., "Analog content addressable memories
+// with memristors"). The object-per-cell model in pcam_array.hpp is the
+// right abstraction for programming and aging, but walking it row by row
+// costs two exponentials (device conductances) and a virtual-ish branchy
+// transfer evaluation per cell per search. This engine restores the
+// hardware's all-rows-at-once shape in software:
+//
+//   * Snapshot: the effective (post-quantisation) transfer parameters,
+//     derived slope intercepts and device conductance sums of every cell
+//     are mirrored into a structure-of-arrays, column-major layout — one
+//     contiguous array per parameter per field, indexed by row. The
+//     five-region piecewise-linear map then evaluates as branch-light
+//     select chains over whole columns that the compiler auto-vectorizes.
+//   * Dirty tracking: Insert/ProgramField/Age on the owning table
+//     invalidate only the touched rows; a search refreshes those rows
+//     and reuses the rest of the snapshot untouched.
+//   * Batching: SearchBatch() evaluates many probes against one snapshot
+//     refresh, reusing all scratch buffers and (for noisy channels)
+//     drawing each cell's channel-noise samples for the whole batch in
+//     one TransmitBatch call.
+//   * Threading: for tables with at least `thread_row_threshold` rows,
+//     stateless-channel searches shard row ranges across the shared
+//     ThreadPool. Row products are computed independently per row and
+//     shard arg-maxes merge in ascending order, so results are identical
+//     to the single-threaded pass.
+//
+// Semantics: with a stateless channel (no AWGN, no crosstalk) the engine
+// reproduces the scalar PcamWord-walk bit-for-bit modulo floating-point
+// association in the energy total. With a stateful channel, single
+// Search() calls consume each cell's noise stream in the exact legacy
+// order (fields within a row, rows ascending); SearchBatch() draws
+// per-cell noise in batch-sized blocks instead, which is statistically
+// equivalent but a different stream interleaving.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "analognf/core/pcam_hardware.hpp"
+
+namespace analognf::core {
+
+class PcamWord;
+
+// Tuning knobs for the engine, per table.
+struct PcamSearchConfig {
+  // Row count at which stateless searches start sharding across the
+  // shared thread pool. Small tables stay single-threaded: the fork/join
+  // handshake costs more than the scan.
+  std::size_t thread_row_threshold = 8192;
+  // Upper bound on shards (0 = one per available core). Values > 1 force
+  // the sharded code path even on a single-core host, which keeps the
+  // merge logic testable everywhere.
+  std::size_t max_threads = 0;
+
+  void Validate() const;  // throws std::invalid_argument
+};
+
+// One query's outcome. Per-row degrees land in the caller's buffer.
+struct PcamSearchOutcome {
+  std::size_t best_row = 0;
+  double best_degree = 0.0;
+  double energy_j = 0.0;  // whole-array energy for this probe
+};
+
+class PcamSearchEngine {
+ public:
+  PcamSearchEngine(std::size_t field_count,
+                   const HardwarePcamConfig& hardware,
+                   PcamSearchConfig config);
+
+  // --- snapshot maintenance (driven by the owning PcamTable) ----------
+  void AppendRow();                     // grow columns; new row is dirty
+  void InvalidateRow(std::size_t row);  // e.g. after ProgramField
+  void InvalidateAll();                 // e.g. after Age
+
+  std::size_t rows() const { return rows_; }
+  std::size_t field_count() const { return field_count_; }
+  const PcamSearchConfig& config() const { return config_; }
+
+  // --- search ---------------------------------------------------------
+  // One probe. `query` holds field_count() voltages; `degrees` is
+  // resized to rows() and filled with per-row match degrees. `words` is
+  // the owning table's row storage (mutable: stateful channels advance
+  // their noise streams). Requires rows() > 0.
+  PcamSearchOutcome Search(std::vector<PcamWord>& words, const double* query,
+                           std::vector<double>& degrees);
+
+  // `count` probes, row-major (count x field_count). Fills `outcomes`
+  // (one per probe) and leaves the final probe's per-row degrees in
+  // `degrees`. Requires rows() > 0 and count > 0.
+  void SearchBatch(std::vector<PcamWord>& words, const double* queries,
+                   std::size_t count, std::vector<PcamSearchOutcome>& outcomes,
+                   std::vector<double>& degrees);
+
+ private:
+  // Column-major snapshot of one field across all rows: index = row.
+  struct FieldColumn {
+    std::vector<double> m1, m2, m3, m4;  // effective thresholds
+    std::vector<double> sa, sb;          // skirt slopes
+    std::vector<double> ia, ib;          // precomputed skirt intercepts
+    std::vector<double> pmin, pmax;      // output rails
+    std::vector<double> g_sum;           // G_lo + G_hi per cell [S]
+  };
+
+  void Refresh(const std::vector<PcamWord>& words);
+  void RefreshRow(const std::vector<PcamWord>& words, std::size_t row);
+  std::size_t ShardCount() const;
+
+  // Transfer function of cell (row, field) at line voltage `v`;
+  // bit-compatible with PcamCell::Evaluate on the effective params.
+  double EvalCell(const FieldColumn& c, std::size_t row, double v) const;
+
+  // Stateless-channel fast path: whole-column passes, optionally sharded.
+  void SearchStateless(const double* query, std::vector<double>& degrees,
+                       PcamSearchOutcome& out);
+  // Stateful-channel path: row-major walk preserving legacy noise order.
+  void SearchStateful(std::vector<PcamWord>& words, const double* query,
+                      std::vector<double>& degrees, PcamSearchOutcome& out);
+
+  std::size_t field_count_;
+  PcamSearchConfig config_;
+  double read_time_s_;
+  double line_gain_;
+  bool stateless_channel_;
+
+  std::size_t rows_ = 0;
+  std::vector<FieldColumn> columns_;     // one per field
+  std::vector<double> field_g_total_;    // per-field sum of g_sum
+  std::vector<std::uint8_t> dirty_;      // per-row
+  bool any_dirty_ = false;
+
+  // Scratch reused across calls (never shrinks).
+  std::vector<double> line_v_;           // per-field line voltages
+  std::vector<double> batch_in_, batch_line_, batch_deg_;
+  std::vector<std::size_t> shard_best_;
+  std::vector<double> shard_degree_;
+};
+
+}  // namespace analognf::core

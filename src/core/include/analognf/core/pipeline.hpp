@@ -46,6 +46,11 @@ class PcamPipeline {
   // Evaluates the pipeline: inputs.size() must equal stage_count().
   Result Evaluate(const std::vector<double>& inputs);
 
+  // Allocation-free variant: writes into `result`, reusing its
+  // stage_outputs capacity. Per-packet callers (the AQM data path) use
+  // this with a long-lived scratch Result.
+  void Evaluate(const std::vector<double>& inputs, Result& result);
+
   // Reprograms one stage (the paper's update_pCAM(id, parameter[1:8])).
   void ProgramStage(std::size_t index, const PcamParams& params);
 

@@ -75,6 +75,10 @@ class AnalogMatchActionTable {
   // vector ordered like spec().read.
   Output Apply(const std::vector<double>& features);
 
+  // Allocation-free variant: writes into `out`, reusing its per_field
+  // capacity (and an internal pipeline scratch result).
+  void Apply(const std::vector<double>& features, Output& out);
+
   // The `action { update_pCAM(); }` section: reprograms field `id`.
   void UpdatePcam(std::size_t id, const PcamParams& parameters);
   // Same, addressing the field by name. Throws if the name is unknown.
@@ -91,6 +95,7 @@ class AnalogMatchActionTable {
  private:
   AnalogTableSpec spec_;
   PcamPipeline pipeline_;
+  PcamPipeline::Result apply_scratch_;
 };
 
 }  // namespace analognf::core

@@ -29,9 +29,12 @@ PcamEvalResult PcamWord::Evaluate(const std::vector<double>& inputs) {
     const PcamEvalResult r = cells_[i].Evaluate(inputs[i]);
     combined.output *= r.output;
     combined.energy_j += r.energy_j;
-    // The word's region is the "worst" cell region: a single mismatch
-    // field makes the row a mismatch.
-    if (r.region != MatchRegion::kMatch) combined.region = r.region;
+    // The word's region is the worst cell region (first-worst wins on
+    // equal severity): a deterministic mismatch in any field outranks
+    // skirt hits, which outrank matches.
+    if (RegionSeverity(r.region) > RegionSeverity(combined.region)) {
+      combined.region = r.region;
+    }
   }
   return combined;
 }
@@ -40,8 +43,15 @@ void PcamWord::ProgramField(std::size_t index, const PcamParams& params) {
   cells_.at(index).Program(params);
 }
 
-PcamTable::PcamTable(std::size_t field_count, HardwarePcamConfig config)
-    : field_count_(field_count), config_(config) {
+void PcamWord::Age(double dt_s) {
+  for (HardwarePcamCell& cell : cells_) cell.Age(dt_s);
+}
+
+PcamTable::PcamTable(std::size_t field_count, HardwarePcamConfig config,
+                     PcamSearchConfig search_config)
+    : field_count_(field_count),
+      config_(config),
+      engine_(field_count, config_, search_config) {
   if (field_count == 0) {
     throw std::invalid_argument("PcamTable: zero field count");
   }
@@ -56,45 +66,77 @@ std::size_t PcamTable::Insert(Row row) {
   word_config.seed = config_.seed + 0x9e3779b9ULL * next_seed_salt_++;
   words_.emplace_back(row.fields, word_config);
   rows_.push_back(std::move(row));
+  engine_.AppendRow();
   return rows_.size() - 1;
+}
+
+void PcamTable::CheckArity(std::size_t got) const {
+  if (got != field_count_) {
+    throw std::invalid_argument("PcamTable::Search: input arity mismatch");
+  }
+}
+
+PcamTableResult PcamTable::MakeResult(
+    const PcamSearchOutcome& outcome) const {
+  PcamTableResult result;
+  result.row_index = outcome.best_row;
+  result.action = rows_[outcome.best_row].action;
+  result.match_degree = outcome.best_degree;
+  result.energy_j = outcome.energy_j;
+  return result;
 }
 
 std::optional<PcamTableResult> PcamTable::Search(
     const std::vector<double>& inputs) {
-  if (inputs.size() != field_count_) {
-    throw std::invalid_argument("PcamTable::Search: input arity mismatch");
+  CheckArity(inputs.size());
+  if (words_.empty()) {
+    last_degrees_.clear();
+    return std::nullopt;
   }
-  last_degrees_.assign(words_.size(), 0.0);
-  if (words_.empty()) return std::nullopt;
-
-  double total_energy = 0.0;
-  std::size_t best = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    const PcamEvalResult r = words_[i].Evaluate(inputs);
-    last_degrees_[i] = r.output;
-    total_energy += r.energy_j;
-    if (r.output > last_degrees_[best]) best = i;
-  }
-  consumed_energy_j_ += total_energy;
-
-  PcamTableResult result;
-  result.row_index = best;
-  result.action = rows_[best].action;
-  result.match_degree = last_degrees_[best];
-  result.energy_j = total_energy;
-  return result;
+  const PcamSearchOutcome outcome =
+      engine_.Search(words_, inputs.data(), last_degrees_);
+  consumed_energy_j_ += outcome.energy_j;
+  return MakeResult(outcome);
 }
 
-std::optional<PcamTableResult> PcamTable::SampleByDegree(
-    const std::vector<double>& inputs, analognf::RandomStream& rng) {
-  auto best = Search(inputs);
-  if (!best.has_value()) return std::nullopt;
+std::vector<PcamTableResult> PcamTable::SearchBatchFlat(
+    const std::vector<double>& queries_flat) {
+  if (field_count_ == 0 || queries_flat.size() % field_count_ != 0) {
+    throw std::invalid_argument(
+        "PcamTable::SearchBatchFlat: size must be a multiple of "
+        "field_count");
+  }
+  const std::size_t count = queries_flat.size() / field_count_;
+  std::vector<PcamTableResult> results;
+  if (count == 0) return results;
+  if (words_.empty()) {
+    last_degrees_.clear();
+    return results;
+  }
+  engine_.SearchBatch(words_, queries_flat.data(), count, batch_outcomes_,
+                      last_degrees_);
+  results.reserve(count);
+  for (const PcamSearchOutcome& outcome : batch_outcomes_) {
+    consumed_energy_j_ += outcome.energy_j;
+    results.push_back(MakeResult(outcome));
+  }
+  return results;
+}
 
-  double total = 0.0;
-  for (double d : last_degrees_) total += d;
-  if (total <= 0.0) return std::nullopt;
+std::vector<PcamTableResult> PcamTable::SearchBatch(
+    const std::vector<std::vector<double>>& queries) {
+  batch_queries_.clear();
+  batch_queries_.reserve(queries.size() * field_count_);
+  for (const std::vector<double>& q : queries) {
+    CheckArity(q.size());
+    batch_queries_.insert(batch_queries_.end(), q.begin(), q.end());
+  }
+  return SearchBatchFlat(batch_queries_);
+}
 
-  double draw = rng.NextUniform() * total;
+std::optional<PcamTableResult> PcamTable::PickByMass(
+    const PcamTableResult& best, double unit_draw, double total) const {
+  double draw = unit_draw * total;
   for (std::size_t i = 0; i < last_degrees_.size(); ++i) {
     draw -= last_degrees_[i];
     if (draw <= 0.0) {
@@ -102,17 +144,45 @@ std::optional<PcamTableResult> PcamTable::SampleByDegree(
       result.row_index = i;
       result.action = rows_[i].action;
       result.match_degree = last_degrees_[i];
-      result.energy_j = best->energy_j;
+      result.energy_j = best.energy_j;
       return result;
     }
   }
   return best;  // numerical tail: fall back to the arg-max row
 }
 
+std::optional<PcamTableResult> PcamTable::SampleByDegree(
+    const std::vector<double>& inputs, analognf::RandomStream& rng) {
+  auto best = Search(inputs);
+  if (!best.has_value()) return std::nullopt;
+  double total = 0.0;
+  for (double d : last_degrees_) total += d;
+  // All-zero degrees: bail out before consuming an RNG draw, so the
+  // caller's stream stays aligned with the pre-engine implementation.
+  if (total <= 0.0) return std::nullopt;
+  return PickByMass(*best, rng.NextUniform(), total);
+}
+
+std::optional<PcamTableResult> PcamTable::SampleWithDraw(
+    const std::vector<double>& inputs, double unit_draw) {
+  auto best = Search(inputs);
+  if (!best.has_value()) return std::nullopt;
+  double total = 0.0;
+  for (double d : last_degrees_) total += d;
+  if (total <= 0.0) return std::nullopt;
+  return PickByMass(*best, unit_draw, total);
+}
+
 void PcamTable::ProgramField(std::size_t row, std::size_t field,
                              const PcamParams& params) {
   words_.at(row).ProgramField(field, params);
   rows_.at(row).fields.at(field) = params;
+  engine_.InvalidateRow(row);
+}
+
+void PcamTable::Age(double dt_s) {
+  for (PcamWord& word : words_) word.Age(dt_s);
+  engine_.InvalidateAll();
 }
 
 }  // namespace analognf::core

@@ -21,6 +21,20 @@ std::string ToString(MatchRegion region) {
   return "unknown";
 }
 
+int RegionSeverity(MatchRegion region) {
+  switch (region) {
+    case MatchRegion::kMatch:
+      return 0;
+    case MatchRegion::kProbableRising:
+    case MatchRegion::kProbableFalling:
+      return 1;
+    case MatchRegion::kMismatchLow:
+    case MatchRegion::kMismatchHigh:
+      return 2;
+  }
+  return 2;
+}
+
 void PcamParams::Validate() const {
   if (!(m1 < m2) || !(m2 <= m3) || !(m3 < m4)) {
     throw std::invalid_argument(

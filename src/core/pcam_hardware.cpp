@@ -81,6 +81,7 @@ void HardwarePcamCell::Reprogram(const PcamParams& target) {
   // Preserve the programmed slopes (they live in the sense amp, not the
   // devices); rails likewise.
   effective_.Program(snapped);
+  conductance_sum_s_ = low_.ConductanceS() + high_.ConductanceS();
 }
 
 void HardwarePcamCell::Program(const PcamParams& target) {
@@ -102,11 +103,11 @@ void HardwarePcamCell::Age(double dt_s) {
   aged.m1 = aged.m2 - skirt_a;
   aged.m4 = aged.m3 + skirt_b;
   effective_.Program(aged);
+  conductance_sum_s_ = low_.ConductanceS() + high_.ConductanceS();
 }
 
 double HardwarePcamCell::SearchEnergyJ(double input_v) const {
-  const double g = low_.ConductanceS() + high_.ConductanceS();
-  return input_v * input_v * g * config_.device.read_time_s;
+  return input_v * input_v * conductance_sum_s_ * config_.device.read_time_s;
 }
 
 PcamEvalResult HardwarePcamCell::Evaluate(double input_v) {

@@ -1,0 +1,298 @@
+#include "analognf/core/pcam_search_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "analognf/common/thread_pool.hpp"
+#include "analognf/core/pcam_array.hpp"
+
+namespace analognf::core {
+
+void PcamSearchConfig::Validate() const {
+  if (thread_row_threshold == 0) {
+    throw std::invalid_argument(
+        "PcamSearchConfig: thread_row_threshold must be >= 1");
+  }
+}
+
+PcamSearchEngine::PcamSearchEngine(std::size_t field_count,
+                                   const HardwarePcamConfig& hardware,
+                                   PcamSearchConfig config)
+    : field_count_(field_count),
+      config_(config),
+      read_time_s_(hardware.device.read_time_s),
+      line_gain_(hardware.channel.line_gain),
+      stateless_channel_(hardware.channel.IsStateless()),
+      columns_(field_count),
+      field_g_total_(field_count, 0.0) {
+  config_.Validate();
+}
+
+void PcamSearchEngine::AppendRow() {
+  for (FieldColumn& c : columns_) {
+    c.m1.push_back(0.0);
+    c.m2.push_back(0.0);
+    c.m3.push_back(0.0);
+    c.m4.push_back(0.0);
+    c.sa.push_back(0.0);
+    c.sb.push_back(0.0);
+    c.ia.push_back(0.0);
+    c.ib.push_back(0.0);
+    c.pmin.push_back(0.0);
+    c.pmax.push_back(0.0);
+    c.g_sum.push_back(0.0);
+  }
+  dirty_.push_back(1);
+  ++rows_;
+  any_dirty_ = true;
+}
+
+void PcamSearchEngine::InvalidateRow(std::size_t row) {
+  dirty_.at(row) = 1;
+  any_dirty_ = true;
+}
+
+void PcamSearchEngine::InvalidateAll() {
+  std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{1});
+  any_dirty_ = !dirty_.empty();
+}
+
+void PcamSearchEngine::RefreshRow(const std::vector<PcamWord>& words,
+                                  std::size_t row) {
+  const PcamWord& word = words[row];
+  assert(word.width() == field_count_);
+  for (std::size_t f = 0; f < field_count_; ++f) {
+    const HardwarePcamCell& cell = word.cell(f);
+    const PcamParams& p = cell.effective_params();
+    FieldColumn& c = columns_[f];
+    c.m1[row] = p.m1;
+    c.m2[row] = p.m2;
+    c.m3[row] = p.m3;
+    c.m4[row] = p.m4;
+    c.sa[row] = p.sa;
+    c.sb[row] = p.sb;
+    // The skirt intercepts of PcamCell::Evaluate, hoisted out of the
+    // per-search loop; the division happens once per (re)program.
+    c.ia[row] = (p.m2 * p.pmin - p.m1 * p.pmax) / (p.m2 - p.m1);
+    c.ib[row] = (p.m4 * p.pmax - p.m3 * p.pmin) / (p.m4 - p.m3);
+    c.pmin[row] = p.pmin;
+    c.pmax[row] = p.pmax;
+    c.g_sum[row] = cell.ConductanceSumS();
+  }
+  dirty_[row] = 0;
+}
+
+void PcamSearchEngine::Refresh(const std::vector<PcamWord>& words) {
+  if (!any_dirty_) return;
+  assert(words.size() == rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (dirty_[r] != 0) RefreshRow(words, r);
+  }
+  // Per-field conductance totals feed the whole-array energy term of
+  // stateless searches (energy = sum_f V_f^2 * t_read * sum_r G). A full
+  // recompute keeps the total deterministic regardless of which rows
+  // were refreshed.
+  for (std::size_t f = 0; f < field_count_; ++f) {
+    const std::vector<double>& g = columns_[f].g_sum;
+    double total = 0.0;
+    for (double v : g) total += v;
+    field_g_total_[f] = total;
+  }
+  any_dirty_ = false;
+}
+
+double PcamSearchEngine::EvalCell(const FieldColumn& c, std::size_t row,
+                                  double v) const {
+  const double rising = c.sa[row] * v + c.ia[row];
+  const double falling = c.sb[row] * v + c.ib[row];
+  double out = (v < c.m2[row]) ? rising : c.pmax[row];
+  out = (v > c.m3[row]) ? falling : out;
+  out = (v <= c.m1[row] || v >= c.m4[row]) ? c.pmin[row] : out;
+  return std::min(std::max(out, c.pmin[row]), c.pmax[row]);
+}
+
+std::size_t PcamSearchEngine::ShardCount() const {
+  if (rows_ < config_.thread_row_threshold) return 1;
+  const std::size_t parallelism =
+      config_.max_threads != 0 ? config_.max_threads
+                               : ThreadPool::Shared().size() + 1;
+  return std::clamp<std::size_t>(parallelism, 1, rows_);
+}
+
+void PcamSearchEngine::SearchStateless(const double* query,
+                                       std::vector<double>& degrees,
+                                       PcamSearchOutcome& out) {
+  line_v_.resize(field_count_);
+  double energy = 0.0;
+  for (std::size_t f = 0; f < field_count_; ++f) {
+    const double lv = query[f] * line_gain_;
+    line_v_[f] = lv;
+    // All rows of a field see the same line voltage, so the array's read
+    // energy collapses to one multiply per field.
+    energy += lv * lv * read_time_s_ * field_g_total_[f];
+  }
+  out.energy_j = energy;
+
+  degrees.assign(rows_, 1.0);
+  const std::size_t shards = ShardCount();
+  shard_best_.assign(shards, 0);
+  shard_degree_.assign(shards, 0.0);
+  const std::size_t chunk = (rows_ + shards - 1) / shards;
+
+  auto eval_shard = [&](std::size_t s) {
+    const std::size_t r0 = s * chunk;
+    const std::size_t r1 = std::min(r0 + chunk, rows_);
+    double* deg = degrees.data();
+    for (std::size_t f = 0; f < field_count_; ++f) {
+      const FieldColumn& c = columns_[f];
+      const double v = line_v_[f];
+      const double* m1 = c.m1.data();
+      const double* m2 = c.m2.data();
+      const double* m3 = c.m3.data();
+      const double* m4 = c.m4.data();
+      const double* sa = c.sa.data();
+      const double* sb = c.sb.data();
+      const double* ia = c.ia.data();
+      const double* ib = c.ib.data();
+      const double* lo = c.pmin.data();
+      const double* hi = c.pmax.data();
+      // Branch-light select chain over the whole column: identical
+      // arithmetic to PcamCell::Evaluate in every region, written so the
+      // compiler if-converts and vectorizes it.
+      for (std::size_t r = r0; r < r1; ++r) {
+        const double rising = sa[r] * v + ia[r];
+        const double falling = sb[r] * v + ib[r];
+        double o = (v < m2[r]) ? rising : hi[r];
+        o = (v > m3[r]) ? falling : o;
+        o = (v <= m1[r] || v >= m4[r]) ? lo[r] : o;
+        o = std::min(std::max(o, lo[r]), hi[r]);
+        deg[r] *= o;
+      }
+    }
+    // Shard-local arg-max (ties: lowest row index).
+    std::size_t best = r0;
+    for (std::size_t r = r0 + 1; r < r1; ++r) {
+      if (deg[r] > deg[best]) best = r;
+    }
+    shard_best_[s] = best;
+    shard_degree_[s] = deg[best];
+  };
+
+  if (shards == 1) {
+    eval_shard(0);
+  } else {
+    ThreadPool& pool = ThreadPool::Shared();
+    pool.ParallelFor(shards, eval_shard);
+  }
+
+  // Merging in ascending shard order preserves the lowest-index tie rule.
+  std::size_t best = shard_best_[0];
+  double best_degree = shard_degree_[0];
+  for (std::size_t s = 1; s < shards; ++s) {
+    if (shard_degree_[s] > best_degree) {
+      best = shard_best_[s];
+      best_degree = shard_degree_[s];
+    }
+  }
+  out.best_row = best;
+  out.best_degree = best_degree;
+}
+
+void PcamSearchEngine::SearchStateful(std::vector<PcamWord>& words,
+                                      const double* query,
+                                      std::vector<double>& degrees,
+                                      PcamSearchOutcome& out) {
+  // Row-major walk in the legacy order (fields within a row, rows
+  // ascending) so each cell's channel consumes exactly the noise stream
+  // the scalar implementation would have drawn.
+  degrees.assign(rows_, 0.0);
+  double energy = 0.0;
+  std::size_t best = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    PcamWord& word = words[r];
+    double deg = 1.0;
+    for (std::size_t f = 0; f < field_count_; ++f) {
+      const double lv = word.cell(f).channel().Transmit(query[f]);
+      deg *= EvalCell(columns_[f], r, lv);
+      energy += lv * lv * columns_[f].g_sum[r] * read_time_s_;
+    }
+    degrees[r] = deg;
+    if (deg > degrees[best]) best = r;
+  }
+  out.best_row = best;
+  out.best_degree = degrees[best];
+  out.energy_j = energy;
+}
+
+PcamSearchOutcome PcamSearchEngine::Search(std::vector<PcamWord>& words,
+                                           const double* query,
+                                           std::vector<double>& degrees) {
+  assert(rows_ > 0);
+  Refresh(words);
+  PcamSearchOutcome out;
+  if (stateless_channel_) {
+    SearchStateless(query, degrees, out);
+  } else {
+    SearchStateful(words, query, degrees, out);
+  }
+  return out;
+}
+
+void PcamSearchEngine::SearchBatch(std::vector<PcamWord>& words,
+                                   const double* queries, std::size_t count,
+                                   std::vector<PcamSearchOutcome>& outcomes,
+                                   std::vector<double>& degrees) {
+  assert(rows_ > 0 && count > 0);
+  Refresh(words);
+  outcomes.assign(count, PcamSearchOutcome{});
+
+  if (stateless_channel_) {
+    // One snapshot, N column sweeps. The final probe writes the caller's
+    // degree buffer so last_degrees() semantics match sequential calls.
+    batch_deg_.clear();
+    for (std::size_t q = 0; q < count; ++q) {
+      std::vector<double>& deg =
+          (q + 1 == count) ? degrees : batch_deg_;
+      SearchStateless(queries + q * field_count_, deg, outcomes[q]);
+    }
+    return;
+  }
+
+  // Stateful channels: amortize noise sampling by drawing each cell's
+  // channel outputs for the whole batch in one TransmitBatch call. The
+  // per-cell streams interleave differently than sequential Search()
+  // calls would (batch blocks instead of round-robin), which is fine:
+  // noise is noise.
+  degrees.assign(rows_, 0.0);
+  batch_in_.resize(count);
+  batch_line_.resize(count);
+  batch_deg_.resize(count);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    PcamWord& word = words[r];
+    std::fill(batch_deg_.begin(), batch_deg_.end(), 1.0);
+    for (std::size_t f = 0; f < field_count_; ++f) {
+      for (std::size_t q = 0; q < count; ++q) {
+        batch_in_[q] = queries[q * field_count_ + f];
+      }
+      word.cell(f).channel().TransmitBatch(batch_in_.data(),
+                                           batch_line_.data(), count);
+      const FieldColumn& c = columns_[f];
+      const double g_rt = c.g_sum[r] * read_time_s_;
+      for (std::size_t q = 0; q < count; ++q) {
+        const double lv = batch_line_[q];
+        batch_deg_[q] *= EvalCell(c, r, lv);
+        outcomes[q].energy_j += lv * lv * g_rt;
+      }
+    }
+    for (std::size_t q = 0; q < count; ++q) {
+      if (r == 0 || batch_deg_[q] > outcomes[q].best_degree) {
+        outcomes[q].best_row = r;
+        outcomes[q].best_degree = batch_deg_[q];
+      }
+    }
+    degrees[r] = batch_deg_[count - 1];
+  }
+}
+
+}  // namespace analognf::core

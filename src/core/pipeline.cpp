@@ -37,10 +37,19 @@ PcamPipeline::PcamPipeline(const std::vector<StageConfig>& stages,
 
 PcamPipeline::Result PcamPipeline::Evaluate(
     const std::vector<double>& inputs) {
+  Result result;
+  Evaluate(inputs, result);
+  return result;
+}
+
+void PcamPipeline::Evaluate(const std::vector<double>& inputs,
+                            Result& result) {
   if (inputs.size() != cells_.size()) {
     throw std::invalid_argument("PcamPipeline::Evaluate: arity mismatch");
   }
-  Result result;
+  result.combined = 0.0;
+  result.energy_j = 0.0;
+  result.stage_outputs.clear();
   result.stage_outputs.reserve(cells_.size());
   for (std::size_t i = 0; i < cells_.size(); ++i) {
     const PcamEvalResult r = cells_[i].Evaluate(inputs[i]);
@@ -77,7 +86,6 @@ PcamPipeline::Result PcamPipeline::Evaluate(
 
   consumed_energy_j_ += result.energy_j;
   ++evaluations_;
-  return result;
 }
 
 void PcamPipeline::ProgramStage(std::size_t index,

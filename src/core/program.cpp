@@ -41,12 +41,18 @@ AnalogMatchActionTable::AnalogMatchActionTable(AnalogTableSpec spec,
 
 AnalogMatchActionTable::Output AnalogMatchActionTable::Apply(
     const std::vector<double>& features) {
-  const PcamPipeline::Result r = pipeline_.Evaluate(features);
   Output out;
-  out.value = r.combined;
-  out.per_field = r.stage_outputs;
-  out.energy_j = r.energy_j;
+  Apply(features, out);
   return out;
+}
+
+void AnalogMatchActionTable::Apply(const std::vector<double>& features,
+                                   Output& out) {
+  pipeline_.Evaluate(features, apply_scratch_);
+  out.value = apply_scratch_.combined;
+  out.per_field.assign(apply_scratch_.stage_outputs.begin(),
+                       apply_scratch_.stage_outputs.end());
+  out.energy_j = apply_scratch_.energy_j;
 }
 
 void AnalogMatchActionTable::UpdatePcam(std::size_t id,

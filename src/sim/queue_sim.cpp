@@ -171,6 +171,15 @@ void QueueSimulator::OnDeparture() {
 SimReport QueueSimulator::Run() {
   report_ = SimReport{};
 
+  // Pre-size the sampled traces: the sampler fires once per interval for
+  // the whole run, and the PDP trace records one point per offered
+  // packet-admission decision (bounded below by the sampler count).
+  const std::size_t expected_samples =
+      static_cast<std::size_t>(config_.duration_s /
+                               config_.sample_interval_s) + 2;
+  report_.queue_depth.Reserve(expected_samples);
+  report_.drop_prob.Reserve(expected_samples);
+
   // Queue-depth sampling clock.
   const double sample_dt = config_.sample_interval_s;
   std::function<void()> sampler = [this, sample_dt, &sampler] {

@@ -408,5 +408,44 @@ TEST(SampleAndHoldTest, Validation) {
   EXPECT_THROW(sh.Hold(4.0), std::invalid_argument);
 }
 
+TEST(AnalogChannelTest, TransmitBatchMatchesSequentialTransmit) {
+  // Same params + same seed: the batched call must replay exactly the
+  // per-sample stream (the search engine's batch mode relies on this).
+  ChannelParams p = ChannelParams::Noisy(0.1);
+  p.line_gain = 0.95;
+  p.interference_peak_v = 0.05;
+  AnalogChannel sequential(p, RandomStream(42));
+  AnalogChannel batched(p, RandomStream(42));
+  std::vector<double> in(64);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = 0.1 * static_cast<double>(i);
+  }
+  std::vector<double> out(in.size(), 0.0);
+  batched.TransmitBatch(in.data(), out.data(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i], sequential.Transmit(in[i]));
+  }
+}
+
+TEST(AnalogChannelTest, TransmitBatchStatelessAllowsAliasing) {
+  ChannelParams p;
+  p.line_gain = 0.5;
+  EXPECT_TRUE(p.IsStateless());
+  AnalogChannel ch(p, RandomStream(7));
+  std::vector<double> buf = {1.0, 2.0, 4.0};
+  ch.TransmitBatch(buf.data(), buf.data(), buf.size());
+  EXPECT_EQ(buf[0], 0.5);
+  EXPECT_EQ(buf[1], 1.0);
+  EXPECT_EQ(buf[2], 2.0);
+}
+
+TEST(ChannelParamsTest, IsStatelessDetectsNoiseSources) {
+  EXPECT_TRUE(ChannelParams::Ideal().IsStateless());
+  EXPECT_FALSE(ChannelParams::Noisy(0.1).IsStateless());
+  ChannelParams p;
+  p.interference_peak_v = 0.2;
+  EXPECT_FALSE(p.IsStateless());
+}
+
 }  // namespace
 }  // namespace analognf::analog

@@ -405,5 +405,39 @@ TEST(AssociativeMemoryTest, RecallConsumesAnalogEnergy) {
   EXPECT_GT(mem.ConsumedEnergyJ(), 0.0);
 }
 
+TEST(ClassifierTest, ClassifyBatchMatchesSequential) {
+  AnalogTrafficClassifier batched = MakeClassifier();
+  AnalogTrafficClassifier sequential = MakeClassifier();
+  std::vector<FlowFeatures> flows(3);
+  flows[0].mean_packet_size_bytes = 120;
+  flows[0].mean_interarrival_s = 0.020;
+  flows[0].burstiness = 0.2;
+  flows[1].mean_packet_size_bytes = 1450;
+  flows[1].mean_interarrival_s = 0.0008;
+  flows[1].burstiness = 0.9;
+  flows[2].mean_packet_size_bytes = 400;  // matches nothing well
+  flows[2].mean_interarrival_s = 0.3;
+  flows[2].burstiness = 4.5;
+
+  const auto batch = batched.ClassifyBatch(flows, 0.3);
+  ASSERT_EQ(batch.size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const auto one = sequential.Classify(flows[i], 0.3);
+    ASSERT_EQ(batch[i].has_value(), one.has_value());
+    if (one.has_value()) {
+      EXPECT_EQ(batch[i]->label, one->label);
+      EXPECT_EQ(batch[i]->class_index, one->class_index);
+      EXPECT_NEAR(batch[i]->confidence, one->confidence, 1e-12);
+    }
+  }
+  EXPECT_TRUE(batch[0].has_value());
+  EXPECT_FALSE(batch[2].has_value());
+}
+
+TEST(ClassifierTest, ClassifyBatchEmptyInput) {
+  AnalogTrafficClassifier clf = MakeClassifier();
+  EXPECT_TRUE(clf.ClassifyBatch({}).empty());
+}
+
 }  // namespace
 }  // namespace analognf::cognitive

@@ -740,5 +740,265 @@ TEST_P(CrossbarVmmProperty, MatchesDenseComputation) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CrossbarVmmProperty,
                          ::testing::Values(11, 22, 33, 44, 55, 66));
 
+// ------------------------------------------------------- region combine
+
+TEST(RegionSeverityTest, OrdersMismatchAboveSkirtAboveMatch) {
+  EXPECT_LT(RegionSeverity(MatchRegion::kMatch),
+            RegionSeverity(MatchRegion::kProbableRising));
+  EXPECT_LT(RegionSeverity(MatchRegion::kMatch),
+            RegionSeverity(MatchRegion::kProbableFalling));
+  EXPECT_LT(RegionSeverity(MatchRegion::kProbableRising),
+            RegionSeverity(MatchRegion::kMismatchLow));
+  EXPECT_LT(RegionSeverity(MatchRegion::kProbableFalling),
+            RegionSeverity(MatchRegion::kMismatchHigh));
+}
+
+TEST(PcamWordTest, CombinedRegionIsWorstCell) {
+  // Regression: the combiner used to keep the *last* non-match cell's
+  // region, so a trailing skirt hit would mask an earlier deterministic
+  // mismatch. Field 0 mismatches hard; field 1 sits on its rising skirt.
+  const std::vector<PcamParams> fields = {UnitTrapezoid(), UnitTrapezoid()};
+  PcamWord word(fields, TestHardware());
+  const PcamEvalResult r = word.Evaluate({0.2, 1.5});
+  EXPECT_EQ(r.region, MatchRegion::kMismatchLow);
+  // A skirt hit still outranks a clean match in either order.
+  EXPECT_EQ(word.Evaluate({2.5, 1.5}).region, MatchRegion::kProbableRising);
+  EXPECT_EQ(word.Evaluate({1.5, 2.5}).region, MatchRegion::kProbableRising);
+  EXPECT_EQ(word.Evaluate({2.5, 2.5}).region, MatchRegion::kMatch);
+}
+
+// --------------------------------------------------------- search engine
+
+namespace engine_test {
+
+// Reference match degrees computed cell by cell on the effective
+// (post-quantisation) transfer functions, bypassing the engine entirely.
+std::vector<double> ReferenceDegrees(const PcamTable& table,
+                                     const std::vector<double>& query) {
+  std::vector<double> degrees(table.size(), 1.0);
+  for (std::size_t r = 0; r < table.size(); ++r) {
+    for (std::size_t f = 0; f < table.field_count(); ++f) {
+      const PcamCell cell(table.word(r).cell(f).effective_params());
+      degrees[r] *= cell.Evaluate(query[f]);
+    }
+  }
+  return degrees;
+}
+
+PcamTable MakeTestTable(std::size_t rows,
+                        HardwarePcamConfig hardware,
+                        PcamSearchConfig search = {}) {
+  PcamTable table(2, hardware, search);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double c1 = 1.0 + 0.02 * static_cast<double>(i);
+    const double c2 = 3.0 - 0.015 * static_cast<double>(i);
+    table.Insert({"row" + std::to_string(i),
+                  {PcamParams::MakeBand(c1, 0.05, 0.4),
+                   PcamParams::MakeBand(c2, 0.05, 0.4)},
+                  static_cast<std::uint32_t>(i)});
+  }
+  return table;
+}
+
+}  // namespace engine_test
+
+TEST(PcamSearchEngineTest, MatchesPerCellReferenceWithin1e12) {
+  PcamTable table = engine_test::MakeTestTable(48, TestHardware());
+  for (double v = 0.8; v < 3.2; v += 0.13) {
+    const std::vector<double> query = {v, 4.0 - v};
+    const auto result = table.Search(query);
+    ASSERT_TRUE(result.has_value());
+    const std::vector<double> expected =
+        engine_test::ReferenceDegrees(table, query);
+    ASSERT_EQ(table.last_degrees().size(), expected.size());
+    std::size_t best = 0;
+    for (std::size_t r = 0; r < expected.size(); ++r) {
+      EXPECT_NEAR(table.last_degrees()[r], expected[r], 1e-12);
+      if (expected[r] > expected[best]) best = r;
+    }
+    EXPECT_EQ(result->row_index, best);
+    EXPECT_NEAR(result->match_degree, expected[best], 1e-12);
+  }
+}
+
+TEST(PcamSearchEngineTest, BatchMatchesSequentialSearches) {
+  PcamTable sequential = engine_test::MakeTestTable(32, TestHardware());
+  PcamTable batched = engine_test::MakeTestTable(32, TestHardware());
+  std::vector<std::vector<double>> queries;
+  for (double v = 1.0; v < 3.0; v += 0.21) {
+    queries.push_back({v, 4.0 - v});
+  }
+  const auto batch = batched.SearchBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto one = sequential.Search(queries[q]);
+    ASSERT_TRUE(one.has_value());
+    EXPECT_EQ(batch[q].row_index, one->row_index);
+    EXPECT_EQ(batch[q].action, one->action);
+    EXPECT_NEAR(batch[q].match_degree, one->match_degree, 1e-12);
+    EXPECT_NEAR(batch[q].energy_j, one->energy_j, 1e-18);
+  }
+  // last_degrees() reflects the final query in both modes.
+  for (std::size_t r = 0; r < batched.size(); ++r) {
+    EXPECT_NEAR(batched.last_degrees()[r], sequential.last_degrees()[r],
+                1e-12);
+  }
+  EXPECT_NEAR(batched.ConsumedEnergyJ(), sequential.ConsumedEnergyJ(),
+              1e-18);
+}
+
+TEST(PcamSearchEngineTest, ShardedSearchMatchesSingleThreaded) {
+  PcamSearchConfig sharded;
+  sharded.thread_row_threshold = 1;  // force sharding for any table size
+  sharded.max_threads = 4;
+  PcamTable reference = engine_test::MakeTestTable(37, TestHardware());
+  PcamTable threaded =
+      engine_test::MakeTestTable(37, TestHardware(), sharded);
+  for (double v = 0.9; v < 3.1; v += 0.17) {
+    const std::vector<double> query = {v, 4.0 - v};
+    const auto a = reference.Search(query);
+    const auto b = threaded.Search(query);
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    EXPECT_EQ(b->row_index, a->row_index);
+    EXPECT_EQ(b->match_degree, a->match_degree);
+    EXPECT_EQ(b->energy_j, a->energy_j);
+    for (std::size_t r = 0; r < reference.size(); ++r) {
+      EXPECT_EQ(threaded.last_degrees()[r], reference.last_degrees()[r]);
+    }
+  }
+}
+
+TEST(PcamSearchEngineTest, RejectsZeroThreadThreshold) {
+  PcamSearchConfig bad;
+  bad.thread_row_threshold = 0;
+  EXPECT_THROW(PcamTable(1, TestHardware(), bad), std::invalid_argument);
+}
+
+TEST(PcamSearchEngineTest, ProgramFieldRefreshesSnapshot) {
+  PcamTable table(1, TestHardware());
+  table.Insert({"a", {PcamParams::MakeBand(1.0, 0.1, 0.1)}, 1});
+  table.Insert({"b", {PcamParams::MakeBand(3.0, 0.1, 0.1)}, 2});
+  auto result = table.Search({1.0});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->action, 1u);
+  // Retarget row b onto the probe; the dirty-tracked snapshot must pick
+  // the reprogrammed transfer function up on the next search.
+  table.ProgramField(1, 0, PcamParams::MakeBand(1.0, 0.2, 0.2));
+  result = table.Search({1.0});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->row_index, 0u);  // tie at degree 1: lowest index wins
+  EXPECT_GT(table.last_degrees()[1], 0.9);
+}
+
+TEST(PcamSearchEngineTest, AgeInvalidatesWholeSnapshot) {
+  HardwarePcamConfig hardware = TestHardware();
+  hardware.device.retention_time_constant_s = 50.0;
+  PcamTable table = engine_test::MakeTestTable(8, hardware);
+  const std::vector<double> query = {1.05, 2.95};
+  table.Search(query);
+  const std::vector<double> fresh = table.last_degrees();
+  table.Age(200.0);  // four time constants: thresholds decay visibly
+  table.Search(query);
+  const std::vector<double> expected =
+      engine_test::ReferenceDegrees(table, query);
+  double drift = 0.0;
+  for (std::size_t r = 0; r < table.size(); ++r) {
+    EXPECT_NEAR(table.last_degrees()[r], expected[r], 1e-12);
+    drift += std::fabs(table.last_degrees()[r] - fresh[r]);
+  }
+  EXPECT_GT(drift, 1e-3);  // aging actually moved the transfer functions
+}
+
+TEST(PcamSearchEngineTest, NoisyChannelSearchIsSeedDeterministic) {
+  HardwarePcamConfig hardware = TestHardware();
+  hardware.channel = analog::ChannelParams::Noisy(0.05);
+  PcamTable a = engine_test::MakeTestTable(12, hardware);
+  PcamTable b = engine_test::MakeTestTable(12, hardware);
+  for (int i = 0; i < 5; ++i) {
+    const std::vector<double> query = {1.1 + 0.1 * i, 2.9 - 0.1 * i};
+    const auto ra = a.Search(query);
+    const auto rb = b.Search(query);
+    ASSERT_TRUE(ra.has_value() && rb.has_value());
+    EXPECT_EQ(ra->row_index, rb->row_index);
+    EXPECT_EQ(ra->match_degree, rb->match_degree);
+    EXPECT_EQ(ra->energy_j, rb->energy_j);
+  }
+}
+
+TEST(PcamSearchEngineTest, NoisyChannelBatchIsSeedDeterministic) {
+  HardwarePcamConfig hardware = TestHardware();
+  hardware.channel = analog::ChannelParams::Noisy(0.05);
+  PcamTable a = engine_test::MakeTestTable(12, hardware);
+  PcamTable b = engine_test::MakeTestTable(12, hardware);
+  std::vector<std::vector<double>> queries = {
+      {1.1, 2.9}, {1.3, 2.7}, {1.5, 2.5}};
+  const auto ra = a.SearchBatch(queries);
+  const auto rb = b.SearchBatch(queries);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t q = 0; q < ra.size(); ++q) {
+    EXPECT_EQ(ra[q].row_index, rb[q].row_index);
+    EXPECT_EQ(ra[q].match_degree, rb[q].match_degree);
+  }
+}
+
+TEST(PcamSearchEngineTest, BatchValidatesArityAndHandlesEmpty) {
+  PcamTable table = engine_test::MakeTestTable(4, TestHardware());
+  EXPECT_THROW(table.SearchBatchFlat({1.0, 2.0, 3.0}),
+               std::invalid_argument);
+  EXPECT_THROW(table.SearchBatch({{1.0}}), std::invalid_argument);
+  EXPECT_TRUE(table.SearchBatchFlat({}).empty());
+  PcamTable empty(2, TestHardware());
+  EXPECT_TRUE(empty.SearchBatch({{1.0, 2.0}}).empty());
+}
+
+// ------------------------------------------------------- degree sampling
+
+TEST(PcamTableTest, SampleByDegreeIsSeedDeterministic) {
+  PcamTable a = engine_test::MakeTestTable(16, TestHardware());
+  PcamTable b = engine_test::MakeTestTable(16, TestHardware());
+  analognf::RandomStream rng_a(77);
+  analognf::RandomStream rng_b(77);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> query = {1.2, 2.8};
+    const auto pa = a.SampleByDegree(query, rng_a);
+    const auto pb = b.SampleByDegree(query, rng_b);
+    ASSERT_EQ(pa.has_value(), pb.has_value());
+    if (pa.has_value()) {
+      EXPECT_EQ(pa->row_index, pb->row_index);
+      EXPECT_EQ(pa->match_degree, pb->match_degree);
+    }
+  }
+}
+
+TEST(PcamTableTest, SampleWithDrawTailFallsBackToArgMax) {
+  PcamTable table = engine_test::MakeTestTable(16, TestHardware());
+  const std::vector<double> query = {1.2, 2.8};
+  const auto best = table.Search(query);
+  ASSERT_TRUE(best.has_value());
+  // A draw past the cumulative mass must land on the arg-max row, not
+  // run off the end of the degree scan.
+  const auto tail = table.SampleWithDraw(query, 2.0);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->row_index, best->row_index);
+  EXPECT_EQ(tail->match_degree, best->match_degree);
+}
+
+TEST(PcamTableTest, SampleWithDrawNulloptWhenAllZero) {
+  PcamTable table(1, TestHardware());
+  table.Insert({"a", {PcamParams::MakeBand(1.0, 0.1, 0.1)}, 1});
+  EXPECT_FALSE(table.SampleWithDraw({3.9}, 0.5).has_value());
+}
+
+TEST(PcamTableTest, SampleWithDrawSkipsZeroMassRows) {
+  PcamTable table(1, TestHardware());
+  table.Insert({"far", {PcamParams::MakeBand(3.0, 0.1, 0.1)}, 1});
+  table.Insert({"near", {PcamParams::MakeBand(1.0, 0.2, 0.2)}, 2});
+  // Row 0 has zero degree at this probe, so any positive draw must land
+  // on row 1 (all the cumulative mass lives there).
+  const auto pick = table.SampleWithDraw({1.0}, 0.25);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->row_index, 1u);
+}
+
 }  // namespace
 }  // namespace analognf::core
