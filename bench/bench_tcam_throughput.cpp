@@ -1,0 +1,220 @@
+// Digital TCAM match throughput: the rowwise TernaryWord scan (what the
+// table did before the compiled engine) against the bitmask engine's
+// single and batched search paths, across table sizes and batch sizes.
+//
+// Besides the google-benchmark timings, this binary self-times both
+// paths and writes the measurements to BENCH_tcam.json
+// (machine-readable, consumed by CI); the engine rows carry their
+// speedup over the scalar scan at the same table size.
+#include "bench_util.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analognf/common/rng.hpp"
+#include "analognf/tcam/tcam.hpp"
+
+namespace {
+
+using namespace analognf;
+
+constexpr std::size_t kKeyWidth = 104;  // the firewall 5-tuple width
+
+tcam::TernaryWord RandomPattern(analognf::RandomStream& rng) {
+  std::string s(kKeyWidth, 'X');
+  for (char& c : s) {
+    const std::size_t roll = rng.NextIndex(4);
+    if (roll == 0) c = '0';
+    if (roll == 1) c = '1';
+  }
+  return tcam::TernaryWord::FromString(s);
+}
+
+tcam::BitKey RandomKey(analognf::RandomStream& rng) {
+  std::string s(kKeyWidth, '0');
+  for (char& c : s) c = rng.NextIndex(2) == 0 ? '0' : '1';
+  return tcam::BitKey::FromString(s);
+}
+
+// Tables are rebuilt per row count but shared between the benchmark
+// registrations and the JSON self-timing pass.
+tcam::TcamTable& CachedTable(std::size_t rows) {
+  static std::map<std::size_t, std::unique_ptr<tcam::TcamTable>> cache;
+  std::unique_ptr<tcam::TcamTable>& slot = cache[rows];
+  if (!slot) {
+    analognf::RandomStream rng(0x7ca3 + rows);
+    slot = std::make_unique<tcam::TcamTable>(
+        kKeyWidth, tcam::TcamTechnology::MemristorTcam());
+    for (std::size_t i = 0; i < rows; ++i) {
+      slot->Insert({RandomPattern(rng), static_cast<std::uint32_t>(i),
+                    static_cast<std::int32_t>(rng.NextIndex(8))});
+    }
+  }
+  return *slot;
+}
+
+std::vector<tcam::BitKey> ProbeKeys(std::size_t count) {
+  analognf::RandomStream rng(0xbeef);
+  std::vector<tcam::BitKey> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) keys.push_back(RandomKey(rng));
+  return keys;
+}
+
+// The pre-engine baseline: priority-resolved rowwise TernaryWord scan
+// over the raw slot array, exactly what TcamTable::Search used to run.
+std::optional<tcam::TcamSearchResult> ScalarScan(
+    const tcam::TcamTable& table, const tcam::BitKey& key) {
+  std::optional<tcam::TcamSearchResult> best;
+  const auto& entries = table.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (!table.IsLive(i)) continue;
+    if (!entries[i].pattern.Matches(key)) continue;
+    if (!best.has_value() || entries[i].priority > best->priority) {
+      best = tcam::TcamSearchResult{i, entries[i].action,
+                                    entries[i].priority, 0.0, 0.0};
+    }
+  }
+  return best;
+}
+
+void Report() {
+  bench::Banner("TCAM match throughput: rowwise scan vs compiled engine");
+  bench::Line("both models charge identical per-cycle hardware energy; "
+              "the engine only changes simulation throughput");
+}
+
+// --- google-benchmark timings -------------------------------------------
+
+void BM_ScalarScan(benchmark::State& state) {
+  tcam::TcamTable& table = CachedTable(
+      static_cast<std::size_t>(state.range(0)));
+  const auto keys = ProbeKeys(64);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScalarScan(table, keys[q]));
+    q = (q + 1) % keys.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScalarScan)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_EngineSearch(benchmark::State& state) {
+  tcam::TcamTable& table = CachedTable(
+      static_cast<std::size_t>(state.range(0)));
+  const auto keys = ProbeKeys(64);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Search(keys[q]));
+    q = (q + 1) % keys.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineSearch)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Args = {rows, batch size}.
+void BM_EngineSearchBatch(benchmark::State& state) {
+  tcam::TcamTable& table = CachedTable(
+      static_cast<std::size_t>(state.range(0)));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const auto keys = ProbeKeys(batch);
+  std::vector<std::optional<tcam::TcamSearchResult>> out;
+  for (auto _ : state) {
+    table.SearchBatch(keys, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EngineSearchBatch)
+    ->Args({1024, 256})
+    ->Args({4096, 256})
+    ->Args({4096, 1024})
+    ->Unit(benchmark::kMicrosecond);
+
+// --- machine-readable measurements (BENCH_tcam.json) --------------------
+
+struct JsonMeasurement {
+  std::string mode;  // "scalar" or "engine"
+  std::size_t rows;
+  std::size_t batch;
+  double ns_per_search;
+  double speedup_vs_scalar;  // 0 for the scalar rows themselves
+};
+
+double TimeScalarNs(tcam::TcamTable& table, std::size_t probes) {
+  const auto keys = ProbeKeys(64);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < probes; ++i) {
+    benchmark::DoNotOptimize(ScalarScan(table, keys[i % keys.size()]));
+  }
+  const std::chrono::duration<double, std::nano> dt =
+      std::chrono::steady_clock::now() - t0;
+  return dt.count() / static_cast<double>(probes);
+}
+
+double TimeEngineBatchNs(tcam::TcamTable& table, std::size_t batch,
+                         std::size_t reps) {
+  const auto keys = ProbeKeys(batch);
+  std::vector<std::optional<tcam::TcamSearchResult>> out;
+  table.SearchBatch(keys, out);  // warm the compiled snapshot
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < reps; ++i) {
+    table.SearchBatch(keys, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  const std::chrono::duration<double, std::nano> dt =
+      std::chrono::steady_clock::now() - t0;
+  return dt.count() / static_cast<double>(reps * batch);
+}
+
+void EmitTcamJson() {
+  const std::size_t row_counts[] = {256, 1024, 4096};
+  const std::size_t batches[] = {1, 256, 1024};
+  std::vector<JsonMeasurement> measurements;
+  for (const std::size_t rows : row_counts) {
+    tcam::TcamTable& table = CachedTable(rows);
+    const std::size_t probes = rows >= 4096 ? 200 : 1000;
+    const double scalar_ns = TimeScalarNs(table, probes);
+    measurements.push_back({"scalar", rows, 1, scalar_ns, 0.0});
+    for (const std::size_t batch : batches) {
+      const std::size_t reps = batch == 1 ? 2000 : (batch >= 1024 ? 8 : 32);
+      const double ns = TimeEngineBatchNs(table, batch, reps);
+      measurements.push_back({"engine", rows, batch, ns, scalar_ns / ns});
+    }
+  }
+
+  std::ofstream out("BENCH_tcam.json");
+  if (!out) {
+    bench::Line("could not open BENCH_tcam.json for writing");
+    return;
+  }
+  out << "{\n  \"bench\": \"tcam_throughput\",\n  \"key_width\": "
+      << kKeyWidth << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < measurements.size(); ++i) {
+    const JsonMeasurement& m = measurements[i];
+    out << "    {\"mode\": \"" << m.mode << "\", \"rows\": " << m.rows
+        << ", \"batch\": " << m.batch
+        << ", \"ns_per_search\": " << m.ns_per_search
+        << ", \"searches_per_s\": " << 1.0e9 / m.ns_per_search
+        << ", \"speedup_vs_scalar\": " << m.speedup_vs_scalar << "}"
+        << (i + 1 < measurements.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  bench::Line("wrote BENCH_tcam.json (" +
+              std::to_string(measurements.size()) + " measurements)");
+}
+
+void ReportAndEmitJson() {
+  Report();
+  EmitTcamJson();
+}
+
+}  // namespace
+
+ANALOGNF_BENCH_MAIN(ReportAndEmitJson)

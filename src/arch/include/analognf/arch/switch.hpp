@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -62,8 +63,12 @@ struct SwitchConfig {
   double port_rate_bps = 100.0e6;
   net::PacketQueue::Config egress_queue{};
   // Service classes per egress port. 1 = the plain FIFO traffic
-  // manager; 2 sends high-priority traffic (packet priority >= 4, i.e.
-  // DSCP class >= 4) to class 0 and the rest to class 1.
+  // manager. Otherwise the 3-bit packet priority (0..7, from the DSCP
+  // class selector) maps proportionally onto classes, highest priority
+  // to class 0: priority p lands in class (7-p)*service_classes/8
+  // (clamped), so every class is reachable for any count <= 8. With 2
+  // classes this is the classic split: priority >= 4 to class 0, the
+  // rest to class 1.
   std::size_t service_classes = 1;
   SchedulerPolicy scheduler = SchedulerPolicy::kStrictPriority;
   // Per-class service quanta for kWeightedRoundRobin (size must equal
@@ -109,9 +114,24 @@ class CognitiveSwitch {
   // manager at time `now_s` (non-decreasing across calls).
   Verdict Inject(const net::Packet& packet, double now_s);
 
+  // Batched data plane: runs a whole ingress batch arriving at `now_s`
+  // through the same pipeline. The stateless digital stages (parse,
+  // firewall TCAM, LPM trie) fan out over the batch; AQM admission and
+  // enqueueing then commit per packet in order, so verdicts, stats and
+  // energy-ledger totals are bit-identical to sequential Inject() calls.
+  std::vector<Verdict> InjectBatch(std::span<const net::Packet> packets,
+                                   double now_s);
+
   // Drains egress queues up to `until_s`, returning deliveries in
   // departure order per port.
   std::vector<Delivery> Drain(double until_s);
+
+  // Allocation-friendly drain: appends deliveries to `out` (reserving
+  // from the queued-packet counts, so long drains do not repeatedly
+  // reallocate), sorts only the appended region by departure time, and
+  // returns the number of deliveries appended. Callers that drain in a
+  // loop can reuse one buffer across calls.
+  std::size_t DrainInto(double until_s, std::vector<Delivery>& out);
 
   // ------------------------------------------------ observability
   const SwitchStats& stats() const { return stats_; }
@@ -143,8 +163,29 @@ class CognitiveSwitch {
   // Service class a packet maps to under the current configuration.
   std::size_t ClassOf(const net::PacketMeta& meta) const;
 
-  Verdict Classify(const net::Packet& packet, double now_s,
-                   std::size_t* out_port, net::PacketMeta* out_meta);
+  // Analog AQM admission + egress enqueue for one routed packet; pcam
+  // accumulates the AQM's search energy.
+  Verdict AdmitAndEnqueue(std::size_t port_index, const net::PacketMeta& meta,
+                          double now_s, energy::CategoryTotal& pcam);
+
+  // Shared implementation behind Inject()/InjectBatch().
+  void InjectBatchInto(std::span<const net::Packet> packets, double now_s,
+                       std::vector<Verdict>& verdicts);
+
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  // Per-batch scratch, reused across calls (never shrinks).
+  struct BatchScratch {
+    std::vector<net::ParsedPacket> parsed;
+    std::vector<net::FiveTuple> tuples;  // one per firewall key
+    std::vector<tcam::BitKey> fw_keys;
+    std::vector<std::optional<tcam::TcamSearchResult>> fw_results;
+    std::vector<std::size_t> fw_index;  // per packet, kNpos if skipped
+    std::vector<std::uint32_t> lpm_addrs;
+    std::vector<std::optional<tcam::TcamSearchResult>> lpm_results;
+    std::vector<std::size_t> lpm_index;  // per packet, kNpos if skipped
+    std::vector<Verdict> verdicts;      // Inject() fast path
+  };
 
   SwitchConfig config_;
   net::Parser parser_;
@@ -155,6 +196,7 @@ class CognitiveSwitch {
   SwitchStats stats_;
   energy::EnergyLedger ledger_;
   std::uint64_t next_packet_id_ = 0;
+  BatchScratch scratch_;
 };
 
 }  // namespace analognf::arch

@@ -94,70 +94,128 @@ void CognitiveSwitch::AddFirewallRule(const FirewallPattern& pattern,
   firewall_.Insert(std::move(entry));
 }
 
-Verdict CognitiveSwitch::Classify(const net::Packet& packet, double now_s,
-                                  std::size_t* out_port,
-                                  net::PacketMeta* out_meta) {
-  // --- Parser (digital front-end; Fig. 5 leftmost block). -------------
-  const net::ParsedPacket parsed = parser_.Parse(packet);
-  {
+Verdict CognitiveSwitch::Inject(const net::Packet& packet, double now_s) {
+  InjectBatchInto(std::span<const net::Packet>(&packet, 1), now_s,
+                  scratch_.verdicts);
+  return scratch_.verdicts.front();
+}
+
+std::vector<Verdict> CognitiveSwitch::InjectBatch(
+    std::span<const net::Packet> packets, double now_s) {
+  std::vector<Verdict> verdicts;
+  InjectBatchInto(packets, now_s, verdicts);
+  return verdicts;
+}
+
+void CognitiveSwitch::InjectBatchInto(std::span<const net::Packet> packets,
+                                      double now_s,
+                                      std::vector<Verdict>& verdicts) {
+  const std::size_t n = packets.size();
+  BatchScratch& s = scratch_;
+  verdicts.assign(n, Verdict::kForwarded);
+
+  // --- Stage 1: parser (digital front-end; Fig. 5 leftmost block). -----
+  // Stateless over the batch, so it fans out freely. Packets that fail to
+  // parse, or parse to something the IPv4 data plane cannot route, settle
+  // their verdict here and skip the match-action stages.
+  parser_.ParseBatch(packets.data(), n, s.parsed);
+  s.tuples.clear();
+  s.fw_keys.clear();
+  s.fw_index.assign(n, kNpos);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!s.parsed[i].ok()) {
+      verdicts[i] = Verdict::kParseError;
+      continue;
+    }
+    // The routing/firewall data plane is IPv4; a well-formed IPv6 packet
+    // parses but has no route here.
+    if (!s.parsed[i].ipv4.has_value()) {
+      verdicts[i] = Verdict::kNoRoute;
+      continue;
+    }
+    s.fw_index[i] = s.fw_keys.size();
+    s.tuples.push_back(s.parsed[i].Key());
+    s.fw_keys.push_back(FiveTupleKey(s.tuples.back()));
+  }
+
+  // --- Stage 2: digital MAT 1, firewall ternary match (stays digital). -
+  firewall_.SearchBatch(s.fw_keys, s.fw_results);
+
+  // --- Stage 3: digital MAT 2, IP lookup (LPM) for permitted packets. --
+  s.lpm_addrs.clear();
+  s.lpm_index.assign(n, kNpos);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (s.fw_index[i] == kNpos) continue;
+    const auto& fw = s.fw_results[s.fw_index[i]];
+    if (fw.has_value() && fw->action == kActionDeny) {
+      verdicts[i] = Verdict::kFirewallDeny;
+      continue;
+    }
+    s.lpm_index[i] = s.lpm_addrs.size();
+    s.lpm_addrs.push_back(s.parsed[i].ipv4->dst_ip);
+  }
+  routes_.LookupBatch(s.lpm_addrs.data(), s.lpm_addrs.size(), s.lpm_results);
+
+  // --- Stage 4: ordered per-packet commit. -----------------------------
+  // Stats, ledger energy, packet ids and AQM admission all mutate shared
+  // state, so this loop replays them in packet order with exactly the
+  // floating-point accumulation sequence of a sequential Inject() loop;
+  // the Meter() pointers only amortise the string-keyed map lookups.
+  energy::CategoryTotal& compute =
+      *ledger_.Meter(energy::category::kDigitalCompute);
+  energy::CategoryTotal& movement =
+      *ledger_.Meter(energy::category::kDataMovement);
+  energy::CategoryTotal& tcam = *ledger_.Meter(energy::category::kTcamSearch);
+  energy::CategoryTotal& pcam = *ledger_.Meter(energy::category::kPcamSearch);
+  for (std::size_t i = 0; i < n; ++i) {
+    ++stats_.injected;
     // Header extraction is a digital operation with the classic
     // storage<->compute shuttling cost.
     const auto header_bits = static_cast<std::uint64_t>(
-        8 * std::min<std::size_t>(packet.size(), 42));
+        8 * std::min<std::size_t>(packets[i].size(), 42));
     const energy::MovementBreakdown cost = movement_.CostOf(header_bits);
-    ledger_.Record(energy::category::kDigitalCompute, cost.compute_j);
-    ledger_.Record(energy::category::kDataMovement, cost.movement_j);
+    compute.energy_j += cost.compute_j;
+    ++compute.operations;
+    movement.energy_j += cost.movement_j;
+    ++movement.operations;
+    if (verdicts[i] == Verdict::kParseError) {
+      ++stats_.parse_errors;
+      continue;
+    }
+    if (s.fw_index[i] != kNpos) {
+      tcam.energy_j += firewall_.SearchEnergyJ();
+      ++tcam.operations;
+    }
+    if (verdicts[i] == Verdict::kFirewallDeny) {
+      ++stats_.firewall_denies;
+      continue;
+    }
+    if (s.lpm_index[i] != kNpos) {
+      tcam.energy_j += routes_.table().SearchEnergyJ();
+      ++tcam.operations;
+    }
+    const auto* route =
+        s.lpm_index[i] != kNpos ? &s.lpm_results[s.lpm_index[i]] : nullptr;
+    if (route == nullptr || !route->has_value()) {
+      verdicts[i] = Verdict::kNoRoute;
+      ++stats_.no_route;
+      continue;
+    }
+    net::PacketMeta meta;
+    meta.id = next_packet_id_++;
+    meta.arrival_time_s = now_s;
+    meta.size_bytes = static_cast<std::uint32_t>(packets[i].size());
+    meta.flow_hash = s.tuples[s.fw_index[i]].Hash();
+    // DSCP class selector bits map onto our 3-bit priority.
+    meta.priority = static_cast<std::uint8_t>(s.parsed[i].ipv4->dscp >> 3);
+    verdicts[i] = AdmitAndEnqueue((*route)->action, meta, now_s, pcam);
   }
-  if (!parsed.ok()) return Verdict::kParseError;
-  // The routing/firewall data plane is IPv4; a well-formed IPv6 packet
-  // parses but has no route here.
-  if (!parsed.ipv4.has_value()) return Verdict::kNoRoute;
-
-  const net::FiveTuple tuple = parsed.Key();
-
-  // --- Digital MAT 1: firewall (hard network policy, stays digital). --
-  const tcam::BitKey key = FiveTupleKey(tuple);
-  const auto fw = firewall_.Search(key);
-  ledger_.Record(energy::category::kTcamSearch, firewall_.SearchEnergyJ());
-  if (fw.has_value() && fw->action == kActionDeny) {
-    return Verdict::kFirewallDeny;
-  }
-
-  // --- Digital MAT 2: IP lookup (LPM). ---------------------------------
-  const auto route = routes_.Lookup(parsed.ipv4->dst_ip);
-  ledger_.Record(energy::category::kTcamSearch,
-                 routes_.table().SearchEnergyJ());
-  if (!route.has_value()) return Verdict::kNoRoute;
-
-  *out_port = route->action;
-  out_meta->id = next_packet_id_++;
-  out_meta->arrival_time_s = now_s;
-  out_meta->size_bytes = static_cast<std::uint32_t>(packet.size());
-  out_meta->flow_hash = tuple.Hash();
-  // DSCP class selector bits map onto our 3-bit priority.
-  out_meta->priority = static_cast<std::uint8_t>(parsed.ipv4->dscp >> 3);
-  return Verdict::kForwarded;
 }
 
-Verdict CognitiveSwitch::Inject(const net::Packet& packet, double now_s) {
-  ++stats_.injected;
-  std::size_t port_index = 0;
-  net::PacketMeta meta;
-  Verdict verdict = Classify(packet, now_s, &port_index, &meta);
-  switch (verdict) {
-    case Verdict::kParseError:
-      ++stats_.parse_errors;
-      return verdict;
-    case Verdict::kFirewallDeny:
-      ++stats_.firewall_denies;
-      return verdict;
-    case Verdict::kNoRoute:
-      ++stats_.no_route;
-      return verdict;
-    default:
-      break;
-  }
-
+Verdict CognitiveSwitch::AdmitAndEnqueue(std::size_t port_index,
+                                         const net::PacketMeta& meta,
+                                         double now_s,
+                                         energy::CategoryTotal& pcam) {
   EgressPort& port = ports_[port_index];
   const std::size_t service_class = ClassOf(meta);
   net::PacketQueue& queue = port.queues[service_class];
@@ -173,8 +231,8 @@ Verdict CognitiveSwitch::Inject(const net::Packet& packet, double now_s) {
     ctx.packet = meta;
     const double before_j = class_aqm.ConsumedEnergyJ();
     const bool drop = class_aqm.ShouldDropOnEnqueue(ctx);
-    ledger_.Record(energy::category::kPcamSearch,
-                   class_aqm.ConsumedEnergyJ() - before_j);
+    pcam.energy_j += class_aqm.ConsumedEnergyJ() - before_j;
+    ++pcam.operations;
     if (drop) {
       queue.NoteAqmDrop(meta);
       ++stats_.aqm_drops;
@@ -217,12 +275,33 @@ std::size_t CognitiveSwitch::PickClass(EgressPort& port, double start_s) {
 }
 
 std::size_t CognitiveSwitch::ClassOf(const net::PacketMeta& meta) const {
-  if (config_.service_classes == 1) return 0;
-  return meta.priority >= 4 ? 0 : config_.service_classes - 1;
+  const std::size_t classes = config_.service_classes;
+  if (classes == 1) return 0;
+  // Proportional DSCP mapping: invert the 3-bit priority (0..7) so high
+  // priority lands in low class index, then scale onto the class count.
+  // Every class is reachable for classes <= 8, and classes == 2 keeps
+  // the historical split (priority >= 4 -> class 0).
+  const std::size_t inv = 7 - std::min<std::size_t>(meta.priority, 7);
+  return std::min(classes - 1, inv * classes / 8);
 }
 
 std::vector<Delivery> CognitiveSwitch::Drain(double until_s) {
   std::vector<Delivery> out;
+  DrainInto(until_s, out);
+  return out;
+}
+
+std::size_t CognitiveSwitch::DrainInto(double until_s,
+                                       std::vector<Delivery>& out) {
+  const std::size_t first = out.size();
+  // Reserve for the worst case (every queued packet departs by until_s)
+  // so the append loop below never reallocates mid-drain.
+  std::size_t queued = 0;
+  for (const EgressPort& port : ports_) {
+    for (const net::PacketQueue& q : port.queues) queued += q.packets();
+  }
+  if (queued == 0) return 0;  // fast path: nothing queued anywhere
+  out.reserve(first + queued);
   for (std::size_t p = 0; p < ports_.size(); ++p) {
     EgressPort& port = ports_[p];
     for (;;) {
@@ -264,11 +343,12 @@ std::vector<Delivery> CognitiveSwitch::Drain(double until_s) {
       ++stats_.delivered;
     }
   }
-  std::sort(out.begin(), out.end(),
+  // Sort only what this call appended; earlier contents are untouched.
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
             [](const Delivery& a, const Delivery& b) {
               return a.departure_s < b.departure_s;
             });
-  return out;
+  return out.size() - first;
 }
 
 const net::PacketQueue& CognitiveSwitch::egress_queue(

@@ -86,6 +86,7 @@ TopologyReport LineTopology::Run(net::TrafficGenerator& generator) {
   std::vector<double> last_inject_s(switches_.size(), 0.0);
 
   net::PacketMeta next_arrival = generator.Next();
+  std::vector<Delivery> drained;  // reused across drain calls
 
   auto inject = [&](std::size_t hop, const net::Packet& packet,
                     double when_s, double origin_ingress_s) {
@@ -122,7 +123,9 @@ TopologyReport LineTopology::Run(net::TrafficGenerator& generator) {
     }
     // 3. Drain every hop; forward deliveries down the line.
     for (std::size_t k = 0; k < switches_.size(); ++k) {
-      for (const Delivery& d : switches_[k]->Drain(t)) {
+      drained.clear();
+      switches_[k]->DrainInto(t, drained);
+      for (const Delivery& d : drained) {
         const auto origin = origin_time[k].find(d.meta.id);
         if (origin == origin_time[k].end()) continue;  // pre-tracking
         const double t0 = origin->second;

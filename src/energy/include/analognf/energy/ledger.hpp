@@ -27,6 +27,12 @@ class EnergyLedger {
   void Record(const std::string& category, double energy_j,
               std::uint64_t operations = 1);
 
+  // Stable pointer to a category's running total, so batched hot paths
+  // can accumulate per-packet contributions without the per-call string
+  // lookup of Record(). The pointer stays valid until Reset(). Callers
+  // must uphold the Record() precondition (non-negative energy).
+  CategoryTotal* Meter(const std::string& category);
+
   // Total across all categories.
   double TotalJ() const;
   std::uint64_t TotalOperations() const;

@@ -14,6 +14,12 @@ void EnergyLedger::Record(const std::string& category, double energy_j,
   total.operations += operations;
 }
 
+CategoryTotal* EnergyLedger::Meter(const std::string& category) {
+  // std::map nodes are reference-stable across inserts, so the pointer
+  // survives until Reset() clears the map.
+  return &categories_[category];
+}
+
 double EnergyLedger::TotalJ() const {
   double total = 0.0;
   for (const auto& [name, cat] : categories_) total += cat.energy_j;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "analognf/net/packet.hpp"
 
@@ -78,6 +79,14 @@ class Parser {
 
   ParsedPacket Parse(const Packet& packet) const;
   ParsedPacket Parse(const std::uint8_t* data, std::size_t len) const;
+
+  // Parses `count` packets into `out` (resized to count), one result per
+  // packet, reusing the vector's storage across calls. Equivalent to
+  // calling Parse() on each packet — the parser is stateless, so batch
+  // front-ends (CognitiveSwitch::InjectBatch) fan parsing out without
+  // changing any per-packet outcome.
+  void ParseBatch(const Packet* packets, std::size_t count,
+                  std::vector<ParsedPacket>& out) const;
 
  private:
   Options options_{};

@@ -77,6 +77,14 @@ ParsedPacket Parser::Parse(const Packet& packet) const {
   return Parse(packet.bytes().data(), packet.size());
 }
 
+void Parser::ParseBatch(const Packet* packets, std::size_t count,
+                        std::vector<ParsedPacket>& out) const {
+  out.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = Parse(packets[i].bytes().data(), packets[i].size());
+  }
+}
+
 ParsedPacket Parser::Parse(const std::uint8_t* data, std::size_t len) const {
   ParsedPacket out;
 

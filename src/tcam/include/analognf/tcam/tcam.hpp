@@ -7,6 +7,11 @@
 // memristor variants of Table 1 share the functional model and differ in
 // per-bit search energy, latency, and the fraction of energy spent moving
 // data between storage and compute (Fig. 1).
+//
+// Searches run on the compiled bitmask engine (tcam_search_engine.hpp),
+// which evaluates whole banks of rows per step the way the hardware
+// evaluates all rows per cycle; this table stays the model of record for
+// energy and latency and accounts every search cycle it performs.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "analognf/tcam/tcam_search_engine.hpp"
 #include "analognf/tcam/ternary.hpp"
 
 namespace analognf::tcam {
@@ -51,6 +57,13 @@ struct TcamSearchResult {
 };
 
 // Priority-resolved ternary table of fixed key width.
+//
+// Entry-index contract: Insert returns an index that stays valid for the
+// lifetime of the table. Erase tombstones the entry in place (it stops
+// matching and stops burning search energy) without shifting any other
+// entry; a later Insert may reuse the tombstoned slot. entries() exposes
+// the raw slot array including tombstones — check IsLive() when
+// iterating it.
 class TcamTable {
  public:
   struct Entry {
@@ -61,45 +74,76 @@ class TcamTable {
     std::int32_t priority = 0;
   };
 
-  TcamTable(std::size_t key_width, TcamTechnology technology);
+  TcamTable(std::size_t key_width, TcamTechnology technology,
+            TcamSearchConfig engine_config = {});
 
   std::size_t key_width() const { return key_width_; }
-  std::size_t size() const { return entries_.size(); }
+  // Live entries (tombstones excluded).
+  std::size_t size() const { return live_count_; }
+  // Raw slots, including tombstones.
+  std::size_t slot_count() const { return entries_.size(); }
+  bool IsLive(std::size_t index) const {
+    return index < live_.size() && live_[index] != 0;
+  }
   const TcamTechnology& technology() const { return technology_; }
   const std::vector<Entry>& entries() const { return entries_; }
 
-  // Adds an entry; pattern width must equal key_width.
-  // Returns the entry index.
+  // Adds an entry; pattern width must equal key_width. Returns the
+  // entry's stable index (a tombstoned slot may be reused).
   std::size_t Insert(Entry entry);
-  // Removes the entry at `index` (shifts later entries down).
+  // Tombstones the entry at `index`. Throws std::out_of_range on a bad
+  // index and std::invalid_argument if it is already tombstoned.
   void Erase(std::size_t index);
 
   // One search cycle: all entries in parallel, best (priority, index)
   // match wins. nullopt on miss — but note the energy was still spent;
-  // MissCost() reports it.
+  // SearchEnergyJ() reports it.
   std::optional<TcamSearchResult> Search(const BitKey& key);
+
+  // `keys.size()` search cycles against one compiled snapshot; out is
+  // resized to match. Results, counters and consumed energy are
+  // bit-identical to sequential Search() calls.
+  void SearchBatch(const std::vector<BitKey>& keys,
+                   std::vector<std::optional<TcamSearchResult>>& out);
+
+  // Accounts one search cycle's energy without scanning, for compiled
+  // side-engines (e.g. the LPM trie) that keep this table as the cost
+  // model of record. Returns the energy of the cycle.
+  double AccountSearch();
 
   // Energy/latency of one search cycle over the current table.
   double SearchEnergyJ() const;
   double SearchLatencyS() const { return technology_.search_latency_s; }
-  // Total stored (searchable) bits: entries * key_width. The energy
+  // Total stored (searchable) bits: live entries * key_width. The energy
   // model activates all of them per cycle.
-  std::size_t StoredBits() const { return entries_.size() * key_width_; }
+  std::size_t StoredBits() const { return live_count_ * key_width_; }
 
   // Cumulative energy spent by all Search() calls.
   double ConsumedEnergyJ() const { return consumed_energy_j_; }
   std::uint64_t searches() const { return searches_; }
 
  private:
+  void EnsureCompiled();
+
   std::size_t key_width_;
   TcamTechnology technology_;
   std::vector<Entry> entries_;
+  std::vector<std::uint8_t> live_;      // parallel to entries_
+  std::vector<std::size_t> free_list_;  // tombstoned slots, LIFO reuse
+  std::size_t live_count_ = 0;
+  TcamSearchEngine engine_;
   double consumed_energy_j_ = 0.0;
   std::uint64_t searches_ = 0;
+
+  // Scratch for SearchBatch (reused, never shrinks).
+  std::vector<std::optional<TcamEngineHit>> batch_hits_;
 };
 
 // Longest-prefix-match convenience wrapper over TcamTable for IPv4
 // lookup (priority = prefix length, the classic TCAM LPM encoding).
+// Lookups run on the stride-trie LpmEngine; the TCAM table remains the
+// energy/latency model of record and is charged one search cycle per
+// lookup, exactly as the scan would have been.
 class LpmTable {
  public:
   explicit LpmTable(TcamTechnology technology);
@@ -108,12 +152,19 @@ class LpmTable {
   void AddRoute(std::uint32_t value, int prefix_len, std::uint32_t action);
   // Looks up the longest matching prefix for `address`.
   std::optional<TcamSearchResult> Lookup(std::uint32_t address);
+  // Batched lookup; out is resized to count. Bit-identical to
+  // sequential Lookup() calls, counters and energy included.
+  void LookupBatch(const std::uint32_t* addresses, std::size_t count,
+                   std::vector<std::optional<TcamSearchResult>>& out);
 
   TcamTable& table() { return table_; }
   const TcamTable& table() const { return table_; }
 
  private:
+  TcamSearchResult ResultOf(const TcamEngineHit& hit, double energy_j) const;
+
   TcamTable table_;
+  LpmEngine engine_;
 };
 
 }  // namespace analognf::tcam

@@ -1,0 +1,177 @@
+// Compiled digital match-action engine: bitmask TCAM + stride-trie LPM.
+//
+// Real TCAM hardware evaluates every stored row in parallel per search
+// cycle; the rowwise `TernaryWord::Matches` scan in TcamTable models the
+// cost correctly but walks one stored bit at a time in software. This
+// engine restores the hardware's wide-row shape, mirroring the pCAM
+// side's PcamSearchEngine (core/pcam_search_engine.hpp):
+//
+//   * Compile: every live entry's ternary pattern becomes structure-of-
+//     arrays mask/value `uint64_t` lanes — one lane set per 64 key bits —
+//     stored in priority-sorted slot order (priority descending, stable
+//     by table index). A row matches iff `(key & mask) == value` holds
+//     on every lane, so one search evaluates a whole bank of 64 rows as
+//     a branch-light loop the compiler auto-vectorizes, and the first
+//     set bit of the bank's match mask IS the priority winner.
+//   * Dirty tracking: Insert on the owning table marks the snapshot
+//     dirty (priority order may change — the next search recompiles);
+//     Erase poisons the compiled slot in place (mask = 0, value = ~0
+//     can never match) without recompiling anything.
+//   * Batching/threading: SearchBatch packs all keys once and, above
+//     `thread_row_threshold` compiled rows, shards key ranges across the
+//     shared ThreadPool; single searches shard bank ranges instead.
+//     Results are bit-identical to the sequential pass (per-key results
+//     are independent; bank shards merge to the lowest slot index).
+//
+// The engine is purely functional: TcamTable remains the energy/latency
+// model of record and accounts every search cycle it performs.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analognf/tcam/ternary.hpp"
+
+namespace analognf::tcam {
+
+// Tuning knobs, per table.
+struct TcamSearchConfig {
+  // Compiled row count at which searches start sharding across the
+  // shared thread pool. Small tables stay single-threaded: the fork/join
+  // handshake costs more than the scan.
+  std::size_t thread_row_threshold = 4096;
+  // Upper bound on shards (0 = one per available core). Values > 1 force
+  // the sharded code path even on a single-core host, which keeps the
+  // merge logic testable everywhere.
+  std::size_t max_threads = 0;
+
+  void Validate() const;  // throws std::invalid_argument
+};
+
+// View of one live table row handed to Compile().
+struct TcamEngineEntry {
+  const TernaryWord* pattern = nullptr;
+  std::uint32_t action = 0;
+  std::int32_t priority = 0;
+  std::size_t index = 0;  // stable table index, reported on hits
+};
+
+// A hit: the winning entry under (priority desc, index asc) resolution.
+struct TcamEngineHit {
+  std::size_t entry_index = 0;
+  std::uint32_t action = 0;
+  std::int32_t priority = 0;
+};
+
+class TcamSearchEngine {
+ public:
+  explicit TcamSearchEngine(std::size_t key_width,
+                            TcamSearchConfig config = {});
+
+  // --- snapshot maintenance (driven by the owning table) --------------
+  // Marks the snapshot stale; the next search triggers NeedsCompile().
+  void MarkDirty() { dirty_ = true; }
+  bool NeedsCompile() const { return dirty_; }
+  // In-place tombstone: if `entry_index` is compiled, its slot is
+  // rewritten so no key can ever match it. Relative priority order of
+  // the surviving rows is unchanged, so no recompile is needed.
+  void MarkErased(std::size_t entry_index);
+  // Rebuilds the SoA snapshot from the live rows (any order).
+  void Compile(const std::vector<TcamEngineEntry>& live_entries);
+
+  std::size_t key_width() const { return key_width_; }
+  std::size_t slots() const { return slots_; }
+  const TcamSearchConfig& config() const { return config_; }
+
+  // --- search ---------------------------------------------------------
+  // One probe. Requires a compiled snapshot (!NeedsCompile()) and
+  // key.width() == key_width().
+  std::optional<TcamEngineHit> Search(const BitKey& key);
+  // `count` probes; out is resized to count. Same requirements.
+  void SearchBatch(const BitKey* keys, std::size_t count,
+                   std::vector<std::optional<TcamEngineHit>>& out);
+
+ private:
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  std::size_t BankCount() const { return (slots_ + 63) / 64; }
+  // 64-bit match mask of bank `bank` (bit s = slot bank*64+s matches).
+  std::uint64_t EvalBank(const std::uint64_t* key_lanes,
+                         std::size_t bank) const;
+  // Lowest matching slot in banks [bank_begin, bank_end), or kNoSlot.
+  std::size_t FirstHit(const std::uint64_t* key_lanes,
+                       std::size_t bank_begin, std::size_t bank_end) const;
+  // Full-table search of one packed key, sharding banks when large.
+  std::size_t SearchPacked(const std::uint64_t* key_lanes);
+  std::size_t ShardCount(std::size_t shardable_units) const;
+  std::optional<TcamEngineHit> HitAt(std::size_t slot) const;
+
+  std::size_t key_width_;
+  std::size_t lanes_;
+  TcamSearchConfig config_;
+  bool dirty_ = true;
+
+  std::size_t slots_ = 0;
+  // Lane-major SoA: mask_[lane][slot], value_[lane][slot].
+  std::vector<std::vector<std::uint64_t>> mask_;
+  std::vector<std::vector<std::uint64_t>> value_;
+  std::vector<std::size_t> slot_entry_;     // slot -> stable table index
+  std::vector<std::uint32_t> slot_action_;
+  std::vector<std::int32_t> slot_priority_;
+  std::vector<std::size_t> entry_slot_;     // stable index -> slot/kNoSlot
+
+  // Scratch reused across calls (never shrinks).
+  std::vector<std::uint64_t> key_scratch_;
+  std::vector<std::uint64_t> batch_lanes_;
+  std::vector<std::size_t> shard_hit_;
+};
+
+// Longest-prefix-match engine: a multibit trie with 8-bit strides.
+//
+// Replaces the LPM-as-TCAM scan (32 ternary compares per route) with at
+// most four indexed node hops per lookup. Routes are expanded into the
+// stride level where their prefix ends (controlled prefix expansion);
+// each node slot keeps the best route covering it at that level, so a
+// lookup tracks the deepest populated slot along the address's path —
+// deeper levels always hold strictly longer prefixes. Ties between
+// equal-length duplicates resolve to the lowest entry index, matching
+// the TCAM priority encoder. AddRoute marks the trie dirty; the next
+// lookup recompiles it from the route list.
+class LpmEngine {
+ public:
+  struct Route {
+    std::uint32_t value = 0;
+    int prefix_len = 0;  // [0, 32]
+    std::uint32_t action = 0;
+    std::size_t entry_index = 0;
+  };
+
+  // Appends a route (validates prefix_len) and marks the trie dirty.
+  void AddRoute(const Route& route);
+
+  std::size_t route_count() const { return routes_.size(); }
+
+  // Longest matching prefix for `address` (hit.priority = prefix_len).
+  std::optional<TcamEngineHit> Lookup(std::uint32_t address);
+  void LookupBatch(const std::uint32_t* addresses, std::size_t count,
+                   std::vector<std::optional<TcamEngineHit>>& out);
+
+ private:
+  struct Node {
+    std::array<std::int32_t, 256> child;  // next-level node id, -1 none
+    std::array<std::int32_t, 256> best;   // route id ending here, -1 none
+  };
+
+  void Compile();
+  std::int32_t NewNode();
+  std::int32_t BestRoute(std::uint32_t address) const;  // route id or -1
+
+  std::vector<Route> routes_;
+  std::vector<Node> nodes_;
+  bool dirty_ = true;
+};
+
+}  // namespace analognf::tcam

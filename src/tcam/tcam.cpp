@@ -1,6 +1,7 @@
 #include "analognf/tcam/tcam.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace analognf::tcam {
 
@@ -35,8 +36,11 @@ TcamTechnology TcamTechnology::MemristorTcam() {
   return tech;
 }
 
-TcamTable::TcamTable(std::size_t key_width, TcamTechnology technology)
-    : key_width_(key_width), technology_(technology) {
+TcamTable::TcamTable(std::size_t key_width, TcamTechnology technology,
+                     TcamSearchConfig engine_config)
+    : key_width_(key_width),
+      technology_(technology),
+      engine_(key_width == 0 ? 1 : key_width, engine_config) {
   if (key_width == 0) {
     throw std::invalid_argument("TcamTable: zero key width");
   }
@@ -47,42 +51,94 @@ std::size_t TcamTable::Insert(Entry entry) {
   if (entry.pattern.width() != key_width_) {
     throw std::invalid_argument("TcamTable::Insert: pattern width mismatch");
   }
-  entries_.push_back(std::move(entry));
-  return entries_.size() - 1;
+  std::size_t index;
+  if (!free_list_.empty()) {
+    index = free_list_.back();
+    free_list_.pop_back();
+    entries_[index] = std::move(entry);
+    live_[index] = 1;
+  } else {
+    index = entries_.size();
+    entries_.push_back(std::move(entry));
+    live_.push_back(1);
+  }
+  ++live_count_;
+  engine_.MarkDirty();
+  return index;
 }
 
 void TcamTable::Erase(std::size_t index) {
   if (index >= entries_.size()) {
     throw std::out_of_range("TcamTable::Erase: index out of range");
   }
-  entries_.erase(entries_.begin() +
-                 static_cast<std::ptrdiff_t>(index));
+  if (live_[index] == 0) {
+    throw std::invalid_argument("TcamTable::Erase: entry already erased");
+  }
+  live_[index] = 0;
+  free_list_.push_back(index);
+  --live_count_;
+  engine_.MarkErased(index);
+}
+
+void TcamTable::EnsureCompiled() {
+  if (!engine_.NeedsCompile()) return;
+  std::vector<TcamEngineEntry> view;
+  view.reserve(live_count_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (live_[i] == 0) continue;
+    view.push_back({&entries_[i].pattern, entries_[i].action,
+                    entries_[i].priority, i});
+  }
+  engine_.Compile(view);
 }
 
 std::optional<TcamSearchResult> TcamTable::Search(const BitKey& key) {
   if (key.width() != key_width_) {
     throw std::invalid_argument("TcamTable::Search: key width mismatch");
   }
-  const double energy = SearchEnergyJ();
-  consumed_energy_j_ += energy;
-  ++searches_;
-
-  std::optional<std::size_t> best;
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (!entries_[i].pattern.Matches(key)) continue;
-    if (!best.has_value() ||
-        entries_[i].priority > entries_[*best].priority) {
-      best = i;
-    }
-  }
-  if (!best.has_value()) return std::nullopt;
+  EnsureCompiled();
+  const double energy = AccountSearch();
+  const std::optional<TcamEngineHit> hit = engine_.Search(key);
+  if (!hit.has_value()) return std::nullopt;
   TcamSearchResult result;
-  result.entry_index = *best;
-  result.action = entries_[*best].action;
-  result.priority = entries_[*best].priority;
+  result.entry_index = hit->entry_index;
+  result.action = hit->action;
+  result.priority = hit->priority;
   result.energy_j = energy;
   result.latency_s = technology_.search_latency_s;
   return result;
+}
+
+void TcamTable::SearchBatch(const std::vector<BitKey>& keys,
+                            std::vector<std::optional<TcamSearchResult>>& out) {
+  for (const BitKey& key : keys) {
+    if (key.width() != key_width_) {
+      throw std::invalid_argument("TcamTable::SearchBatch: key width mismatch");
+    }
+  }
+  EnsureCompiled();
+  engine_.SearchBatch(keys.data(), keys.size(), batch_hits_);
+  out.assign(keys.size(), std::nullopt);
+  for (std::size_t q = 0; q < keys.size(); ++q) {
+    // Per-search accounting keeps the consumed-energy accumulation order
+    // (and thus its floating-point value) identical to sequential calls.
+    const double energy = AccountSearch();
+    if (!batch_hits_[q].has_value()) continue;
+    TcamSearchResult result;
+    result.entry_index = batch_hits_[q]->entry_index;
+    result.action = batch_hits_[q]->action;
+    result.priority = batch_hits_[q]->priority;
+    result.energy_j = energy;
+    result.latency_s = technology_.search_latency_s;
+    out[q] = result;
+  }
+}
+
+double TcamTable::AccountSearch() {
+  const double energy = SearchEnergyJ();
+  consumed_energy_j_ += energy;
+  ++searches_;
+  return energy;
 }
 
 double TcamTable::SearchEnergyJ() const {
@@ -99,13 +155,37 @@ void LpmTable::AddRoute(std::uint32_t value, int prefix_len,
   entry.pattern = TernaryWord::FromPrefix(value, prefix_len);
   entry.action = action;
   entry.priority = prefix_len;
-  table_.Insert(std::move(entry));
+  const std::size_t index = table_.Insert(std::move(entry));
+  engine_.AddRoute({value, prefix_len, action, index});
+}
+
+TcamSearchResult LpmTable::ResultOf(const TcamEngineHit& hit,
+                                    double energy_j) const {
+  TcamSearchResult result;
+  result.entry_index = hit.entry_index;
+  result.action = hit.action;
+  result.priority = hit.priority;
+  result.energy_j = energy_j;
+  result.latency_s = table_.SearchLatencyS();
+  return result;
 }
 
 std::optional<TcamSearchResult> LpmTable::Lookup(std::uint32_t address) {
-  BitKey key;
-  key.AppendU32(address);
-  return table_.Search(key);
+  // The trie answers; the TCAM array still burns one full search cycle.
+  const double energy = table_.AccountSearch();
+  const std::optional<TcamEngineHit> hit = engine_.Lookup(address);
+  if (!hit.has_value()) return std::nullopt;
+  return ResultOf(*hit, energy);
+}
+
+void LpmTable::LookupBatch(const std::uint32_t* addresses, std::size_t count,
+                           std::vector<std::optional<TcamSearchResult>>& out) {
+  out.assign(count, std::nullopt);
+  for (std::size_t q = 0; q < count; ++q) {
+    const double energy = table_.AccountSearch();
+    const std::optional<TcamEngineHit> hit = engine_.Lookup(addresses[q]);
+    if (hit.has_value()) out[q] = ResultOf(*hit, energy);
+  }
 }
 
 }  // namespace analognf::tcam

@@ -1,0 +1,322 @@
+#include "analognf/tcam/tcam_search_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+#include "analognf/common/thread_pool.hpp"
+
+namespace analognf::tcam {
+
+void TcamSearchConfig::Validate() const {
+  if (thread_row_threshold == 0) {
+    throw std::invalid_argument(
+        "TcamSearchConfig: thread_row_threshold must be >= 1");
+  }
+}
+
+TcamSearchEngine::TcamSearchEngine(std::size_t key_width,
+                                   TcamSearchConfig config)
+    : key_width_(key_width), lanes_((key_width + 63) / 64), config_(config) {
+  if (key_width == 0) {
+    throw std::invalid_argument("TcamSearchEngine: zero key width");
+  }
+  config_.Validate();
+  mask_.resize(lanes_);
+  value_.resize(lanes_);
+}
+
+void TcamSearchEngine::MarkErased(std::size_t entry_index) {
+  if (dirty_) return;  // next Compile drops the row anyway
+  if (entry_index >= entry_slot_.size()) return;
+  const std::size_t slot = entry_slot_[entry_index];
+  if (slot == kNoSlot) return;
+  // (key & 0) == ~0 is false on every lane, so the slot can never match
+  // again; the surviving rows keep their relative priority order.
+  for (std::size_t lane = 0; lane < lanes_; ++lane) {
+    mask_[lane][slot] = 0;
+    value_[lane][slot] = ~std::uint64_t{0};
+  }
+  entry_slot_[entry_index] = kNoSlot;
+}
+
+void TcamSearchEngine::Compile(
+    const std::vector<TcamEngineEntry>& live_entries) {
+  // Priority-sorted slot order: the first matching slot IS the winner
+  // under the hardware's (priority desc, table index asc) resolution.
+  std::vector<const TcamEngineEntry*> order;
+  order.reserve(live_entries.size());
+  for (const TcamEngineEntry& e : live_entries) order.push_back(&e);
+  std::sort(order.begin(), order.end(),
+            [](const TcamEngineEntry* a, const TcamEngineEntry* b) {
+              if (a->priority != b->priority) return a->priority > b->priority;
+              return a->index < b->index;
+            });
+
+  slots_ = order.size();
+  slot_entry_.assign(slots_, 0);
+  slot_action_.assign(slots_, 0);
+  slot_priority_.assign(slots_, 0);
+  std::size_t max_index = 0;
+  for (const TcamEngineEntry* e : order) {
+    max_index = std::max(max_index, e->index);
+  }
+  entry_slot_.assign(slots_ == 0 ? 0 : max_index + 1, kNoSlot);
+  for (std::size_t lane = 0; lane < lanes_; ++lane) {
+    mask_[lane].assign(slots_, 0);
+    value_[lane].assign(slots_, 0);
+  }
+
+  for (std::size_t s = 0; s < slots_; ++s) {
+    const TcamEngineEntry& e = *order[s];
+    assert(e.pattern != nullptr && e.pattern->width() == key_width_);
+    slot_entry_[s] = e.index;
+    slot_action_[s] = e.action;
+    slot_priority_[s] = e.priority;
+    entry_slot_[e.index] = s;
+    for (std::size_t i = 0; i < key_width_; ++i) {
+      const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+      switch (e.pattern->bit(i)) {
+        case Tbit::kZero:
+          mask_[i >> 6][s] |= bit;
+          break;
+        case Tbit::kOne:
+          mask_[i >> 6][s] |= bit;
+          value_[i >> 6][s] |= bit;
+          break;
+        case Tbit::kAny:
+          break;
+      }
+    }
+  }
+  dirty_ = false;
+}
+
+std::uint64_t TcamSearchEngine::EvalBank(const std::uint64_t* key_lanes,
+                                         std::size_t bank) const {
+  const std::size_t s0 = bank * 64;
+  const std::size_t n = std::min<std::size_t>(64, slots_ - s0);
+  std::uint64_t match =
+      n == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+  for (std::size_t lane = 0; lane < lanes_; ++lane) {
+    const std::uint64_t k = key_lanes[lane];
+    const std::uint64_t* mask = mask_[lane].data() + s0;
+    const std::uint64_t* value = value_[lane].data() + s0;
+    std::uint64_t bits = 0;
+    // Branch-free whole-bank compare; auto-vectorizes to wide compares.
+    for (std::size_t s = 0; s < n; ++s) {
+      bits |= static_cast<std::uint64_t>((k & mask[s]) == value[s]) << s;
+    }
+    match &= bits;
+    if (match == 0) break;
+  }
+  return match;
+}
+
+std::size_t TcamSearchEngine::FirstHit(const std::uint64_t* key_lanes,
+                                       std::size_t bank_begin,
+                                       std::size_t bank_end) const {
+  for (std::size_t b = bank_begin; b < bank_end; ++b) {
+    const std::uint64_t match = EvalBank(key_lanes, b);
+    if (match != 0) {
+      return b * 64 + static_cast<std::size_t>(std::countr_zero(match));
+    }
+  }
+  return kNoSlot;
+}
+
+std::size_t TcamSearchEngine::ShardCount(std::size_t shardable_units) const {
+  if (slots_ < config_.thread_row_threshold) return 1;
+  const std::size_t parallelism =
+      config_.max_threads != 0 ? config_.max_threads
+                               : ThreadPool::Shared().size() + 1;
+  return std::clamp<std::size_t>(parallelism, 1,
+                                 std::max<std::size_t>(shardable_units, 1));
+}
+
+std::size_t TcamSearchEngine::SearchPacked(const std::uint64_t* key_lanes) {
+  const std::size_t banks = BankCount();
+  const std::size_t shards = ShardCount(banks);
+  if (shards == 1) return FirstHit(key_lanes, 0, banks);
+
+  // Shard bank ranges; each shard early-exits within its range and the
+  // merge takes the lowest slot index, so the result is identical to the
+  // sequential scan.
+  shard_hit_.assign(shards, kNoSlot);
+  const std::size_t chunk = (banks + shards - 1) / shards;
+  ThreadPool::Shared().ParallelFor(shards, [&](std::size_t s) {
+    const std::size_t b0 = s * chunk;
+    const std::size_t b1 = std::min(b0 + chunk, banks);
+    if (b0 < b1) shard_hit_[s] = FirstHit(key_lanes, b0, b1);
+  });
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (shard_hit_[s] != kNoSlot) return shard_hit_[s];
+  }
+  return kNoSlot;
+}
+
+std::optional<TcamEngineHit> TcamSearchEngine::HitAt(std::size_t slot) const {
+  if (slot == kNoSlot) return std::nullopt;
+  TcamEngineHit hit;
+  hit.entry_index = slot_entry_[slot];
+  hit.action = slot_action_[slot];
+  hit.priority = slot_priority_[slot];
+  return hit;
+}
+
+std::optional<TcamEngineHit> TcamSearchEngine::Search(const BitKey& key) {
+  assert(!dirty_);
+  if (key.width() != key_width_) {
+    throw std::invalid_argument("TcamSearchEngine: key width mismatch");
+  }
+  key_scratch_.assign(lanes_, 0);
+  for (std::size_t i = 0; i < key_width_; ++i) {
+    key_scratch_[i >> 6] |=
+        static_cast<std::uint64_t>(key.bit(i)) << (i & 63);
+  }
+  return HitAt(SearchPacked(key_scratch_.data()));
+}
+
+void TcamSearchEngine::SearchBatch(
+    const BitKey* keys, std::size_t count,
+    std::vector<std::optional<TcamEngineHit>>& out) {
+  assert(!dirty_);
+  out.assign(count, std::nullopt);
+  if (count == 0 || slots_ == 0) return;
+
+  // Pack every key once up front; the scan then touches only the packed
+  // lanes, regardless of how many shards work the batch.
+  batch_lanes_.assign(count * lanes_, 0);
+  for (std::size_t q = 0; q < count; ++q) {
+    if (keys[q].width() != key_width_) {
+      throw std::invalid_argument("TcamSearchEngine: key width mismatch");
+    }
+    std::uint64_t* lanes = batch_lanes_.data() + q * lanes_;
+    for (std::size_t i = 0; i < key_width_; ++i) {
+      lanes[i >> 6] |=
+          static_cast<std::uint64_t>(keys[q].bit(i)) << (i & 63);
+    }
+  }
+
+  const std::size_t banks = BankCount();
+  const std::size_t shards = count > 1 ? ShardCount(count) : 1;
+  auto run_range = [&](std::size_t q0, std::size_t q1) {
+    for (std::size_t q = q0; q < q1; ++q) {
+      out[q] = HitAt(FirstHit(batch_lanes_.data() + q * lanes_, 0, banks));
+    }
+  };
+  if (shards == 1) {
+    run_range(0, count);
+    return;
+  }
+  // Shard key ranges: per-key results are independent, so any schedule
+  // produces the sequential answer.
+  const std::size_t chunk = (count + shards - 1) / shards;
+  ThreadPool::Shared().ParallelFor(shards, [&](std::size_t s) {
+    const std::size_t q0 = s * chunk;
+    run_range(q0, std::min(q0 + chunk, count));
+  });
+}
+
+// ------------------------------------------------------------ LpmEngine
+
+void LpmEngine::AddRoute(const Route& route) {
+  if (route.prefix_len < 0 || route.prefix_len > 32) {
+    throw std::invalid_argument("LpmEngine: prefix_len outside [0, 32]");
+  }
+  routes_.push_back(route);
+  dirty_ = true;
+}
+
+std::int32_t LpmEngine::NewNode() {
+  Node node;
+  node.child.fill(-1);
+  node.best.fill(-1);
+  nodes_.push_back(node);
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+void LpmEngine::Compile() {
+  nodes_.clear();
+  NewNode();  // root
+  for (std::size_t ri = 0; ri < routes_.size(); ++ri) {
+    const Route& r = routes_[ri];
+    // The stride level where the prefix ends; a /0 ends at level 0 and
+    // covers the whole root node.
+    const int level = r.prefix_len == 0 ? 0 : (r.prefix_len - 1) / 8;
+    std::int32_t node = 0;
+    for (int d = 0; d < level; ++d) {
+      const auto byte =
+          static_cast<std::size_t>((r.value >> (24 - 8 * d)) & 0xff);
+      std::int32_t next = nodes_[static_cast<std::size_t>(node)].child[byte];
+      if (next < 0) {
+        next = NewNode();
+        nodes_[static_cast<std::size_t>(node)].child[byte] = next;
+      }
+      node = next;
+    }
+    // Controlled prefix expansion: fill every slot of the final stride
+    // the prefix covers, keeping the better route per slot (longer
+    // prefix wins; equal length resolves to the lower table index, the
+    // TCAM priority-encoder rule).
+    const int bits_here = r.prefix_len - 8 * level;  // 0..8
+    const std::size_t span = std::size_t{1} << (8 - bits_here);
+    const auto byte =
+        static_cast<std::size_t>((r.value >> (24 - 8 * level)) & 0xff);
+    const std::size_t low = byte & ~(span - 1);
+    Node& n = nodes_[static_cast<std::size_t>(node)];
+    for (std::size_t slot = low; slot < low + span; ++slot) {
+      const std::int32_t cur = n.best[slot];
+      if (cur < 0) {
+        n.best[slot] = static_cast<std::int32_t>(ri);
+        continue;
+      }
+      const Route& c = routes_[static_cast<std::size_t>(cur)];
+      if (r.prefix_len > c.prefix_len ||
+          (r.prefix_len == c.prefix_len && r.entry_index < c.entry_index)) {
+        n.best[slot] = static_cast<std::int32_t>(ri);
+      }
+    }
+  }
+  dirty_ = false;
+}
+
+std::int32_t LpmEngine::BestRoute(std::uint32_t address) const {
+  std::int32_t best = -1;
+  std::int32_t node = 0;
+  for (int d = 0; d < 4; ++d) {
+    const auto byte =
+        static_cast<std::size_t>((address >> (24 - 8 * d)) & 0xff);
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    // Deeper levels hold strictly longer prefixes, so the deepest
+    // populated slot along the path is the longest match.
+    if (n.best[byte] >= 0) best = n.best[byte];
+    node = n.child[byte];
+    if (node < 0) break;
+  }
+  return best;
+}
+
+std::optional<TcamEngineHit> LpmEngine::Lookup(std::uint32_t address) {
+  if (dirty_) Compile();
+  const std::int32_t best = BestRoute(address);
+  if (best < 0) return std::nullopt;
+  const Route& r = routes_[static_cast<std::size_t>(best)];
+  TcamEngineHit hit;
+  hit.entry_index = r.entry_index;
+  hit.action = r.action;
+  hit.priority = r.prefix_len;
+  return hit;
+}
+
+void LpmEngine::LookupBatch(const std::uint32_t* addresses, std::size_t count,
+                            std::vector<std::optional<TcamEngineHit>>& out) {
+  if (dirty_) Compile();
+  out.assign(count, std::nullopt);
+  for (std::size_t q = 0; q < count; ++q) {
+    out[q] = Lookup(addresses[q]);
+  }
+}
+
+}  // namespace analognf::tcam

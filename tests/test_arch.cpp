@@ -10,7 +10,9 @@
 #include "analognf/arch/topology.hpp"
 #include "analognf/net/generator.hpp"
 
+#include <algorithm>
 #include <memory>
+#include <span>
 
 namespace analognf::arch {
 namespace {
@@ -216,6 +218,201 @@ TEST(SwitchTest, DscpMapsToPriority) {
   const auto deliveries = sw.Drain(1.0);
   ASSERT_EQ(deliveries.size(), 1u);
   EXPECT_EQ(deliveries[0].meta.priority, 46 >> 3);
+}
+
+// ------------------------------------------------------- batched ingress
+
+// One switch config with every drop path reachable: AQM on, two classes,
+// a tight queue cap so tail drops happen, and a deny rule.
+SwitchConfig BatchedConfig() {
+  SwitchConfig c = SmallSwitch(/*enable_aqm=*/true);
+  c.service_classes = 2;
+  c.egress_queue.max_packets = 32;
+  return c;
+}
+
+void ProgramBatchedSwitch(CognitiveSwitch& sw) {
+  sw.AddRoute(net::ParseIpv4("10.0.0.0"), 8, 0);
+  sw.AddRoute(net::ParseIpv4("10.1.0.0"), 16, 1);
+  FirewallPattern deny;
+  deny.src_ip = net::ParseIpv4("66.0.0.0");
+  deny.src_prefix_len = 8;
+  sw.AddFirewallRule(deny, /*permit=*/false, /*priority=*/10);
+  FirewallPattern any;
+  sw.AddFirewallRule(any, /*permit=*/true, /*priority=*/0);
+}
+
+// A workload touching every verdict: forwarded to both ports and both
+// classes, parse errors, no-route, firewall denies, and enough flood at
+// one time step that the AQM and the tail-drop cap both fire.
+std::vector<net::Packet> BatchedWorkload() {
+  std::vector<net::Packet> packets;
+  for (int i = 0; i < 400; ++i) {
+    switch (i % 5) {
+      case 0:
+        packets.push_back(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2, 1000,
+                                        /*dscp=*/46));
+        break;
+      case 1:
+        packets.push_back(MakeUdpPacket("2.2.2.2", "10.1.2.3", 3, 4, 600));
+        break;
+      case 2:
+        packets.push_back(net::Packet(std::vector<std::uint8_t>(10, 0xff)));
+        break;
+      case 3:
+        packets.push_back(MakeUdpPacket("3.3.3.3", "99.9.9.9", 5, 6, 200));
+        break;
+      default:
+        packets.push_back(MakeUdpPacket("66.6.6.6", "10.0.0.1", 7, 8, 300));
+        break;
+    }
+  }
+  return packets;
+}
+
+void ExpectSameStats(const SwitchStats& a, const SwitchStats& b) {
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.forwarded, b.forwarded);
+  EXPECT_EQ(a.parse_errors, b.parse_errors);
+  EXPECT_EQ(a.firewall_denies, b.firewall_denies);
+  EXPECT_EQ(a.no_route, b.no_route);
+  EXPECT_EQ(a.aqm_drops, b.aqm_drops);
+  EXPECT_EQ(a.queue_full, b.queue_full);
+  EXPECT_EQ(a.delivered, b.delivered);
+}
+
+TEST(SwitchBatchTest, InjectBatchMatchesSequentialInject) {
+  CognitiveSwitch sequential(BatchedConfig());
+  CognitiveSwitch batched(BatchedConfig());
+  ProgramBatchedSwitch(sequential);
+  ProgramBatchedSwitch(batched);
+
+  const std::vector<net::Packet> packets = BatchedWorkload();
+  // Feed identical chunks at identical times: the sequential switch one
+  // packet at a time, the batched switch in uneven chunk sizes (1, the
+  // remainder, and powers in between) so chunk boundaries are exercised.
+  const std::size_t chunk_sizes[] = {1, 7, 64, 128, packets.size()};
+  std::size_t offset = 0;
+  std::size_t chunk_at = 0;
+  double now = 0.0;
+  while (offset < packets.size()) {
+    const std::size_t chunk =
+        std::min(chunk_sizes[chunk_at % 5], packets.size() - offset);
+    ++chunk_at;
+    std::vector<Verdict> want;
+    for (std::size_t i = 0; i < chunk; ++i) {
+      want.push_back(sequential.Inject(packets[offset + i], now));
+    }
+    const std::vector<Verdict> got = batched.InjectBatch(
+        std::span<const net::Packet>(packets.data() + offset, chunk), now);
+    ASSERT_EQ(got, want) << "chunk at offset " << offset;
+    offset += chunk;
+    now += 0.0005;
+  }
+
+  ExpectSameStats(batched.stats(), sequential.stats());
+  // Every drop path must have fired, or the equivalence is vacuous.
+  EXPECT_GT(batched.stats().forwarded, 0u);
+  EXPECT_GT(batched.stats().parse_errors, 0u);
+  EXPECT_GT(batched.stats().firewall_denies, 0u);
+  EXPECT_GT(batched.stats().no_route, 0u);
+  EXPECT_GT(batched.stats().aqm_drops + batched.stats().queue_full, 0u);
+
+  // Ledger totals must be bit-identical, category by category: the batch
+  // commits energy in exactly the sequential accumulation order.
+  const auto& seq_cats = sequential.ledger().categories();
+  const auto& bat_cats = batched.ledger().categories();
+  ASSERT_EQ(bat_cats.size(), seq_cats.size());
+  for (const auto& [name, cat] : seq_cats) {
+    const auto it = bat_cats.find(name);
+    ASSERT_NE(it, bat_cats.end()) << name;
+    EXPECT_EQ(it->second.energy_j, cat.energy_j) << name;
+    EXPECT_EQ(it->second.operations, cat.operations) << name;
+  }
+
+  // Queue occupancy and the drained deliveries line up too.
+  for (std::size_t p = 0; p < 2; ++p) {
+    for (std::size_t sc = 0; sc < 2; ++sc) {
+      EXPECT_EQ(batched.egress_queue(p, sc).packets(),
+                sequential.egress_queue(p, sc).packets());
+      EXPECT_EQ(batched.egress_queue(p, sc).bytes(),
+                sequential.egress_queue(p, sc).bytes());
+    }
+  }
+  const auto want_drain = sequential.Drain(100.0);
+  const auto got_drain = batched.Drain(100.0);
+  ASSERT_EQ(got_drain.size(), want_drain.size());
+  for (std::size_t i = 0; i < want_drain.size(); ++i) {
+    EXPECT_EQ(got_drain[i].meta.id, want_drain[i].meta.id);
+    EXPECT_EQ(got_drain[i].port, want_drain[i].port);
+    EXPECT_EQ(got_drain[i].service_class, want_drain[i].service_class);
+    EXPECT_EQ(got_drain[i].departure_s, want_drain[i].departure_s);
+  }
+}
+
+TEST(SwitchBatchTest, EmptyBatchIsANoOp) {
+  CognitiveSwitch sw(SmallSwitch(false));
+  const auto verdicts =
+      sw.InjectBatch(std::span<const net::Packet>(), 0.0);
+  EXPECT_TRUE(verdicts.empty());
+  EXPECT_EQ(sw.stats().injected, 0u);
+  EXPECT_EQ(sw.ledger().TotalJ(), 0.0);
+}
+
+TEST(SwitchBatchTest, DrainIntoAppendsAndReportsCount) {
+  CognitiveSwitch sw(SmallSwitch(false));
+  sw.AddRoute(net::ParseIpv4("10.0.0.0"), 8, 0);
+  for (int i = 0; i < 4; ++i) {
+    sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2, 1000), 0.0);
+  }
+  std::vector<Delivery> out;
+  const std::size_t first = sw.DrainInto(0.002, out);  // room for ~2
+  EXPECT_EQ(first, out.size());
+  EXPECT_GT(first, 0u);
+  const std::size_t rest = sw.DrainInto(100.0, out);
+  EXPECT_EQ(first + rest, 4u);
+  EXPECT_EQ(out.size(), 4u);
+  // Appended region is sorted; the early deliveries were not disturbed.
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].departure_s, out[i].departure_s);
+  }
+  EXPECT_EQ(sw.DrainInto(200.0, out), 0u);  // nothing left: fast path
+  EXPECT_EQ(out.size(), 4u);
+}
+
+// --------------------------------------------------- proportional classes
+
+TEST(SwitchTest, IntermediateClassesReachable) {
+  SwitchConfig c = SmallSwitch(/*enable_aqm=*/false);
+  c.service_classes = 3;
+  CognitiveSwitch sw(c);
+  sw.AddRoute(net::ParseIpv4("10.0.0.0"), 8, 0);
+  // EF (dscp 46, priority 5) -> class 0; CS3 (dscp 24, priority 3) ->
+  // class 1; best effort (dscp 0) -> class 2. Before the proportional
+  // mapping, class 1 was unreachable for any service_classes > 2.
+  sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2, 50, /*dscp=*/46),
+            0.0);
+  sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2, 50, /*dscp=*/24),
+            0.0);
+  sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2, 50, /*dscp=*/0),
+            0.0);
+  EXPECT_EQ(sw.egress_queue(0, 0).packets(), 1u);
+  EXPECT_EQ(sw.egress_queue(0, 1).packets(), 1u);
+  EXPECT_EQ(sw.egress_queue(0, 2).packets(), 1u);
+}
+
+TEST(SwitchTest, TwoClassesKeepLegacySplit) {
+  SwitchConfig c = SmallSwitch(/*enable_aqm=*/false);
+  c.service_classes = 2;
+  CognitiveSwitch sw(c);
+  sw.AddRoute(net::ParseIpv4("10.0.0.0"), 8, 0);
+  // Priority >= 4 (dscp >= 32) stays class 0; lower goes to class 1.
+  sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2, 50, /*dscp=*/32),
+            0.0);
+  sw.Inject(MakeUdpPacket("1.1.1.1", "10.0.0.1", 1, 2, 50, /*dscp=*/31),
+            0.0);
+  EXPECT_EQ(sw.egress_queue(0, 0).packets(), 1u);
+  EXPECT_EQ(sw.egress_queue(0, 1).packets(), 1u);
 }
 
 // ------------------------------------------------------------ controller

@@ -141,15 +141,52 @@ TEST(TcamTableTest, TiesResolveToLowestIndex) {
   EXPECT_EQ(result->entry_index, 0u);
 }
 
-TEST(TcamTableTest, EraseShiftsEntries) {
+TEST(TcamTableTest, EraseTombstonesWithoutShifting) {
   TcamTable t(2, TcamTechnology::TransistorCmos());
-  t.Insert({TernaryWord::FromString("00"), 1, 0});
-  t.Insert({TernaryWord::FromString("11"), 2, 0});
-  t.Erase(0);
+  const std::size_t first = t.Insert({TernaryWord::FromString("00"), 1, 0});
+  const std::size_t second = t.Insert({TernaryWord::FromString("11"), 2, 0});
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(second, 1u);
+
+  t.Erase(first);
   EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.slot_count(), 2u);  // the slot stays; it just stops matching
+  EXPECT_FALSE(t.IsLive(first));
+  EXPECT_TRUE(t.IsLive(second));
   EXPECT_FALSE(t.Search(BitKey::FromString("00")).has_value());
-  EXPECT_TRUE(t.Search(BitKey::FromString("11")).has_value());
-  EXPECT_THROW(t.Erase(9), std::out_of_range);
+
+  // The surviving entry keeps its index: no shift on erase.
+  const auto hit = t.Search(BitKey::FromString("11"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->entry_index, second);
+
+  EXPECT_THROW(t.Erase(9), std::out_of_range);        // bad index
+  EXPECT_THROW(t.Erase(first), std::invalid_argument);  // already dead
+}
+
+TEST(TcamTableTest, InsertReusesTombstonedSlot) {
+  TcamTable t(2, TcamTechnology::TransistorCmos());
+  const std::size_t first = t.Insert({TernaryWord::FromString("00"), 1, 0});
+  t.Insert({TernaryWord::FromString("11"), 2, 0});
+  t.Erase(first);
+  const std::size_t reused = t.Insert({TernaryWord::FromString("01"), 3, 0});
+  EXPECT_EQ(reused, first);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.slot_count(), 2u);
+  const auto hit = t.Search(BitKey::FromString("01"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action, 3u);
+  EXPECT_EQ(hit->entry_index, first);
+}
+
+TEST(TcamTableTest, ErasedEntriesStopBurningEnergy) {
+  TcamTable t(2, TcamTechnology::TransistorCmos());
+  const std::size_t first = t.Insert({TernaryWord::FromString("00"), 1, 0});
+  t.Insert({TernaryWord::FromString("11"), 2, 0});
+  const double two_live = t.SearchEnergyJ();
+  t.Erase(first);
+  EXPECT_EQ(t.StoredBits(), 2u);  // one live entry * 2-bit key
+  EXPECT_NEAR(t.SearchEnergyJ(), two_live / 2.0, 1e-20);
 }
 
 TEST(TcamTableTest, SearchEnergyScalesWithStoredBits) {

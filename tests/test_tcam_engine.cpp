@@ -1,0 +1,313 @@
+// Differential tests for the compiled match-action engines: the bitmask
+// TCAM engine and the stride-trie LPM engine are checked against naive
+// reference scans on randomized tables, including the sharded code path
+// and the batched entry points.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analognf/common/rng.hpp"
+#include "analognf/tcam/tcam.hpp"
+#include "analognf/tcam/tcam_search_engine.hpp"
+#include "analognf/tcam/ternary.hpp"
+
+namespace analognf::tcam {
+namespace {
+
+// Random ternary pattern derived from a template key: each bit is X with
+// probability 1/2, otherwise the template's bit; half the patterns then
+// get one specified bit flipped. Probes near the template therefore hit
+// a healthy fraction of the entries.
+TernaryWord RandomPattern(analognf::RandomStream& rng,
+                          const std::string& template_bits) {
+  std::string s = template_bits;
+  for (char& c : s) {
+    if (rng.NextIndex(2) == 0) c = 'X';
+  }
+  if (rng.NextIndex(2) == 0) {
+    const std::size_t pos = rng.NextIndex(s.size());
+    if (s[pos] != 'X') s[pos] = s[pos] == '0' ? '1' : '0';
+  }
+  return TernaryWord::FromString(s);
+}
+
+std::string RandomBits(analognf::RandomStream& rng, std::size_t width) {
+  std::string s(width, '0');
+  for (char& c : s) c = rng.NextIndex(2) == 0 ? '0' : '1';
+  return s;
+}
+
+// Reference model: the pre-engine rowwise scan over the raw slot array.
+std::optional<TcamSearchResult> NaiveSearch(const TcamTable& table,
+                                            const BitKey& key) {
+  std::optional<TcamSearchResult> best;
+  const auto& entries = table.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (!table.IsLive(i)) continue;
+    if (!entries[i].pattern.Matches(key)) continue;
+    if (!best.has_value() || entries[i].priority > best->priority) {
+      best = TcamSearchResult{i, entries[i].action, entries[i].priority,
+                              0.0, 0.0};
+    }
+  }
+  return best;
+}
+
+void ExpectSameHit(const std::optional<TcamSearchResult>& got,
+                   const std::optional<TcamSearchResult>& want,
+                   std::size_t probe) {
+  ASSERT_EQ(got.has_value(), want.has_value()) << "probe " << probe;
+  if (!want.has_value()) return;
+  EXPECT_EQ(got->entry_index, want->entry_index) << "probe " << probe;
+  EXPECT_EQ(got->action, want->action) << "probe " << probe;
+  EXPECT_EQ(got->priority, want->priority) << "probe " << probe;
+}
+
+// ---------------------------------------------------- randomized differential
+
+class EngineDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineDifferential, MatchesNaiveScanOnRandomTables) {
+  analognf::RandomStream rng(GetParam());
+  // 104 bits = the firewall key width: two full lanes plus a partial one,
+  // so lane boundaries and the tail lane are all exercised.
+  const std::size_t width = 104;
+  TcamTable table(width, TcamTechnology::MemristorTcam());
+  const std::string base = RandomBits(rng, width);
+  for (std::size_t i = 0; i < 130; ++i) {  // >2 banks of 64 slots
+    TcamTable::Entry entry;
+    entry.pattern = RandomPattern(rng, base);
+    entry.action = static_cast<std::uint32_t>(i);
+    // Priorities from a small set so ties are common and the
+    // lowest-index resolution rule is actually exercised.
+    entry.priority = static_cast<std::int32_t>(rng.NextIndex(4));
+    table.Insert(std::move(entry));
+  }
+  std::size_t hits = 0;
+  for (std::size_t probe = 0; probe < 2500; ++probe) {
+    // Mix near-template probes (likely hits) with uniform ones.
+    std::string bits = probe % 2 == 0 ? base : RandomBits(rng, width);
+    if (probe % 2 == 0) {
+      for (std::size_t flips = rng.NextIndex(6); flips > 0; --flips) {
+        const std::size_t pos = rng.NextIndex(width);
+        bits[pos] = bits[pos] == '0' ? '1' : '0';
+      }
+    }
+    const BitKey key = BitKey::FromString(bits);
+    const auto want = NaiveSearch(table, key);
+    ExpectSameHit(table.Search(key), want, probe);
+    if (want.has_value()) ++hits;
+  }
+  EXPECT_GT(hits, 100u);  // the workload must actually exercise hits
+}
+
+TEST_P(EngineDifferential, SurvivesEraseAndReinsert) {
+  analognf::RandomStream rng(GetParam() + 1000);
+  const std::size_t width = 16;
+  TcamTable table(width, TcamTechnology::MemristorTcam());
+  const std::string base = RandomBits(rng, width);
+  for (std::size_t i = 0; i < 40; ++i) {
+    table.Insert({RandomPattern(rng, base), static_cast<std::uint32_t>(i),
+                  static_cast<std::int32_t>(rng.NextIndex(3))});
+  }
+  for (std::size_t round = 0; round < 30; ++round) {
+    // Random mutation: erase a random live slot or insert a fresh entry.
+    if (rng.NextIndex(2) == 0 && table.size() > 1) {
+      std::size_t idx = rng.NextIndex(table.slot_count());
+      while (!table.IsLive(idx)) idx = rng.NextIndex(table.slot_count());
+      table.Erase(idx);  // poisons the compiled slot in place
+    } else {
+      table.Insert({RandomPattern(rng, base),
+                    static_cast<std::uint32_t>(1000 + round),
+                    static_cast<std::int32_t>(rng.NextIndex(3))});
+    }
+    for (std::size_t probe = 0; probe < 40; ++probe) {
+      const BitKey key = BitKey::FromString(RandomBits(rng, width));
+      ExpectSameHit(table.Search(key), NaiveSearch(table, key), probe);
+    }
+  }
+}
+
+TEST_P(EngineDifferential, ShardedPathMatchesSingleThreaded) {
+  analognf::RandomStream rng(GetParam() + 2000);
+  const std::size_t width = 24;
+  // max_threads > 1 forces the sharded merge logic even on one core;
+  // threshold 1 makes every search take the sharded path.
+  TcamSearchConfig sharded;
+  sharded.thread_row_threshold = 1;
+  sharded.max_threads = 3;
+  TcamTable reference(width, TcamTechnology::MemristorTcam());
+  TcamTable table(width, TcamTechnology::MemristorTcam(), sharded);
+  const std::string base = RandomBits(rng, width);
+  for (std::size_t i = 0; i < 100; ++i) {
+    TcamTable::Entry entry{RandomPattern(rng, base),
+                           static_cast<std::uint32_t>(i),
+                           static_cast<std::int32_t>(rng.NextIndex(4))};
+    reference.Insert(entry);
+    table.Insert(std::move(entry));
+  }
+  std::vector<BitKey> keys;
+  for (std::size_t probe = 0; probe < 500; ++probe) {
+    keys.push_back(BitKey::FromString(RandomBits(rng, width)));
+  }
+  for (std::size_t probe = 0; probe < keys.size(); ++probe) {
+    ExpectSameHit(table.Search(keys[probe]), reference.Search(keys[probe]),
+                  probe);
+  }
+  // The batched entry point shards key ranges; same results required.
+  std::vector<std::optional<TcamSearchResult>> batched;
+  table.SearchBatch(keys, batched);
+  ASSERT_EQ(batched.size(), keys.size());
+  for (std::size_t probe = 0; probe < keys.size(); ++probe) {
+    ExpectSameHit(batched[probe], reference.Search(keys[probe]), probe);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineDifferential,
+                         ::testing::Values(7, 19, 41, 97));
+
+// ------------------------------------------------------------ SearchBatch
+
+TEST(TcamSearchBatchTest, BitIdenticalToSequentialSearches) {
+  analognf::RandomStream rng(123);
+  const std::size_t width = 32;
+  TcamTable sequential(width, TcamTechnology::MemristorTcam());
+  TcamTable batched(width, TcamTechnology::MemristorTcam());
+  const std::string base = RandomBits(rng, width);
+  for (std::size_t i = 0; i < 64; ++i) {
+    TcamTable::Entry entry{RandomPattern(rng, base),
+                           static_cast<std::uint32_t>(i),
+                           static_cast<std::int32_t>(rng.NextIndex(4))};
+    sequential.Insert(entry);
+    batched.Insert(std::move(entry));
+  }
+  std::vector<BitKey> keys;
+  for (std::size_t probe = 0; probe < 300; ++probe) {
+    keys.push_back(BitKey::FromString(RandomBits(rng, width)));
+  }
+  std::vector<std::optional<TcamSearchResult>> out;
+  batched.SearchBatch(keys, out);
+  ASSERT_EQ(out.size(), keys.size());
+  for (std::size_t probe = 0; probe < keys.size(); ++probe) {
+    const auto want = sequential.Search(keys[probe]);
+    ExpectSameHit(out[probe], want, probe);
+    if (want.has_value()) {
+      EXPECT_EQ(out[probe]->energy_j, want->energy_j);
+      EXPECT_EQ(out[probe]->latency_s, want->latency_s);
+    }
+  }
+  // Counters and accumulated energy must be bit-identical: the batch
+  // accounts each cycle in the same order the sequential loop does.
+  EXPECT_EQ(batched.searches(), sequential.searches());
+  EXPECT_EQ(batched.ConsumedEnergyJ(), sequential.ConsumedEnergyJ());
+}
+
+TEST(TcamSearchBatchTest, EmptyBatchIsANoOp) {
+  TcamTable t(8, TcamTechnology::MemristorTcam());
+  t.Insert({TernaryWord::FromString("1XXXXXXX"), 1, 0});
+  std::vector<BitKey> keys;
+  std::vector<std::optional<TcamSearchResult>> out(3);
+  t.SearchBatch(keys, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(t.searches(), 0u);
+  EXPECT_EQ(t.ConsumedEnergyJ(), 0.0);
+}
+
+// ------------------------------------------------------------- LpmEngine
+
+class LpmEngineDifferential
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpmEngineDifferential, MatchesNaiveLongestPrefix) {
+  analognf::RandomStream rng(GetParam());
+  LpmEngine engine;
+  std::vector<LpmEngine::Route> routes;
+  for (std::size_t i = 0; i < 64; ++i) {
+    LpmEngine::Route r;
+    r.value = static_cast<std::uint32_t>(rng.NextIndex(0x100000000ULL));
+    r.prefix_len = static_cast<int>(rng.NextIndex(33));  // 0..32
+    r.action = static_cast<std::uint32_t>(i);
+    r.entry_index = i;
+    routes.push_back(r);
+    engine.AddRoute(r);
+  }
+  // Duplicate (value, len) pair: the lower entry index must win, the
+  // TCAM priority-encoder rule.
+  LpmEngine::Route dup = routes[5];
+  dup.action = 999;
+  dup.entry_index = 64;
+  routes.push_back(dup);
+  engine.AddRoute(dup);
+
+  for (std::size_t probe = 0; probe < 4000; ++probe) {
+    // Half the probes are perturbed route values, so deep prefixes hit.
+    std::uint32_t addr =
+        static_cast<std::uint32_t>(rng.NextIndex(0x100000000ULL));
+    if (probe % 2 == 0) {
+      addr = routes[rng.NextIndex(routes.size())].value ^
+             static_cast<std::uint32_t>(rng.NextIndex(256));
+    }
+    const LpmEngine::Route* want = nullptr;
+    for (const auto& r : routes) {
+      const int shift = 32 - r.prefix_len;
+      const bool matches =
+          r.prefix_len == 0 || (addr >> shift) == (r.value >> shift);
+      if (!matches) continue;
+      if (want == nullptr || r.prefix_len > want->prefix_len ||
+          (r.prefix_len == want->prefix_len &&
+           r.entry_index < want->entry_index)) {
+        want = &r;
+      }
+    }
+    const auto got = engine.Lookup(addr);
+    ASSERT_EQ(got.has_value(), want != nullptr) << "probe " << probe;
+    if (want == nullptr) continue;
+    EXPECT_EQ(got->entry_index, want->entry_index) << "probe " << probe;
+    EXPECT_EQ(got->action, want->action) << "probe " << probe;
+    EXPECT_EQ(got->priority, want->prefix_len) << "probe " << probe;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpmEngineDifferential,
+                         ::testing::Values(3, 13, 29, 71));
+
+TEST(LpmEngineTest, RejectsBadPrefixLength) {
+  LpmEngine engine;
+  LpmEngine::Route r;
+  r.prefix_len = 33;
+  EXPECT_THROW(engine.AddRoute(r), std::invalid_argument);
+  r.prefix_len = -1;
+  EXPECT_THROW(engine.AddRoute(r), std::invalid_argument);
+}
+
+TEST(LpmTableTest, LookupBatchBitIdenticalToSequential) {
+  analognf::RandomStream rng(55);
+  LpmTable sequential(TcamTechnology::MemristorTcam());
+  LpmTable batched(TcamTechnology::MemristorTcam());
+  for (std::size_t i = 0; i < 32; ++i) {
+    const auto value =
+        static_cast<std::uint32_t>(rng.NextIndex(0x100000000ULL));
+    const int len = static_cast<int>(rng.NextIndex(25));
+    sequential.AddRoute(value, len, static_cast<std::uint32_t>(i));
+    batched.AddRoute(value, len, static_cast<std::uint32_t>(i));
+  }
+  std::vector<std::uint32_t> addrs;
+  for (std::size_t probe = 0; probe < 500; ++probe) {
+    addrs.push_back(
+        static_cast<std::uint32_t>(rng.NextIndex(0x100000000ULL)));
+  }
+  std::vector<std::optional<TcamSearchResult>> out;
+  batched.LookupBatch(addrs.data(), addrs.size(), out);
+  ASSERT_EQ(out.size(), addrs.size());
+  for (std::size_t probe = 0; probe < addrs.size(); ++probe) {
+    ExpectSameHit(out[probe], sequential.Lookup(addrs[probe]), probe);
+  }
+  EXPECT_EQ(batched.table().searches(), sequential.table().searches());
+  EXPECT_EQ(batched.table().ConsumedEnergyJ(),
+            sequential.table().ConsumedEnergyJ());
+}
+
+}  // namespace
+}  // namespace analognf::tcam
