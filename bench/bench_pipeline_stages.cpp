@@ -1,0 +1,196 @@
+// Stage-graph pipeline cost breakdown: per-stage wall-clock (ns/packet)
+// and attributed energy (nJ/packet) across ingress batch sizes, over the
+// full Fig. 5 chain (parse -> firewall TCAM -> LPM route -> analog load
+// balancer -> analog traffic classifier -> cognitive traffic manager).
+//
+// Besides the google-benchmark timings, this binary self-times the
+// pipeline and writes the per-stage measurements to BENCH_pipeline.json
+// (machine-readable, consumed by CI). Energy attribution comes from the
+// switch's stage ledger, so the nJ/packet columns are deterministic;
+// only the ns/packet columns depend on the host.
+#include "bench_util.hpp"
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analognf/arch/stages.hpp"
+#include "analognf/arch/switch.hpp"
+#include "analognf/common/rng.hpp"
+#include "analognf/net/packet.hpp"
+
+namespace {
+
+using namespace analognf;
+
+arch::SwitchConfig PipelineConfig() {
+  arch::SwitchConfig c;
+  c.port_count = 4;
+  c.port_rate_bps = 100.0e9;  // fast egress: admission, not drainage
+  c.service_classes = 2;
+  c.enable_aqm = true;
+  c.enable_load_balancer = true;  // balance the whole port group
+  c.enable_classifier = true;
+  c.classifier_classes = {
+      {"interactive", 40.0, 400.0, 1.0e-6, 1.0e-2, 0.0, 4.0},
+      {"bulk", 400.0, 1600.0, 1.0e-6, 1.0e-2, 0.0, 4.0},
+  };
+  return c;
+}
+
+net::Packet MakeFlowPacket(std::uint32_t flow, std::size_t payload,
+                           std::uint8_t dscp) {
+  net::EthernetHeader eth;
+  eth.dst = {2, 0, 0, 0, 0, 1};
+  eth.src = {2, 0, 0, 0, 0, 2};
+  net::Ipv4Header ip;
+  ip.src_ip = 0x01010000u + flow;
+  ip.dst_ip = 0x0a000000u + (flow & 0xff);  // 10.0.0.x
+  ip.protocol = net::kIpProtoUdp;
+  ip.dscp = dscp;
+  net::UdpHeader udp;
+  udp.src_port = static_cast<std::uint16_t>(1024 + (flow & 0x3ff));
+  udp.dst_port = 53;
+  return net::PacketBuilder()
+      .Ethernet(eth)
+      .Ipv4(ip)
+      .Udp(udp)
+      .Payload(payload)
+      .Build();
+}
+
+std::vector<net::Packet> MakeTraffic(std::size_t count) {
+  analognf::RandomStream rng(0x9199);
+  std::vector<net::Packet> packets;
+  packets.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto flow = static_cast<std::uint32_t>(rng.NextIndex(256));
+    const std::size_t payload = 40 + rng.NextIndex(1200);
+    const auto dscp = static_cast<std::uint8_t>(rng.NextIndex(8) << 3);
+    packets.push_back(MakeFlowPacket(flow, payload, dscp));
+  }
+  return packets;
+}
+
+std::unique_ptr<arch::CognitiveSwitch> MakeSwitch() {
+  auto sw = std::make_unique<arch::CognitiveSwitch>(PipelineConfig());
+  sw->AddRoute(net::ParseIpv4("10.0.0.0"), 24, 0);
+  sw->AddFirewallRule(arch::FirewallPattern{}, true, 1);
+  return sw;
+}
+
+void Report() {
+  bench::Banner("stage-graph pipeline: per-stage ns/packet and nJ/packet");
+  bench::Line("full Fig. 5 chain incl. analog load balancer + classifier; "
+              "energy columns are deterministic stage-ledger attribution");
+}
+
+// --- google-benchmark timings -------------------------------------------
+
+void BM_PipelineInjectBatch(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  auto sw = MakeSwitch();
+  const auto packets = MakeTraffic(batch);
+  std::vector<arch::Delivery> drained;
+  double now_s = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw->InjectBatch(packets, now_s));
+    now_s += 1.0e-3;
+    drained.clear();
+    sw->DrainInto(now_s, drained);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_PipelineInjectBatch)
+    ->Arg(1)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+// --- machine-readable measurements (BENCH_pipeline.json) ----------------
+
+struct StageRow {
+  std::size_t batch;
+  std::string stage;
+  double ns_per_packet;
+  double nj_per_packet;
+  double energy_fraction;
+};
+
+void EmitPipelineJson() {
+  const std::size_t batches[] = {1, 64, 256, 1024};
+  constexpr std::size_t kPacketsPerSize = 32768;
+  std::vector<StageRow> rows;
+  std::vector<double> total_ns;
+  std::vector<double> total_nj;
+
+  for (const std::size_t batch : batches) {
+    auto sw = MakeSwitch();
+    const auto packets = MakeTraffic(batch);
+    std::vector<arch::Delivery> drained;
+    double now_s = 0.0;
+    // Warm caches/snapshots so the timed region is steady-state.
+    sw->InjectBatch(packets, now_s);
+    const std::size_t reps = kPacketsPerSize / batch;
+    for (std::size_t r = 0; r < reps; ++r) {
+      now_s += 1.0e-3;
+      sw->InjectBatch(packets, now_s);
+      drained.clear();
+      sw->DrainInto(now_s, drained);
+    }
+    const double total_j = sw->ledger().TotalJ();
+    double ns_sum = 0.0;
+    double nj_sum = 0.0;
+    for (const auto& stage : sw->graph().stages()) {
+      const arch::StageMetrics& m = stage->metrics();
+      const auto n = static_cast<double>(m.packets);
+      const double ns = m.process_ns / n;
+      const double nj = m.energy->energy_j * 1.0e9 / n;
+      rows.push_back({batch, stage->name(), ns, nj,
+                      m.energy->energy_j / total_j});
+      ns_sum += ns;
+      nj_sum += nj;
+    }
+    total_ns.push_back(ns_sum);
+    total_nj.push_back(nj_sum);
+  }
+
+  std::ofstream out("BENCH_pipeline.json");
+  if (!out) {
+    bench::Line("could not open BENCH_pipeline.json for writing");
+    return;
+  }
+  out << "{\n  \"bench\": \"pipeline_stages\",\n  \"stages\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const StageRow& r = rows[i];
+    out << "    {\"batch\": " << r.batch << ", \"stage\": \"" << r.stage
+        << "\", \"ns_per_packet\": " << r.ns_per_packet
+        << ", \"nj_per_packet\": " << r.nj_per_packet
+        << ", \"energy_fraction\": " << r.energy_fraction << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"totals\": [\n";
+  const std::size_t batch_list[] = {1, 64, 256, 1024};
+  for (std::size_t i = 0; i < 4; ++i) {
+    out << "    {\"batch\": " << batch_list[i]
+        << ", \"ns_per_packet\": " << total_ns[i]
+        << ", \"nj_per_packet\": " << total_nj[i] << "}"
+        << (i + 1 < 4 ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  bench::Line("wrote BENCH_pipeline.json (" + std::to_string(rows.size()) +
+              " stage rows)");
+}
+
+void ReportAndEmitJson() {
+  Report();
+  EmitPipelineJson();
+}
+
+}  // namespace
+
+ANALOGNF_BENCH_MAIN(ReportAndEmitJson)

@@ -3,14 +3,18 @@
 // A controller places network functions in the digital or analog domain
 // by precision requirement, programs routes and firewall rules into the
 // memristor TCAM tables, and the pCAM analog AQM guards each egress
-// queue. Real byte-level packets run through parser -> digital MATs ->
-// cognitive traffic manager, and the energy ledger reports the digital/
-// analog split at the end.
+// queue. Real byte-level packets run through the stage graph (parser ->
+// digital MATs -> custom stages -> cognitive traffic manager), and the
+// energy ledger reports the digital/analog split at the end. An
+// operator-authored token-bucket policer shows how a custom stage slots
+// into the pipeline with one AddStage() call.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
 #include "analognf/arch/controller.hpp"
 #include "analognf/arch/policy_language.hpp"
+#include "analognf/arch/stage.hpp"
 #include "analognf/arch/switch.hpp"
 #include "analognf/common/rng.hpp"
 #include "analognf/common/units.hpp"
@@ -18,6 +22,45 @@
 using namespace analognf;
 
 namespace {
+
+// An operator-authored pipeline stage: a token-bucket policer that caps
+// the aggregate forwarding rate. It follows the stage contract — skip
+// packets whose verdict is already settled, write the verdict lane for
+// the ones it polices.
+class PolicerStage final : public arch::MatchActionStage {
+ public:
+  PolicerStage(double rate_pps, double burst)
+      : arch::MatchActionStage("policer"),
+        rate_pps_(rate_pps),
+        burst_(burst),
+        tokens_(burst) {}
+
+  void Process(net::PacketBatch& batch) override {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch.verdicts[i] != net::Verdict::kForwarded) continue;
+      const double now_s = batch.arrival_s[i];
+      if (last_s_ >= 0.0 && now_s > last_s_) {
+        tokens_ = std::min(burst_, tokens_ + (now_s - last_s_) * rate_pps_);
+      }
+      last_s_ = now_s;
+      if (tokens_ >= 1.0) {
+        tokens_ -= 1.0;
+      } else {
+        batch.verdicts[i] = net::Verdict::kAqmDrop;
+        ++policed_;
+      }
+    }
+  }
+
+  std::uint64_t policed() const { return policed_; }
+
+ private:
+  double rate_pps_;
+  double burst_;
+  double tokens_;
+  double last_s_ = -1.0;
+  std::uint64_t policed_ = 0;
+};
 
 net::Packet MakePacket(analognf::RandomStream& rng, bool attacker) {
   net::EthernetHeader eth;
@@ -49,6 +92,13 @@ int main() {
   config.port_count = 2;
   config.port_rate_bps = 10.0e6;
   arch::CognitiveSwitch sw(config);
+
+  // Slot a custom stage between the digital MATs and the traffic
+  // manager: police the aggregate forwarding rate to ~2500 pps
+  // (below the ~3200 pps that survive the firewall).
+  auto& policer = static_cast<PolicerStage&>(
+      sw.AddStage(std::make_unique<PolicerStage>(2500.0, 64.0)));
+
   arch::CognitiveNetworkController controller(sw);
 
   // --- Control plane: place functions by precision requirement (RQ2).
@@ -96,10 +146,19 @@ aqm target 20ms deviation 10ms
               static_cast<unsigned long long>(s.injected));
   std::printf("  firewall denies %llu\n",
               static_cast<unsigned long long>(s.firewall_denies));
-  std::printf("  AQM drops       %llu\n",
-              static_cast<unsigned long long>(s.aqm_drops));
+  std::printf("  AQM drops       %llu (policer: %llu)\n",
+              static_cast<unsigned long long>(s.aqm_drops),
+              static_cast<unsigned long long>(policer.policed()));
   std::printf("  delivered       %llu\n",
               static_cast<unsigned long long>(s.delivered));
+
+  std::puts("\nstage graph (processing order, energy attribution):");
+  for (const auto& stage : sw.graph().stages()) {
+    const arch::StageMetrics& m = stage->metrics();
+    std::printf("  %-10s %8llu pkts  %10.3g J\n", stage->name().c_str(),
+                static_cast<unsigned long long>(m.packets),
+                m.energy->energy_j);
+  }
 
   std::puts("\nenergy ledger (digital vs analog split):");
   for (const auto& [category, total] : sw.ledger().categories()) {

@@ -1,0 +1,189 @@
+// The concrete stages of the cognitive switch's pipeline (Fig. 5, left
+// to right). Each implements MatchActionStage over the batch lanes:
+//
+//   ParseStage          packets -> parsed/flow_hash/priority lanes
+//   FirewallStage       digital MAT: ternary 5-tuple match (deny verdicts)
+//   RouteStage          digital MAT: LPM next hop (route_port lane)
+//   LoadBalancerStage   analog MAT: pCAM ECMP re-balance of route_port
+//   TrafficClassStage   analog MAT: pCAM flow classification lane
+//   TrafficManagerStage ordered commit: stats, canonical ledger, packet
+//                       ids, AQM admission, egress enqueue + drain
+//
+// Only the traffic manager touches the canonical energy ledger and the
+// switch stats, and it does so in strict packet order — that is what
+// keeps batch results bit-identical to a sequential per-packet pipeline
+// (see stage.hpp's attribution contract).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analognf/arch/stage.hpp"
+#include "analognf/arch/switch.hpp"
+
+namespace analognf::arch {
+
+// ----------------------------------------------------------- ParseStage
+// Digital front-end: header extraction over the whole batch. Settles
+// kParseError / non-IPv4 kNoRoute verdicts and fills the flow_hash and
+// priority lanes for routable packets.
+class ParseStage final : public MatchActionStage {
+ public:
+  explicit ParseStage(const energy::DataMovementModel* movement);
+  void Process(net::PacketBatch& batch) override;
+
+ private:
+  net::Parser parser_;
+  const energy::DataMovementModel* movement_;
+};
+
+// -------------------------------------------------------- FirewallStage
+// Digital MAT 1: ternary 5-tuple match (the high-precision function the
+// paper keeps digital). Marks searched packets and settles deny verdicts.
+class FirewallStage final : public MatchActionStage {
+ public:
+  FirewallStage(std::size_t key_width, tcam::TcamTechnology technology);
+  void AddRule(const FirewallPattern& pattern, bool permit,
+               std::int32_t priority);
+  void Process(net::PacketBatch& batch) override;
+  const tcam::TcamTable& table() const { return table_; }
+
+ private:
+  tcam::TcamTable table_;
+  // Batch scratch (reused, never shrinks): eligible packet indices and
+  // their compacted keys/results.
+  std::vector<std::size_t> eligible_;
+  std::vector<tcam::BitKey> keys_;
+  std::vector<std::optional<tcam::TcamSearchResult>> results_;
+};
+
+// ----------------------------------------------------------- RouteStage
+// Digital MAT 2: longest-prefix IPv4 lookup for packets the firewall
+// permitted. Fills the route_port lane; misses settle kNoRoute.
+class RouteStage final : public MatchActionStage {
+ public:
+  RouteStage(tcam::TcamTechnology technology, std::size_t port_count);
+  void AddRoute(std::uint32_t dst_ip, int prefix_len, std::size_t port);
+  void Process(net::PacketBatch& batch) override;
+  const tcam::LpmTable& routes() const { return routes_; }
+
+ private:
+  tcam::LpmTable routes_;
+  std::size_t port_count_;
+  std::vector<std::size_t> eligible_;
+  std::vector<std::uint32_t> addrs_;
+  std::vector<std::optional<tcam::TcamSearchResult>> results_;
+};
+
+// ---------------------------------------------------- LoadBalancerStage
+// Analog MAT: ECMP-by-pCAM port selection. Routed packets whose egress
+// port belongs to the balanced group are re-assigned across the group by
+// analog match degree against per-port load policies, flow-sticky via
+// the flow hash. Canonical pCAM energy is deferred through the batch's
+// analog_commits lane and committed by the traffic manager in packet
+// order (the bit-identity contract of stage.hpp).
+class LoadBalancerStage final : public MatchActionStage {
+ public:
+  // `ports` is the balanced group (backend b of the balancer maps to
+  // ports[b]); empty = all ports. `port_count` bounds the membership
+  // lookup table.
+  LoadBalancerStage(std::vector<std::uint32_t> ports, std::size_t port_count,
+                    cognitive::LoadBalancerConfig config);
+  void Process(net::PacketBatch& batch) override;
+  cognitive::AnalogLoadBalancer& balancer() { return balancer_; }
+  const std::vector<std::uint32_t>& ports() const { return ports_; }
+
+ private:
+  std::vector<std::uint32_t> ports_;
+  std::vector<std::uint8_t> member_;  // port -> in balanced group
+  cognitive::AnalogLoadBalancer balancer_;
+};
+
+// ---------------------------------------------------- TrafficClassStage
+// Analog MAT: traffic analysis. Observes every routed packet's flow in
+// packet order and tags it with a traffic class via one pCAM search per
+// packet; results land in the traffic_class lane and per-class counters.
+// (Per-packet observe-then-classify keeps classifications independent of
+// how the caller batches arrivals; pCAM energy defers through
+// analog_commits like the load balancer's.)
+class TrafficClassStage final : public MatchActionStage {
+ public:
+  TrafficClassStage(
+      const std::vector<cognitive::AnalogTrafficClassifier::ClassSpec>&
+          classes,
+      core::HardwarePcamConfig hardware, double min_confidence);
+  void Process(net::PacketBatch& batch) override;
+  cognitive::AnalogTrafficClassifier& classifier() { return classifier_; }
+  const cognitive::FlowTracker& tracker() const { return tracker_; }
+  // Packets tagged per class index, and packets no class matched.
+  const std::vector<std::uint64_t>& class_counts() const {
+    return class_counts_;
+  }
+  std::uint64_t unclassified() const { return unclassified_; }
+
+ private:
+  double min_confidence_;
+  cognitive::FlowTracker tracker_;
+  cognitive::AnalogTrafficClassifier classifier_;
+  std::vector<std::uint64_t> class_counts_;
+  std::uint64_t unclassified_ = 0;
+};
+
+// -------------------------------------------------- TrafficManagerStage
+// The cognitive traffic manager plus the switch's bookkeeping: replays
+// the batch in strict packet order, committing stats, canonical ledger
+// energy (digital compute/movement, TCAM searches of the upstream
+// stages, pCAM AQM admission), packet ids, service-class mapping, AQM
+// admission and egress enqueueing. Also owns the egress side: queues,
+// per-class AQMs, and the drain scheduler.
+class TrafficManagerStage final : public MatchActionStage {
+ public:
+  TrafficManagerStage(const SwitchConfig* config,
+                      const energy::DataMovementModel* movement,
+                      const tcam::TcamTable* firewall_table,
+                      const tcam::TcamTable* route_table, SwitchStats* stats,
+                      energy::EnergyLedger* ledger);
+  void Process(net::PacketBatch& batch) override;
+
+  std::size_t DrainInto(double until_s, std::vector<Delivery>& out);
+  const net::PacketQueue& egress_queue(std::size_t port,
+                                       std::size_t service_class) const;
+  aqm::AnalogAqm* port_aqm(std::size_t port, std::size_t service_class);
+
+ private:
+  struct EgressPort {
+    // One FIFO per service class, index 0 = highest priority; each has
+    // its own AQM instance (empty vector when AQM disabled).
+    std::vector<net::PacketQueue> queues;
+    std::vector<std::unique_ptr<aqm::AnalogAqm>> aqms;
+    double next_free_s = 0.0;
+    // Weighted-round-robin rotation state.
+    std::size_t wrr_class = 0;
+    std::uint32_t wrr_credit = 0;
+  };
+
+  // Scheduler decision: which class the next service slot goes to,
+  // among classes whose head arrived by start_s. Asserts one exists.
+  std::size_t PickClass(EgressPort& port, double start_s);
+  // Service class a 3-bit priority maps to under the configuration.
+  std::size_t ClassOf(std::uint8_t priority) const;
+  // Analog AQM admission + egress enqueue for one routed packet; pcam
+  // accumulates the AQM's search energy (canonical ledger).
+  Verdict AdmitAndEnqueue(std::size_t port_index, std::size_t service_class,
+                          const net::PacketMeta& meta, double now_s,
+                          energy::CategoryTotal& pcam);
+
+  const SwitchConfig* config_;
+  const energy::DataMovementModel* movement_;
+  const tcam::TcamTable* firewall_table_;
+  const tcam::TcamTable* route_table_;
+  SwitchStats* stats_;
+  energy::EnergyLedger* ledger_;
+  std::vector<EgressPort> ports_;
+  std::uint64_t next_packet_id_ = 0;
+  // Scratch for replaying deferred analog commits in packet order.
+  std::vector<net::PacketBatch::AnalogCommit> commits_;
+};
+
+}  // namespace analognf::arch

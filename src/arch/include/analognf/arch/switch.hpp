@@ -1,47 +1,45 @@
-// The memristor-based cognitive packet-processing architecture (Fig. 5).
+// The memristor-based cognitive packet-processing architecture (Fig. 5),
+// built as a stage graph.
 //
-// Pipeline per ingress packet:
+// The data plane is an ordered chain of MatchActionStage slots over a
+// net::PacketBatch (stage.hpp):
 //
-//   parser -> digital MATs (firewall ternary match, LPM routing — the
-//   high-precision functions the paper keeps digital) -> cognitive
-//   traffic manager (per-egress-port queue guarded by the pCAM analog
-//   AQM) -> egress link.
+//   parse -> firewall TCAM -> LPM route -> [load balancer] ->
+//   [traffic classifier] -> [custom stages] -> traffic manager
 //
-// Both digital tables run on memristor TCAM technology (the paper's
-// architecture uses memristor storage in both domains); the analog table
-// is the pCAM AQM. Every component accounts energy into a shared ledger
-// so the Fig. 1-style digital/analog split can be reported per workload.
+// Digital MATs (firewall, LPM — the high-precision functions the paper
+// keeps digital) and analog MATs (pCAM AQM admission, load balancing,
+// traffic analysis) implement the same batch-oriented contract, so the
+// pipeline is composable the way Fig. 5 draws it. Every component
+// accounts energy into a shared ledger so the Fig. 1-style digital/
+// analog split can be reported per workload; a second, per-stage ledger
+// attributes the same energy by pipeline position.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "analognf/aqm/analog_aqm.hpp"
 #include "analognf/arch/keys.hpp"
+#include "analognf/arch/stage.hpp"
+#include "analognf/cognitive/classifier.hpp"
+#include "analognf/cognitive/load_balancer.hpp"
 #include "analognf/energy/ledger.hpp"
 #include "analognf/energy/movement.hpp"
 #include "analognf/net/packet.hpp"
-#include "analognf/net/parser.hpp"
+#include "analognf/net/packet_batch.hpp"
 #include "analognf/net/queue.hpp"
 #include "analognf/tcam/tcam.hpp"
 
 namespace analognf::arch {
 
-// Final disposition of an injected packet.
-enum class Verdict {
-  kForwarded,     // enqueued on an egress port
-  kParseError,
-  kFirewallDeny,
-  kNoRoute,
-  kAqmDrop,       // analog AQM admission drop
-  kQueueFull,     // egress tail drop
-};
-
-std::string ToString(Verdict verdict);
+// The verdict type lives with the batch lanes in net; re-exported here
+// so arch callers keep writing arch::Verdict.
+using net::ToString;
+using net::Verdict;
 
 // Egress scheduling discipline across service classes.
 enum class SchedulerPolicy {
@@ -71,8 +69,10 @@ struct SwitchConfig {
   // rest to class 1.
   std::size_t service_classes = 1;
   SchedulerPolicy scheduler = SchedulerPolicy::kStrictPriority;
-  // Per-class service quanta for kWeightedRoundRobin (size must equal
-  // service_classes; ignored for strict priority).
+  // Per-class service quanta for kWeightedRoundRobin. When non-empty the
+  // size must equal service_classes and every weight must be positive
+  // (validated under both schedulers, so a strict-priority config with a
+  // stale weight vector fails loudly instead of silently ignoring it).
   std::vector<std::uint32_t> wrr_weights{};
   // Technology of the digital match-action stages.
   tcam::TcamTechnology digital_technology =
@@ -81,12 +81,32 @@ struct SwitchConfig {
   // gives the pure tail-drop traffic manager.
   bool enable_aqm = true;
   aqm::AnalogAqmConfig aqm{};
+
+  // ---- cognitive analog stages (Fig. 5's "load balancing" and
+  // ---- "traffic analysis" slots; both disabled by default) ----
+  // ECMP-by-pCAM load balancing: a routed packet whose egress port is in
+  // `lb_ports` is re-balanced across that group by analog match degree
+  // against per-port load policies, flow-sticky via the flow hash.
+  // Empty lb_ports = every port participates.
+  bool enable_load_balancer = false;
+  std::vector<std::uint32_t> lb_ports{};
+  cognitive::LoadBalancerConfig load_balancer{};
+  // Analog traffic analysis: one pCAM search tags each routed packet's
+  // flow with a class (batch's traffic_class lane + per-class counters).
+  bool enable_classifier = false;
+  std::vector<cognitive::AnalogTrafficClassifier::ClassSpec>
+      classifier_classes{};
+  double classifier_min_confidence = 0.05;
+  core::HardwarePcamConfig classifier_hardware{};
+
   std::uint64_t seed = 0x5317c4;
 
   void Validate() const;  // throws std::invalid_argument
 };
 
-// Per-verdict counters.
+// Per-verdict counters. The per-verdict counts partition `injected`:
+// forwarded + parse_errors + firewall_denies + no_route + aqm_drops +
+// queue_full == injected at every quiescent point (invariant-tested).
 struct SwitchStats {
   std::uint64_t injected = 0;
   std::uint64_t forwarded = 0;
@@ -98,6 +118,13 @@ struct SwitchStats {
   std::uint64_t delivered = 0;
 };
 
+class ParseStage;
+class FirewallStage;
+class RouteStage;
+class LoadBalancerStage;
+class TrafficClassStage;
+class TrafficManagerStage;
+
 class CognitiveSwitch {
  public:
   explicit CognitiveSwitch(SwitchConfig config);
@@ -108,17 +135,20 @@ class CognitiveSwitch {
   // Installs a firewall rule; higher priority wins; permit=false denies.
   void AddFirewallRule(const FirewallPattern& pattern, bool permit,
                        std::int32_t priority);
+  // Inserts a custom stage immediately in front of the traffic manager
+  // (the last stage). The stage's meter is bound in the stage ledger.
+  MatchActionStage& AddStage(std::unique_ptr<MatchActionStage> stage);
 
   // ------------------------------------------------ data plane
-  // Runs one packet through parser -> firewall -> route -> traffic
-  // manager at time `now_s` (non-decreasing across calls).
+  // Runs one packet through the stage graph at time `now_s`
+  // (non-decreasing across calls). A batch of one.
   Verdict Inject(const net::Packet& packet, double now_s);
 
   // Batched data plane: runs a whole ingress batch arriving at `now_s`
-  // through the same pipeline. The stateless digital stages (parse,
-  // firewall TCAM, LPM trie) fan out over the batch; AQM admission and
-  // enqueueing then commit per packet in order, so verdicts, stats and
-  // energy-ledger totals are bit-identical to sequential Inject() calls.
+  // through the stage graph. The stateless digital stages fan out over
+  // the batch; the traffic manager then commits per packet in order, so
+  // verdicts, stats and energy-ledger totals are bit-identical to
+  // sequential Inject() calls.
   std::vector<Verdict> InjectBatch(std::span<const net::Packet> packets,
                                    double now_s);
 
@@ -136,6 +166,12 @@ class CognitiveSwitch {
   // ------------------------------------------------ observability
   const SwitchStats& stats() const { return stats_; }
   const energy::EnergyLedger& ledger() const { return ledger_; }
+  // Per-stage energy attribution ("stage.<name>" categories). Sums to
+  // ledger().TotalJ() — the same joules grouped by pipeline position
+  // instead of by hardware category.
+  const energy::EnergyLedger& stage_ledger() const { return stage_ledger_; }
+  // The stage chain, in processing order (names + metrics).
+  const StageGraph& graph() const { return graph_; }
   // Class 0 queue by default; pass service_class for multi-class ports.
   const net::PacketQueue& egress_queue(std::size_t port,
                                        std::size_t service_class = 0) const;
@@ -143,60 +179,27 @@ class CognitiveSwitch {
   // derivative state never mixes across queues). Null when AQM disabled.
   aqm::AnalogAqm* port_aqm(std::size_t port, std::size_t service_class = 0);
   std::size_t port_count() const { return config_.port_count; }
+  // The cognitive analog stages' engines (null when disabled).
+  cognitive::AnalogLoadBalancer* load_balancer();
+  cognitive::AnalogTrafficClassifier* classifier();
+  const TrafficClassStage* classifier_stage() const { return classify_; }
 
  private:
-  struct EgressPort {
-    // One FIFO per service class, index 0 = highest priority; each has
-    // its own AQM instance (empty vector when AQM disabled).
-    std::vector<net::PacketQueue> queues;
-    std::vector<std::unique_ptr<aqm::AnalogAqm>> aqms;
-    double next_free_s = 0.0;
-    // Weighted-round-robin rotation state.
-    std::size_t wrr_class = 0;
-    std::uint32_t wrr_credit = 0;
-  };
-
-  // Scheduler decision: which class the next service slot goes to,
-  // among classes whose head arrived by start_s. Asserts one exists.
-  std::size_t PickClass(EgressPort& port, double start_s);
-
-  // Service class a packet maps to under the current configuration.
-  std::size_t ClassOf(const net::PacketMeta& meta) const;
-
-  // Analog AQM admission + egress enqueue for one routed packet; pcam
-  // accumulates the AQM's search energy.
-  Verdict AdmitAndEnqueue(std::size_t port_index, const net::PacketMeta& meta,
-                          double now_s, energy::CategoryTotal& pcam);
-
-  // Shared implementation behind Inject()/InjectBatch().
-  void InjectBatchInto(std::span<const net::Packet> packets, double now_s,
-                       std::vector<Verdict>& verdicts);
-
-  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
-
-  // Per-batch scratch, reused across calls (never shrinks).
-  struct BatchScratch {
-    std::vector<net::ParsedPacket> parsed;
-    std::vector<net::FiveTuple> tuples;  // one per firewall key
-    std::vector<tcam::BitKey> fw_keys;
-    std::vector<std::optional<tcam::TcamSearchResult>> fw_results;
-    std::vector<std::size_t> fw_index;  // per packet, kNpos if skipped
-    std::vector<std::uint32_t> lpm_addrs;
-    std::vector<std::optional<tcam::TcamSearchResult>> lpm_results;
-    std::vector<std::size_t> lpm_index;  // per packet, kNpos if skipped
-    std::vector<Verdict> verdicts;      // Inject() fast path
-  };
-
   SwitchConfig config_;
-  net::Parser parser_;
-  tcam::LpmTable routes_;
-  tcam::TcamTable firewall_;
   energy::DataMovementModel movement_;
-  std::vector<EgressPort> ports_;
   SwitchStats stats_;
   energy::EnergyLedger ledger_;
-  std::uint64_t next_packet_id_ = 0;
-  BatchScratch scratch_;
+  energy::EnergyLedger stage_ledger_;
+  StageGraph graph_{&stage_ledger_};
+  // Borrowed views into graph-owned stages (valid for the switch's
+  // lifetime; the graph owns the objects).
+  ParseStage* parse_ = nullptr;
+  FirewallStage* firewall_ = nullptr;
+  RouteStage* route_ = nullptr;
+  LoadBalancerStage* lb_ = nullptr;
+  TrafficClassStage* classify_ = nullptr;
+  TrafficManagerStage* tm_ = nullptr;
+  net::PacketBatch batch_;  // reused across calls (lanes never shrink)
 };
 
 }  // namespace analognf::arch

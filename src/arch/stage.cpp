@@ -1,0 +1,53 @@
+#include "analognf/arch/stage.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace analognf::arch {
+
+MatchActionStage& StageGraph::Add(std::unique_ptr<MatchActionStage> stage) {
+  return Insert(stages_.size(), std::move(stage));
+}
+
+MatchActionStage& StageGraph::Insert(std::size_t index,
+                                     std::unique_ptr<MatchActionStage> stage) {
+  if (stage == nullptr) {
+    throw std::invalid_argument("StageGraph: null stage");
+  }
+  if (index > stages_.size()) {
+    throw std::invalid_argument("StageGraph: insert index out of range");
+  }
+  Bind(*stage);
+  MatchActionStage& ref = *stage;
+  stages_.insert(stages_.begin() + static_cast<std::ptrdiff_t>(index),
+                 std::move(stage));
+  return ref;
+}
+
+void StageGraph::Bind(MatchActionStage& stage) {
+  for (const auto& existing : stages_) {
+    if (existing->name() == stage.name()) {
+      throw std::invalid_argument("StageGraph: duplicate stage name '" +
+                                  stage.name() + "'");
+    }
+  }
+  stage.metrics_.energy = stage_ledger_->Meter("stage." + stage.name());
+}
+
+void StageGraph::Run(net::PacketBatch& batch) {
+  using clock = std::chrono::steady_clock;
+  for (const auto& stage : stages_) {
+    const auto start = clock::now();
+    stage->Process(batch);
+    const auto stop = clock::now();
+    // Observability only: nothing in the data plane may read this back
+    // (the determinism convention), so the timer does not perturb results.
+    stage->metrics_.process_ns +=
+        std::chrono::duration<double, std::nano>(stop - start).count();
+    stage->metrics_.packets += batch.size();
+    ++stage->metrics_.invocations;
+  }
+}
+
+}  // namespace analognf::arch

@@ -1,0 +1,472 @@
+#include "analognf/arch/stages.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace analognf::arch {
+
+namespace {
+constexpr std::uint32_t kActionPermit = 1;
+constexpr std::uint32_t kActionDeny = 0;
+}  // namespace
+
+// ----------------------------------------------------------- ParseStage
+
+ParseStage::ParseStage(const energy::DataMovementModel* movement)
+    : MatchActionStage("parse"), movement_(movement) {}
+
+void ParseStage::Process(net::PacketBatch& batch) {
+  const std::size_t n = batch.size();
+  parser_.ParseBatch(batch.packets_data(), n, batch.parsed);
+  energy::CategoryTotal& meter = stage_meter();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Header extraction is a digital operation with the classic
+    // storage<->compute shuttling cost; it is spent on every packet,
+    // parseable or not. (The canonical ledger is charged by the traffic
+    // manager; this is the per-stage attribution.)
+    const auto header_bits = static_cast<std::uint64_t>(
+        8 * std::min<std::size_t>(batch.packet(i).size(), 42));
+    const energy::MovementBreakdown cost = movement_->CostOf(header_bits);
+    meter.energy_j += cost.compute_j;
+    ++meter.operations;
+    meter.energy_j += cost.movement_j;
+    ++meter.operations;
+    if (!batch.parsed[i].ok()) {
+      batch.verdicts[i] = net::Verdict::kParseError;
+      continue;
+    }
+    // The routing/firewall data plane is IPv4; a well-formed IPv6 packet
+    // parses but has no route here.
+    if (!batch.parsed[i].ipv4.has_value()) {
+      batch.verdicts[i] = net::Verdict::kNoRoute;
+      continue;
+    }
+    batch.flow_hash[i] = batch.parsed[i].Key().Hash();
+    // DSCP class selector bits map onto our 3-bit priority.
+    batch.priority[i] =
+        static_cast<std::uint8_t>(batch.parsed[i].ipv4->dscp >> 3);
+  }
+}
+
+// -------------------------------------------------------- FirewallStage
+
+FirewallStage::FirewallStage(std::size_t key_width,
+                             tcam::TcamTechnology technology)
+    : MatchActionStage("firewall"), table_(key_width, technology) {}
+
+void FirewallStage::AddRule(const FirewallPattern& pattern, bool permit,
+                            std::int32_t priority) {
+  tcam::TcamTable::Entry entry;
+  entry.pattern = BuildFirewallWord(pattern);
+  entry.action = permit ? kActionPermit : kActionDeny;
+  entry.priority = priority;
+  table_.Insert(std::move(entry));
+}
+
+void FirewallStage::Process(net::PacketBatch& batch) {
+  const std::size_t n = batch.size();
+  eligible_.clear();
+  keys_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (batch.verdicts[i] != net::Verdict::kForwarded) continue;
+    if (!batch.parsed[i].ipv4.has_value()) continue;
+    eligible_.push_back(i);
+    keys_.push_back(FiveTupleKey(batch.parsed[i].Key()));
+  }
+  table_.SearchBatch(keys_, results_);
+  energy::CategoryTotal& meter = stage_meter();
+  const double search_j = table_.SearchEnergyJ();
+  for (std::size_t j = 0; j < eligible_.size(); ++j) {
+    const std::size_t i = eligible_[j];
+    batch.searched_firewall[i] = 1;
+    meter.energy_j += search_j;
+    ++meter.operations;
+    const auto& hit = results_[j];
+    if (hit.has_value() && hit->action == kActionDeny) {
+      batch.verdicts[i] = net::Verdict::kFirewallDeny;
+    }
+  }
+}
+
+// ----------------------------------------------------------- RouteStage
+
+RouteStage::RouteStage(tcam::TcamTechnology technology, std::size_t port_count)
+    : MatchActionStage("route"), routes_(technology), port_count_(port_count) {}
+
+void RouteStage::AddRoute(std::uint32_t dst_ip, int prefix_len,
+                          std::size_t port) {
+  if (port >= port_count_) {
+    throw std::invalid_argument("AddRoute: port out of range");
+  }
+  routes_.AddRoute(dst_ip, prefix_len, static_cast<std::uint32_t>(port));
+}
+
+void RouteStage::Process(net::PacketBatch& batch) {
+  const std::size_t n = batch.size();
+  eligible_.clear();
+  addrs_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (batch.verdicts[i] != net::Verdict::kForwarded) continue;
+    if (!batch.parsed[i].ipv4.has_value()) continue;
+    eligible_.push_back(i);
+    addrs_.push_back(batch.parsed[i].ipv4->dst_ip);
+  }
+  routes_.LookupBatch(addrs_.data(), addrs_.size(), results_);
+  energy::CategoryTotal& meter = stage_meter();
+  const double search_j = routes_.table().SearchEnergyJ();
+  for (std::size_t j = 0; j < eligible_.size(); ++j) {
+    const std::size_t i = eligible_[j];
+    batch.searched_route[i] = 1;
+    meter.energy_j += search_j;
+    ++meter.operations;
+    const auto& hit = results_[j];
+    if (hit.has_value()) {
+      batch.route_port[i] = hit->action;
+    } else {
+      batch.verdicts[i] = net::Verdict::kNoRoute;
+    }
+  }
+}
+
+// ---------------------------------------------------- LoadBalancerStage
+
+LoadBalancerStage::LoadBalancerStage(std::vector<std::uint32_t> ports,
+                                     std::size_t port_count,
+                                     cognitive::LoadBalancerConfig config)
+    : MatchActionStage("load-balancer"),
+      ports_([&] {
+        if (ports.empty()) {
+          ports.resize(port_count);
+          for (std::size_t p = 0; p < port_count; ++p) {
+            ports[p] = static_cast<std::uint32_t>(p);
+          }
+        }
+        return std::move(ports);
+      }()),
+      balancer_(ports_.size(), config) {
+  member_.assign(port_count, 0);
+  for (std::uint32_t p : ports_) {
+    if (p >= port_count) {
+      throw std::invalid_argument("LoadBalancerStage: port out of range");
+    }
+    member_[p] = 1;
+  }
+}
+
+void LoadBalancerStage::Process(net::PacketBatch& batch) {
+  const std::size_t n = batch.size();
+  energy::CategoryTotal& meter = stage_meter();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (batch.verdicts[i] != net::Verdict::kForwarded) continue;
+    const std::uint32_t port = batch.route_port[i];
+    if (port >= member_.size() || member_[port] == 0) continue;
+    const double before_j = balancer_.ConsumedEnergyJ();
+    const auto pick = balancer_.PickForFlow(batch.flow_hash[i]);
+    const double delta_j = balancer_.ConsumedEnergyJ() - before_j;
+    batch.analog_commits.push_back({static_cast<std::uint32_t>(i), delta_j});
+    meter.energy_j += delta_j;
+    ++meter.operations;
+    if (pick.has_value()) batch.route_port[i] = ports_[*pick];
+  }
+}
+
+// ---------------------------------------------------- TrafficClassStage
+
+TrafficClassStage::TrafficClassStage(
+    const std::vector<cognitive::AnalogTrafficClassifier::ClassSpec>& classes,
+    core::HardwarePcamConfig hardware, double min_confidence)
+    : MatchActionStage("traffic-class"),
+      min_confidence_(min_confidence),
+      classifier_(hardware) {
+  for (const auto& spec : classes) classifier_.AddClass(spec);
+  class_counts_.assign(classifier_.classes(), 0);
+}
+
+void TrafficClassStage::Process(net::PacketBatch& batch) {
+  const std::size_t n = batch.size();
+  energy::CategoryTotal& meter = stage_meter();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (batch.verdicts[i] != net::Verdict::kForwarded) continue;
+    net::PacketMeta meta;
+    meta.arrival_time_s = batch.arrival_s[i];
+    meta.size_bytes = static_cast<std::uint32_t>(batch.packet(i).size());
+    meta.flow_hash = batch.flow_hash[i];
+    meta.priority = batch.priority[i];
+    tracker_.Observe(meta);
+    const double before_j = classifier_.ConsumedEnergyJ();
+    const auto result =
+        classifier_.Classify(tracker_.Features(meta.flow_hash), min_confidence_);
+    const double delta_j = classifier_.ConsumedEnergyJ() - before_j;
+    batch.analog_commits.push_back({static_cast<std::uint32_t>(i), delta_j});
+    meter.energy_j += delta_j;
+    ++meter.operations;
+    if (result.has_value()) {
+      batch.traffic_class[i] = static_cast<std::uint32_t>(result->class_index);
+      ++class_counts_[result->class_index];
+    } else {
+      ++unclassified_;
+    }
+  }
+}
+
+// -------------------------------------------------- TrafficManagerStage
+
+TrafficManagerStage::TrafficManagerStage(
+    const SwitchConfig* config, const energy::DataMovementModel* movement,
+    const tcam::TcamTable* firewall_table, const tcam::TcamTable* route_table,
+    SwitchStats* stats, energy::EnergyLedger* ledger)
+    : MatchActionStage("traffic-manager"),
+      config_(config),
+      movement_(movement),
+      firewall_table_(firewall_table),
+      route_table_(route_table),
+      stats_(stats),
+      ledger_(ledger) {
+  ports_.reserve(config_->port_count);
+  for (std::size_t p = 0; p < config_->port_count; ++p) {
+    EgressPort port;
+    for (std::size_t sc = 0; sc < config_->service_classes; ++sc) {
+      port.queues.emplace_back(config_->egress_queue);
+      if (config_->enable_aqm) {
+        aqm::AnalogAqmConfig aqm_config = config_->aqm;
+        aqm_config.seed = config_->seed + 0xa9 * (p + 1) + 0x1d * (sc + 1);
+        port.aqms.push_back(std::make_unique<aqm::AnalogAqm>(aqm_config));
+      }
+    }
+    ports_.push_back(std::move(port));
+  }
+}
+
+void TrafficManagerStage::Process(net::PacketBatch& batch) {
+  const std::size_t n = batch.size();
+  // Stats, canonical ledger energy, packet ids and AQM admission all
+  // mutate shared state, so this loop replays them in packet order with
+  // exactly the floating-point accumulation sequence of a sequential
+  // one-packet pipeline; the Meter() pointers only amortise the
+  // string-keyed map lookups.
+  energy::CategoryTotal& compute =
+      *ledger_->Meter(energy::category::kDigitalCompute);
+  energy::CategoryTotal& movement =
+      *ledger_->Meter(energy::category::kDataMovement);
+  energy::CategoryTotal& tcam = *ledger_->Meter(energy::category::kTcamSearch);
+  energy::CategoryTotal& pcam = *ledger_->Meter(energy::category::kPcamSearch);
+  // Deferred analog energy replays per packet; the upstream stages ran
+  // in order and walked packets in order, so a stable sort by packet
+  // index recovers the per-packet stage order of a sequential pipeline.
+  commits_.assign(batch.analog_commits.begin(), batch.analog_commits.end());
+  std::stable_sort(commits_.begin(), commits_.end(),
+                   [](const net::PacketBatch::AnalogCommit& a,
+                      const net::PacketBatch::AnalogCommit& b) {
+                     return a.packet < b.packet;
+                   });
+  std::size_t commit_next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ++stats_->injected;
+    // Header extraction: digital compute plus storage<->compute
+    // shuttling, spent on every packet.
+    const auto header_bits = static_cast<std::uint64_t>(
+        8 * std::min<std::size_t>(batch.packet(i).size(), 42));
+    const energy::MovementBreakdown cost = movement_->CostOf(header_bits);
+    compute.energy_j += cost.compute_j;
+    ++compute.operations;
+    movement.energy_j += cost.movement_j;
+    ++movement.operations;
+    while (commit_next < commits_.size() && commits_[commit_next].packet == i) {
+      pcam.energy_j += commits_[commit_next].energy_j;
+      ++pcam.operations;
+      ++commit_next;
+    }
+    const net::Verdict v = batch.verdicts[i];
+    if (v == net::Verdict::kParseError) {
+      ++stats_->parse_errors;
+      continue;
+    }
+    if (batch.searched_firewall[i] != 0) {
+      tcam.energy_j += firewall_table_->SearchEnergyJ();
+      ++tcam.operations;
+    }
+    if (v == net::Verdict::kFirewallDeny) {
+      ++stats_->firewall_denies;
+      continue;
+    }
+    if (batch.searched_route[i] != 0) {
+      tcam.energy_j += route_table_->SearchEnergyJ();
+      ++tcam.operations;
+    }
+    if (v == net::Verdict::kNoRoute ||
+        batch.route_port[i] == net::PacketBatch::kNoPort) {
+      batch.verdicts[i] = net::Verdict::kNoRoute;
+      ++stats_->no_route;
+      continue;
+    }
+    // Custom stages may settle admission verdicts ahead of the manager.
+    if (v == net::Verdict::kAqmDrop) {
+      ++stats_->aqm_drops;
+      continue;
+    }
+    if (v == net::Verdict::kQueueFull) {
+      ++stats_->queue_full;
+      continue;
+    }
+    net::PacketMeta meta;
+    meta.id = next_packet_id_++;
+    meta.arrival_time_s = batch.arrival_s[i];
+    meta.size_bytes = static_cast<std::uint32_t>(batch.packet(i).size());
+    meta.flow_hash = batch.flow_hash[i];
+    meta.priority = batch.priority[i];
+    const std::size_t service_class = ClassOf(meta.priority);
+    batch.service_class[i] = static_cast<std::uint32_t>(service_class);
+    batch.verdicts[i] = AdmitAndEnqueue(batch.route_port[i], service_class,
+                                        meta, batch.now_s(), pcam);
+  }
+}
+
+Verdict TrafficManagerStage::AdmitAndEnqueue(std::size_t port_index,
+                                             std::size_t service_class,
+                                             const net::PacketMeta& meta,
+                                             double now_s,
+                                             energy::CategoryTotal& pcam) {
+  EgressPort& port = ports_[port_index];
+  net::PacketQueue& queue = port.queues[service_class];
+
+  // --- Cognitive traffic manager: analog AQM admission. ----------------
+  if (!port.aqms.empty()) {
+    aqm::AnalogAqm& class_aqm = *port.aqms[service_class];
+    aqm::AqmContext ctx;
+    ctx.now_s = now_s;
+    ctx.sojourn_s = queue.HeadSojourn(now_s);
+    ctx.queue_bytes = queue.bytes();
+    ctx.queue_packets = queue.packets();
+    ctx.packet = meta;
+    const double before_j = class_aqm.ConsumedEnergyJ();
+    const bool drop = class_aqm.ShouldDropOnEnqueue(ctx);
+    const double delta_j = class_aqm.ConsumedEnergyJ() - before_j;
+    pcam.energy_j += delta_j;
+    ++pcam.operations;
+    stage_meter().energy_j += delta_j;
+    ++stage_meter().operations;
+    if (drop) {
+      queue.NoteAqmDrop(meta);
+      ++stats_->aqm_drops;
+      return Verdict::kAqmDrop;
+    }
+  }
+
+  if (!queue.Enqueue(meta, now_s)) {
+    ++stats_->queue_full;
+    return Verdict::kQueueFull;
+  }
+  ++stats_->forwarded;
+  return Verdict::kForwarded;
+}
+
+std::size_t TrafficManagerStage::PickClass(EgressPort& port, double start_s) {
+  auto eligible = [&](std::size_t sc) {
+    const net::PacketMeta* head = port.queues[sc].Peek();
+    return head != nullptr && head->arrival_time_s <= start_s;
+  };
+  if (config_->scheduler == SchedulerPolicy::kStrictPriority) {
+    for (std::size_t sc = 0; sc < port.queues.size(); ++sc) {
+      if (eligible(sc)) return sc;
+    }
+    return 0;  // unreachable given the caller's emptiness check
+  }
+  // Weighted round robin: spend the current class's credit while it is
+  // eligible, otherwise rotate; classes found ineligible forfeit their
+  // remaining credit for this round.
+  const std::size_t classes = port.queues.size();
+  for (std::size_t hops = 0; hops < 2 * classes + 1; ++hops) {
+    if (port.wrr_credit > 0 && eligible(port.wrr_class)) {
+      --port.wrr_credit;
+      return port.wrr_class;
+    }
+    port.wrr_class = (port.wrr_class + 1) % classes;
+    port.wrr_credit = config_->wrr_weights[port.wrr_class];
+  }
+  return 0;  // unreachable: some class is eligible by precondition
+}
+
+std::size_t TrafficManagerStage::ClassOf(std::uint8_t priority) const {
+  const std::size_t classes = config_->service_classes;
+  if (classes == 1) return 0;
+  // Proportional DSCP mapping: invert the 3-bit priority (0..7) so high
+  // priority lands in low class index, then scale onto the class count.
+  // Every class is reachable for classes <= 8, and classes == 2 keeps
+  // the historical split (priority >= 4 -> class 0).
+  const std::size_t inv = 7 - std::min<std::size_t>(priority, 7);
+  return std::min(classes - 1, inv * classes / 8);
+}
+
+std::size_t TrafficManagerStage::DrainInto(double until_s,
+                                           std::vector<Delivery>& out) {
+  const std::size_t first = out.size();
+  // Reserve for the worst case (every queued packet departs by until_s)
+  // so the append loop below never reallocates mid-drain.
+  std::size_t queued = 0;
+  for (const EgressPort& port : ports_) {
+    for (const net::PacketQueue& q : port.queues) queued += q.packets();
+  }
+  if (queued == 0) return 0;  // fast path: nothing queued anywhere
+  out.reserve(first + queued);
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    EgressPort& port = ports_[p];
+    for (;;) {
+      // Strict-priority scheduling: the lowest class index whose head is
+      // already waiting at the link's next-free instant wins; if none is
+      // waiting yet, the earliest-arriving head starts the next busy
+      // period.
+      bool any = false;
+      double earliest_arrival = 0.0;
+      for (const net::PacketQueue& q : port.queues) {
+        const net::PacketMeta* head = q.Peek();
+        if (head == nullptr) continue;
+        if (!any || head->arrival_time_s < earliest_arrival) {
+          earliest_arrival = head->arrival_time_s;
+        }
+        any = true;
+      }
+      if (!any) break;  // all queues empty
+      // The next service slot starts when the link frees up or the first
+      // packet arrives; among heads already waiting then, the lowest
+      // class index (highest priority) is served.
+      const double start_s = std::max(port.next_free_s, earliest_arrival);
+      const std::size_t pick = PickClass(port, start_s);
+      const net::PacketMeta* head = port.queues[pick].Peek();
+      const double ready_s = std::max(port.next_free_s, head->arrival_time_s);
+      const double service_s = static_cast<double>(head->size_bytes) * 8.0 /
+                               config_->port_rate_bps;
+      const double depart_s = ready_s + service_s;
+      if (depart_s > until_s) break;
+      auto dequeued = port.queues[pick].Dequeue(depart_s);
+      port.next_free_s = depart_s;
+      Delivery d;
+      d.port = p;
+      d.service_class = pick;
+      d.meta = dequeued->meta;
+      d.departure_s = depart_s;
+      d.sojourn_s = dequeued->sojourn_s;
+      out.push_back(d);
+      ++stats_->delivered;
+    }
+  }
+  // Sort only what this call appended; earlier contents are untouched.
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
+            [](const Delivery& a, const Delivery& b) {
+              return a.departure_s < b.departure_s;
+            });
+  return out.size() - first;
+}
+
+const net::PacketQueue& TrafficManagerStage::egress_queue(
+    std::size_t port, std::size_t service_class) const {
+  return ports_.at(port).queues.at(service_class);
+}
+
+aqm::AnalogAqm* TrafficManagerStage::port_aqm(std::size_t port,
+                                              std::size_t service_class) {
+  EgressPort& p = ports_.at(port);
+  if (p.aqms.empty()) return nullptr;
+  return p.aqms.at(service_class).get();
+}
+
+}  // namespace analognf::arch

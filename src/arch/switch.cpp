@@ -1,27 +1,11 @@
 #include "analognf/arch/switch.hpp"
 
-#include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "analognf/arch/stages.hpp"
 
 namespace analognf::arch {
-
-std::string ToString(Verdict verdict) {
-  switch (verdict) {
-    case Verdict::kForwarded:
-      return "forwarded";
-    case Verdict::kParseError:
-      return "parse-error";
-    case Verdict::kFirewallDeny:
-      return "firewall-deny";
-    case Verdict::kNoRoute:
-      return "no-route";
-    case Verdict::kAqmDrop:
-      return "aqm-drop";
-    case Verdict::kQueueFull:
-      return "queue-full";
-  }
-  return "unknown";
-}
 
 void SwitchConfig::Validate() const {
   if (port_count == 0) {
@@ -34,255 +18,121 @@ void SwitchConfig::Validate() const {
   if (service_classes == 0) {
     throw std::invalid_argument("SwitchConfig: zero service classes");
   }
-  if (scheduler == SchedulerPolicy::kWeightedRoundRobin) {
-    if (wrr_weights.size() != service_classes) {
-      throw std::invalid_argument(
-          "SwitchConfig: wrr_weights size must equal service_classes");
-    }
-    for (std::uint32_t w : wrr_weights) {
-      if (w == 0) {
-        throw std::invalid_argument("SwitchConfig: zero WRR weight");
-      }
+  // A non-empty weight vector must be coherent under either scheduler:
+  // silently ignoring a malformed one under strict priority hides the
+  // bug until someone flips the scheduler.
+  if (!wrr_weights.empty() && wrr_weights.size() != service_classes) {
+    throw std::invalid_argument(
+        "SwitchConfig: wrr_weights size must equal service_classes");
+  }
+  for (std::uint32_t w : wrr_weights) {
+    if (w == 0) {
+      throw std::invalid_argument("SwitchConfig: zero WRR weight");
     }
   }
+  if (scheduler == SchedulerPolicy::kWeightedRoundRobin &&
+      wrr_weights.empty()) {
+    throw std::invalid_argument(
+        "SwitchConfig: wrr_weights size must equal service_classes");
+  }
   if (enable_aqm) aqm.Validate();
+  if (enable_load_balancer) {
+    load_balancer.Validate();
+    std::vector<bool> seen(port_count, false);
+    for (std::uint32_t p : lb_ports) {
+      if (p >= port_count) {
+        throw std::invalid_argument("SwitchConfig: lb_port out of range");
+      }
+      if (seen[p]) {
+        throw std::invalid_argument("SwitchConfig: duplicate lb_port");
+      }
+      seen[p] = true;
+    }
+  }
+  if (enable_classifier) {
+    if (classifier_classes.empty()) {
+      throw std::invalid_argument(
+          "SwitchConfig: classifier enabled without classes");
+    }
+    if (!(classifier_min_confidence >= 0.0) ||
+        !(classifier_min_confidence <= 1.0)) {
+      throw std::invalid_argument(
+          "SwitchConfig: classifier_min_confidence outside [0, 1]");
+    }
+  }
 }
-
-namespace {
-constexpr std::uint32_t kActionPermit = 1;
-constexpr std::uint32_t kActionDeny = 0;
-}  // namespace
 
 CognitiveSwitch::CognitiveSwitch(SwitchConfig config)
     : config_([&] {
         config.Validate();
         return config;
       }()),
-      routes_(config_.digital_technology),
-      firewall_(kFiveTupleBits, config_.digital_technology),
       movement_() {
-  ports_.reserve(config_.port_count);
-  for (std::size_t p = 0; p < config_.port_count; ++p) {
-    EgressPort port;
-    for (std::size_t sc = 0; sc < config_.service_classes; ++sc) {
-      port.queues.emplace_back(config_.egress_queue);
-      if (config_.enable_aqm) {
-        aqm::AnalogAqmConfig aqm_config = config_.aqm;
-        aqm_config.seed =
-            config_.seed + 0xa9 * (p + 1) + 0x1d * (sc + 1);
-        port.aqms.push_back(std::make_unique<aqm::AnalogAqm>(aqm_config));
-      }
-    }
-    ports_.push_back(std::move(port));
+  // Build the Fig. 5 chain: parser, digital MATs, optional cognitive
+  // analog MATs, and the traffic manager last (it owns the ordered
+  // commit, so custom stages inserted via AddStage land in front of it).
+  auto parse = std::make_unique<ParseStage>(&movement_);
+  parse_ = parse.get();
+  graph_.Add(std::move(parse));
+
+  auto firewall =
+      std::make_unique<FirewallStage>(kFiveTupleBits, config_.digital_technology);
+  firewall_ = firewall.get();
+  graph_.Add(std::move(firewall));
+
+  auto route = std::make_unique<RouteStage>(config_.digital_technology,
+                                            config_.port_count);
+  route_ = route.get();
+  graph_.Add(std::move(route));
+
+  if (config_.enable_load_balancer) {
+    auto lb = std::make_unique<LoadBalancerStage>(
+        config_.lb_ports, config_.port_count, config_.load_balancer);
+    lb_ = lb.get();
+    graph_.Add(std::move(lb));
   }
+
+  if (config_.enable_classifier) {
+    auto classify = std::make_unique<TrafficClassStage>(
+        config_.classifier_classes, config_.classifier_hardware,
+        config_.classifier_min_confidence);
+    classify_ = classify.get();
+    graph_.Add(std::move(classify));
+  }
+
+  auto tm = std::make_unique<TrafficManagerStage>(
+      &config_, &movement_, &firewall_->table(), &route_->routes().table(),
+      &stats_, &ledger_);
+  tm_ = tm.get();
+  graph_.Add(std::move(tm));
 }
 
 void CognitiveSwitch::AddRoute(std::uint32_t dst_ip, int prefix_len,
                                std::size_t port) {
-  if (port >= config_.port_count) {
-    throw std::invalid_argument("AddRoute: port out of range");
-  }
-  routes_.AddRoute(dst_ip, prefix_len, static_cast<std::uint32_t>(port));
+  route_->AddRoute(dst_ip, prefix_len, port);
 }
 
 void CognitiveSwitch::AddFirewallRule(const FirewallPattern& pattern,
                                       bool permit, std::int32_t priority) {
-  tcam::TcamTable::Entry entry;
-  entry.pattern = BuildFirewallWord(pattern);
-  entry.action = permit ? kActionPermit : kActionDeny;
-  entry.priority = priority;
-  firewall_.Insert(std::move(entry));
+  firewall_->AddRule(pattern, permit, priority);
+}
+
+MatchActionStage& CognitiveSwitch::AddStage(
+    std::unique_ptr<MatchActionStage> stage) {
+  return graph_.Insert(graph_.size() - 1, std::move(stage));
 }
 
 Verdict CognitiveSwitch::Inject(const net::Packet& packet, double now_s) {
-  InjectBatchInto(std::span<const net::Packet>(&packet, 1), now_s,
-                  scratch_.verdicts);
-  return scratch_.verdicts.front();
+  batch_.Reset(&packet, 1, now_s);
+  graph_.Run(batch_);
+  return batch_.verdicts.front();
 }
 
 std::vector<Verdict> CognitiveSwitch::InjectBatch(
     std::span<const net::Packet> packets, double now_s) {
-  std::vector<Verdict> verdicts;
-  InjectBatchInto(packets, now_s, verdicts);
-  return verdicts;
-}
-
-void CognitiveSwitch::InjectBatchInto(std::span<const net::Packet> packets,
-                                      double now_s,
-                                      std::vector<Verdict>& verdicts) {
-  const std::size_t n = packets.size();
-  BatchScratch& s = scratch_;
-  verdicts.assign(n, Verdict::kForwarded);
-
-  // --- Stage 1: parser (digital front-end; Fig. 5 leftmost block). -----
-  // Stateless over the batch, so it fans out freely. Packets that fail to
-  // parse, or parse to something the IPv4 data plane cannot route, settle
-  // their verdict here and skip the match-action stages.
-  parser_.ParseBatch(packets.data(), n, s.parsed);
-  s.tuples.clear();
-  s.fw_keys.clear();
-  s.fw_index.assign(n, kNpos);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!s.parsed[i].ok()) {
-      verdicts[i] = Verdict::kParseError;
-      continue;
-    }
-    // The routing/firewall data plane is IPv4; a well-formed IPv6 packet
-    // parses but has no route here.
-    if (!s.parsed[i].ipv4.has_value()) {
-      verdicts[i] = Verdict::kNoRoute;
-      continue;
-    }
-    s.fw_index[i] = s.fw_keys.size();
-    s.tuples.push_back(s.parsed[i].Key());
-    s.fw_keys.push_back(FiveTupleKey(s.tuples.back()));
-  }
-
-  // --- Stage 2: digital MAT 1, firewall ternary match (stays digital). -
-  firewall_.SearchBatch(s.fw_keys, s.fw_results);
-
-  // --- Stage 3: digital MAT 2, IP lookup (LPM) for permitted packets. --
-  s.lpm_addrs.clear();
-  s.lpm_index.assign(n, kNpos);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (s.fw_index[i] == kNpos) continue;
-    const auto& fw = s.fw_results[s.fw_index[i]];
-    if (fw.has_value() && fw->action == kActionDeny) {
-      verdicts[i] = Verdict::kFirewallDeny;
-      continue;
-    }
-    s.lpm_index[i] = s.lpm_addrs.size();
-    s.lpm_addrs.push_back(s.parsed[i].ipv4->dst_ip);
-  }
-  routes_.LookupBatch(s.lpm_addrs.data(), s.lpm_addrs.size(), s.lpm_results);
-
-  // --- Stage 4: ordered per-packet commit. -----------------------------
-  // Stats, ledger energy, packet ids and AQM admission all mutate shared
-  // state, so this loop replays them in packet order with exactly the
-  // floating-point accumulation sequence of a sequential Inject() loop;
-  // the Meter() pointers only amortise the string-keyed map lookups.
-  energy::CategoryTotal& compute =
-      *ledger_.Meter(energy::category::kDigitalCompute);
-  energy::CategoryTotal& movement =
-      *ledger_.Meter(energy::category::kDataMovement);
-  energy::CategoryTotal& tcam = *ledger_.Meter(energy::category::kTcamSearch);
-  energy::CategoryTotal& pcam = *ledger_.Meter(energy::category::kPcamSearch);
-  for (std::size_t i = 0; i < n; ++i) {
-    ++stats_.injected;
-    // Header extraction is a digital operation with the classic
-    // storage<->compute shuttling cost.
-    const auto header_bits = static_cast<std::uint64_t>(
-        8 * std::min<std::size_t>(packets[i].size(), 42));
-    const energy::MovementBreakdown cost = movement_.CostOf(header_bits);
-    compute.energy_j += cost.compute_j;
-    ++compute.operations;
-    movement.energy_j += cost.movement_j;
-    ++movement.operations;
-    if (verdicts[i] == Verdict::kParseError) {
-      ++stats_.parse_errors;
-      continue;
-    }
-    if (s.fw_index[i] != kNpos) {
-      tcam.energy_j += firewall_.SearchEnergyJ();
-      ++tcam.operations;
-    }
-    if (verdicts[i] == Verdict::kFirewallDeny) {
-      ++stats_.firewall_denies;
-      continue;
-    }
-    if (s.lpm_index[i] != kNpos) {
-      tcam.energy_j += routes_.table().SearchEnergyJ();
-      ++tcam.operations;
-    }
-    const auto* route =
-        s.lpm_index[i] != kNpos ? &s.lpm_results[s.lpm_index[i]] : nullptr;
-    if (route == nullptr || !route->has_value()) {
-      verdicts[i] = Verdict::kNoRoute;
-      ++stats_.no_route;
-      continue;
-    }
-    net::PacketMeta meta;
-    meta.id = next_packet_id_++;
-    meta.arrival_time_s = now_s;
-    meta.size_bytes = static_cast<std::uint32_t>(packets[i].size());
-    meta.flow_hash = s.tuples[s.fw_index[i]].Hash();
-    // DSCP class selector bits map onto our 3-bit priority.
-    meta.priority = static_cast<std::uint8_t>(s.parsed[i].ipv4->dscp >> 3);
-    verdicts[i] = AdmitAndEnqueue((*route)->action, meta, now_s, pcam);
-  }
-}
-
-Verdict CognitiveSwitch::AdmitAndEnqueue(std::size_t port_index,
-                                         const net::PacketMeta& meta,
-                                         double now_s,
-                                         energy::CategoryTotal& pcam) {
-  EgressPort& port = ports_[port_index];
-  const std::size_t service_class = ClassOf(meta);
-  net::PacketQueue& queue = port.queues[service_class];
-
-  // --- Cognitive traffic manager: analog AQM admission. ----------------
-  if (!port.aqms.empty()) {
-    aqm::AnalogAqm& class_aqm = *port.aqms[service_class];
-    aqm::AqmContext ctx;
-    ctx.now_s = now_s;
-    ctx.sojourn_s = queue.HeadSojourn(now_s);
-    ctx.queue_bytes = queue.bytes();
-    ctx.queue_packets = queue.packets();
-    ctx.packet = meta;
-    const double before_j = class_aqm.ConsumedEnergyJ();
-    const bool drop = class_aqm.ShouldDropOnEnqueue(ctx);
-    pcam.energy_j += class_aqm.ConsumedEnergyJ() - before_j;
-    ++pcam.operations;
-    if (drop) {
-      queue.NoteAqmDrop(meta);
-      ++stats_.aqm_drops;
-      return Verdict::kAqmDrop;
-    }
-  }
-
-  if (!queue.Enqueue(meta, now_s)) {
-    ++stats_.queue_full;
-    return Verdict::kQueueFull;
-  }
-  ++stats_.forwarded;
-  return Verdict::kForwarded;
-}
-
-std::size_t CognitiveSwitch::PickClass(EgressPort& port, double start_s) {
-  auto eligible = [&](std::size_t sc) {
-    const net::PacketMeta* head = port.queues[sc].Peek();
-    return head != nullptr && head->arrival_time_s <= start_s;
-  };
-  if (config_.scheduler == SchedulerPolicy::kStrictPriority) {
-    for (std::size_t sc = 0; sc < port.queues.size(); ++sc) {
-      if (eligible(sc)) return sc;
-    }
-    return 0;  // unreachable given the caller's emptiness check
-  }
-  // Weighted round robin: spend the current class's credit while it is
-  // eligible, otherwise rotate; classes found ineligible forfeit their
-  // remaining credit for this round.
-  const std::size_t classes = port.queues.size();
-  for (std::size_t hops = 0; hops < 2 * classes + 1; ++hops) {
-    if (port.wrr_credit > 0 && eligible(port.wrr_class)) {
-      --port.wrr_credit;
-      return port.wrr_class;
-    }
-    port.wrr_class = (port.wrr_class + 1) % classes;
-    port.wrr_credit = config_.wrr_weights[port.wrr_class];
-  }
-  return 0;  // unreachable: some class is eligible by precondition
-}
-
-std::size_t CognitiveSwitch::ClassOf(const net::PacketMeta& meta) const {
-  const std::size_t classes = config_.service_classes;
-  if (classes == 1) return 0;
-  // Proportional DSCP mapping: invert the 3-bit priority (0..7) so high
-  // priority lands in low class index, then scale onto the class count.
-  // Every class is reachable for classes <= 8, and classes == 2 keeps
-  // the historical split (priority >= 4 -> class 0).
-  const std::size_t inv = 7 - std::min<std::size_t>(meta.priority, 7);
-  return std::min(classes - 1, inv * classes / 8);
+  batch_.Reset(packets.data(), packets.size(), now_s);
+  graph_.Run(batch_);
+  return {batch_.verdicts.begin(), batch_.verdicts.end()};
 }
 
 std::vector<Delivery> CognitiveSwitch::Drain(double until_s) {
@@ -293,74 +143,25 @@ std::vector<Delivery> CognitiveSwitch::Drain(double until_s) {
 
 std::size_t CognitiveSwitch::DrainInto(double until_s,
                                        std::vector<Delivery>& out) {
-  const std::size_t first = out.size();
-  // Reserve for the worst case (every queued packet departs by until_s)
-  // so the append loop below never reallocates mid-drain.
-  std::size_t queued = 0;
-  for (const EgressPort& port : ports_) {
-    for (const net::PacketQueue& q : port.queues) queued += q.packets();
-  }
-  if (queued == 0) return 0;  // fast path: nothing queued anywhere
-  out.reserve(first + queued);
-  for (std::size_t p = 0; p < ports_.size(); ++p) {
-    EgressPort& port = ports_[p];
-    for (;;) {
-      // Strict-priority scheduling: the lowest class index whose head is
-      // already waiting at the link's next-free instant wins; if none is
-      // waiting yet, the earliest-arriving head starts the next busy
-      // period.
-      bool any = false;
-      double earliest_arrival = 0.0;
-      for (const net::PacketQueue& q : port.queues) {
-        const net::PacketMeta* head = q.Peek();
-        if (head == nullptr) continue;
-        if (!any || head->arrival_time_s < earliest_arrival) {
-          earliest_arrival = head->arrival_time_s;
-        }
-        any = true;
-      }
-      if (!any) break;  // all queues empty
-      // The next service slot starts when the link frees up or the first
-      // packet arrives; among heads already waiting then, the lowest
-      // class index (highest priority) is served.
-      const double start_s = std::max(port.next_free_s, earliest_arrival);
-      const std::size_t pick = PickClass(port, start_s);
-      const net::PacketMeta* head = port.queues[pick].Peek();
-      const double ready_s = std::max(port.next_free_s, head->arrival_time_s);
-      const double service_s = static_cast<double>(head->size_bytes) * 8.0 /
-                               config_.port_rate_bps;
-      const double depart_s = ready_s + service_s;
-      if (depart_s > until_s) break;
-      auto dequeued = port.queues[pick].Dequeue(depart_s);
-      port.next_free_s = depart_s;
-      Delivery d;
-      d.port = p;
-      d.service_class = pick;
-      d.meta = dequeued->meta;
-      d.departure_s = depart_s;
-      d.sojourn_s = dequeued->sojourn_s;
-      out.push_back(d);
-      ++stats_.delivered;
-    }
-  }
-  // Sort only what this call appended; earlier contents are untouched.
-  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
-            [](const Delivery& a, const Delivery& b) {
-              return a.departure_s < b.departure_s;
-            });
-  return out.size() - first;
+  return tm_->DrainInto(until_s, out);
 }
 
 const net::PacketQueue& CognitiveSwitch::egress_queue(
     std::size_t port, std::size_t service_class) const {
-  return ports_.at(port).queues.at(service_class);
+  return tm_->egress_queue(port, service_class);
 }
 
 aqm::AnalogAqm* CognitiveSwitch::port_aqm(std::size_t port,
                                           std::size_t service_class) {
-  EgressPort& p = ports_.at(port);
-  if (p.aqms.empty()) return nullptr;
-  return p.aqms.at(service_class).get();
+  return tm_->port_aqm(port, service_class);
+}
+
+cognitive::AnalogLoadBalancer* CognitiveSwitch::load_balancer() {
+  return lb_ != nullptr ? &lb_->balancer() : nullptr;
+}
+
+cognitive::AnalogTrafficClassifier* CognitiveSwitch::classifier() {
+  return classify_ != nullptr ? &classify_->classifier() : nullptr;
 }
 
 }  // namespace analognf::arch

@@ -88,18 +88,46 @@ TopologyReport LineTopology::Run(net::TrafficGenerator& generator) {
   net::PacketMeta next_arrival = generator.Next();
   std::vector<Delivery> drained;  // reused across drain calls
 
-  auto inject = [&](std::size_t hop, const net::Packet& packet,
-                    double when_s, double origin_ingress_s) {
-    const double now = std::max(when_s, last_inject_s[hop]);
-    last_inject_s[hop] = now;
-    const Verdict verdict = switches_[hop]->Inject(packet, now);
-    if (verdict == Verdict::kForwarded || verdict == Verdict::kAqmDrop ||
-        verdict == Verdict::kQueueFull) {
-      const std::uint64_t id = ids_assigned[hop]++;
-      if (verdict == Verdict::kForwarded) {
-        origin_time[hop][id] = origin_ingress_s;
+  // Per-hop ingress batches: same-instant injects ride the switch's
+  // batched stage-graph path in one call. InjectBatch is bit-identical
+  // to sequential Inject calls, so buffering cannot change verdicts,
+  // ids, stats or energy — only how many times the pipeline is entered.
+  struct HopBatch {
+    double now = 0.0;
+    std::vector<net::Packet> packets;
+    std::vector<double> origins;  // origin ingress time per packet
+  };
+  std::vector<HopBatch> batches(switches_.size());
+
+  auto flush = [&](std::size_t hop) {
+    HopBatch& b = batches[hop];
+    if (b.packets.empty()) return;
+    const std::vector<Verdict> verdicts =
+        switches_[hop]->InjectBatch(b.packets, b.now);
+    for (std::size_t j = 0; j < verdicts.size(); ++j) {
+      const Verdict verdict = verdicts[j];
+      if (verdict == Verdict::kForwarded || verdict == Verdict::kAqmDrop ||
+          verdict == Verdict::kQueueFull) {
+        const std::uint64_t id = ids_assigned[hop]++;
+        if (verdict == Verdict::kForwarded) {
+          origin_time[hop][id] = b.origins[j];
+        }
       }
     }
+    b.packets.clear();
+    b.origins.clear();
+  };
+
+  auto inject = [&](std::size_t hop, net::Packet packet, double when_s,
+                    double origin_ingress_s) {
+    const double now = std::max(when_s, last_inject_s[hop]);
+    last_inject_s[hop] = now;
+    HopBatch& b = batches[hop];
+    // A batch holds one arrival instant; a new instant flushes the old.
+    if (!b.packets.empty() && b.now != now) flush(hop);
+    b.now = now;
+    b.packets.push_back(std::move(packet));
+    b.origins.push_back(origin_ingress_s);
   };
 
   for (double t = 0.0; t <= config_.duration_s; t += config_.step_s) {
@@ -117,10 +145,12 @@ TopologyReport LineTopology::Run(net::TrafficGenerator& generator) {
     // 2. In-flight packets reaching their next hop.
     while (!pending.empty() && pending.begin()->first <= t) {
       const auto it = pending.begin();
-      inject(it->second.hop, it->second.packet, it->first,
+      inject(it->second.hop, std::move(it->second.packet), it->first,
              it->second.origin_ingress_s);
       pending.erase(it);
     }
+    // All buffered injects must land before this step's drains.
+    for (std::size_t k = 0; k < switches_.size(); ++k) flush(k);
     // 3. Drain every hop; forward deliveries down the line.
     for (std::size_t k = 0; k < switches_.size(); ++k) {
       drained.clear();
@@ -152,6 +182,9 @@ TopologyReport LineTopology::Run(net::TrafficGenerator& generator) {
       }
     }
   }
+
+  // Late injects (after the final drain) still count in the hop stats.
+  for (std::size_t k = 0; k < switches_.size(); ++k) flush(k);
 
   for (const auto& sw : switches_) {
     report.hop_stats.push_back(sw->stats());

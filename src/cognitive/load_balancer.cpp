@@ -1,0 +1,83 @@
+#include "analognf/cognitive/load_balancer.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace analognf::cognitive {
+
+namespace {
+
+// Backend load (0..1) onto the search-voltage range [1, 4] V.
+double LoadToVolts(double load) { return 1.0 + 3.0 * load; }
+
+// Scrambles a flow hash into a unit draw in [0, 1). SplitMix64-style
+// finalizer so nearby hashes land far apart; the top 53 bits become the
+// mantissa of a double in [0, 1).
+double UnitDrawOf(std::uint64_t flow_hash) {
+  std::uint64_t z = flow_hash + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+void LoadBalancerConfig::Validate() const {
+  if (!(preferred_load >= 0.0) || !(preferred_load <= 1.0)) {
+    throw std::invalid_argument(
+        "LoadBalancerConfig: preferred_load outside [0, 1]");
+  }
+  if (!(tolerance_v > 0.0) || !(skirt_v > 0.0)) {
+    throw std::invalid_argument(
+        "LoadBalancerConfig: tolerance/skirt must be positive");
+  }
+}
+
+AnalogLoadBalancer::AnalogLoadBalancer(std::size_t backend_count,
+                                       LoadBalancerConfig config)
+    : config_([&] {
+        config.Validate();
+        return config;
+      }()),
+      table_(/*field_count=*/1, config_.hardware),
+      query_({LoadToVolts(config_.preferred_load)}) {
+  if (backend_count == 0) {
+    throw std::invalid_argument("AnalogLoadBalancer: zero backends");
+  }
+  loads_.assign(backend_count, 0.0);
+  for (std::size_t b = 0; b < backend_count; ++b) {
+    table_.Insert({"backend-" + std::to_string(b),
+                   {PolicyForLoad(loads_[b])},
+                   static_cast<std::uint32_t>(b)});
+  }
+}
+
+core::PcamParams AnalogLoadBalancer::PolicyForLoad(double load) const {
+  return core::PcamParams::MakeBand(LoadToVolts(load), config_.tolerance_v,
+                                    config_.skirt_v);
+}
+
+void AnalogLoadBalancer::UpdateLoad(std::size_t backend, double load) {
+  if (!(load >= 0.0) || !(load <= 1.0)) {
+    throw std::invalid_argument("UpdateLoad: load outside [0, 1]");
+  }
+  loads_.at(backend) = load;
+  table_.ProgramField(backend, 0, PolicyForLoad(load));
+}
+
+std::optional<std::size_t> AnalogLoadBalancer::PickForFlow(
+    std::uint64_t flow_hash) {
+  const auto pick = table_.SampleWithDraw(query_, UnitDrawOf(flow_hash));
+  if (!pick.has_value()) return std::nullopt;
+  return static_cast<std::size_t>(pick->action);
+}
+
+std::optional<std::size_t> AnalogLoadBalancer::Pick(
+    analognf::RandomStream& rng) {
+  const auto pick = table_.SampleByDegree(query_, rng);
+  if (!pick.has_value()) return std::nullopt;
+  return static_cast<std::size_t>(pick->action);
+}
+
+}  // namespace analognf::cognitive
