@@ -159,31 +159,25 @@ void EmitPipelineJson() {
     total_nj.push_back(nj_sum);
   }
 
-  std::ofstream out("BENCH_pipeline.json");
-  if (!out) {
-    bench::Line("could not open BENCH_pipeline.json for writing");
-    return;
+  bench::JsonArray stages{"stages", {}};
+  for (const StageRow& r : rows) {
+    stages.items.push_back(
+        {bench::JsonInt("batch", r.batch), bench::JsonStr("stage", r.stage),
+         bench::JsonNum("ns_per_packet", r.ns_per_packet),
+         bench::JsonNum("nj_per_packet", r.nj_per_packet),
+         bench::JsonNum("energy_fraction", r.energy_fraction)});
   }
-  out << "{\n  \"bench\": \"pipeline_stages\",\n  \"stages\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const StageRow& r = rows[i];
-    out << "    {\"batch\": " << r.batch << ", \"stage\": \"" << r.stage
-        << "\", \"ns_per_packet\": " << r.ns_per_packet
-        << ", \"nj_per_packet\": " << r.nj_per_packet
-        << ", \"energy_fraction\": " << r.energy_fraction << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
-  }
-  out << "  ],\n  \"totals\": [\n";
-  const std::size_t batch_list[] = {1, 64, 256, 1024};
+  bench::JsonArray totals{"totals", {}};
   for (std::size_t i = 0; i < 4; ++i) {
-    out << "    {\"batch\": " << batch_list[i]
-        << ", \"ns_per_packet\": " << total_ns[i]
-        << ", \"nj_per_packet\": " << total_nj[i] << "}"
-        << (i + 1 < 4 ? "," : "") << "\n";
+    totals.items.push_back(
+        {bench::JsonInt("batch", batches[i]),
+         bench::JsonNum("ns_per_packet", total_ns[i]),
+         bench::JsonNum("nj_per_packet", total_nj[i])});
   }
-  out << "  ]\n}\n";
-  bench::Line("wrote BENCH_pipeline.json (" + std::to_string(rows.size()) +
-              " stage rows)");
+  bench::WriteBenchJson("BENCH_pipeline.json",
+                        {bench::JsonStr("bench", "pipeline_stages")},
+                        {stages, totals},
+                        std::to_string(rows.size()) + " stage rows");
 }
 
 void ReportAndEmitJson() {

@@ -178,24 +178,19 @@ void EmitSearchJson() {
         {"batched", rows, 64, TimeBatchedNs(table, 64, reps)});
   }
 
-  std::ofstream out("BENCH_search.json");
-  if (!out) {
-    bench::Line("could not open BENCH_search.json for writing");
-    return;
+  bench::JsonArray results{"results", {}};
+  for (const JsonMeasurement& m : measurements) {
+    results.items.push_back(
+        {bench::JsonStr("mode", m.mode), bench::JsonInt("rows", m.rows),
+         bench::JsonInt("batch", m.batch),
+         bench::JsonNum("ns_per_search", m.ns_per_search),
+         bench::JsonNum("searches_per_s", 1.0e9 / m.ns_per_search)});
   }
-  out << "{\n  \"bench\": \"search_throughput\",\n  \"field_count\": 1,\n"
-      << "  \"results\": [\n";
-  for (std::size_t i = 0; i < measurements.size(); ++i) {
-    const JsonMeasurement& m = measurements[i];
-    out << "    {\"mode\": \"" << m.mode << "\", \"rows\": " << m.rows
-        << ", \"batch\": " << m.batch
-        << ", \"ns_per_search\": " << m.ns_per_search
-        << ", \"searches_per_s\": " << 1.0e9 / m.ns_per_search << "}"
-        << (i + 1 < measurements.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  bench::Line("wrote BENCH_search.json (" +
-              std::to_string(measurements.size()) + " measurements)");
+  bench::WriteBenchJson(
+      "BENCH_search.json",
+      {bench::JsonStr("bench", "search_throughput"),
+       bench::JsonInt("field_count", 1)},
+      {results}, std::to_string(measurements.size()) + " measurements");
 }
 
 void ReportAndEmitJson() {

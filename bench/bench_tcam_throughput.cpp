@@ -189,25 +189,20 @@ void EmitTcamJson() {
     }
   }
 
-  std::ofstream out("BENCH_tcam.json");
-  if (!out) {
-    bench::Line("could not open BENCH_tcam.json for writing");
-    return;
+  bench::JsonArray results{"results", {}};
+  for (const JsonMeasurement& m : measurements) {
+    results.items.push_back(
+        {bench::JsonStr("mode", m.mode), bench::JsonInt("rows", m.rows),
+         bench::JsonInt("batch", m.batch),
+         bench::JsonNum("ns_per_search", m.ns_per_search),
+         bench::JsonNum("searches_per_s", 1.0e9 / m.ns_per_search),
+         bench::JsonNum("speedup_vs_scalar", m.speedup_vs_scalar)});
   }
-  out << "{\n  \"bench\": \"tcam_throughput\",\n  \"key_width\": "
-      << kKeyWidth << ",\n  \"results\": [\n";
-  for (std::size_t i = 0; i < measurements.size(); ++i) {
-    const JsonMeasurement& m = measurements[i];
-    out << "    {\"mode\": \"" << m.mode << "\", \"rows\": " << m.rows
-        << ", \"batch\": " << m.batch
-        << ", \"ns_per_search\": " << m.ns_per_search
-        << ", \"searches_per_s\": " << 1.0e9 / m.ns_per_search
-        << ", \"speedup_vs_scalar\": " << m.speedup_vs_scalar << "}"
-        << (i + 1 < measurements.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  bench::Line("wrote BENCH_tcam.json (" +
-              std::to_string(measurements.size()) + " measurements)");
+  bench::WriteBenchJson(
+      "BENCH_tcam.json",
+      {bench::JsonStr("bench", "tcam_throughput"),
+       bench::JsonInt("key_width", kKeyWidth)},
+      {results}, std::to_string(measurements.size()) + " measurements");
 }
 
 void ReportAndEmitJson() {

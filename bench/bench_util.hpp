@@ -7,8 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "analognf/common/table.hpp"
 
@@ -26,6 +31,69 @@ inline void Line(const std::string& text) {
 
 inline void PrintTable(const Table& table) {
   table.Print(std::cout, kPrefix);
+}
+
+// ------------------------------------------------------- BENCH_*.json
+// Shared emitter for the machine-readable measurement files CI collects.
+// Every file is one object: scalar metadata fields first, then named
+// arrays of flat measurement objects.
+
+// One key plus its pre-rendered JSON value.
+struct JsonField {
+  std::string key;
+  std::string rendered;
+};
+
+inline JsonField JsonStr(std::string key, const std::string& value) {
+  return {std::move(key), "\"" + value + "\""};
+}
+
+inline JsonField JsonNum(std::string key, double value) {
+  std::ostringstream os;
+  os << value;
+  return {std::move(key), os.str()};
+}
+
+inline JsonField JsonInt(std::string key, std::uint64_t value) {
+  return {std::move(key), std::to_string(value)};
+}
+
+using JsonObject = std::vector<JsonField>;
+
+struct JsonArray {
+  std::string name;
+  std::vector<JsonObject> items;
+};
+
+// Writes `{ <meta...>, "<array>": [ {...}, ... ], ... }` to `path` and
+// prints a `[REPRO] wrote <path> (<summary>)` line (or a failure line).
+inline void WriteBenchJson(const std::string& path, const JsonObject& meta,
+                           const std::vector<JsonArray>& arrays,
+                           const std::string& summary) {
+  std::ofstream out(path);
+  if (!out) {
+    Line("could not open " + path + " for writing");
+    return;
+  }
+  out << "{\n";
+  for (const JsonField& f : meta) {
+    out << "  \"" << f.key << "\": " << f.rendered << ",\n";
+  }
+  for (std::size_t a = 0; a < arrays.size(); ++a) {
+    out << "  \"" << arrays[a].name << "\": [\n";
+    const std::vector<JsonObject>& items = arrays[a].items;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      out << "    {";
+      for (std::size_t f = 0; f < items[i].size(); ++f) {
+        out << "\"" << items[i][f].key << "\": " << items[i][f].rendered
+            << (f + 1 < items[i].size() ? ", " : "");
+      }
+      out << "}" << (i + 1 < items.size() ? "," : "") << "\n";
+    }
+    out << "  ]" << (a + 1 < arrays.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+  Line("wrote " + path + " (" + summary + ")");
 }
 
 }  // namespace analognf::bench

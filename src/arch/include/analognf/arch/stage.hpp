@@ -28,6 +28,7 @@
 
 #include "analognf/energy/ledger.hpp"
 #include "analognf/net/packet_batch.hpp"
+#include "analognf/telemetry/metrics.hpp"
 
 namespace analognf::arch {
 
@@ -41,6 +42,17 @@ struct StageMetrics {
   // Packets offered to Process() (batch sizes summed) and call count.
   std::uint64_t packets = 0;
   std::uint64_t invocations = 0;
+};
+
+// Registry handles behind the `stage.<name>.*` metric names, maintained
+// by the graph runner around each Process() call. All null until the
+// graph is bound to a registry.
+struct StageTelemetry {
+  telemetry::CounterHandle packets;      // batch sizes summed
+  telemetry::CounterHandle invocations;  // Process() calls
+  telemetry::CounterHandle drops;        // verdicts settled by this stage
+  telemetry::HistogramHandle ns;         // per-batch Process() wall time
+  telemetry::HistogramHandle nj;         // per-batch stage-meter energy
 };
 
 // One slot of the pipeline. Implementations read and write PacketBatch
@@ -68,6 +80,7 @@ class MatchActionStage {
   friend class StageGraph;
   std::string name_;
   StageMetrics metrics_;
+  StageTelemetry telemetry_;
 };
 
 // An ordered chain of stages sharing one stage ledger. Run() walks the
@@ -94,11 +107,26 @@ class StageGraph {
     return stages_;
   }
 
+  // Binds every current and future stage to `stage.<name>.*` metrics in
+  // `registry` (packets/invocations/drops counters, ns/nJ histograms).
+  // Run() additionally records per-stage wall time for the flight
+  // recorder once bound. Telemetry is observability-only: it never
+  // changes what a stage does to the batch.
+  void BindTelemetry(telemetry::MetricsRegistry& registry);
+  bool telemetry_bound() const { return registry_ != nullptr; }
+
+  // Per-stage Process() nanoseconds of the most recent Run(); empty
+  // until the graph is bound to a registry.
+  const std::vector<double>& last_stage_ns() const { return last_stage_ns_; }
+
  private:
   void Bind(MatchActionStage& stage);
+  void BindStageTelemetry(MatchActionStage& stage);
 
   energy::EnergyLedger* stage_ledger_;
+  telemetry::MetricsRegistry* registry_ = nullptr;
   std::vector<std::unique_ptr<MatchActionStage>> stages_;
+  std::vector<double> last_stage_ns_;
 };
 
 }  // namespace analognf::arch

@@ -48,6 +48,10 @@ class FirewallStage final : public MatchActionStage {
                std::int32_t priority);
   void Process(net::PacketBatch& batch) override;
   const tcam::TcamTable& table() const { return table_; }
+  // Binds the TCAM engine to `tcam.firewall.*` counters.
+  void BindTelemetry(telemetry::MetricsRegistry& registry) {
+    table_.BindTelemetry(registry, "tcam.firewall");
+  }
 
  private:
   tcam::TcamTable table_;
@@ -67,6 +71,10 @@ class RouteStage final : public MatchActionStage {
   void AddRoute(std::uint32_t dst_ip, int prefix_len, std::size_t port);
   void Process(net::PacketBatch& batch) override;
   const tcam::LpmTable& routes() const { return routes_; }
+  // Binds the stride-trie LPM engine to `tcam.route.*` counters.
+  void BindTelemetry(telemetry::MetricsRegistry& registry) {
+    routes_.BindTelemetry(registry, "tcam.route");
+  }
 
  private:
   tcam::LpmTable routes_;
@@ -93,6 +101,10 @@ class LoadBalancerStage final : public MatchActionStage {
   void Process(net::PacketBatch& batch) override;
   cognitive::AnalogLoadBalancer& balancer() { return balancer_; }
   const std::vector<std::uint32_t>& ports() const { return ports_; }
+  // Binds the balancer's pCAM engine to `pcam.lb.*` counters.
+  void BindTelemetry(telemetry::MetricsRegistry& registry) {
+    balancer_.BindTelemetry(registry, "pcam.lb");
+  }
 
  private:
   std::vector<std::uint32_t> ports_;
@@ -121,6 +133,10 @@ class TrafficClassStage final : public MatchActionStage {
     return class_counts_;
   }
   std::uint64_t unclassified() const { return unclassified_; }
+  // Binds the classifier's pCAM engine to `pcam.classifier.*` counters.
+  void BindTelemetry(telemetry::MetricsRegistry& registry) {
+    classifier_.BindTelemetry(registry, "pcam.classifier");
+  }
 
  private:
   double min_confidence_;
@@ -150,6 +166,8 @@ class TrafficManagerStage final : public MatchActionStage {
   const net::PacketQueue& egress_queue(std::size_t port,
                                        std::size_t service_class) const;
   aqm::AnalogAqm* port_aqm(std::size_t port, std::size_t service_class);
+  // Packets currently queued across every egress port and class.
+  std::uint64_t QueuedPackets() const;
 
  private:
   struct EgressPort {
@@ -169,10 +187,12 @@ class TrafficManagerStage final : public MatchActionStage {
   // Service class a 3-bit priority maps to under the configuration.
   std::size_t ClassOf(std::uint8_t priority) const;
   // Analog AQM admission + egress enqueue for one routed packet; pcam
-  // accumulates the AQM's search energy (canonical ledger).
+  // accumulates the AQM's search energy (canonical ledger) and the AQM's
+  // drop probability folds into `degrees` (telemetry only).
   Verdict AdmitAndEnqueue(std::size_t port_index, std::size_t service_class,
                           const net::PacketMeta& meta, double now_s,
-                          energy::CategoryTotal& pcam);
+                          energy::CategoryTotal& pcam,
+                          net::PacketBatch::DegreeSummary& degrees);
 
   const SwitchConfig* config_;
   const energy::DataMovementModel* movement_;

@@ -33,6 +33,7 @@
 #include "analognf/net/packet_batch.hpp"
 #include "analognf/net/queue.hpp"
 #include "analognf/tcam/tcam.hpp"
+#include "analognf/telemetry/telemetry.hpp"
 
 namespace analognf::arch {
 
@@ -100,6 +101,12 @@ struct SwitchConfig {
   core::HardwarePcamConfig classifier_hardware{};
 
   std::uint64_t seed = 0x5317c4;
+
+  // Telemetry for the whole data plane: stage metrics, engine counters,
+  // verdict counters and the per-batch flight recorder. `enabled = false`
+  // compiles the instrumentation down to unbound no-op handles (zero
+  // metric writes) and skips the flight recorder entirely.
+  telemetry::TelemetryConfig telemetry{};
 
   void Validate() const;  // throws std::invalid_argument
 };
@@ -183,13 +190,33 @@ class CognitiveSwitch {
   cognitive::AnalogLoadBalancer* load_balancer();
   cognitive::AnalogTrafficClassifier* classifier();
   const TrafficClassStage* classifier_stage() const { return classify_; }
+  // The switch's telemetry hub: `stage.<name>.*`, `tcam.*`, `pcam.*`
+  // and `switch.*` metrics plus the per-batch flight recorder.
+  telemetry::Telemetry& telemetry() { return telemetry_; }
+  const telemetry::Telemetry& telemetry() const { return telemetry_; }
 
  private:
+  // Per-verdict counter handles mirroring SwitchStats.
+  struct VerdictCounters {
+    telemetry::CounterHandle injected, forwarded, parse_errors,
+        firewall_denies, no_route, aqm_drops, queue_full;
+  };
+
+  void BindTelemetry();
+  void RecordBatchTrace(double now_s);
+
   SwitchConfig config_;
   energy::DataMovementModel movement_;
   SwitchStats stats_;
   energy::EnergyLedger ledger_;
   energy::EnergyLedger stage_ledger_;
+  // Declared before the graph: stages hold handles into the registry, so
+  // the registry must outlive them on destruction.
+  telemetry::Telemetry telemetry_;
+  VerdictCounters verdict_counters_;
+  telemetry::CounterHandle batches_counter_;
+  telemetry::GaugeHandle queue_depth_gauge_;
+  telemetry::HistogramHandle batch_size_hist_;
   StageGraph graph_{&stage_ledger_};
   // Borrowed views into graph-owned stages (valid for the switch's
   // lifetime; the graph owns the objects).

@@ -166,7 +166,11 @@ void LoadBalancerStage::Process(net::PacketBatch& batch) {
     batch.analog_commits.push_back({static_cast<std::uint32_t>(i), delta_j});
     meter.energy_j += delta_j;
     ++meter.operations;
-    if (pick.has_value()) batch.route_port[i] = ports_[*pick];
+    if (pick.has_value()) {
+      batch.route_port[i] = ports_[*pick];
+      // Telemetry only: the picked backend's match degree.
+      batch.pcam_degrees.Fold(balancer_.last_degrees()[*pick]);
+    }
   }
 }
 
@@ -203,6 +207,8 @@ void TrafficClassStage::Process(net::PacketBatch& batch) {
     if (result.has_value()) {
       batch.traffic_class[i] = static_cast<std::uint32_t>(result->class_index);
       ++class_counts_[result->class_index];
+      // Telemetry only: the winning class's match confidence.
+      batch.pcam_degrees.Fold(result->confidence);
     } else {
       ++unclassified_;
     }
@@ -316,16 +322,16 @@ void TrafficManagerStage::Process(net::PacketBatch& batch) {
     meta.priority = batch.priority[i];
     const std::size_t service_class = ClassOf(meta.priority);
     batch.service_class[i] = static_cast<std::uint32_t>(service_class);
-    batch.verdicts[i] = AdmitAndEnqueue(batch.route_port[i], service_class,
-                                        meta, batch.now_s(), pcam);
+    batch.verdicts[i] =
+        AdmitAndEnqueue(batch.route_port[i], service_class, meta,
+                        batch.now_s(), pcam, batch.pcam_degrees);
   }
 }
 
-Verdict TrafficManagerStage::AdmitAndEnqueue(std::size_t port_index,
-                                             std::size_t service_class,
-                                             const net::PacketMeta& meta,
-                                             double now_s,
-                                             energy::CategoryTotal& pcam) {
+Verdict TrafficManagerStage::AdmitAndEnqueue(
+    std::size_t port_index, std::size_t service_class,
+    const net::PacketMeta& meta, double now_s, energy::CategoryTotal& pcam,
+    net::PacketBatch::DegreeSummary& degrees) {
   EgressPort& port = ports_[port_index];
   net::PacketQueue& queue = port.queues[service_class];
 
@@ -345,6 +351,8 @@ Verdict TrafficManagerStage::AdmitAndEnqueue(std::size_t port_index,
     ++pcam.operations;
     stage_meter().energy_j += delta_j;
     ++stage_meter().operations;
+    // Telemetry only: the admission decision's drop probability.
+    degrees.Fold(class_aqm.LastDropProbability());
     if (drop) {
       queue.NoteAqmDrop(meta);
       ++stats_->aqm_drops;
@@ -467,6 +475,14 @@ aqm::AnalogAqm* TrafficManagerStage::port_aqm(std::size_t port,
   EgressPort& p = ports_.at(port);
   if (p.aqms.empty()) return nullptr;
   return p.aqms.at(service_class).get();
+}
+
+std::uint64_t TrafficManagerStage::QueuedPackets() const {
+  std::uint64_t queued = 0;
+  for (const EgressPort& port : ports_) {
+    for (const net::PacketQueue& q : port.queues) queued += q.packets();
+  }
+  return queued;
 }
 
 }  // namespace analognf::arch

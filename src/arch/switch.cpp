@@ -60,6 +60,7 @@ void SwitchConfig::Validate() const {
           "SwitchConfig: classifier_min_confidence outside [0, 1]");
     }
   }
+  telemetry.Validate();
 }
 
 CognitiveSwitch::CognitiveSwitch(SwitchConfig config)
@@ -67,7 +68,8 @@ CognitiveSwitch::CognitiveSwitch(SwitchConfig config)
         config.Validate();
         return config;
       }()),
-      movement_() {
+      movement_(),
+      telemetry_(config_.telemetry) {
   // Build the Fig. 5 chain: parser, digital MATs, optional cognitive
   // analog MATs, and the traffic manager last (it owns the ordered
   // commit, so custom stages inserted via AddStage land in front of it).
@@ -105,6 +107,94 @@ CognitiveSwitch::CognitiveSwitch(SwitchConfig config)
       &stats_, &ledger_);
   tm_ = tm.get();
   graph_.Add(std::move(tm));
+
+  BindTelemetry();
+}
+
+void CognitiveSwitch::BindTelemetry() {
+  if (!telemetry_.enabled()) return;
+  telemetry::MetricsRegistry& registry = telemetry_.metrics();
+  graph_.BindTelemetry(registry);
+  firewall_->BindTelemetry(registry);
+  route_->BindTelemetry(registry);
+  if (lb_ != nullptr) lb_->BindTelemetry(registry);
+  if (classify_ != nullptr) classify_->BindTelemetry(registry);
+
+  verdict_counters_.injected = registry.GetCounter("switch.injected");
+  verdict_counters_.forwarded = registry.GetCounter("switch.forwarded");
+  verdict_counters_.parse_errors = registry.GetCounter("switch.parse_errors");
+  verdict_counters_.firewall_denies =
+      registry.GetCounter("switch.firewall_denies");
+  verdict_counters_.no_route = registry.GetCounter("switch.no_route");
+  verdict_counters_.aqm_drops = registry.GetCounter("switch.aqm_drops");
+  verdict_counters_.queue_full = registry.GetCounter("switch.queue_full");
+  batches_counter_ = registry.GetCounter("switch.batches");
+  queue_depth_gauge_ = registry.GetGauge("switch.queue_depth");
+  telemetry::HistogramSpec batch_spec;
+  batch_spec.first_bound = 1.0;
+  batch_spec.growth = 2.0;
+  batch_spec.buckets = 16;  // up to 64 Ki packets per batch
+  batch_size_hist_ = registry.GetHistogram("switch.batch_size", batch_spec);
+}
+
+void CognitiveSwitch::RecordBatchTrace(double now_s) {
+  telemetry::BatchTraceRecord rec;
+  rec.now_s = now_s;
+  rec.batch_size = static_cast<std::uint32_t>(batch_.size());
+  for (const Verdict v : batch_.verdicts) {
+    switch (v) {
+      case Verdict::kForwarded:
+        ++rec.forwarded;
+        break;
+      case Verdict::kParseError:
+        ++rec.parse_errors;
+        break;
+      case Verdict::kFirewallDeny:
+        ++rec.firewall_denies;
+        break;
+      case Verdict::kNoRoute:
+        ++rec.no_route;
+        break;
+      case Verdict::kAqmDrop:
+        ++rec.aqm_drops;
+        break;
+      case Verdict::kQueueFull:
+        ++rec.queue_full;
+        break;
+    }
+  }
+  rec.queue_depth = tm_->QueuedPackets();
+
+  const std::vector<double>& stage_ns = graph_.last_stage_ns();
+  rec.stage_count = static_cast<std::uint32_t>(stage_ns.size());
+  for (std::size_t si = 0; si < stage_ns.size(); ++si) {
+    rec.total_ns += stage_ns[si];
+    // Stages beyond the fixed array fold into the last slot.
+    const std::size_t slot =
+        si < telemetry::BatchTraceRecord::kMaxStages
+            ? si
+            : telemetry::BatchTraceRecord::kMaxStages - 1;
+    rec.stage_ns[slot] += stage_ns[si];
+  }
+
+  const net::PacketBatch::DegreeSummary& deg = batch_.pcam_degrees;
+  rec.degree_count = deg.count;
+  rec.degree_min = deg.min;
+  rec.degree_max = deg.max;
+  rec.degree_sum = deg.sum;
+
+  verdict_counters_.injected.Inc(batch_.size());
+  verdict_counters_.forwarded.Inc(rec.forwarded);
+  verdict_counters_.parse_errors.Inc(rec.parse_errors);
+  verdict_counters_.firewall_denies.Inc(rec.firewall_denies);
+  verdict_counters_.no_route.Inc(rec.no_route);
+  verdict_counters_.aqm_drops.Inc(rec.aqm_drops);
+  verdict_counters_.queue_full.Inc(rec.queue_full);
+  batches_counter_.Inc();
+  queue_depth_gauge_.Set(static_cast<double>(rec.queue_depth));
+  batch_size_hist_.Observe(static_cast<double>(batch_.size()));
+
+  telemetry_.recorder().Record(rec);
 }
 
 void CognitiveSwitch::AddRoute(std::uint32_t dst_ip, int prefix_len,
@@ -125,6 +215,7 @@ MatchActionStage& CognitiveSwitch::AddStage(
 Verdict CognitiveSwitch::Inject(const net::Packet& packet, double now_s) {
   batch_.Reset(&packet, 1, now_s);
   graph_.Run(batch_);
+  if (telemetry_.enabled()) RecordBatchTrace(now_s);
   return batch_.verdicts.front();
 }
 
@@ -132,6 +223,7 @@ std::vector<Verdict> CognitiveSwitch::InjectBatch(
     std::span<const net::Packet> packets, double now_s) {
   batch_.Reset(packets.data(), packets.size(), now_s);
   graph_.Run(batch_);
+  if (telemetry_.enabled()) RecordBatchTrace(now_s);
   return {batch_.verdicts.begin(), batch_.verdicts.end()};
 }
 

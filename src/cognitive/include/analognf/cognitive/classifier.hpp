@@ -97,6 +97,13 @@ class AnalogTrafficClassifier {
 
   double ConsumedEnergyJ() const { return table_.ConsumedEnergyJ(); }
 
+  // Binds the backing pCAM table's search engine to `<prefix>.*`
+  // counters in `registry`.
+  void BindTelemetry(telemetry::MetricsRegistry& registry,
+                     const std::string& prefix) {
+    table_.BindTelemetry(registry, prefix);
+  }
+
  private:
   double skirt_fraction_;
   analog::LinearMap size_map_;

@@ -64,6 +64,13 @@ class AnalogLoadBalancer {
   double ConsumedEnergyJ() const { return table_.ConsumedEnergyJ(); }
   const core::PcamTable& table() const { return table_; }
 
+  // Binds the backing pCAM table's search engine to `<prefix>.*`
+  // counters in `registry`.
+  void BindTelemetry(telemetry::MetricsRegistry& registry,
+                     const std::string& prefix) {
+    table_.BindTelemetry(registry, prefix);
+  }
+
  private:
   core::PcamParams PolicyForLoad(double load) const;
 

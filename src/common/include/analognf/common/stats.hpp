@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace analognf {
@@ -30,8 +31,10 @@ class RunningStats {
   std::size_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
-  double min_;
-  double max_;
+  // +/-infinity when empty, as min()/max() promise; Add() overwrites on
+  // the first sample.
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
   double sum_ = 0.0;
 };
 

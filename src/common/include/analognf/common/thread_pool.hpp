@@ -41,9 +41,18 @@ class ThreadPool {
   // workers, so loops use every core including the caller's).
   static ThreadPool& Shared();
 
+  // Stable slot index of the calling thread: 0 for any thread that is
+  // not a pool worker (including the ParallelFor caller), 1 + i for a
+  // pool's worker i. Telemetry uses this to pick a contention-free
+  // counter cell; workers of distinct pools share slot numbers, which
+  // only costs them a shared cell, never correctness.
+  static std::size_t CurrentSlot() { return current_slot_; }
+
  private:
   void WorkerLoop();
   void RunTasks();
+
+  inline static thread_local std::size_t current_slot_ = 0;
 
   std::vector<std::thread> workers_;
   std::mutex submit_mutex_;  // one job at a time

@@ -5,7 +5,10 @@ namespace analognf {
 ThreadPool::ThreadPool(std::size_t workers) {
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      current_slot_ = i + 1;
+      WorkerLoop();
+    });
   }
 }
 

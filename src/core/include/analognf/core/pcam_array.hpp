@@ -128,6 +128,11 @@ class PcamTable {
 
   double ConsumedEnergyJ() const { return consumed_energy_j_; }
 
+  // Registers `<prefix>.searches/.rows_scanned/.recompiles` in
+  // `registry` and binds the search engine to them.
+  void BindTelemetry(telemetry::MetricsRegistry& registry,
+                     const std::string& prefix);
+
  private:
   void CheckArity(std::size_t got) const;
   PcamTableResult MakeResult(const PcamSearchOutcome& outcome) const;

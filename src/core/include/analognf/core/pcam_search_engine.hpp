@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "analognf/core/pcam_hardware.hpp"
+#include "analognf/telemetry/metrics.hpp"
 
 namespace analognf::core {
 
@@ -97,6 +98,13 @@ class PcamSearchEngine {
                    std::size_t count, std::vector<PcamSearchOutcome>& outcomes,
                    std::vector<double>& degrees);
 
+  // Attaches telemetry counters (searches, rows_scanned, recompiles —
+  // the last counts dirty-row snapshot refreshes). Unbound handles are
+  // no-ops; telemetry never alters results or energy.
+  void BindTelemetry(telemetry::SearchEngineCounters counters) {
+    telemetry_ = counters;
+  }
+
  private:
   // Column-major snapshot of one field across all rows: index = row.
   struct FieldColumn {
@@ -139,6 +147,8 @@ class PcamSearchEngine {
   std::vector<double> batch_in_, batch_line_, batch_deg_;
   std::vector<std::size_t> shard_best_;
   std::vector<double> shard_degree_;
+
+  telemetry::SearchEngineCounters telemetry_;
 };
 
 }  // namespace analognf::core

@@ -185,4 +185,10 @@ void PcamTable::Age(double dt_s) {
   engine_.InvalidateAll();
 }
 
+void PcamTable::BindTelemetry(telemetry::MetricsRegistry& registry,
+                              const std::string& prefix) {
+  engine_.BindTelemetry(
+      telemetry::MakeSearchEngineCounters(registry, prefix));
+}
+
 }  // namespace analognf::core

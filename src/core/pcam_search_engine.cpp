@@ -85,6 +85,7 @@ void PcamSearchEngine::RefreshRow(const std::vector<PcamWord>& words,
 
 void PcamSearchEngine::Refresh(const std::vector<PcamWord>& words) {
   if (!any_dirty_) return;
+  telemetry_.recompiles.Inc();
   assert(words.size() == rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
     if (dirty_[r] != 0) RefreshRow(words, r);
@@ -230,6 +231,9 @@ PcamSearchOutcome PcamSearchEngine::Search(std::vector<PcamWord>& words,
                                            std::vector<double>& degrees) {
   assert(rows_ > 0);
   Refresh(words);
+  // The analog array drives the search voltage onto every stored row.
+  telemetry_.searches.Inc();
+  telemetry_.rows_scanned.Inc(rows_);
   PcamSearchOutcome out;
   if (stateless_channel_) {
     SearchStateless(query, degrees, out);
@@ -245,6 +249,8 @@ void PcamSearchEngine::SearchBatch(std::vector<PcamWord>& words,
                                    std::vector<double>& degrees) {
   assert(rows_ > 0 && count > 0);
   Refresh(words);
+  telemetry_.searches.Inc(count);
+  telemetry_.rows_scanned.Inc(rows_ * count);
   outcomes.assign(count, PcamSearchOutcome{});
 
   if (stateless_channel_) {

@@ -95,6 +95,31 @@ class PacketBatch {
   // part of the determinism contract).
   std::vector<AnalogCommit> analog_commits;
 
+  // Running min/max/sum over a stream of analog match probabilities
+  // (pCAM match degrees, classifier confidences, AQM drop probabilities)
+  // observed while this batch flowed through the pipeline. Telemetry
+  // only: folded into the flight-recorder trace record, never read by
+  // any stage.
+  struct DegreeSummary {
+    std::uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+
+    void Fold(double degree) {
+      if (count == 0) {
+        min = max = sum = degree;
+      } else {
+        if (degree < min) min = degree;
+        if (degree > max) max = degree;
+        sum += degree;
+      }
+      ++count;
+    }
+    void Clear() { count = 0; min = max = sum = 0.0; }
+  };
+  DegreeSummary pcam_degrees;
+
  private:
   const Packet* packets_ = nullptr;
   std::size_t count_ = 0;

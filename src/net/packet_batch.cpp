@@ -37,6 +37,7 @@ void PacketBatch::Reset(const Packet* packets, std::size_t count,
   service_class.assign(count, 0);
   traffic_class.assign(count, kNoClass);
   analog_commits.clear();
+  pcam_degrees.Clear();
 }
 
 }  // namespace analognf::net

@@ -18,6 +18,7 @@
 #include "analognf/common/timeseries.hpp"
 #include "analognf/net/queue.hpp"
 #include "analognf/sim/event_queue.hpp"
+#include "analognf/telemetry/metrics.hpp"
 
 namespace analognf::sim {
 
@@ -70,6 +71,14 @@ struct SimReport {
   double DelayFractionWithin(double lo_s, double hi_s) const;
 };
 
+// Registry handles a bound QueueSimulator reports into (`sim.*` names).
+struct SimTelemetry {
+  telemetry::CounterHandle offered;      // packets the generator produced
+  telemetry::CounterHandle delivered;    // packets that left the link
+  telemetry::HistogramHandle sojourn_us; // per-delivery sojourn [µs]
+  telemetry::GaugeHandle queue_depth;    // occupancy at sample instants
+};
+
 class QueueSimulator {
  public:
   // `controller` may be null (no adaptation). If `poisson` is non-null,
@@ -78,6 +87,12 @@ class QueueSimulator {
                  aqm::AqmPolicy& policy,
                  aqm::CognitiveAqmController* controller = nullptr,
                  net::PoissonGenerator* poisson = nullptr);
+
+  // Binds `sim.offered/.delivered` counters, the `sim.sojourn_us`
+  // histogram and the `sim.queue_depth` gauge. Telemetry never changes
+  // the simulation: the report and traces are byte-identical either way.
+  void BindTelemetry(telemetry::MetricsRegistry& registry);
+  const SimTelemetry& telemetry() const { return telemetry_; }
 
   SimReport Run();
 
@@ -99,6 +114,7 @@ class QueueSimulator {
   bool server_busy_ = false;
   std::size_t next_phase_ = 0;
   SimReport report_;
+  SimTelemetry telemetry_;
 };
 
 }  // namespace analognf::sim

@@ -67,6 +67,20 @@ QueueSimulator::QueueSimulator(QueueSimConfig config,
   config_.Validate();
 }
 
+void QueueSimulator::BindTelemetry(telemetry::MetricsRegistry& registry) {
+  telemetry_.offered = registry.GetCounter("sim.offered");
+  telemetry_.delivered = registry.GetCounter("sim.delivered");
+  // Sojourns span microseconds (an idle fast link) to whole seconds of
+  // standing-queue delay: 1 µs doubling 30 times reaches ~17 minutes.
+  telemetry::HistogramSpec sojourn_spec;
+  sojourn_spec.first_bound = 1.0;
+  sojourn_spec.growth = 2.0;
+  sojourn_spec.buckets = 30;
+  telemetry_.sojourn_us =
+      registry.GetHistogram("sim.sojourn_us", sojourn_spec);
+  telemetry_.queue_depth = registry.GetGauge("sim.queue_depth");
+}
+
 void QueueSimulator::ScheduleNextArrival() {
   net::PacketMeta packet = generator_.Next();
   if (packet.arrival_time_s > config_.duration_s) return;
@@ -84,6 +98,7 @@ void QueueSimulator::SamplePdp() {
 void QueueSimulator::OnArrival(const net::PacketMeta& packet) {
   const double now = events_.now();
   ++report_.offered_packets;
+  telemetry_.offered.Inc();
 
   // Apply any pending offered-load phase changes.
   while (poisson_ != nullptr && next_phase_ < config_.phases.size() &&
@@ -151,6 +166,8 @@ void QueueSimulator::OnDeparture() {
   // Deliver.
   report_.delay.Append(now, dequeued->sojourn_s);
   ++report_.delivered_packets;
+  telemetry_.delivered.Inc();
+  telemetry_.sojourn_us.Observe(dequeued->sojourn_s * 1e6);
   if (dequeued->meta.ecn_marked) ++report_.delivered_marked_packets;
   report_.delivered_bytes += dequeued->meta.size_bytes;
   if (now >= config_.warmup_s) {
@@ -185,6 +202,7 @@ SimReport QueueSimulator::Run() {
   std::function<void()> sampler = [this, sample_dt, &sampler] {
     report_.queue_depth.Append(events_.now(),
                                static_cast<double>(queue_.packets()));
+    telemetry_.queue_depth.Set(static_cast<double>(queue_.packets()));
     if (events_.now() + sample_dt <= config_.duration_s) {
       events_.ScheduleIn(sample_dt, sampler);
     }

@@ -122,6 +122,12 @@ class TcamTable {
   double ConsumedEnergyJ() const { return consumed_energy_j_; }
   std::uint64_t searches() const { return searches_; }
 
+  // Registers `<prefix>.searches/.rows_scanned/.recompiles` in
+  // `registry` and binds the compiled engine to them. Telemetry never
+  // changes search results or energy accounting.
+  void BindTelemetry(telemetry::MetricsRegistry& registry,
+                     const std::string& prefix);
+
  private:
   void EnsureCompiled();
 
@@ -159,6 +165,12 @@ class LpmTable {
 
   TcamTable& table() { return table_; }
   const TcamTable& table() const { return table_; }
+
+  // Binds the stride-trie engine to `<prefix>.*` counters (rows_scanned
+  // counts trie node hops; the embedded TCAM array never scans — it is
+  // only the energy model of record).
+  void BindTelemetry(telemetry::MetricsRegistry& registry,
+                     const std::string& prefix);
 
  private:
   TcamSearchResult ResultOf(const TcamEngineHit& hit, double energy_j) const;

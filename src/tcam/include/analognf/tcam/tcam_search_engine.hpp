@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "analognf/tcam/ternary.hpp"
+#include "analognf/telemetry/metrics.hpp"
 
 namespace analognf::tcam {
 
@@ -94,6 +95,13 @@ class TcamSearchEngine {
   void SearchBatch(const BitKey* keys, std::size_t count,
                    std::vector<std::optional<TcamEngineHit>>& out);
 
+  // Attaches telemetry counters (searches, rows_scanned, recompiles).
+  // Unbound handles are no-ops, so an un-instrumented engine pays one
+  // predictable branch per event.
+  void BindTelemetry(telemetry::SearchEngineCounters counters) {
+    telemetry_ = counters;
+  }
+
  private:
   static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
 
@@ -127,6 +135,8 @@ class TcamSearchEngine {
   std::vector<std::uint64_t> key_scratch_;
   std::vector<std::uint64_t> batch_lanes_;
   std::vector<std::size_t> shard_hit_;
+
+  telemetry::SearchEngineCounters telemetry_;
 };
 
 // Longest-prefix-match engine: a multibit trie with 8-bit strides.
@@ -159,6 +169,11 @@ class LpmEngine {
   void LookupBatch(const std::uint32_t* addresses, std::size_t count,
                    std::vector<std::optional<TcamEngineHit>>& out);
 
+  // Attaches telemetry counters; rows_scanned counts trie node hops.
+  void BindTelemetry(telemetry::SearchEngineCounters counters) {
+    telemetry_ = counters;
+  }
+
  private:
   struct Node {
     std::array<std::int32_t, 256> child;  // next-level node id, -1 none
@@ -167,11 +182,14 @@ class LpmEngine {
 
   void Compile();
   std::int32_t NewNode();
-  std::int32_t BestRoute(std::uint32_t address) const;  // route id or -1
+  // Route id (or -1) for `address`; `hops` counts trie nodes visited.
+  std::int32_t BestRoute(std::uint32_t address, std::size_t& hops) const;
 
   std::vector<Route> routes_;
   std::vector<Node> nodes_;
   bool dirty_ = true;
+
+  telemetry::SearchEngineCounters telemetry_;
 };
 
 }  // namespace analognf::tcam

@@ -146,6 +146,12 @@ double TcamTable::SearchEnergyJ() const {
          technology_.search_energy_per_bit_j;
 }
 
+void TcamTable::BindTelemetry(telemetry::MetricsRegistry& registry,
+                              const std::string& prefix) {
+  engine_.BindTelemetry(
+      telemetry::MakeSearchEngineCounters(registry, prefix));
+}
+
 LpmTable::LpmTable(TcamTechnology technology)
     : table_(32, std::move(technology)) {}
 
@@ -186,6 +192,12 @@ void LpmTable::LookupBatch(const std::uint32_t* addresses, std::size_t count,
     const std::optional<TcamEngineHit> hit = engine_.Lookup(addresses[q]);
     if (hit.has_value()) out[q] = ResultOf(*hit, energy);
   }
+}
+
+void LpmTable::BindTelemetry(telemetry::MetricsRegistry& registry,
+                             const std::string& prefix) {
+  engine_.BindTelemetry(
+      telemetry::MakeSearchEngineCounters(registry, prefix));
 }
 
 }  // namespace analognf::tcam

@@ -91,6 +91,7 @@ void TcamSearchEngine::Compile(
     }
   }
   dirty_ = false;
+  telemetry_.recompiles.Inc();
 }
 
 std::uint64_t TcamSearchEngine::EvalBank(const std::uint64_t* key_lanes,
@@ -175,6 +176,9 @@ std::optional<TcamEngineHit> TcamSearchEngine::Search(const BitKey& key) {
     key_scratch_[i >> 6] |=
         static_cast<std::uint64_t>(key.bit(i)) << (i & 63);
   }
+  // The hardware model activates every stored row per probe.
+  telemetry_.searches.Inc();
+  telemetry_.rows_scanned.Inc(slots_);
   return HitAt(SearchPacked(key_scratch_.data()));
 }
 
@@ -183,7 +187,9 @@ void TcamSearchEngine::SearchBatch(
     std::vector<std::optional<TcamEngineHit>>& out) {
   assert(!dirty_);
   out.assign(count, std::nullopt);
+  telemetry_.searches.Inc(count);
   if (count == 0 || slots_ == 0) return;
+  telemetry_.rows_scanned.Inc(slots_ * count);
 
   // Pack every key once up front; the scan then touches only the packed
   // lanes, regardless of how many shards work the batch.
@@ -280,15 +286,19 @@ void LpmEngine::Compile() {
     }
   }
   dirty_ = false;
+  telemetry_.recompiles.Inc();
 }
 
-std::int32_t LpmEngine::BestRoute(std::uint32_t address) const {
+std::int32_t LpmEngine::BestRoute(std::uint32_t address,
+                                  std::size_t& hops) const {
   std::int32_t best = -1;
   std::int32_t node = 0;
+  hops = 0;
   for (int d = 0; d < 4; ++d) {
     const auto byte =
         static_cast<std::size_t>((address >> (24 - 8 * d)) & 0xff);
     const Node& n = nodes_[static_cast<std::size_t>(node)];
+    ++hops;
     // Deeper levels hold strictly longer prefixes, so the deepest
     // populated slot along the path is the longest match.
     if (n.best[byte] >= 0) best = n.best[byte];
@@ -300,7 +310,10 @@ std::int32_t LpmEngine::BestRoute(std::uint32_t address) const {
 
 std::optional<TcamEngineHit> LpmEngine::Lookup(std::uint32_t address) {
   if (dirty_) Compile();
-  const std::int32_t best = BestRoute(address);
+  std::size_t hops = 0;
+  const std::int32_t best = BestRoute(address, hops);
+  telemetry_.searches.Inc();
+  telemetry_.rows_scanned.Inc(hops);
   if (best < 0) return std::nullopt;
   const Route& r = routes_[static_cast<std::size_t>(best)];
   TcamEngineHit hit;
@@ -314,9 +327,23 @@ void LpmEngine::LookupBatch(const std::uint32_t* addresses, std::size_t count,
                             std::vector<std::optional<TcamEngineHit>>& out) {
   if (dirty_) Compile();
   out.assign(count, std::nullopt);
+  // Telemetry folds over the whole batch: one counter update per batch,
+  // not two per packet, keeps the instrumented hot path cheap.
+  std::size_t total_hops = 0;
   for (std::size_t q = 0; q < count; ++q) {
-    out[q] = Lookup(addresses[q]);
+    std::size_t hops = 0;
+    const std::int32_t best = BestRoute(addresses[q], hops);
+    total_hops += hops;
+    if (best < 0) continue;
+    const Route& r = routes_[static_cast<std::size_t>(best)];
+    TcamEngineHit hit;
+    hit.entry_index = r.entry_index;
+    hit.action = r.action;
+    hit.priority = r.prefix_len;
+    out[q] = hit;
   }
+  telemetry_.searches.Inc(count);
+  telemetry_.rows_scanned.Inc(total_hops);
 }
 
 }  // namespace analognf::tcam

@@ -1,0 +1,160 @@
+#include "analognf/telemetry/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace analognf::telemetry {
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "analognf_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string FormatValue(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1.0e15) {
+    // Integral values print exactly, without exponent or trailing zeros,
+    // so both exporters agree byte-for-byte on counts.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterSample& c : snapshot.counters) {
+    const std::string name = PrometheusName(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + FormatValue(static_cast<double>(c.value)) + "\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    const std::string name = PrometheusName(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + FormatValue(g.value) + "\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    const std::string name = PrometheusName(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out += name + "_bucket{le=\"" + FormatValue(h.upper_bounds[i]) +
+             "\"} " + FormatValue(static_cast<double>(cumulative)) + "\n";
+    }
+    cumulative += h.counts.back();  // overflow bucket
+    out += name + "_bucket{le=\"+Inf\"} " +
+           FormatValue(static_cast<double>(cumulative)) + "\n";
+    out += name + "_sum " + FormatValue(h.sum) + "\n";
+    out += name + "_count " + FormatValue(static_cast<double>(h.count)) + "\n";
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const CounterSample& c = snapshot.counters[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    AppendEscaped(out, c.name);
+    out += "\": " + FormatValue(static_cast<double>(c.value));
+  }
+  out += snapshot.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const GaugeSample& g = snapshot.gauges[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    AppendEscaped(out, g.name);
+    out += "\": " + FormatValue(g.value);
+  }
+  out += snapshot.gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSample& h = snapshot.histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    AppendEscaped(out, h.name);
+    out += "\": {\"upper_bounds\": [";
+    for (std::size_t b = 0; b < h.upper_bounds.size(); ++b) {
+      if (b != 0) out += ", ";
+      out += FormatValue(h.upper_bounds[b]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b != 0) out += ", ";
+      out += FormatValue(static_cast<double>(h.counts[b]));
+    }
+    out += "], \"count\": " + FormatValue(static_cast<double>(h.count));
+    out += ", \"sum\": " + FormatValue(h.sum) + "}";
+  }
+  out += snapshot.histograms.empty() ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string ToJson(const std::vector<BatchTraceRecord>& records) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BatchTraceRecord& r = records[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"sequence\": " + FormatValue(static_cast<double>(r.sequence));
+    out += ", \"now_s\": " + FormatValue(r.now_s);
+    out += ", \"batch_size\": " + FormatValue(r.batch_size);
+    out += ", \"forwarded\": " + FormatValue(r.forwarded);
+    out += ", \"parse_errors\": " + FormatValue(r.parse_errors);
+    out += ", \"firewall_denies\": " + FormatValue(r.firewall_denies);
+    out += ", \"no_route\": " + FormatValue(r.no_route);
+    out += ", \"aqm_drops\": " + FormatValue(r.aqm_drops);
+    out += ", \"queue_full\": " + FormatValue(r.queue_full);
+    out += ", \"queue_depth\": " +
+           FormatValue(static_cast<double>(r.queue_depth));
+    out += ", \"total_ns\": " + FormatValue(r.total_ns);
+    out += ", \"stage_count\": " +
+           FormatValue(static_cast<double>(r.stage_count));
+    // stage_count is the true stage total; the array folds any overflow
+    // into its last slot, so never walk past it.
+    const auto filled = static_cast<std::uint32_t>(
+        std::min<std::size_t>(r.stage_count, r.stage_ns.size()));
+    out += ", \"stage_ns\": [";
+    for (std::uint32_t s = 0; s < filled; ++s) {
+      if (s != 0) out += ", ";
+      out += FormatValue(r.stage_ns[s]);
+    }
+    out += "]";
+    if (r.degree_count != 0) {
+      out += ", \"pcam_degrees\": {\"count\": " +
+             FormatValue(static_cast<double>(r.degree_count));
+      out += ", \"min\": " + FormatValue(r.degree_min);
+      out += ", \"mean\": " +
+             FormatValue(r.degree_sum / static_cast<double>(r.degree_count));
+      out += ", \"max\": " + FormatValue(r.degree_max) + "}";
+    }
+    out += "}";
+  }
+  out += records.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+}  // namespace analognf::telemetry

@@ -1,0 +1,63 @@
+#include "analognf/telemetry/flight_recorder.hpp"
+
+#include <algorithm>
+
+namespace analognf::telemetry {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity) {
+  if (capacity == 0) return;
+  slots_ = std::vector<Slot>(RoundUpPow2(capacity));
+  mask_ = slots_.size() - 1;
+}
+
+void FlightRecorder::Record(BatchTraceRecord rec) {
+  if (slots_.empty()) return;
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& slot = slots_[static_cast<std::size_t>(seq) & mask_];
+  // Odd = write in progress: readers that observe it drop the slot.
+  slot.version.store(2 * seq + 1, std::memory_order_release);
+  rec.sequence = seq;
+  slot.record = rec;
+  slot.version.store(2 * (seq + 1), std::memory_order_release);
+}
+
+std::vector<BatchTraceRecord> FlightRecorder::Dump(
+    std::size_t max_records) const {
+  std::vector<BatchTraceRecord> out;
+  if (slots_.empty()) return out;
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t window =
+      std::min<std::uint64_t>({head, slots_.size(), max_records});
+  out.reserve(static_cast<std::size_t>(window));
+  for (std::uint64_t seq = head - window; seq < head; ++seq) {
+    const Slot& slot = slots_[static_cast<std::size_t>(seq) & mask_];
+    const std::uint64_t expect = 2 * (seq + 1);
+    if (slot.version.load(std::memory_order_acquire) != expect) continue;
+    BatchTraceRecord copy = slot.record;
+    // Re-check after the copy: if a writer claimed the slot mid-copy the
+    // version moved on and the (possibly torn) copy is discarded.
+    if (slot.version.load(std::memory_order_acquire) != expect) continue;
+    out.push_back(copy);
+  }
+  return out;
+}
+
+void FlightRecorder::Reset() {
+  for (Slot& slot : slots_) {
+    slot.version.store(0, std::memory_order_relaxed);
+    slot.record = BatchTraceRecord{};
+  }
+  head_.store(0, std::memory_order_release);
+}
+
+}  // namespace analognf::telemetry

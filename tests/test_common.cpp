@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -176,6 +177,23 @@ TEST(RunningStatsTest, EmptyDefaults) {
   EXPECT_EQ(stats.count(), 0u);
   EXPECT_EQ(stats.mean(), 0.0);
   EXPECT_EQ(stats.variance(), 0.0);
+  // Regression: min_/max_ must be deterministic sentinels, not garbage.
+  EXPECT_EQ(stats.min(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(stats.max(), -std::numeric_limits<double>::infinity());
+}
+
+TEST(RunningStatsTest, FirstSampleOverwritesSentinels) {
+  // Any finite first sample must become both min and max, even one that
+  // an uninitialised min_/max_ pair would have mishandled.
+  for (const double first : {-1.0e12, 0.0, 1.0e12}) {
+    RunningStats stats;
+    stats.Add(first);
+    EXPECT_EQ(stats.min(), first);
+    EXPECT_EQ(stats.max(), first);
+    stats.Reset();
+    EXPECT_EQ(stats.min(), std::numeric_limits<double>::infinity());
+    EXPECT_EQ(stats.max(), -std::numeric_limits<double>::infinity());
+  }
 }
 
 TEST(RunningStatsTest, SingleSample) {

@@ -64,6 +64,68 @@ TEST(EnergyLedgerTest, ResetClears) {
   EXPECT_EQ(ledger.TotalJ(), 0.0);
 }
 
+TEST(EnergyLedgerTest, MeterPointerStableAcrossRecordAndMerge) {
+  EnergyLedger ledger;
+  CategoryTotal* meter = ledger.Meter("x");
+  meter->energy_j += 1.0;
+  meter->operations += 1;
+  // Growing the category map must not move the metered total.
+  for (int i = 0; i < 64; ++i) {
+    ledger.Record("cat" + std::to_string(i), 0.5);
+  }
+  EnergyLedger other;
+  other.Record("x", 2.0, 2);
+  ledger.Merge(other);
+  EXPECT_EQ(meter, ledger.Meter("x"));
+  meter->energy_j += 1.0;  // the original pointer is still live
+  EXPECT_NEAR(ledger.Of("x").energy_j, 4.0, 1e-12);
+  EXPECT_EQ(ledger.Of("x").operations, 3u);
+}
+
+TEST(EnergyLedgerTest, MergeSumsOverlappingCategoriesAndTotals) {
+  EnergyLedger a;
+  a.Record("x", 1.0, 1);
+  a.Record("y", 2.0, 2);
+  EnergyLedger b;
+  b.Record("y", 3.0, 3);
+  b.Record("z", 4.0, 4);
+  a.Merge(b);
+  EXPECT_NEAR(a.TotalJ(), 10.0, 1e-12);
+  EXPECT_EQ(a.TotalOperations(), 10u);
+  EXPECT_NEAR(a.Of("y").energy_j, 5.0, 1e-12);
+  EXPECT_EQ(a.Of("y").operations, 5u);
+  EXPECT_NEAR(a.Of("x").energy_j, 1.0, 1e-12);
+  EXPECT_NEAR(a.Of("z").energy_j, 4.0, 1e-12);
+}
+
+TEST(EnergyLedgerTest, MetersReacquiredAfterResetKeepLedgersInAgreement) {
+  // Mirror of the switch's double-entry bookkeeping: the same joules
+  // recorded under a hardware category and a stage category must agree
+  // before and after both ledgers reset (Reset invalidates old meters;
+  // re-acquired ones start from zero).
+  EnergyLedger main_ledger;
+  EnergyLedger stage_ledger;
+  const auto fill = [&] {
+    CategoryTotal* tcam = main_ledger.Meter(category::kTcamSearch);
+    CategoryTotal* parse = stage_ledger.Meter("stage.parse");
+    for (int i = 0; i < 10; ++i) {
+      tcam->energy_j += 0.25;
+      tcam->operations += 1;
+      parse->energy_j += 0.25;
+      parse->operations += 1;
+    }
+  };
+  fill();
+  EXPECT_NEAR(main_ledger.TotalJ(), stage_ledger.TotalJ(), 1e-12);
+  main_ledger.Reset();
+  stage_ledger.Reset();
+  EXPECT_EQ(main_ledger.TotalJ(), 0.0);
+  EXPECT_EQ(stage_ledger.TotalJ(), 0.0);
+  fill();
+  EXPECT_NEAR(main_ledger.TotalJ(), stage_ledger.TotalJ(), 1e-12);
+  EXPECT_EQ(main_ledger.TotalOperations(), stage_ledger.TotalOperations());
+}
+
 // ------------------------------------------------------------ registry
 
 TEST(Table1RegistryTest, HasAllEightDigitalRows) {
