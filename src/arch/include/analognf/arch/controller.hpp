@@ -19,6 +19,15 @@
 
 namespace analognf::arch {
 
+// Reprograms every egress AQM of one switch for a new latency bound,
+// through the same update_pCAM action the data-plane table exposes.
+// Free-standing so the controller facade and the multi-port runtime's
+// batch-boundary control commands (port_runtime.hpp) share one
+// implementation. Must run on the thread that owns the switch's data
+// plane (pCAM programming is single-writer).
+void ProgramAqmTarget(CognitiveSwitch& data_plane, double target_delay_s,
+                      double max_deviation_s);
+
 // Where a network function executes.
 enum class Domain { kDigital, kAnalog };
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -41,47 +42,79 @@ class ParseStage final : public MatchActionStage {
 // -------------------------------------------------------- FirewallStage
 // Digital MAT 1: ternary 5-tuple match (the high-precision function the
 // paper keeps digital). Marks searched packets and settles deny verdicts.
+//
+// Two modes:
+//   * owned  — the stage owns its TcamTable; rules go through AddRule
+//     and the switch commits the table at batch boundaries.
+//   * shared — the stage is a concurrent *reader* of a controller-owned
+//     table (multi-port runtime): each batch acquires the published
+//     snapshot and searches its engine with the stage's own scratch, so
+//     N port threads can run against one table while the controller
+//     commits. Shared mode never touches the table's accounting state.
 class FirewallStage final : public MatchActionStage {
  public:
   FirewallStage(std::size_t key_width, tcam::TcamTechnology technology);
+  // Shared-reader mode; `shared` must outlive the stage.
+  explicit FirewallStage(const tcam::TcamTable* shared);
+  // Throws std::logic_error in shared mode (rules go to the shared
+  // table's owner).
   void AddRule(const FirewallPattern& pattern, bool permit,
                std::int32_t priority);
   void Process(net::PacketBatch& batch) override;
-  const tcam::TcamTable& table() const { return table_; }
-  // Binds the TCAM engine to `tcam.firewall.*` counters.
+  const tcam::TcamTable& table() const {
+    return shared_ != nullptr ? *shared_ : *table_;
+  }
+  // The owned table (null in shared mode) — for batch-boundary commits.
+  tcam::TcamTable* owned_table() { return table_.get(); }
+  // Binds the TCAM engine to `tcam.firewall.*` counters (owned mode
+  // only; a shared table is bound by its owner).
   void BindTelemetry(telemetry::MetricsRegistry& registry) {
-    table_.BindTelemetry(registry, "tcam.firewall");
+    if (table_ != nullptr) table_->BindTelemetry(registry, "tcam.firewall");
   }
 
  private:
-  tcam::TcamTable table_;
+  std::unique_ptr<tcam::TcamTable> table_;  // null in shared mode
+  const tcam::TcamTable* shared_ = nullptr;
   // Batch scratch (reused, never shrinks): eligible packet indices and
   // their compacted keys/results.
   std::vector<std::size_t> eligible_;
   std::vector<tcam::BitKey> keys_;
   std::vector<std::optional<tcam::TcamSearchResult>> results_;
+  // Shared-mode search state (per-stage, so per-port: never contended).
+  tcam::TcamSearchScratch scratch_;
+  std::vector<std::optional<tcam::TcamEngineHit>> hits_;
 };
 
 // ----------------------------------------------------------- RouteStage
 // Digital MAT 2: longest-prefix IPv4 lookup for packets the firewall
 // permitted. Fills the route_port lane; misses settle kNoRoute.
+// Owned and shared-reader modes mirror FirewallStage's.
 class RouteStage final : public MatchActionStage {
  public:
   RouteStage(tcam::TcamTechnology technology, std::size_t port_count);
+  // Shared-reader mode; `shared` must outlive the stage.
+  RouteStage(const tcam::LpmTable* shared, std::size_t port_count);
+  // Throws std::logic_error in shared mode.
   void AddRoute(std::uint32_t dst_ip, int prefix_len, std::size_t port);
   void Process(net::PacketBatch& batch) override;
-  const tcam::LpmTable& routes() const { return routes_; }
-  // Binds the stride-trie LPM engine to `tcam.route.*` counters.
+  const tcam::LpmTable& routes() const {
+    return shared_ != nullptr ? *shared_ : *routes_;
+  }
+  tcam::LpmTable* owned_routes() { return routes_.get(); }
+  // Binds the stride-trie LPM engine to `tcam.route.*` counters (owned
+  // mode only).
   void BindTelemetry(telemetry::MetricsRegistry& registry) {
-    routes_.BindTelemetry(registry, "tcam.route");
+    if (routes_ != nullptr) routes_->BindTelemetry(registry, "tcam.route");
   }
 
  private:
-  tcam::LpmTable routes_;
+  std::unique_ptr<tcam::LpmTable> routes_;  // null in shared mode
+  const tcam::LpmTable* shared_ = nullptr;
   std::size_t port_count_;
   std::vector<std::size_t> eligible_;
   std::vector<std::uint32_t> addrs_;
   std::vector<std::optional<tcam::TcamSearchResult>> results_;
+  std::vector<std::optional<tcam::TcamEngineHit>> hits_;
 };
 
 // ---------------------------------------------------- LoadBalancerStage
@@ -157,9 +190,7 @@ class TrafficManagerStage final : public MatchActionStage {
  public:
   TrafficManagerStage(const SwitchConfig* config,
                       const energy::DataMovementModel* movement,
-                      const tcam::TcamTable* firewall_table,
-                      const tcam::TcamTable* route_table, SwitchStats* stats,
-                      energy::EnergyLedger* ledger);
+                      SwitchStats* stats, energy::EnergyLedger* ledger);
   void Process(net::PacketBatch& batch) override;
 
   std::size_t DrainInto(double until_s, std::vector<Delivery>& out);
@@ -196,8 +227,6 @@ class TrafficManagerStage final : public MatchActionStage {
 
   const SwitchConfig* config_;
   const energy::DataMovementModel* movement_;
-  const tcam::TcamTable* firewall_table_;
-  const tcam::TcamTable* route_table_;
   SwitchStats* stats_;
   energy::EnergyLedger* ledger_;
   std::vector<EgressPort> ports_;

@@ -132,16 +132,57 @@ class LoadBalancerStage;
 class TrafficClassStage;
 class TrafficManagerStage;
 
+// Firewall TCAM action encoding shared by FirewallStage and
+// SharedTables.
+inline constexpr std::uint32_t kFirewallActionPermit = 1;
+inline constexpr std::uint32_t kFirewallActionDeny = 0;
+
+// Controller-owned digital match-action tables shared by every port of
+// a multi-port runtime (port_runtime.hpp). The controller thread stages
+// mutations (AddRoute/AddFirewallRule) and publishes them atomically
+// with Commit(); each port's data plane reads the published snapshots
+// concurrently and never blocks on a commit. One mutator thread at a
+// time; any number of reader ports.
+struct SharedTables {
+  SharedTables(tcam::TcamTechnology technology, std::size_t port_count);
+
+  void AddRoute(std::uint32_t dst_ip, int prefix_len, std::size_t port);
+  void AddFirewallRule(const FirewallPattern& pattern, bool permit,
+                       std::int32_t priority);
+  bool NeedsCommit() const {
+    return firewall.NeedsCommit() || routes.NeedsCommit();
+  }
+  // Publishes both tables' staged mutations as fresh snapshots.
+  void Commit();
+
+  tcam::TcamTable firewall;
+  tcam::LpmTable routes;
+  std::size_t port_count;
+};
+
 class CognitiveSwitch {
  public:
   explicit CognitiveSwitch(SwitchConfig config);
+  // Shared-tables mode: the switch's firewall/route stages become
+  // concurrent readers of `shared` (which must outlive the switch);
+  // AddRoute/AddFirewallRule then throw — mutations go through the
+  // SharedTables owner — and the data plane never auto-commits.
+  CognitiveSwitch(SwitchConfig config, const SharedTables* shared);
 
   // ------------------------------------------------ control plane
-  // Installs an IPv4 route (LPM) to an egress port.
+  // Installs an IPv4 route (LPM) to an egress port. Throws
+  // std::logic_error in shared-tables mode.
   void AddRoute(std::uint32_t dst_ip, int prefix_len, std::size_t port);
   // Installs a firewall rule; higher priority wins; permit=false denies.
+  // Throws std::logic_error in shared-tables mode.
   void AddFirewallRule(const FirewallPattern& pattern, bool permit,
                        std::int32_t priority);
+  // Publishes any staged route/firewall mutations of the owned tables.
+  // The data plane calls this automatically at batch entry, so the
+  // classic AddRoute-then-Inject flow keeps working; explicit calls let
+  // a caller pay the compile at a chosen instant. No-op in shared-tables
+  // mode (the SharedTables owner commits).
+  void Commit();
   // Inserts a custom stage immediately in front of the traffic manager
   // (the last stage). The stage's meter is bound in the stage ledger.
   MatchActionStage& AddStage(std::unique_ptr<MatchActionStage> stage);
@@ -206,6 +247,7 @@ class CognitiveSwitch {
   void RecordBatchTrace(double now_s);
 
   SwitchConfig config_;
+  const SharedTables* shared_tables_ = nullptr;
   energy::DataMovementModel movement_;
   SwitchStats stats_;
   energy::EnergyLedger ledger_;

@@ -1,0 +1,162 @@
+#include "analognf/arch/port_runtime.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "analognf/arch/controller.hpp"
+#include "analognf/common/thread_pool.hpp"
+
+namespace analognf::arch {
+
+// ------------------------------------------------------------ PortRuntime
+
+PortRuntime::PortRuntime(SwitchConfig config, const SharedTables* tables,
+                         std::size_t mailbox_depth)
+    : switch_(std::move(config), tables),
+      mailbox_depth_(mailbox_depth == 0 ? 1 : mailbox_depth),
+      worker_([this] { WorkerLoop(); }) {}
+
+PortRuntime::~PortRuntime() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_submit_.notify_all();
+  worker_.join();
+}
+
+void PortRuntime::Submit(Batch batch) {
+  Item item;
+  item.batch = std::move(batch);
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_state_.wait(lock, [this] { return mailbox_.size() < mailbox_depth_; });
+  mailbox_.push_back(std::move(item));
+  ++in_flight_;
+  lock.unlock();
+  cv_submit_.notify_one();
+}
+
+void PortRuntime::Apply(Command command) {
+  if (!command) {
+    throw std::invalid_argument("PortRuntime::Apply: empty command");
+  }
+  Item item;
+  item.command = std::move(command);
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_state_.wait(lock, [this] { return mailbox_.size() < mailbox_depth_; });
+  mailbox_.push_back(std::move(item));
+  ++in_flight_;
+  lock.unlock();
+  cv_submit_.notify_one();
+}
+
+void PortRuntime::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_state_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void PortRuntime::WorkerLoop() {
+  // A process-unique slot keeps this thread's sharded telemetry writes
+  // off every other thread's counter cells (exactness, not just
+  // contention avoidance).
+  slot_.store(ThreadPool::RegisterExternalSlot(), std::memory_order_release);
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_submit_.wait(lock, [this] { return stop_ || !mailbox_.empty(); });
+      if (mailbox_.empty()) return;  // stop requested and fully drained
+      item = std::move(mailbox_.front());
+      mailbox_.pop_front();
+    }
+    cv_state_.notify_all();  // a mailbox slot freed up
+    if (item.command) {
+      item.command(switch_);
+    } else {
+      switch_.InjectBatch(item.batch.packets, item.batch.now_s);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+    cv_state_.notify_all();
+  }
+}
+
+// ------------------------------------------------------------ SwitchGroup
+
+SwitchGroup::SwitchGroup(std::size_t ports, SwitchConfig config)
+    : tables_(config.digital_technology, config.port_count) {
+  if (ports == 0) {
+    throw std::invalid_argument("SwitchGroup: zero ports");
+  }
+  // Widen the default telemetry shard count so every worker's external
+  // slot (registered after construction) still gets its own cell. An
+  // explicit shard count is left alone.
+  if (config.telemetry.shards == 0) {
+    config.telemetry.shards = ThreadPool::SlotUpperBound() + ports;
+  }
+  runtimes_.reserve(ports);
+  for (std::size_t p = 0; p < ports; ++p) {
+    runtimes_.push_back(std::make_unique<PortRuntime>(config, &tables_));
+  }
+}
+
+void SwitchGroup::AddRoute(std::uint32_t dst_ip, int prefix_len,
+                           std::size_t port) {
+  tables_.AddRoute(dst_ip, prefix_len, port);
+}
+
+void SwitchGroup::AddFirewallRule(const FirewallPattern& pattern, bool permit,
+                                  std::int32_t priority) {
+  tables_.AddFirewallRule(pattern, permit, priority);
+}
+
+void SwitchGroup::Commit() { tables_.Commit(); }
+
+void SwitchGroup::ProgramAqmTarget(double target_delay_s,
+                                   double max_deviation_s) {
+  for (auto& runtime : runtimes_) {
+    runtime->Apply([target_delay_s, max_deviation_s](CognitiveSwitch& sw) {
+      arch::ProgramAqmTarget(sw, target_delay_s, max_deviation_s);
+    });
+  }
+}
+
+void SwitchGroup::Submit(std::size_t port, std::vector<net::Packet> packets,
+                         double now_s) {
+  PortRuntime::Batch batch;
+  batch.packets = std::move(packets);
+  batch.now_s = now_s;
+  runtimes_.at(port)->Submit(std::move(batch));
+}
+
+void SwitchGroup::WaitIdle() {
+  for (auto& runtime : runtimes_) runtime->WaitIdle();
+}
+
+SwitchStats SwitchGroup::AggregateStats() const {
+  SwitchStats total;
+  for (const auto& runtime : runtimes_) {
+    const SwitchStats& s = runtime->device().stats();
+    total.injected += s.injected;
+    total.forwarded += s.forwarded;
+    total.parse_errors += s.parse_errors;
+    total.firewall_denies += s.firewall_denies;
+    total.no_route += s.no_route;
+    total.aqm_drops += s.aqm_drops;
+    total.queue_full += s.queue_full;
+    total.delivered += s.delivered;
+  }
+  return total;
+}
+
+double SwitchGroup::TotalEnergyJ() const {
+  double total = 0.0;
+  for (const auto& runtime : runtimes_) {
+    total += runtime->device().ledger().TotalJ();
+  }
+  return total;
+}
+
+}  // namespace analognf::arch

@@ -6,8 +6,8 @@
 namespace analognf::arch {
 
 namespace {
-constexpr std::uint32_t kActionPermit = 1;
-constexpr std::uint32_t kActionDeny = 0;
+constexpr std::uint32_t kActionPermit = kFirewallActionPermit;
+constexpr std::uint32_t kActionDeny = kFirewallActionDeny;
 }  // namespace
 
 // ----------------------------------------------------------- ParseStage
@@ -52,15 +52,24 @@ void ParseStage::Process(net::PacketBatch& batch) {
 
 FirewallStage::FirewallStage(std::size_t key_width,
                              tcam::TcamTechnology technology)
-    : MatchActionStage("firewall"), table_(key_width, technology) {}
+    : MatchActionStage("firewall"),
+      table_(std::make_unique<tcam::TcamTable>(key_width, technology)) {}
+
+FirewallStage::FirewallStage(const tcam::TcamTable* shared)
+    : MatchActionStage("firewall"), shared_(shared) {}
 
 void FirewallStage::AddRule(const FirewallPattern& pattern, bool permit,
                             std::int32_t priority) {
+  if (table_ == nullptr) {
+    throw std::logic_error(
+        "FirewallStage::AddRule: shared-table mode — install rules through "
+        "the table's owner");
+  }
   tcam::TcamTable::Entry entry;
   entry.pattern = BuildFirewallWord(pattern);
   entry.action = permit ? kActionPermit : kActionDeny;
   entry.priority = priority;
-  table_.Insert(std::move(entry));
+  table_->Insert(std::move(entry));
 }
 
 void FirewallStage::Process(net::PacketBatch& batch) {
@@ -73,9 +82,30 @@ void FirewallStage::Process(net::PacketBatch& batch) {
     eligible_.push_back(i);
     keys_.push_back(FiveTupleKey(batch.parsed[i].Key()));
   }
-  table_.SearchBatch(keys_, results_);
   energy::CategoryTotal& meter = stage_meter();
-  const double search_j = table_.SearchEnergyJ();
+  if (shared_ != nullptr) {
+    // Concurrent-reader mode: search the published snapshot's engine
+    // directly. The snapshot pins the row set AND the per-cycle energy
+    // for the whole batch; the table's own accounting state is never
+    // touched (it belongs to the owner's control thread).
+    const auto snap = shared_->snapshot();
+    snap->engine.SearchBatch(keys_.data(), keys_.size(), hits_, scratch_);
+    batch.firewall_search_j = snap->search_energy_j;
+    for (std::size_t j = 0; j < eligible_.size(); ++j) {
+      const std::size_t i = eligible_[j];
+      batch.searched_firewall[i] = 1;
+      meter.energy_j += snap->search_energy_j;
+      ++meter.operations;
+      const auto& hit = hits_[j];
+      if (hit.has_value() && hit->action == kActionDeny) {
+        batch.verdicts[i] = net::Verdict::kFirewallDeny;
+      }
+    }
+    return;
+  }
+  table_->SearchBatch(keys_, results_);
+  const double search_j = table_->SearchEnergyJ();
+  batch.firewall_search_j = search_j;
   for (std::size_t j = 0; j < eligible_.size(); ++j) {
     const std::size_t i = eligible_[j];
     batch.searched_firewall[i] = 1;
@@ -91,14 +121,24 @@ void FirewallStage::Process(net::PacketBatch& batch) {
 // ----------------------------------------------------------- RouteStage
 
 RouteStage::RouteStage(tcam::TcamTechnology technology, std::size_t port_count)
-    : MatchActionStage("route"), routes_(technology), port_count_(port_count) {}
+    : MatchActionStage("route"),
+      routes_(std::make_unique<tcam::LpmTable>(technology)),
+      port_count_(port_count) {}
+
+RouteStage::RouteStage(const tcam::LpmTable* shared, std::size_t port_count)
+    : MatchActionStage("route"), shared_(shared), port_count_(port_count) {}
 
 void RouteStage::AddRoute(std::uint32_t dst_ip, int prefix_len,
                           std::size_t port) {
+  if (routes_ == nullptr) {
+    throw std::logic_error(
+        "RouteStage::AddRoute: shared-table mode — install routes through "
+        "the table's owner");
+  }
   if (port >= port_count_) {
     throw std::invalid_argument("AddRoute: port out of range");
   }
-  routes_.AddRoute(dst_ip, prefix_len, static_cast<std::uint32_t>(port));
+  routes_->AddRoute(dst_ip, prefix_len, static_cast<std::uint32_t>(port));
 }
 
 void RouteStage::Process(net::PacketBatch& batch) {
@@ -111,9 +151,30 @@ void RouteStage::Process(net::PacketBatch& batch) {
     eligible_.push_back(i);
     addrs_.push_back(batch.parsed[i].ipv4->dst_ip);
   }
-  routes_.LookupBatch(addrs_.data(), addrs_.size(), results_);
   energy::CategoryTotal& meter = stage_meter();
-  const double search_j = routes_.table().SearchEnergyJ();
+  if (shared_ != nullptr) {
+    // Concurrent-reader mode: one acquired snapshot answers the whole
+    // batch; the owner's table accounting is left alone.
+    const auto snap = shared_->snapshot();
+    snap->engine.LookupBatch(addrs_.data(), addrs_.size(), hits_);
+    batch.route_search_j = snap->search_energy_j;
+    for (std::size_t j = 0; j < eligible_.size(); ++j) {
+      const std::size_t i = eligible_[j];
+      batch.searched_route[i] = 1;
+      meter.energy_j += snap->search_energy_j;
+      ++meter.operations;
+      const auto& hit = hits_[j];
+      if (hit.has_value()) {
+        batch.route_port[i] = hit->action;
+      } else {
+        batch.verdicts[i] = net::Verdict::kNoRoute;
+      }
+    }
+    return;
+  }
+  routes_->LookupBatch(addrs_.data(), addrs_.size(), results_);
+  const double search_j = routes_->table().SearchEnergyJ();
+  batch.route_search_j = search_j;
   for (std::size_t j = 0; j < eligible_.size(); ++j) {
     const std::size_t i = eligible_[j];
     batch.searched_route[i] = 1;
@@ -219,13 +280,10 @@ void TrafficClassStage::Process(net::PacketBatch& batch) {
 
 TrafficManagerStage::TrafficManagerStage(
     const SwitchConfig* config, const energy::DataMovementModel* movement,
-    const tcam::TcamTable* firewall_table, const tcam::TcamTable* route_table,
     SwitchStats* stats, energy::EnergyLedger* ledger)
     : MatchActionStage("traffic-manager"),
       config_(config),
       movement_(movement),
-      firewall_table_(firewall_table),
-      route_table_(route_table),
       stats_(stats),
       ledger_(ledger) {
   ports_.reserve(config_->port_count);
@@ -288,7 +346,10 @@ void TrafficManagerStage::Process(net::PacketBatch& batch) {
       continue;
     }
     if (batch.searched_firewall[i] != 0) {
-      tcam.energy_j += firewall_table_->SearchEnergyJ();
+      // Charged from the batch lane (the snapshot the firewall stage
+      // actually searched), not the live table — the controller may be
+      // mutating the table concurrently in shared-table mode.
+      tcam.energy_j += batch.firewall_search_j;
       ++tcam.operations;
     }
     if (v == net::Verdict::kFirewallDeny) {
@@ -296,7 +357,7 @@ void TrafficManagerStage::Process(net::PacketBatch& batch) {
       continue;
     }
     if (batch.searched_route[i] != 0) {
-      tcam.energy_j += route_table_->SearchEnergyJ();
+      tcam.energy_j += batch.route_search_j;
       ++tcam.operations;
     }
     if (v == net::Verdict::kNoRoute ||

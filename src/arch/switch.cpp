@@ -63,11 +63,43 @@ void SwitchConfig::Validate() const {
   telemetry.Validate();
 }
 
+SharedTables::SharedTables(tcam::TcamTechnology technology,
+                           std::size_t ports)
+    : firewall(kFiveTupleBits, technology),
+      routes(technology),
+      port_count(ports) {}
+
+void SharedTables::AddRoute(std::uint32_t dst_ip, int prefix_len,
+                            std::size_t port) {
+  if (port >= port_count) {
+    throw std::invalid_argument("SharedTables::AddRoute: port out of range");
+  }
+  routes.AddRoute(dst_ip, prefix_len, static_cast<std::uint32_t>(port));
+}
+
+void SharedTables::AddFirewallRule(const FirewallPattern& pattern, bool permit,
+                                   std::int32_t priority) {
+  tcam::TcamTable::Entry entry;
+  entry.pattern = BuildFirewallWord(pattern);
+  entry.action = permit ? kFirewallActionPermit : kFirewallActionDeny;
+  entry.priority = priority;
+  firewall.Insert(std::move(entry));
+}
+
+void SharedTables::Commit() {
+  firewall.Commit();
+  routes.Commit();
+}
+
 CognitiveSwitch::CognitiveSwitch(SwitchConfig config)
+    : CognitiveSwitch(std::move(config), nullptr) {}
+
+CognitiveSwitch::CognitiveSwitch(SwitchConfig config, const SharedTables* shared)
     : config_([&] {
         config.Validate();
         return config;
       }()),
+      shared_tables_(shared),
       movement_(),
       telemetry_(config_.telemetry) {
   // Build the Fig. 5 chain: parser, digital MATs, optional cognitive
@@ -78,12 +110,18 @@ CognitiveSwitch::CognitiveSwitch(SwitchConfig config)
   graph_.Add(std::move(parse));
 
   auto firewall =
-      std::make_unique<FirewallStage>(kFiveTupleBits, config_.digital_technology);
+      shared_tables_ != nullptr
+          ? std::make_unique<FirewallStage>(&shared_tables_->firewall)
+          : std::make_unique<FirewallStage>(kFiveTupleBits,
+                                            config_.digital_technology);
   firewall_ = firewall.get();
   graph_.Add(std::move(firewall));
 
-  auto route = std::make_unique<RouteStage>(config_.digital_technology,
-                                            config_.port_count);
+  auto route = shared_tables_ != nullptr
+                   ? std::make_unique<RouteStage>(&shared_tables_->routes,
+                                                  config_.port_count)
+                   : std::make_unique<RouteStage>(config_.digital_technology,
+                                                  config_.port_count);
   route_ = route.get();
   graph_.Add(std::move(route));
 
@@ -102,9 +140,8 @@ CognitiveSwitch::CognitiveSwitch(SwitchConfig config)
     graph_.Add(std::move(classify));
   }
 
-  auto tm = std::make_unique<TrafficManagerStage>(
-      &config_, &movement_, &firewall_->table(), &route_->routes().table(),
-      &stats_, &ledger_);
+  auto tm = std::make_unique<TrafficManagerStage>(&config_, &movement_,
+                                                  &stats_, &ledger_);
   tm_ = tm.get();
   graph_.Add(std::move(tm));
 
@@ -207,12 +244,19 @@ void CognitiveSwitch::AddFirewallRule(const FirewallPattern& pattern,
   firewall_->AddRule(pattern, permit, priority);
 }
 
+void CognitiveSwitch::Commit() {
+  if (shared_tables_ != nullptr) return;  // the tables' owner commits
+  firewall_->owned_table()->Commit();
+  route_->owned_routes()->Commit();
+}
+
 MatchActionStage& CognitiveSwitch::AddStage(
     std::unique_ptr<MatchActionStage> stage) {
   return graph_.Insert(graph_.size() - 1, std::move(stage));
 }
 
 Verdict CognitiveSwitch::Inject(const net::Packet& packet, double now_s) {
+  Commit();  // publish staged control-plane mutations at the batch boundary
   batch_.Reset(&packet, 1, now_s);
   graph_.Run(batch_);
   if (telemetry_.enabled()) RecordBatchTrace(now_s);
@@ -221,6 +265,7 @@ Verdict CognitiveSwitch::Inject(const net::Packet& packet, double now_s) {
 
 std::vector<Verdict> CognitiveSwitch::InjectBatch(
     std::span<const net::Packet> packets, double now_s) {
+  Commit();  // publish staged control-plane mutations at the batch boundary
   batch_.Reset(packets.data(), packets.size(), now_s);
   graph_.Run(batch_);
   if (telemetry_.enabled()) RecordBatchTrace(now_s);

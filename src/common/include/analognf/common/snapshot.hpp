@@ -1,0 +1,77 @@
+// RCU-style single-publisher snapshot cell.
+//
+// The control plane builds a fully-compiled, immutable snapshot object
+// off the hot path and publishes it by swapping one shared_ptr;
+// data-plane readers acquire the current snapshot at batch granularity
+// and keep it alive for as long as they use it. Readers therefore always
+// see either the old or the new fully-compiled snapshot — never a
+// mid-recompile state — and old snapshots are reclaimed by shared_ptr
+// refcounting once the last in-flight batch drops them (no grace-period
+// machinery needed).
+//
+// The pointer itself is guarded by a mutex held only for the pointer
+// copy (a handful of ns, once per batch — the compile work always
+// happens outside it). A mutex rather than std::atomic<shared_ptr>:
+// libstdc++'s _Sp_atomic protects its pointer with a lock bit whose
+// reader-side unlock is relaxed, which is a formal data race under the
+// C++ memory model — ThreadSanitizer rightly flags it — while the
+// mutex gives the same batch-granularity cost with clean semantics.
+//
+// Contract: one publisher at a time (callers serialize Publish, e.g. the
+// single controller thread); any number of concurrent Acquire callers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace analognf {
+
+template <typename T>
+class SnapshotCell {
+ public:
+  SnapshotCell() = default;
+  explicit SnapshotCell(std::shared_ptr<const T> initial)
+      : ptr_(std::move(initial)) {}
+
+  SnapshotCell(const SnapshotCell&) = delete;
+  SnapshotCell& operator=(const SnapshotCell&) = delete;
+
+  // The currently-published snapshot (may be null if never published).
+  // Safe from any thread; the lock covers only the pointer copy.
+  std::shared_ptr<const T> Acquire() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ptr_;
+  }
+
+  // Swaps in a new snapshot and bumps the epoch. Single-publisher:
+  // concurrent Publish calls must be serialized by the caller. Returns
+  // the new epoch (the first Publish returns 1; a default-initial or
+  // constructor-seeded snapshot is epoch 0).
+  std::uint64_t Publish(std::shared_ptr<const T> next) {
+    // Epoch is advanced before the pointer lands, so a reader that reads
+    // epoch e0 and then acquires holds version e0-1 or newer — and a
+    // reader that saw snapshot S_n can never observe an epoch < n
+    // afterwards.
+    const std::uint64_t e = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ptr_ = std::move(next);
+    return e;
+  }
+
+  // Number of Publish calls so far. A reader bracketing an acquisition
+  // with two epoch() reads (e0, e1) knows the snapshot it holds is one
+  // of the versions in [e0 - 1, e1].
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+ private:
+  mutable std::mutex mutex_;  // guards ptr_; never held across real work
+  std::shared_ptr<const T> ptr_{};
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace analognf

@@ -67,6 +67,19 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+std::size_t ThreadPool::RegisterExternalSlot() {
+  if (current_slot_ != 0) return current_slot_;  // worker or already done
+  const std::size_t index =
+      external_slots_.fetch_add(1, std::memory_order_relaxed);
+  current_slot_ = Shared().size() + 1 + index;
+  return current_slot_;
+}
+
+std::size_t ThreadPool::SlotUpperBound() {
+  return Shared().size() + 1 +
+         external_slots_.load(std::memory_order_relaxed);
+}
+
 ThreadPool& ThreadPool::Shared() {
   static ThreadPool pool([] {
     const unsigned cores = std::thread::hardware_concurrency();

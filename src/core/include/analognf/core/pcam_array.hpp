@@ -87,6 +87,15 @@ class PcamTable {
   // Adds a row; returns its index.
   std::size_t Insert(Row row);
 
+  // Refreshes the engine's search snapshot from the current cell state
+  // now, off the hot path, so the next search pays no recompile.
+  // Unlike the TCAM tables there is no published snapshot to share
+  // across threads: pCAM stays single-writer because stateful channels
+  // advance per-cell noise streams inside Search itself. Searches still
+  // refresh lazily, so Commit is optional.
+  void Commit();
+  bool NeedsCommit() const;
+
   // Full-array search: every row evaluates `inputs`; the highest match
   // degree wins (ties: lowest index). Returns nullopt only for an empty
   // table. Energy covers all rows (they all saw the search voltage).

@@ -83,6 +83,13 @@ class PcamSearchEngine {
   std::size_t field_count() const { return field_count_; }
   const PcamSearchConfig& config() const { return config_; }
 
+  // Rebuilds the dirty snapshot rows now, off the hot path, so the next
+  // search pays no refresh. Searches still refresh lazily when needed
+  // (the table is single-writer), so this is a latency optimization
+  // point, not a correctness requirement.
+  void CommitRows(const std::vector<PcamWord>& words);
+  bool NeedsRefresh() const { return any_dirty_; }
+
   // --- search ---------------------------------------------------------
   // One probe. `query` holds field_count() voltages; `degrees` is
   // resized to rows() and filled with per-row match degrees. `words` is

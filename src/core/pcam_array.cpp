@@ -70,6 +70,10 @@ std::size_t PcamTable::Insert(Row row) {
   return rows_.size() - 1;
 }
 
+void PcamTable::Commit() { engine_.CommitRows(words_); }
+
+bool PcamTable::NeedsCommit() const { return engine_.NeedsRefresh(); }
+
 void PcamTable::CheckArity(std::size_t got) const {
   if (got != field_count_) {
     throw std::invalid_argument("PcamTable::Search: input arity mismatch");

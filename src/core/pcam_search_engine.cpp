@@ -83,6 +83,10 @@ void PcamSearchEngine::RefreshRow(const std::vector<PcamWord>& words,
   dirty_[row] = 0;
 }
 
+void PcamSearchEngine::CommitRows(const std::vector<PcamWord>& words) {
+  Refresh(words);
+}
+
 void PcamSearchEngine::Refresh(const std::vector<PcamWord>& words) {
   if (!any_dirty_) return;
   telemetry_.recompiles.Inc();

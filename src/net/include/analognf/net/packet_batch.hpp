@@ -79,6 +79,14 @@ class PacketBatch {
   // Analog traffic-analysis tag (kNoClass until a classifier stage runs).
   std::vector<std::uint32_t> traffic_class;
 
+  // Energy of one search cycle against the table snapshot the firewall /
+  // route stage actually searched for this batch, set by those stages.
+  // The traffic manager charges the canonical ledger from these instead
+  // of re-reading the (possibly concurrently mutated) live tables, so
+  // ledger totals follow the snapshot the packets really saw.
+  double firewall_search_j = 0.0;
+  double route_search_j = 0.0;
+
   // One deferred canonical-ledger commit: `energy_j` joules of analog
   // (pCAM) search energy spent on packet `packet` by a stage that runs
   // before the traffic manager.

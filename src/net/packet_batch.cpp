@@ -38,6 +38,8 @@ void PacketBatch::Reset(const Packet* packets, std::size_t count,
   traffic_class.assign(count, kNoClass);
   analog_commits.clear();
   pcam_degrees.Clear();
+  firewall_search_j = 0.0;
+  route_search_j = 0.0;
 }
 
 }  // namespace analognf::net

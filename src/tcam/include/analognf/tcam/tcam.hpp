@@ -8,17 +8,26 @@
 // per-bit search energy, latency, and the fraction of energy spent moving
 // data between storage and compute (Fig. 1).
 //
-// Searches run on the compiled bitmask engine (tcam_search_engine.hpp),
-// which evaluates whole banks of rows per step the way the hardware
-// evaluates all rows per cycle; this table stays the model of record for
-// energy and latency and accounts every search cycle it performs.
+// Searches run on a compiled bitmask engine (tcam_search_engine.hpp).
+// Mutations (Insert/Erase) only stage changes; an explicit Commit()
+// compiles them into a fresh immutable TcamTableSnapshot and publishes
+// it RCU-style (common/snapshot.hpp). Concurrent data-plane readers
+// acquire the published snapshot and search it directly — they always
+// see either the old or the new fully-compiled table, never a
+// mid-recompile state — while the single-threaded convenience API
+// (Search/SearchBatch on the table) additionally enforces the commit
+// discipline by throwing if mutations are pending. This table stays the
+// model of record for energy and latency.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "analognf/common/snapshot.hpp"
 #include "analognf/tcam/tcam_search_engine.hpp"
 #include "analognf/tcam/ternary.hpp"
 
@@ -56,6 +65,21 @@ struct TcamSearchResult {
   double latency_s = 0.0;
 };
 
+// One committed, immutable compilation of a TcamTable: the engine plus
+// the cost figures that were true for the committed row set. Published
+// via shared_ptr; holders may search `engine` concurrently (each thread
+// with its own TcamSearchScratch) for as long as they keep the pointer.
+struct TcamTableSnapshot {
+  TcamTableSnapshot(std::size_t key_width, TcamSearchConfig config)
+      : engine(key_width, config) {}
+
+  TcamSearchEngine engine;
+  double search_energy_j = 0.0;  // whole-array energy of one search cycle
+  double search_latency_s = 0.0;
+  std::size_t live_rows = 0;
+  std::uint64_t epoch = 0;  // 0 = the empty table published at construction
+};
+
 // Priority-resolved ternary table of fixed key width.
 //
 // Entry-index contract: Insert returns an index that stays valid for the
@@ -64,6 +88,12 @@ struct TcamSearchResult {
 // entry; a later Insert may reuse the tombstoned slot. entries() exposes
 // the raw slot array including tombstones — check IsLive() when
 // iterating it.
+//
+// Concurrency contract: mutations and Commit() belong to one control
+// thread at a time. snapshot() may be called from any thread; the
+// returned snapshot is immutable and concurrently searchable. The
+// table-level Search/SearchBatch/AccountSearch convenience path mutates
+// accounting state and is single-caller.
 class TcamTable {
  public:
   struct Entry {
@@ -89,20 +119,44 @@ class TcamTable {
   const std::vector<Entry>& entries() const { return entries_; }
 
   // Adds an entry; pattern width must equal key_width. Returns the
-  // entry's stable index (a tombstoned slot may be reused).
+  // entry's stable index (a tombstoned slot may be reused). Staged until
+  // Commit().
   std::size_t Insert(Entry entry);
   // Tombstones the entry at `index`. Throws std::out_of_range on a bad
-  // index and std::invalid_argument if it is already tombstoned.
+  // index and std::invalid_argument if it is already tombstoned. Staged
+  // until Commit().
   void Erase(std::size_t index);
+
+  // True when mutations are staged that the published snapshot does not
+  // reflect yet.
+  bool NeedsCommit() const {
+    return dirty_.load(std::memory_order_acquire);
+  }
+  // Compiles the staged row set into a fresh snapshot and publishes it
+  // atomically. No-op when clean. Runs off the hot path: concurrent
+  // readers keep searching the previous snapshot until the publish.
+  void Commit();
+
+  // The currently-published compilation (never null). Safe from any
+  // thread.
+  std::shared_ptr<const TcamTableSnapshot> snapshot() const {
+    return published_.Acquire();
+  }
+  // Number of Commit() publishes so far (the construction-time empty
+  // snapshot is epoch 0).
+  std::uint64_t epoch() const { return published_.epoch(); }
 
   // One search cycle: all entries in parallel, best (priority, index)
   // match wins. nullopt on miss — but note the energy was still spent;
-  // SearchEnergyJ() reports it.
+  // SearchEnergyJ() reports it. Throws std::logic_error if mutations
+  // are pending (call Commit() first) — the lazy recompile-inside-Search
+  // of earlier revisions silently hid exactly the races this table now
+  // rules out.
   std::optional<TcamSearchResult> Search(const BitKey& key);
 
-  // `keys.size()` search cycles against one compiled snapshot; out is
+  // `keys.size()` search cycles against one committed snapshot; out is
   // resized to match. Results, counters and consumed energy are
-  // bit-identical to sequential Search() calls.
+  // bit-identical to sequential Search() calls. Same commit requirement.
   void SearchBatch(const std::vector<BitKey>& keys,
                    std::vector<std::optional<TcamSearchResult>>& out);
 
@@ -110,8 +164,12 @@ class TcamTable {
   // side-engines (e.g. the LPM trie) that keep this table as the cost
   // model of record. Returns the energy of the cycle.
   double AccountSearch();
+  // Same, with the cycle energy supplied by the caller (a snapshot's
+  // search_energy_j) so accounting can follow the snapshot actually
+  // searched rather than the live row set.
+  double AccountSearch(double energy_j);
 
-  // Energy/latency of one search cycle over the current table.
+  // Energy/latency of one search cycle over the current (live) table.
   double SearchEnergyJ() const;
   double SearchLatencyS() const { return technology_.search_latency_s; }
   // Total stored (searchable) bits: live entries * key_width. The energy
@@ -123,40 +181,71 @@ class TcamTable {
   std::uint64_t searches() const { return searches_; }
 
   // Registers `<prefix>.searches/.rows_scanned/.recompiles` in
-  // `registry` and binds the compiled engine to them. Telemetry never
-  // changes search results or energy accounting.
+  // `registry` and binds the compiled engine (current and future
+  // snapshots) to them. Telemetry never changes search results or
+  // energy accounting.
   void BindTelemetry(telemetry::MetricsRegistry& registry,
                      const std::string& prefix);
 
  private:
-  void EnsureCompiled();
+  void RequireCommitted() const;  // throws std::logic_error
 
   std::size_t key_width_;
   TcamTechnology technology_;
+  TcamSearchConfig engine_config_;
   std::vector<Entry> entries_;
   std::vector<std::uint8_t> live_;      // parallel to entries_
   std::vector<std::size_t> free_list_;  // tombstoned slots, LIFO reuse
   std::size_t live_count_ = 0;
-  TcamSearchEngine engine_;
+
+  SnapshotCell<TcamTableSnapshot> published_;
+  std::atomic<bool> dirty_{false};
+  std::uint64_t commits_ = 0;  // controller-thread only
+
   double consumed_energy_j_ = 0.0;
   std::uint64_t searches_ = 0;
+  telemetry::SearchEngineCounters telemetry_;
 
-  // Scratch for SearchBatch (reused, never shrinks).
+  // Scratch for the single-caller convenience search path (reused,
+  // never shrinks).
+  TcamSearchScratch scratch_;
   std::vector<std::optional<TcamEngineHit>> batch_hits_;
+};
+
+// One committed, immutable compilation of an LpmTable: the stride-trie
+// engine plus the TCAM cost figures of the committed route set.
+struct LpmTableSnapshot {
+  LpmEngine engine;  // committed copy; Lookup/LookupBatch are const
+  double search_energy_j = 0.0;
+  double search_latency_s = 0.0;
+  std::uint64_t epoch = 0;
 };
 
 // Longest-prefix-match convenience wrapper over TcamTable for IPv4
 // lookup (priority = prefix length, the classic TCAM LPM encoding).
 // Lookups run on the stride-trie LpmEngine; the TCAM table remains the
 // energy/latency model of record and is charged one search cycle per
-// lookup, exactly as the scan would have been.
+// lookup, exactly as the scan would have been. AddRoute stages; Commit()
+// publishes (same RCU discipline as TcamTable).
 class LpmTable {
  public:
   explicit LpmTable(TcamTechnology technology);
 
-  // Adds route `value/prefix_len -> action`.
+  // Adds route `value/prefix_len -> action`. Staged until Commit().
   void AddRoute(std::uint32_t value, int prefix_len, std::uint32_t action);
-  // Looks up the longest matching prefix for `address`.
+
+  bool NeedsCommit() const { return engine_.NeedsCommit(); }
+  // Recompiles the trie and publishes a fresh snapshot. The embedded
+  // TCAM table is deliberately left uncompiled — it is only the energy
+  // model of record and is never scanned.
+  void Commit();
+  std::shared_ptr<const LpmTableSnapshot> snapshot() const {
+    return published_.Acquire();
+  }
+  std::uint64_t epoch() const { return published_.epoch(); }
+
+  // Looks up the longest matching prefix for `address`. Throws
+  // std::logic_error if routes were added since the last Commit().
   std::optional<TcamSearchResult> Lookup(std::uint32_t address);
   // Batched lookup; out is resized to count. Bit-identical to
   // sequential Lookup() calls, counters and energy included.
@@ -177,6 +266,9 @@ class LpmTable {
 
   TcamTable table_;
   LpmEngine engine_;
+  SnapshotCell<LpmTableSnapshot> published_;
+  std::uint64_t commits_ = 0;  // controller-thread only
+  telemetry::SearchEngineCounters telemetry_;
 };
 
 }  // namespace analognf::tcam

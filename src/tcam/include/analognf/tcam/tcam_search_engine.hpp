@@ -13,10 +13,15 @@
 //     on every lane, so one search evaluates a whole bank of 64 rows as
 //     a branch-light loop the compiler auto-vectorizes, and the first
 //     set bit of the bank's match mask IS the priority winner.
-//   * Dirty tracking: Insert on the owning table marks the snapshot
-//     dirty (priority order may change — the next search recompiles);
-//     Erase poisons the compiled slot in place (mask = 0, value = ~0
-//     can never match) without recompiling anything.
+//   * Concurrency contract: an engine is compiled exactly once (by the
+//     owning table's Commit()) and is immutable afterwards. Search and
+//     SearchBatch are const and touch only compiled state plus the
+//     caller-supplied scratch, so any number of threads may search one
+//     compiled engine concurrently, each with its own scratch. Searching
+//     an engine that was never compiled throws std::logic_error — the
+//     lazy recompile-inside-Search of earlier revisions is gone; commits
+//     happen off the hot path (see docs/ARCHITECTURE.md, "Concurrency
+//     contract").
 //   * Batching/threading: SearchBatch packs all keys once and, above
 //     `thread_row_threshold` compiled rows, shards key ranges across the
 //     shared ThreadPool; single searches shard bank ranges instead.
@@ -67,37 +72,46 @@ struct TcamEngineHit {
   std::int32_t priority = 0;
 };
 
+// Per-caller scratch for TcamSearchEngine searches. Each thread that
+// searches a shared engine owns one of these (vectors are reused across
+// calls and never shrink); the engine itself stays const.
+struct TcamSearchScratch {
+  std::vector<std::uint64_t> key_lanes;
+  std::vector<std::uint64_t> batch_lanes;
+  std::vector<std::size_t> shard_hit;
+};
+
 class TcamSearchEngine {
  public:
   explicit TcamSearchEngine(std::size_t key_width,
                             TcamSearchConfig config = {});
 
-  // --- snapshot maintenance (driven by the owning table) --------------
-  // Marks the snapshot stale; the next search triggers NeedsCompile().
-  void MarkDirty() { dirty_ = true; }
-  bool NeedsCompile() const { return dirty_; }
-  // In-place tombstone: if `entry_index` is compiled, its slot is
-  // rewritten so no key can ever match it. Relative priority order of
-  // the surviving rows is unchanged, so no recompile is needed.
-  void MarkErased(std::size_t entry_index);
-  // Rebuilds the SoA snapshot from the live rows (any order).
+  // --- compilation (driven by the owning table's Commit) --------------
+  // Builds the SoA snapshot from the live rows (any order). After
+  // Compile returns the engine is immutable and safe to search from any
+  // number of threads.
   void Compile(const std::vector<TcamEngineEntry>& live_entries);
+  bool compiled() const { return compiled_; }
 
   std::size_t key_width() const { return key_width_; }
   std::size_t slots() const { return slots_; }
   const TcamSearchConfig& config() const { return config_; }
 
   // --- search ---------------------------------------------------------
-  // One probe. Requires a compiled snapshot (!NeedsCompile()) and
-  // key.width() == key_width().
-  std::optional<TcamEngineHit> Search(const BitKey& key);
+  // One probe. Requires a compiled engine (throws std::logic_error
+  // otherwise) and key.width() == key_width(). Thread-safe given a
+  // per-caller scratch.
+  std::optional<TcamEngineHit> Search(const BitKey& key,
+                                      TcamSearchScratch& scratch) const;
   // `count` probes; out is resized to count. Same requirements.
   void SearchBatch(const BitKey* keys, std::size_t count,
-                   std::vector<std::optional<TcamEngineHit>>& out);
+                   std::vector<std::optional<TcamEngineHit>>& out,
+                   TcamSearchScratch& scratch) const;
 
   // Attaches telemetry counters (searches, rows_scanned, recompiles).
   // Unbound handles are no-ops, so an un-instrumented engine pays one
-  // predictable branch per event.
+  // predictable branch per event. Counter cells are thread-sharded, so
+  // concurrent const searches may report through the same handles.
   void BindTelemetry(telemetry::SearchEngineCounters counters) {
     telemetry_ = counters;
   }
@@ -113,14 +127,16 @@ class TcamSearchEngine {
   std::size_t FirstHit(const std::uint64_t* key_lanes,
                        std::size_t bank_begin, std::size_t bank_end) const;
   // Full-table search of one packed key, sharding banks when large.
-  std::size_t SearchPacked(const std::uint64_t* key_lanes);
+  std::size_t SearchPacked(const std::uint64_t* key_lanes,
+                           TcamSearchScratch& scratch) const;
   std::size_t ShardCount(std::size_t shardable_units) const;
   std::optional<TcamEngineHit> HitAt(std::size_t slot) const;
+  void RequireCompiled() const;  // throws std::logic_error
 
   std::size_t key_width_;
   std::size_t lanes_;
   TcamSearchConfig config_;
-  bool dirty_ = true;
+  bool compiled_ = false;
 
   std::size_t slots_ = 0;
   // Lane-major SoA: mask_[lane][slot], value_[lane][slot].
@@ -129,12 +145,6 @@ class TcamSearchEngine {
   std::vector<std::size_t> slot_entry_;     // slot -> stable table index
   std::vector<std::uint32_t> slot_action_;
   std::vector<std::int32_t> slot_priority_;
-  std::vector<std::size_t> entry_slot_;     // stable index -> slot/kNoSlot
-
-  // Scratch reused across calls (never shrinks).
-  std::vector<std::uint64_t> key_scratch_;
-  std::vector<std::uint64_t> batch_lanes_;
-  std::vector<std::size_t> shard_hit_;
 
   telemetry::SearchEngineCounters telemetry_;
 };
@@ -148,8 +158,12 @@ class TcamSearchEngine {
 // lookup tracks the deepest populated slot along the address's path —
 // deeper levels always hold strictly longer prefixes. Ties between
 // equal-length duplicates resolve to the lowest entry index, matching
-// the TCAM priority encoder. AddRoute marks the trie dirty; the next
-// lookup recompiles it from the route list.
+// the TCAM priority encoder.
+//
+// Concurrency contract: AddRoute marks the trie dirty; Commit() (called
+// by the owning table off the hot path) recompiles it. Lookup and
+// LookupBatch are const, throw std::logic_error while the trie is
+// dirty, and are safe to call concurrently on a committed engine.
 class LpmEngine {
  public:
   struct Route {
@@ -162,12 +176,18 @@ class LpmEngine {
   // Appends a route (validates prefix_len) and marks the trie dirty.
   void AddRoute(const Route& route);
 
+  // Recompiles the trie from the route list if dirty. Not safe to call
+  // concurrently with lookups — commits happen off the hot path.
+  void Commit();
+  bool NeedsCommit() const { return dirty_; }
+
   std::size_t route_count() const { return routes_.size(); }
 
   // Longest matching prefix for `address` (hit.priority = prefix_len).
-  std::optional<TcamEngineHit> Lookup(std::uint32_t address);
+  // Throws std::logic_error if routes were added since the last Commit.
+  std::optional<TcamEngineHit> Lookup(std::uint32_t address) const;
   void LookupBatch(const std::uint32_t* addresses, std::size_t count,
-                   std::vector<std::optional<TcamEngineHit>>& out);
+                   std::vector<std::optional<TcamEngineHit>>& out) const;
 
   // Attaches telemetry counters; rows_scanned counts trie node hops.
   void BindTelemetry(telemetry::SearchEngineCounters counters) {
@@ -180,10 +200,10 @@ class LpmEngine {
     std::array<std::int32_t, 256> best;   // route id ending here, -1 none
   };
 
-  void Compile();
   std::int32_t NewNode();
   // Route id (or -1) for `address`; `hops` counts trie nodes visited.
   std::int32_t BestRoute(std::uint32_t address, std::size_t& hops) const;
+  void RequireCommitted() const;  // throws std::logic_error
 
   std::vector<Route> routes_;
   std::vector<Node> nodes_;

@@ -36,16 +36,32 @@ TcamTechnology TcamTechnology::MemristorTcam() {
   return tech;
 }
 
-TcamTable::TcamTable(std::size_t key_width, TcamTechnology technology,
-                     TcamSearchConfig engine_config)
-    : key_width_(key_width),
-      technology_(technology),
-      engine_(key_width == 0 ? 1 : key_width, engine_config) {
+namespace {
+
+// Seed snapshot for a fresh table: the empty compilation at epoch 0, so
+// snapshot() is never null and an unpopulated table is searchable.
+std::shared_ptr<const TcamTableSnapshot> EmptyTcamSnapshot(
+    std::size_t key_width, const TcamTechnology& technology,
+    const TcamSearchConfig& engine_config) {
   if (key_width == 0) {
     throw std::invalid_argument("TcamTable: zero key width");
   }
-  technology_.Validate();
+  technology.Validate();
+  engine_config.Validate();
+  auto empty = std::make_shared<TcamTableSnapshot>(key_width, engine_config);
+  empty->engine.Compile({});
+  empty->search_latency_s = technology.search_latency_s;
+  return empty;
 }
+
+}  // namespace
+
+TcamTable::TcamTable(std::size_t key_width, TcamTechnology technology,
+                     TcamSearchConfig engine_config)
+    : key_width_(key_width),
+      technology_(std::move(technology)),
+      engine_config_(engine_config),
+      published_(EmptyTcamSnapshot(key_width_, technology_, engine_config_)) {}
 
 std::size_t TcamTable::Insert(Entry entry) {
   if (entry.pattern.width() != key_width_) {
@@ -63,7 +79,7 @@ std::size_t TcamTable::Insert(Entry entry) {
     live_.push_back(1);
   }
   ++live_count_;
-  engine_.MarkDirty();
+  dirty_.store(true, std::memory_order_release);
   return index;
 }
 
@@ -77,11 +93,12 @@ void TcamTable::Erase(std::size_t index) {
   live_[index] = 0;
   free_list_.push_back(index);
   --live_count_;
-  engine_.MarkErased(index);
+  dirty_.store(true, std::memory_order_release);
 }
 
-void TcamTable::EnsureCompiled() {
-  if (!engine_.NeedsCompile()) return;
+void TcamTable::Commit() {
+  if (!NeedsCommit()) return;
+  auto snap = std::make_shared<TcamTableSnapshot>(key_width_, engine_config_);
   std::vector<TcamEngineEntry> view;
   view.reserve(live_count_);
   for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -89,23 +106,41 @@ void TcamTable::EnsureCompiled() {
     view.push_back({&entries_[i].pattern, entries_[i].action,
                     entries_[i].priority, i});
   }
-  engine_.Compile(view);
+  snap->engine.BindTelemetry(telemetry_);
+  snap->engine.Compile(view);
+  snap->live_rows = live_count_;
+  snap->search_energy_j = SearchEnergyJ();
+  snap->search_latency_s = technology_.search_latency_s;
+  snap->epoch = ++commits_;
+  // Clear the dirty flag BEFORE the publish: a strict single-threaded
+  // reader that observes dirty == false is then guaranteed to acquire
+  // this (or a newer) snapshot; concurrent stagers simply re-set it.
+  dirty_.store(false, std::memory_order_release);
+  published_.Publish(std::move(snap));
+}
+
+void TcamTable::RequireCommitted() const {
+  if (NeedsCommit()) {
+    throw std::logic_error(
+        "TcamTable: searched with uncommitted mutations — call Commit()");
+  }
 }
 
 std::optional<TcamSearchResult> TcamTable::Search(const BitKey& key) {
   if (key.width() != key_width_) {
     throw std::invalid_argument("TcamTable::Search: key width mismatch");
   }
-  EnsureCompiled();
-  const double energy = AccountSearch();
-  const std::optional<TcamEngineHit> hit = engine_.Search(key);
+  RequireCommitted();
+  const std::shared_ptr<const TcamTableSnapshot> snap = snapshot();
+  const double energy = AccountSearch(snap->search_energy_j);
+  const std::optional<TcamEngineHit> hit = snap->engine.Search(key, scratch_);
   if (!hit.has_value()) return std::nullopt;
   TcamSearchResult result;
   result.entry_index = hit->entry_index;
   result.action = hit->action;
   result.priority = hit->priority;
   result.energy_j = energy;
-  result.latency_s = technology_.search_latency_s;
+  result.latency_s = snap->search_latency_s;
   return result;
 }
 
@@ -116,29 +151,31 @@ void TcamTable::SearchBatch(const std::vector<BitKey>& keys,
       throw std::invalid_argument("TcamTable::SearchBatch: key width mismatch");
     }
   }
-  EnsureCompiled();
-  engine_.SearchBatch(keys.data(), keys.size(), batch_hits_);
+  RequireCommitted();
+  const std::shared_ptr<const TcamTableSnapshot> snap = snapshot();
+  snap->engine.SearchBatch(keys.data(), keys.size(), batch_hits_, scratch_);
   out.assign(keys.size(), std::nullopt);
   for (std::size_t q = 0; q < keys.size(); ++q) {
     // Per-search accounting keeps the consumed-energy accumulation order
     // (and thus its floating-point value) identical to sequential calls.
-    const double energy = AccountSearch();
+    const double energy = AccountSearch(snap->search_energy_j);
     if (!batch_hits_[q].has_value()) continue;
     TcamSearchResult result;
     result.entry_index = batch_hits_[q]->entry_index;
     result.action = batch_hits_[q]->action;
     result.priority = batch_hits_[q]->priority;
     result.energy_j = energy;
-    result.latency_s = technology_.search_latency_s;
+    result.latency_s = snap->search_latency_s;
     out[q] = result;
   }
 }
 
-double TcamTable::AccountSearch() {
-  const double energy = SearchEnergyJ();
-  consumed_energy_j_ += energy;
+double TcamTable::AccountSearch() { return AccountSearch(SearchEnergyJ()); }
+
+double TcamTable::AccountSearch(double energy_j) {
+  consumed_energy_j_ += energy_j;
   ++searches_;
-  return energy;
+  return energy_j;
 }
 
 double TcamTable::SearchEnergyJ() const {
@@ -148,12 +185,38 @@ double TcamTable::SearchEnergyJ() const {
 
 void TcamTable::BindTelemetry(telemetry::MetricsRegistry& registry,
                               const std::string& prefix) {
-  engine_.BindTelemetry(
-      telemetry::MakeSearchEngineCounters(registry, prefix));
+  telemetry_ = telemetry::MakeSearchEngineCounters(registry, prefix);
+  // Future snapshots bind at Commit; rebuild the current one's handles
+  // by forcing a recompile on the next commit is unnecessary — the
+  // published snapshot is immutable, so instrumentation starts with the
+  // next Commit(). Tables are bound before traffic in practice.
+  if (NeedsCommit()) return;
+  // Re-publish the current row set with counters attached so a table
+  // bound after its first Commit still reports.
+  dirty_.store(true, std::memory_order_release);
+  Commit();
 }
 
+namespace {
+
+// Seed snapshot for a fresh LPM table: commits the (empty) trie and
+// captures it at epoch 0, so lookups on a fresh table miss instead of
+// throwing.
+std::shared_ptr<const LpmTableSnapshot> EmptyLpmSnapshot(LpmEngine& engine,
+                                                         const TcamTable& table) {
+  engine.Commit();
+  auto snap = std::make_shared<LpmTableSnapshot>();
+  snap->engine = engine;
+  snap->search_energy_j = table.SearchEnergyJ();
+  snap->search_latency_s = table.SearchLatencyS();
+  return snap;
+}
+
+}  // namespace
+
 LpmTable::LpmTable(TcamTechnology technology)
-    : table_(32, std::move(technology)) {}
+    : table_(32, std::move(technology)),
+      published_(EmptyLpmSnapshot(engine_, table_)) {}
 
 void LpmTable::AddRoute(std::uint32_t value, int prefix_len,
                         std::uint32_t action) {
@@ -163,6 +226,18 @@ void LpmTable::AddRoute(std::uint32_t value, int prefix_len,
   entry.priority = prefix_len;
   const std::size_t index = table_.Insert(std::move(entry));
   engine_.AddRoute({value, prefix_len, action, index});
+}
+
+void LpmTable::Commit() {
+  if (!engine_.NeedsCommit()) return;
+  engine_.Commit();
+  auto snap = std::make_shared<LpmTableSnapshot>();
+  snap->engine = engine_;  // committed copy
+  snap->engine.BindTelemetry(telemetry_);
+  snap->search_energy_j = table_.SearchEnergyJ();
+  snap->search_latency_s = table_.SearchLatencyS();
+  snap->epoch = ++commits_;
+  published_.Publish(std::move(snap));
 }
 
 TcamSearchResult LpmTable::ResultOf(const TcamEngineHit& hit,
@@ -177,27 +252,46 @@ TcamSearchResult LpmTable::ResultOf(const TcamEngineHit& hit,
 }
 
 std::optional<TcamSearchResult> LpmTable::Lookup(std::uint32_t address) {
+  if (engine_.NeedsCommit()) {
+    throw std::logic_error(
+        "LpmTable: lookup with uncommitted routes — call Commit()");
+  }
   // The trie answers; the TCAM array still burns one full search cycle.
-  const double energy = table_.AccountSearch();
-  const std::optional<TcamEngineHit> hit = engine_.Lookup(address);
+  const std::shared_ptr<const LpmTableSnapshot> snap = snapshot();
+  const double energy = table_.AccountSearch(snap->search_energy_j);
+  const std::optional<TcamEngineHit> hit = snap->engine.Lookup(address);
   if (!hit.has_value()) return std::nullopt;
   return ResultOf(*hit, energy);
 }
 
 void LpmTable::LookupBatch(const std::uint32_t* addresses, std::size_t count,
                            std::vector<std::optional<TcamSearchResult>>& out) {
+  if (engine_.NeedsCommit()) {
+    throw std::logic_error(
+        "LpmTable: lookup with uncommitted routes — call Commit()");
+  }
+  const std::shared_ptr<const LpmTableSnapshot> snap = snapshot();
   out.assign(count, std::nullopt);
   for (std::size_t q = 0; q < count; ++q) {
-    const double energy = table_.AccountSearch();
-    const std::optional<TcamEngineHit> hit = engine_.Lookup(addresses[q]);
+    const double energy = table_.AccountSearch(snap->search_energy_j);
+    const std::optional<TcamEngineHit> hit = snap->engine.Lookup(addresses[q]);
     if (hit.has_value()) out[q] = ResultOf(*hit, energy);
   }
 }
 
 void LpmTable::BindTelemetry(telemetry::MetricsRegistry& registry,
                              const std::string& prefix) {
-  engine_.BindTelemetry(
-      telemetry::MakeSearchEngineCounters(registry, prefix));
+  telemetry_ = telemetry::MakeSearchEngineCounters(registry, prefix);
+  engine_.BindTelemetry(telemetry_);
+  if (!engine_.NeedsCommit()) {
+    // Re-publish so the already-committed snapshot reports too.
+    auto snap = std::make_shared<LpmTableSnapshot>();
+    snap->engine = engine_;
+    snap->search_energy_j = table_.SearchEnergyJ();
+    snap->search_latency_s = table_.SearchLatencyS();
+    snap->epoch = commits_;
+    published_.Publish(std::move(snap));
+  }
 }
 
 }  // namespace analognf::tcam

@@ -27,18 +27,12 @@ TcamSearchEngine::TcamSearchEngine(std::size_t key_width,
   value_.resize(lanes_);
 }
 
-void TcamSearchEngine::MarkErased(std::size_t entry_index) {
-  if (dirty_) return;  // next Compile drops the row anyway
-  if (entry_index >= entry_slot_.size()) return;
-  const std::size_t slot = entry_slot_[entry_index];
-  if (slot == kNoSlot) return;
-  // (key & 0) == ~0 is false on every lane, so the slot can never match
-  // again; the surviving rows keep their relative priority order.
-  for (std::size_t lane = 0; lane < lanes_; ++lane) {
-    mask_[lane][slot] = 0;
-    value_[lane][slot] = ~std::uint64_t{0};
+void TcamSearchEngine::RequireCompiled() const {
+  if (!compiled_) {
+    throw std::logic_error(
+        "TcamSearchEngine: searched before Compile — commit the owning "
+        "table first");
   }
-  entry_slot_[entry_index] = kNoSlot;
 }
 
 void TcamSearchEngine::Compile(
@@ -58,11 +52,6 @@ void TcamSearchEngine::Compile(
   slot_entry_.assign(slots_, 0);
   slot_action_.assign(slots_, 0);
   slot_priority_.assign(slots_, 0);
-  std::size_t max_index = 0;
-  for (const TcamEngineEntry* e : order) {
-    max_index = std::max(max_index, e->index);
-  }
-  entry_slot_.assign(slots_ == 0 ? 0 : max_index + 1, kNoSlot);
   for (std::size_t lane = 0; lane < lanes_; ++lane) {
     mask_[lane].assign(slots_, 0);
     value_[lane].assign(slots_, 0);
@@ -74,7 +63,6 @@ void TcamSearchEngine::Compile(
     slot_entry_[s] = e.index;
     slot_action_[s] = e.action;
     slot_priority_[s] = e.priority;
-    entry_slot_[e.index] = s;
     for (std::size_t i = 0; i < key_width_; ++i) {
       const std::uint64_t bit = std::uint64_t{1} << (i & 63);
       switch (e.pattern->bit(i)) {
@@ -90,7 +78,7 @@ void TcamSearchEngine::Compile(
       }
     }
   }
-  dirty_ = false;
+  compiled_ = true;
   telemetry_.recompiles.Inc();
 }
 
@@ -136,7 +124,8 @@ std::size_t TcamSearchEngine::ShardCount(std::size_t shardable_units) const {
                                  std::max<std::size_t>(shardable_units, 1));
 }
 
-std::size_t TcamSearchEngine::SearchPacked(const std::uint64_t* key_lanes) {
+std::size_t TcamSearchEngine::SearchPacked(const std::uint64_t* key_lanes,
+                                           TcamSearchScratch& scratch) const {
   const std::size_t banks = BankCount();
   const std::size_t shards = ShardCount(banks);
   if (shards == 1) return FirstHit(key_lanes, 0, banks);
@@ -144,15 +133,15 @@ std::size_t TcamSearchEngine::SearchPacked(const std::uint64_t* key_lanes) {
   // Shard bank ranges; each shard early-exits within its range and the
   // merge takes the lowest slot index, so the result is identical to the
   // sequential scan.
-  shard_hit_.assign(shards, kNoSlot);
+  scratch.shard_hit.assign(shards, kNoSlot);
   const std::size_t chunk = (banks + shards - 1) / shards;
   ThreadPool::Shared().ParallelFor(shards, [&](std::size_t s) {
     const std::size_t b0 = s * chunk;
     const std::size_t b1 = std::min(b0 + chunk, banks);
-    if (b0 < b1) shard_hit_[s] = FirstHit(key_lanes, b0, b1);
+    if (b0 < b1) scratch.shard_hit[s] = FirstHit(key_lanes, b0, b1);
   });
   for (std::size_t s = 0; s < shards; ++s) {
-    if (shard_hit_[s] != kNoSlot) return shard_hit_[s];
+    if (scratch.shard_hit[s] != kNoSlot) return scratch.shard_hit[s];
   }
   return kNoSlot;
 }
@@ -166,26 +155,28 @@ std::optional<TcamEngineHit> TcamSearchEngine::HitAt(std::size_t slot) const {
   return hit;
 }
 
-std::optional<TcamEngineHit> TcamSearchEngine::Search(const BitKey& key) {
-  assert(!dirty_);
+std::optional<TcamEngineHit> TcamSearchEngine::Search(
+    const BitKey& key, TcamSearchScratch& scratch) const {
+  RequireCompiled();
   if (key.width() != key_width_) {
     throw std::invalid_argument("TcamSearchEngine: key width mismatch");
   }
-  key_scratch_.assign(lanes_, 0);
+  scratch.key_lanes.assign(lanes_, 0);
   for (std::size_t i = 0; i < key_width_; ++i) {
-    key_scratch_[i >> 6] |=
+    scratch.key_lanes[i >> 6] |=
         static_cast<std::uint64_t>(key.bit(i)) << (i & 63);
   }
   // The hardware model activates every stored row per probe.
   telemetry_.searches.Inc();
   telemetry_.rows_scanned.Inc(slots_);
-  return HitAt(SearchPacked(key_scratch_.data()));
+  return HitAt(SearchPacked(scratch.key_lanes.data(), scratch));
 }
 
 void TcamSearchEngine::SearchBatch(
     const BitKey* keys, std::size_t count,
-    std::vector<std::optional<TcamEngineHit>>& out) {
-  assert(!dirty_);
+    std::vector<std::optional<TcamEngineHit>>& out,
+    TcamSearchScratch& scratch) const {
+  RequireCompiled();
   out.assign(count, std::nullopt);
   telemetry_.searches.Inc(count);
   if (count == 0 || slots_ == 0) return;
@@ -193,12 +184,12 @@ void TcamSearchEngine::SearchBatch(
 
   // Pack every key once up front; the scan then touches only the packed
   // lanes, regardless of how many shards work the batch.
-  batch_lanes_.assign(count * lanes_, 0);
+  scratch.batch_lanes.assign(count * lanes_, 0);
   for (std::size_t q = 0; q < count; ++q) {
     if (keys[q].width() != key_width_) {
       throw std::invalid_argument("TcamSearchEngine: key width mismatch");
     }
-    std::uint64_t* lanes = batch_lanes_.data() + q * lanes_;
+    std::uint64_t* lanes = scratch.batch_lanes.data() + q * lanes_;
     for (std::size_t i = 0; i < key_width_; ++i) {
       lanes[i >> 6] |=
           static_cast<std::uint64_t>(keys[q].bit(i)) << (i & 63);
@@ -209,7 +200,8 @@ void TcamSearchEngine::SearchBatch(
   const std::size_t shards = count > 1 ? ShardCount(count) : 1;
   auto run_range = [&](std::size_t q0, std::size_t q1) {
     for (std::size_t q = q0; q < q1; ++q) {
-      out[q] = HitAt(FirstHit(batch_lanes_.data() + q * lanes_, 0, banks));
+      out[q] =
+          HitAt(FirstHit(scratch.batch_lanes.data() + q * lanes_, 0, banks));
     }
   };
   if (shards == 1) {
@@ -243,7 +235,15 @@ std::int32_t LpmEngine::NewNode() {
   return static_cast<std::int32_t>(nodes_.size() - 1);
 }
 
-void LpmEngine::Compile() {
+void LpmEngine::RequireCommitted() const {
+  if (dirty_) {
+    throw std::logic_error(
+        "LpmEngine: lookup on a dirty trie — call Commit() after AddRoute");
+  }
+}
+
+void LpmEngine::Commit() {
+  if (!dirty_) return;
   nodes_.clear();
   NewNode();  // root
   for (std::size_t ri = 0; ri < routes_.size(); ++ri) {
@@ -308,8 +308,8 @@ std::int32_t LpmEngine::BestRoute(std::uint32_t address,
   return best;
 }
 
-std::optional<TcamEngineHit> LpmEngine::Lookup(std::uint32_t address) {
-  if (dirty_) Compile();
+std::optional<TcamEngineHit> LpmEngine::Lookup(std::uint32_t address) const {
+  RequireCommitted();
   std::size_t hops = 0;
   const std::int32_t best = BestRoute(address, hops);
   telemetry_.searches.Inc();
@@ -323,9 +323,10 @@ std::optional<TcamEngineHit> LpmEngine::Lookup(std::uint32_t address) {
   return hit;
 }
 
-void LpmEngine::LookupBatch(const std::uint32_t* addresses, std::size_t count,
-                            std::vector<std::optional<TcamEngineHit>>& out) {
-  if (dirty_) Compile();
+void LpmEngine::LookupBatch(
+    const std::uint32_t* addresses, std::size_t count,
+    std::vector<std::optional<TcamEngineHit>>& out) const {
+  RequireCommitted();
   out.assign(count, std::nullopt);
   // Telemetry folds over the whole batch: one counter update per batch,
   // not two per packet, keeps the instrumented hot path cheap.

@@ -3,10 +3,15 @@
 //
 // The data plane appends one BatchTraceRecord per ingress batch; the
 // recorder keeps them in a fixed power-of-two ring and overwrites the
-// oldest. Writers never block (one fetch_add claims a slot; a per-slot
-// seqlock version makes concurrent writers and readers safe), and a
-// Dump() can run at any time — a record that was mid-overwrite during
-// the copy is simply dropped from the dump.
+// oldest. Any number of threads may Record concurrently: a fetch_add
+// assigns the sequence, then a CAS on the per-slot seqlock version
+// claims the slot — a writer that loses the claim (another writer owns
+// the slot, or a newer sequence already landed there) drops its record
+// rather than blocking or tearing an in-flight one. Dump() can run at
+// any time; a record that was mid-overwrite during the copy is simply
+// skipped. Record contents cross threads as word-wise relaxed atomics,
+// so a racing copy is well-defined (and then discarded by the version
+// re-check).
 #pragma once
 
 #include <array>
@@ -60,12 +65,19 @@ class FlightRecorder {
 
   bool enabled() const { return !slots_.empty(); }
   std::size_t capacity() const { return slots_.size(); }
-  // Total records ever written (>= capacity means the ring has wrapped).
+  // Total sequences ever claimed, dropped ones included (>= capacity
+  // means the ring has wrapped).
   std::uint64_t recorded() const {
     return head_.load(std::memory_order_acquire);
   }
+  // Records dropped because another writer held or overtook their slot.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
-  // Appends a record (rec.sequence is assigned by the recorder).
+  // Appends a record (rec.sequence is assigned by the recorder). Safe
+  // from any number of threads; may drop the record under slot
+  // contention (see dropped()).
   void Record(BatchTraceRecord rec);
 
   // The most recent records, oldest first, at most `max_records` (and at
@@ -86,6 +98,7 @@ class FlightRecorder {
   std::vector<Slot> slots_;
   std::size_t mask_ = 0;
   std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> dropped_{0};
 };
 
 }  // namespace analognf::telemetry

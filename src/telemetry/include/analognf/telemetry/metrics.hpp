@@ -51,7 +51,9 @@ struct TelemetryConfig {
   // and never allocates a metric.
   bool enabled = true;
   // Counter/histogram shard cells (rounded up to a power of two);
-  // 0 = one per shared-pool slot (ThreadPool::Shared().size() + 1).
+  // 0 = one per slot handed out so far (shared-pool workers + slot 0 +
+  // threads registered via ThreadPool::RegisterExternalSlot at registry
+  // construction time).
   std::size_t shards = 0;
   // Flight-recorder ring capacity in batch records (rounded up to a
   // power of two); 0 disables the recorder.

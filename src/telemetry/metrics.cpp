@@ -115,8 +115,12 @@ void Histogram::Reset() {
 
 MetricsRegistry::MetricsRegistry(TelemetryConfig config) : config_(config) {
   config_.Validate();
+  // Default shard count covers every slot handed out so far: shared-pool
+  // workers, slot 0, and threads registered via RegisterExternalSlot.
+  // Register external threads before building the registry (the port
+  // runtime does) or pass config.shards explicitly.
   const std::size_t want =
-      config_.shards != 0 ? config_.shards : ThreadPool::Shared().size() + 1;
+      config_.shards != 0 ? config_.shards : ThreadPool::SlotUpperBound();
   shards_ = RoundUpPow2(want);
 }
 

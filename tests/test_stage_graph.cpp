@@ -141,6 +141,9 @@ class ReferenceSwitch {
   }
 
   Verdict Inject(const net::Packet& packet, double now_s) {
+    // Same batch-boundary commit discipline as the stage graph.
+    firewall_.Commit();
+    routes_.Commit();
     energy::CategoryTotal& compute =
         *ledger_.Meter(energy::category::kDigitalCompute);
     energy::CategoryTotal& movement =

@@ -2,6 +2,10 @@
 // LPM, and the energy/latency cost model.
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
 #include "analognf/common/rng.hpp"
 #include "analognf/tcam/range.hpp"
 #include "analognf/tcam/tcam.hpp"
@@ -109,6 +113,7 @@ TEST(TcamTableTest, InsertRejectsWidthMismatch) {
 TEST(TcamTableTest, SearchFindsMatch) {
   TcamTable t(4, TcamTechnology::TransistorCmos());
   t.Insert({TernaryWord::FromString("10XX"), 7, 0});
+  t.Commit();
   const auto result = t.Search(BitKey::FromString("1011"));
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->action, 7u);
@@ -118,6 +123,7 @@ TEST(TcamTableTest, SearchFindsMatch) {
 TEST(TcamTableTest, MissReturnsNullopt) {
   TcamTable t(4, TcamTechnology::TransistorCmos());
   t.Insert({TernaryWord::FromString("1111"), 1, 0});
+  t.Commit();
   EXPECT_FALSE(t.Search(BitKey::FromString("0000")).has_value());
   // Energy was still spent on the miss.
   EXPECT_GT(t.ConsumedEnergyJ(), 0.0);
@@ -127,6 +133,7 @@ TEST(TcamTableTest, HighestPriorityWins) {
   TcamTable t(4, TcamTechnology::TransistorCmos());
   t.Insert({TernaryWord::FromString("XXXX"), 1, 0});
   t.Insert({TernaryWord::FromString("10XX"), 2, 10});
+  t.Commit();
   const auto result = t.Search(BitKey::FromString("1010"));
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->action, 2u);
@@ -136,6 +143,7 @@ TEST(TcamTableTest, TiesResolveToLowestIndex) {
   TcamTable t(2, TcamTechnology::TransistorCmos());
   t.Insert({TernaryWord::FromString("1X"), 100, 5});
   t.Insert({TernaryWord::FromString("X1"), 200, 5});
+  t.Commit();
   const auto result = t.Search(BitKey::FromString("11"));
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->entry_index, 0u);
@@ -153,6 +161,7 @@ TEST(TcamTableTest, EraseTombstonesWithoutShifting) {
   EXPECT_EQ(t.slot_count(), 2u);  // the slot stays; it just stops matching
   EXPECT_FALSE(t.IsLive(first));
   EXPECT_TRUE(t.IsLive(second));
+  t.Commit();
   EXPECT_FALSE(t.Search(BitKey::FromString("00")).has_value());
 
   // The surviving entry keeps its index: no shift on erase.
@@ -173,6 +182,7 @@ TEST(TcamTableTest, InsertReusesTombstonedSlot) {
   EXPECT_EQ(reused, first);
   EXPECT_EQ(t.size(), 2u);
   EXPECT_EQ(t.slot_count(), 2u);
+  t.Commit();
   const auto hit = t.Search(BitKey::FromString("01"));
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->action, 3u);
@@ -202,6 +212,7 @@ TEST(TcamTableTest, SearchEnergyScalesWithStoredBits) {
 TEST(TcamTableTest, ConsumedEnergyAccumulatesPerSearch) {
   TcamTable t(8, TcamTechnology::MemristorTcam());
   t.Insert({TernaryWord::FromString("XXXXXXXX"), 0, 0});
+  t.Commit();
   BitKey key = BitKey::FromString("10101010");
   t.Search(key);
   t.Search(key);
@@ -214,6 +225,54 @@ TEST(TcamTableTest, SearchRejectsWidthMismatch) {
   EXPECT_THROW(t.Search(BitKey::FromString("101")), std::invalid_argument);
 }
 
+// Regression: before the snapshot split, an Erase silently poisoned the
+// compiled slot and a Commit-less Search could return the tombstoned row.
+// Now the table refuses to search past staged mutations instead of
+// guessing.
+TEST(TcamTableTest, SearchWithUncommittedMutationsThrows) {
+  TcamTable t(2, TcamTechnology::TransistorCmos());
+  const std::size_t first = t.Insert({TernaryWord::FromString("00"), 1, 0});
+  EXPECT_TRUE(t.NeedsCommit());
+  EXPECT_THROW(t.Search(BitKey::FromString("00")), std::logic_error);
+  t.Commit();
+  EXPECT_FALSE(t.NeedsCommit());
+  EXPECT_TRUE(t.Search(BitKey::FromString("00")).has_value());
+
+  t.Erase(first);
+  EXPECT_TRUE(t.NeedsCommit());
+  EXPECT_THROW(t.Search(BitKey::FromString("00")), std::logic_error);
+  std::vector<BitKey> keys{BitKey::FromString("00")};
+  std::vector<std::optional<TcamSearchResult>> out;
+  EXPECT_THROW(t.SearchBatch(keys, out), std::logic_error);
+
+  t.Commit();
+  EXPECT_FALSE(t.Search(BitKey::FromString("00")).has_value());
+}
+
+TEST(TcamTableTest, CommitBumpsSnapshotEpoch) {
+  TcamTable t(2, TcamTechnology::TransistorCmos());
+  EXPECT_EQ(t.snapshot()->epoch, 0u);  // construction-time empty snapshot
+  t.Insert({TernaryWord::FromString("01"), 1, 0});
+  t.Commit();
+  const auto snap = t.snapshot();
+  EXPECT_EQ(snap->epoch, 1u);
+  EXPECT_EQ(snap->live_rows, 1u);
+  t.Commit();  // clean: no-op, same snapshot stays published
+  EXPECT_EQ(t.snapshot()->epoch, 1u);
+}
+
+TEST(LpmTableTest, LookupWithUncommittedRoutesThrows) {
+  LpmTable lpm(TcamTechnology::MemristorTcam());
+  lpm.AddRoute(0x0A000000, 8, 1);
+  EXPECT_THROW(lpm.Lookup(0x0A000001), std::logic_error);
+  std::vector<std::uint32_t> addrs{0x0A000001};
+  std::vector<std::optional<TcamSearchResult>> out;
+  EXPECT_THROW(lpm.LookupBatch(addrs.data(), addrs.size(), out),
+               std::logic_error);
+  lpm.Commit();
+  EXPECT_EQ(lpm.Lookup(0x0A000001)->action, 1u);
+}
+
 // ----------------------------------------------------------- LpmTable
 
 TEST(LpmTableTest, LongestPrefixWins) {
@@ -221,6 +280,7 @@ TEST(LpmTableTest, LongestPrefixWins) {
   lpm.AddRoute(0x0A000000, 8, 1);   // 10.0.0.0/8 -> 1
   lpm.AddRoute(0x0A010000, 16, 2);  // 10.1.0.0/16 -> 2
   lpm.AddRoute(0x0A010200, 24, 3);  // 10.1.2.0/24 -> 3
+  lpm.Commit();
 
   auto r = lpm.Lookup(0x0A010203);  // 10.1.2.3
   ASSERT_TRUE(r.has_value());
@@ -240,6 +300,7 @@ TEST(LpmTableTest, LongestPrefixWins) {
 TEST(LpmTableTest, DefaultRouteMatchesEverything) {
   LpmTable lpm(TcamTechnology::MemristorTcam());
   lpm.AddRoute(0, 0, 9);
+  lpm.Commit();
   EXPECT_EQ(lpm.Lookup(0xFFFFFFFF)->action, 9u);
 }
 
@@ -262,6 +323,7 @@ TEST_P(LpmProperty, ReturnedRouteIsLongestMatch) {
     routes.push_back({value, len});
     lpm.AddRoute(value, len, static_cast<std::uint32_t>(i));
   }
+  lpm.Commit();
   for (int probe = 0; probe < 200; ++probe) {
     const auto addr =
         static_cast<std::uint32_t>(rng.NextIndex(0x100000000ULL));
@@ -357,6 +419,7 @@ TEST(RangeToTernaryTest, WorksInsideATcamTable) {
   for (const auto& word : RangeToTernary(8000, 8999, 16)) {
     table.Insert({word, 1, 0});
   }
+  table.Commit();
   BitKey inside;
   inside.AppendU16(8500);
   BitKey outside;

@@ -85,6 +85,7 @@ TEST_P(EngineDifferential, MatchesNaiveScanOnRandomTables) {
     entry.priority = static_cast<std::int32_t>(rng.NextIndex(4));
     table.Insert(std::move(entry));
   }
+  table.Commit();
   std::size_t hits = 0;
   for (std::size_t probe = 0; probe < 2500; ++probe) {
     // Mix near-template probes (likely hits) with uniform ones.
@@ -123,6 +124,7 @@ TEST_P(EngineDifferential, SurvivesEraseAndReinsert) {
                     static_cast<std::uint32_t>(1000 + round),
                     static_cast<std::int32_t>(rng.NextIndex(3))});
     }
+    table.Commit();  // publish the mutation before searching
     for (std::size_t probe = 0; probe < 40; ++probe) {
       const BitKey key = BitKey::FromString(RandomBits(rng, width));
       ExpectSameHit(table.Search(key), NaiveSearch(table, key), probe);
@@ -148,6 +150,8 @@ TEST_P(EngineDifferential, ShardedPathMatchesSingleThreaded) {
     reference.Insert(entry);
     table.Insert(std::move(entry));
   }
+  reference.Commit();
+  table.Commit();
   std::vector<BitKey> keys;
   for (std::size_t probe = 0; probe < 500; ++probe) {
     keys.push_back(BitKey::FromString(RandomBits(rng, width)));
@@ -183,6 +187,8 @@ TEST(TcamSearchBatchTest, BitIdenticalToSequentialSearches) {
     sequential.Insert(entry);
     batched.Insert(std::move(entry));
   }
+  sequential.Commit();
+  batched.Commit();
   std::vector<BitKey> keys;
   for (std::size_t probe = 0; probe < 300; ++probe) {
     keys.push_back(BitKey::FromString(RandomBits(rng, width)));
@@ -207,6 +213,7 @@ TEST(TcamSearchBatchTest, BitIdenticalToSequentialSearches) {
 TEST(TcamSearchBatchTest, EmptyBatchIsANoOp) {
   TcamTable t(8, TcamTechnology::MemristorTcam());
   t.Insert({TernaryWord::FromString("1XXXXXXX"), 1, 0});
+  t.Commit();
   std::vector<BitKey> keys;
   std::vector<std::optional<TcamSearchResult>> out(3);
   t.SearchBatch(keys, out);
@@ -240,6 +247,7 @@ TEST_P(LpmEngineDifferential, MatchesNaiveLongestPrefix) {
   dup.entry_index = 64;
   routes.push_back(dup);
   engine.AddRoute(dup);
+  engine.Commit();
 
   for (std::size_t probe = 0; probe < 4000; ++probe) {
     // Half the probes are perturbed route values, so deep prefixes hit.
@@ -293,6 +301,8 @@ TEST(LpmTableTest, LookupBatchBitIdenticalToSequential) {
     sequential.AddRoute(value, len, static_cast<std::uint32_t>(i));
     batched.AddRoute(value, len, static_cast<std::uint32_t>(i));
   }
+  sequential.Commit();
+  batched.Commit();
   std::vector<std::uint32_t> addrs;
   for (std::size_t probe = 0; probe < 500; ++probe) {
     addrs.push_back(

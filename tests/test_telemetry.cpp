@@ -5,10 +5,13 @@
 // data plane's verdicts stay bit-identical.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analognf/arch/stages.hpp"
@@ -218,6 +221,101 @@ TEST(FlightRecorderTest, ResetEmptiesTheRing) {
   recorder.Reset();
   EXPECT_EQ(recorder.recorded(), 0u);
   EXPECT_TRUE(recorder.Dump().empty());
+}
+
+// Two writers hammer a small ring while a reader dumps concurrently.
+// Every dumped record must be internally consistent (all fields from
+// one writer's record, never a torn mix) with strictly increasing
+// sequences; contention losses are visible in dropped(), not in torn
+// data. This is one of the TSan CI targets.
+TEST(FlightRecorderTest, TwoWritersNeverTearRecords) {
+  FlightRecorder recorder(8);
+  constexpr std::uint64_t kPerWriter = 20000;
+
+  const auto check_dump = [&recorder](std::uint64_t& torn) {
+    std::uint64_t last_seq = 0;
+    bool first = true;
+    for (const BatchTraceRecord& rec : recorder.Dump()) {
+      // Writer invariant: batch_size == 7, total_ns == 2 * now_s, and
+      // now_s identifies the writer (1.0 or 2.0).
+      const bool consistent =
+          rec.batch_size == 7 && (rec.now_s == 1.0 || rec.now_s == 2.0) &&
+          rec.total_ns == 2.0 * rec.now_s &&
+          (first || rec.sequence > last_seq);
+      if (!consistent) ++torn;
+      last_seq = rec.sequence;
+      first = false;
+    }
+  };
+
+  const auto writer = [&recorder](double tag) {
+    for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+      BatchTraceRecord rec;
+      rec.now_s = tag;
+      rec.batch_size = 7;
+      rec.total_ns = 2.0 * tag;
+      recorder.Record(rec);
+    }
+  };
+  std::uint64_t torn_during_run = 0;
+  std::thread t1(writer, 1.0);
+  std::thread t2(writer, 2.0);
+  for (int i = 0; i < 200; ++i) check_dump(torn_during_run);
+  t1.join();
+  t2.join();
+
+  EXPECT_EQ(torn_during_run, 0u);
+  std::uint64_t torn_after = 0;
+  check_dump(torn_after);
+  EXPECT_EQ(torn_after, 0u);
+  EXPECT_EQ(recorder.recorded(), 2 * kPerWriter);  // every claim counted
+  EXPECT_LE(recorder.dropped(), recorder.recorded());
+  // The ring holds only successfully written records.
+  EXPECT_LE(recorder.Dump().size(), recorder.capacity());
+}
+
+// ------------------------------------------------------ external slots
+
+// Two non-pool writer threads each register an external ThreadPool slot
+// before a counter sized from SlotUpperBound() is built: every
+// increment lands in the thread's own cell, so the total is exact (the
+// unregistered fallback shares slot 0 and can lose relaxed updates).
+TEST(ThreadPoolExternalSlotTest, RegisteredWritersKeepCountersExact) {
+  constexpr std::uint64_t kIncrements = 150000;
+  constexpr std::size_t kWriters = 2;
+
+  std::array<std::size_t, kWriters> slots{};
+  std::atomic<std::size_t> registered{0};
+  std::atomic<bool> start{false};
+  telemetry::Counter* counter = nullptr;
+
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      slots[w] = ThreadPool::RegisterExternalSlot();
+      // Idempotent per thread: a second call returns the same slot.
+      EXPECT_EQ(ThreadPool::RegisterExternalSlot(), slots[w]);
+      EXPECT_EQ(ThreadPool::CurrentSlot(), slots[w]);
+      registered.fetch_add(1, std::memory_order_release);
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      for (std::uint64_t i = 0; i < kIncrements; ++i) counter->Inc();
+    });
+  }
+  while (registered.load(std::memory_order_acquire) < kWriters) {
+    std::this_thread::yield();
+  }
+  // Sized after registration: covers every slot handed out so far.
+  telemetry::Counter exact(ThreadPool::SlotUpperBound());
+  counter = &exact;
+  start.store(true, std::memory_order_release);
+  for (auto& t : writers) t.join();
+
+  EXPECT_NE(slots[0], slots[1]);
+  EXPECT_GT(slots[0], ThreadPool::Shared().size());
+  EXPECT_GT(slots[1], ThreadPool::Shared().size());
+  EXPECT_EQ(exact.Value(), kWriters * kIncrements);
 }
 
 // ------------------------------------------------------------ exporters
