@@ -19,6 +19,7 @@
 #include "analognf/arch/stages.hpp"
 #include "analognf/arch/switch.hpp"
 #include "analognf/common/rng.hpp"
+#include "analognf/common/simd.hpp"
 #include "analognf/net/packet.hpp"
 
 namespace {
@@ -74,9 +75,33 @@ std::vector<net::Packet> MakeTraffic(std::size_t count) {
   return packets;
 }
 
-std::unique_ptr<arch::CognitiveSwitch> MakeSwitch() {
+// Firewall rule-set size used throughout: large enough that the engine
+// compiles to the pruned match tier (the ISSUE/ROADMAP target point is
+// 1024 rules at batch 256).
+constexpr std::size_t kFirewallRules = 1024;
+
+std::unique_ptr<arch::CognitiveSwitch> MakeSwitch(
+    std::size_t firewall_rules = kFirewallRules) {
   auto sw = std::make_unique<arch::CognitiveSwitch>(PipelineConfig());
   sw->AddRoute(net::ParseIpv4("10.0.0.0"), 24, 0);
+  // ACL-style mix: /32 source-host rules (the first 256 cover the live
+  // flows, the rest are cold), a third also pinning a dst /24, a third
+  // also pinning a dst port. Everything permits, so the verdict stream
+  // is identical to the single catch-all rule — only the match work and
+  // the stored-bit energy change.
+  for (std::size_t i = 0; i + 1 < firewall_rules; ++i) {
+    arch::FirewallPattern p;
+    p.src_ip = 0x01010000u + static_cast<std::uint32_t>(i);
+    p.src_prefix_len = 32;
+    if (i % 3 == 1) {
+      p.dst_ip = 0x0a000000u + static_cast<std::uint32_t>(i & 0xff);
+      p.dst_prefix_len = 24;
+    } else if (i % 3 == 2) {
+      p.any_dst_port = false;
+      p.dst_port = 53;
+    }
+    sw->AddFirewallRule(p, true, 2);
+  }
   sw->AddFirewallRule(arch::FirewallPattern{}, true, 1);
   return sw;
 }
@@ -172,10 +197,13 @@ void EmitPipelineJson() {
     totals.items.push_back(
         {bench::JsonInt("batch", batches[i]),
          bench::JsonNum("ns_per_packet", total_ns[i]),
+         bench::JsonNum("mpps", 1000.0 / total_ns[i]),
          bench::JsonNum("nj_per_packet", total_nj[i])});
   }
   bench::WriteBenchJson("BENCH_pipeline.json",
-                        {bench::JsonStr("bench", "pipeline_stages")},
+                        {bench::JsonStr("bench", "pipeline_stages"),
+                         bench::JsonStr("isa", simd::IsaName()),
+                         bench::JsonInt("firewall_rules", kFirewallRules)},
                         {stages, totals},
                         std::to_string(rows.size()) + " stage rows");
 }

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Performance gate: compare BENCH_*.json against a checked-in budget.
+
+Each budget entry names one measurement (a JSON file, the array holding
+its rows, the fields identifying the row, and the timing field) plus the
+budgeted value in nanoseconds. A measurement regresses when it exceeds
+budget * (1 + tolerance); the default tolerance is 25%.
+
+Timings are only comparable on the machine class the budget was recorded
+on. The gate therefore enforces (exit 1) only when it is certain the run
+is comparable: the ANALOGNF_BENCH_NATIVE environment variable is set
+(a runner the budget was calibrated for) and the measurement file's
+`isa` matches the budget's. Everything else — shared CI runners, forced
+scalar reruns — still prints the full comparison, but warns instead of
+failing, so the numbers stay visible without flaking CI.
+
+Usage: check_bench.py [--budget scripts/bench_budget.json]
+                      [--dir build-release/bench] [--strict]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def find_row(data, entry):
+    rows = data.get(entry["array"], [])
+    for row in rows:
+        if all(row.get(k) == v for k, v in entry["match"].items()):
+            return row
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--budget", default="scripts/bench_budget.json")
+    ap.add_argument("--dir", default=".", help="directory with BENCH_*.json")
+    ap.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on regression even without ANALOGNF_BENCH_NATIVE",
+    )
+    args = ap.parse_args()
+
+    budget = load(args.budget)
+    tolerance = budget.get("tolerance", 0.25)
+    native = args.strict or bool(os.environ.get("ANALOGNF_BENCH_NATIVE"))
+
+    regressions = []
+    checked = 0
+    missing = []
+    for entry in budget["entries"]:
+        path = os.path.join(args.dir, entry["file"])
+        if not os.path.exists(path):
+            missing.append(entry["file"])
+            continue
+        data = load(path)
+        row = find_row(data, entry)
+        if row is None or entry["field"] not in row:
+            missing.append(f"{entry['file']}: {entry['match']}")
+            continue
+        measured = float(row[entry["field"]])
+        budget_ns = float(entry["budget_ns"])
+        limit = budget_ns * (1.0 + tolerance)
+        comparable = data.get("isa") == budget.get("isa")
+        ratio = measured / budget_ns if budget_ns > 0 else float("inf")
+        status = "ok" if measured <= limit else "REGRESSION"
+        if measured > limit and comparable:
+            regressions.append(entry)
+        checked += 1
+        print(
+            f"[bench-gate] {status:10s} {entry['name']}: "
+            f"{measured:.1f} ns vs budget {budget_ns:.1f} ns "
+            f"(x{ratio:.2f}, limit x{1 + tolerance:.2f}"
+            f"{'' if comparable else ', isa mismatch — informational'})"
+        )
+
+    for m in missing:
+        print(f"[bench-gate] MISSING    {m}")
+
+    if checked == 0:
+        print("[bench-gate] no measurements found — nothing to check")
+        return 1
+
+    if regressions:
+        names = ", ".join(e["name"] for e in regressions)
+        if native:
+            print(f"[bench-gate] FAIL: {len(regressions)} regression(s): {names}")
+            return 1
+        print(
+            f"[bench-gate] warn-only (ANALOGNF_BENCH_NATIVE unset): "
+            f"{len(regressions)} over-budget measurement(s): {names}"
+        )
+    else:
+        print(f"[bench-gate] all {checked} measurements within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

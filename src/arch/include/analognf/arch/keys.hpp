@@ -14,6 +14,10 @@ inline constexpr std::size_t kFiveTupleBits = 104;
 // Serialises a 5-tuple into the canonical 104-bit search key.
 tcam::BitKey FiveTupleKey(const net::FiveTuple& tuple);
 
+// Same, into a caller-owned key (cleared first). Per-packet hot paths
+// use this to reuse one BitKey allocation per batch slot.
+void FiveTupleKeyInto(const net::FiveTuple& tuple, tcam::BitKey& key);
+
 // Builds a 104-bit ternary firewall pattern. Any field can be wildcarded:
 // prefix lengths of 0 wildcard an address entirely; `any_port`/-proto
 // flags wildcard those fields.

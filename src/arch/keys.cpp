@@ -28,12 +28,17 @@ tcam::TernaryWord U8Word(std::uint8_t value, bool any) {
 
 tcam::BitKey FiveTupleKey(const net::FiveTuple& tuple) {
   tcam::BitKey key;
+  FiveTupleKeyInto(tuple, key);
+  return key;
+}
+
+void FiveTupleKeyInto(const net::FiveTuple& tuple, tcam::BitKey& key) {
+  key.Clear();
   key.AppendU32(tuple.src_ip);
   key.AppendU32(tuple.dst_ip);
   key.AppendU16(tuple.src_port);
   key.AppendU16(tuple.dst_port);
   key.AppendU8(tuple.protocol);
-  return key;
 }
 
 tcam::TernaryWord BuildFirewallWord(const FirewallPattern& pattern) {

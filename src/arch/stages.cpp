@@ -75,13 +75,18 @@ void FirewallStage::AddRule(const FirewallPattern& pattern, bool permit,
 void FirewallStage::Process(net::PacketBatch& batch) {
   const std::size_t n = batch.size();
   eligible_.clear();
-  keys_.clear();
+  // Reuse the per-slot BitKey allocations across batches: grow the key
+  // vector to the eligible count, rebuild each key in place, then trim.
+  std::size_t m = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (batch.verdicts[i] != net::Verdict::kForwarded) continue;
     if (!batch.parsed[i].ipv4.has_value()) continue;
     eligible_.push_back(i);
-    keys_.push_back(FiveTupleKey(batch.parsed[i].Key()));
+    if (m == keys_.size()) keys_.emplace_back();
+    FiveTupleKeyInto(batch.parsed[i].Key(), keys_[m]);
+    ++m;
   }
+  keys_.resize(m);
   energy::CategoryTotal& meter = stage_meter();
   if (shared_ != nullptr) {
     // Concurrent-reader mode: search the published snapshot's engine
@@ -257,10 +262,9 @@ void TrafficClassStage::Process(net::PacketBatch& batch) {
     meta.size_bytes = static_cast<std::uint32_t>(batch.packet(i).size());
     meta.flow_hash = batch.flow_hash[i];
     meta.priority = batch.priority[i];
-    tracker_.Observe(meta);
+    const cognitive::FlowFeatures features = tracker_.ObserveAndFeatures(meta);
     const double before_j = classifier_.ConsumedEnergyJ();
-    const auto result =
-        classifier_.Classify(tracker_.Features(meta.flow_hash), min_confidence_);
+    const auto result = classifier_.Classify(features, min_confidence_);
     const double delta_j = classifier_.ConsumedEnergyJ() - before_j;
     batch.analog_commits.push_back({static_cast<std::uint32_t>(i), delta_j});
     meter.energy_j += delta_j;
@@ -314,15 +318,25 @@ void TrafficManagerStage::Process(net::PacketBatch& batch) {
       *ledger_->Meter(energy::category::kDataMovement);
   energy::CategoryTotal& tcam = *ledger_->Meter(energy::category::kTcamSearch);
   energy::CategoryTotal& pcam = *ledger_->Meter(energy::category::kPcamSearch);
-  // Deferred analog energy replays per packet; the upstream stages ran
-  // in order and walked packets in order, so a stable sort by packet
-  // index recovers the per-packet stage order of a sequential pipeline.
+  // Deferred analog energy replays per packet. Each upstream stage
+  // appended its commits in ascending packet order, so the buffer is a
+  // concatenation of a few sorted runs (typically load balancer +
+  // classifier); merging runs left to right is stable — equal packet
+  // indices keep append order, the per-packet stage order of a
+  // sequential pipeline — and beats a general sort.
   commits_.assign(batch.analog_commits.begin(), batch.analog_commits.end());
-  std::stable_sort(commits_.begin(), commits_.end(),
-                   [](const net::PacketBatch::AnalogCommit& a,
-                      const net::PacketBatch::AnalogCommit& b) {
-                     return a.packet < b.packet;
-                   });
+  const auto by_packet = [](const net::PacketBatch::AnalogCommit& a,
+                            const net::PacketBatch::AnalogCommit& b) {
+    return a.packet < b.packet;
+  };
+  auto sorted_end =
+      std::is_sorted_until(commits_.begin(), commits_.end(), by_packet);
+  while (sorted_end != commits_.end()) {
+    const auto next = std::is_sorted_until(sorted_end, commits_.end(),
+                                           by_packet);
+    std::inplace_merge(commits_.begin(), sorted_end, next, by_packet);
+    sorted_end = next;
+  }
   std::size_t commit_next = 0;
   for (std::size_t i = 0; i < n; ++i) {
     ++stats_->injected;

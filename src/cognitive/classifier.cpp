@@ -26,8 +26,8 @@ FlowTracker::FlowTracker(double ewma_weight) : ewma_weight_(ewma_weight) {
   }
 }
 
-void FlowTracker::Observe(const net::PacketMeta& packet) {
-  FlowState& state = flows_[packet.flow_hash];
+void FlowTracker::ObserveInto(FlowState& state,
+                              const net::PacketMeta& packet) {
   state.sizes.Add(packet.size_bytes);
   if (state.has_arrival) {
     const double gap = packet.arrival_time_s - state.last_arrival_s;
@@ -37,11 +37,8 @@ void FlowTracker::Observe(const net::PacketMeta& packet) {
   state.has_arrival = true;
 }
 
-FlowFeatures FlowTracker::Features(std::uint64_t flow_hash) const {
+FlowFeatures FlowTracker::FeaturesOf(const FlowState& state) {
   FlowFeatures out;
-  const auto it = flows_.find(flow_hash);
-  if (it == flows_.end()) return out;
-  const FlowState& state = it->second;
   out.packets = state.sizes.count();
   out.mean_packet_size_bytes = state.sizes.mean();
   if (!state.gaps.empty()) {
@@ -51,6 +48,22 @@ FlowFeatures FlowTracker::Features(std::uint64_t flow_hash) const {
     }
   }
   return out;
+}
+
+void FlowTracker::Observe(const net::PacketMeta& packet) {
+  ObserveInto(flows_[packet.flow_hash], packet);
+}
+
+FlowFeatures FlowTracker::Features(std::uint64_t flow_hash) const {
+  const auto it = flows_.find(flow_hash);
+  if (it == flows_.end()) return FlowFeatures{};
+  return FeaturesOf(it->second);
+}
+
+FlowFeatures FlowTracker::ObserveAndFeatures(const net::PacketMeta& packet) {
+  FlowState& state = flows_[packet.flow_hash];
+  ObserveInto(state, packet);
+  return FeaturesOf(state);
 }
 
 AnalogTrafficClassifier::AnalogTrafficClassifier(

@@ -43,6 +43,12 @@ class FlowTracker {
 
   // Features of a flow (zeroed FlowFeatures if never seen).
   FlowFeatures Features(std::uint64_t flow_hash) const;
+
+  // Observe(packet) followed by Features(packet.flow_hash) in one hash
+  // lookup — the per-packet hot path of the traffic-class stage.
+  // Bit-identical to the two-call sequence.
+  FlowFeatures ObserveAndFeatures(const net::PacketMeta& packet);
+
   std::size_t flows() const { return flows_.size(); }
 
  private:
@@ -52,6 +58,9 @@ class FlowTracker {
     analognf::RunningStats sizes;
     analognf::RunningStats gaps;
   };
+
+  static void ObserveInto(FlowState& state, const net::PacketMeta& packet);
+  static FlowFeatures FeaturesOf(const FlowState& state);
 
   double ewma_weight_;
   std::unordered_map<std::uint64_t, FlowState> flows_;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "analognf/common/simd.hpp"
 #include "analognf/common/thread_pool.hpp"
 #include "analognf/core/pcam_array.hpp"
 
@@ -151,29 +152,15 @@ void PcamSearchEngine::SearchStateless(const double* query,
     double* deg = degrees.data();
     for (std::size_t f = 0; f < field_count_; ++f) {
       const FieldColumn& c = columns_[f];
-      const double v = line_v_[f];
-      const double* m1 = c.m1.data();
-      const double* m2 = c.m2.data();
-      const double* m3 = c.m3.data();
-      const double* m4 = c.m4.data();
-      const double* sa = c.sa.data();
-      const double* sb = c.sb.data();
-      const double* ia = c.ia.data();
-      const double* ib = c.ib.data();
-      const double* lo = c.pmin.data();
-      const double* hi = c.pmax.data();
-      // Branch-light select chain over the whole column: identical
-      // arithmetic to PcamCell::Evaluate in every region, written so the
-      // compiler if-converts and vectorizes it.
-      for (std::size_t r = r0; r < r1; ++r) {
-        const double rising = sa[r] * v + ia[r];
-        const double falling = sb[r] * v + ib[r];
-        double o = (v < m2[r]) ? rising : hi[r];
-        o = (v > m3[r]) ? falling : o;
-        o = (v <= m1[r] || v >= m4[r]) ? lo[r] : o;
-        o = std::min(std::max(o, lo[r]), hi[r]);
-        deg[r] *= o;
-      }
+      // Explicit SIMD column sweep (4 rows per AVX2 iteration), same
+      // arithmetic as PcamCell::Evaluate in every region — the scalar
+      // fallback and the AVX2 kernel are bit-identical by construction
+      // (common/simd.hpp).
+      const simd::PcamColumnSpan span{
+          c.m1.data(), c.m2.data(), c.m3.data(), c.m4.data(),
+          c.sa.data(), c.sb.data(), c.ia.data(), c.ib.data(),
+          c.pmin.data(), c.pmax.data()};
+      simd::PcamColumnEval(span, line_v_[f], deg, r0, r1);
     }
     // Shard-local arg-max (ties: lowest row index).
     std::size_t best = r0;
@@ -289,9 +276,16 @@ void PcamSearchEngine::SearchBatch(std::vector<PcamWord>& words,
                                            batch_line_.data(), count);
       const FieldColumn& c = columns_[f];
       const double g_rt = c.g_sum[r] * read_time_s_;
+      // Row-constant SIMD evaluation across the batch's line voltages
+      // (4 queries per AVX2 iteration); bit-identical to EvalCell.
+      const simd::PcamCellParams params{c.m1[r], c.m2[r],   c.m3[r],
+                                        c.m4[r], c.sa[r],   c.sb[r],
+                                        c.ia[r], c.ib[r],   c.pmin[r],
+                                        c.pmax[r]};
+      simd::PcamCellEvalBatch(params, batch_line_.data(), batch_deg_.data(),
+                              count);
       for (std::size_t q = 0; q < count; ++q) {
         const double lv = batch_line_[q];
-        batch_deg_[q] *= EvalCell(c, r, lv);
         outcomes[q].energy_j += lv * lv * g_rt;
       }
     }

@@ -189,6 +189,12 @@ class TcamTable {
 
  private:
   void RequireCommitted() const;  // throws std::logic_error
+  // Commit-time tombstone compaction (runs when the dead fraction
+  // exceeds 1/4): trailing tombstoned slots are dropped outright —
+  // no live index moves, so the stable-index contract holds — and
+  // interior tombstones release their pattern storage while keeping
+  // their slot reserved for reuse.
+  void CompactTombstones();
 
   std::size_t key_width_;
   TcamTechnology technology_;

@@ -10,9 +10,16 @@
 //     arrays mask/value `uint64_t` lanes — one lane set per 64 key bits —
 //     stored in priority-sorted slot order (priority descending, stable
 //     by table index). A row matches iff `(key & mask) == value` holds
-//     on every lane, so one search evaluates a whole bank of 64 rows as
-//     a branch-light loop the compiler auto-vectorizes, and the first
-//     set bit of the bank's match mask IS the priority winner.
+//     on every lane, so one search evaluates a whole bank of 64 rows
+//     with the explicit SIMD bank kernel (common/simd.hpp; AVX2 with a
+//     scalar fallback), and the first set bit of the bank's match mask
+//     IS the priority winner.
+//   * Match tiers: Compile() additionally builds a chunk-bitmap pruning
+//     index (tcam_classifier.hpp) when the heuristic says it pays off.
+//     On the pruned tier a search intersects a handful of 256-bucket
+//     slot bitsets and verifies only the surviving candidates; the
+//     linear tier scans every bank. Both tiers return bit-identical
+//     winners; tier() reports which one this compilation chose.
 //   * Concurrency contract: an engine is compiled exactly once (by the
 //     owning table's Commit()) and is immutable afterwards. Search and
 //     SearchBatch are const and touch only compiled state plus the
@@ -38,10 +45,19 @@
 #include <optional>
 #include <vector>
 
+#include "analognf/tcam/tcam_classifier.hpp"
 #include "analognf/tcam/ternary.hpp"
 #include "analognf/telemetry/metrics.hpp"
 
 namespace analognf::tcam {
+
+// Which compiled match tier a Compile() chose (see tcam_classifier.hpp
+// for the heuristic). Recorded per snapshot: the engine inside a
+// published TcamTableSnapshot exposes the tier its row set compiled to.
+enum class TcamMatchTier {
+  kLinear,  // full scan of every bank, SIMD bank compares
+  kPruned,  // chunk-bitmap intersection, then candidate verification
+};
 
 // Tuning knobs, per table.
 struct TcamSearchConfig {
@@ -53,6 +69,10 @@ struct TcamSearchConfig {
   // the sharded code path even on a single-core host, which keeps the
   // merge logic testable everywhere.
   std::size_t max_threads = 0;
+  // Pruning-classifier heuristic knobs. Setting classifier.min_slots to
+  // SIZE_MAX pins the engine to the linear tier (the bench's reference
+  // variant).
+  TcamClassifierConfig classifier;
 
   void Validate() const;  // throws std::invalid_argument
 };
@@ -76,9 +96,8 @@ struct TcamEngineHit {
 // searches a shared engine owns one of these (vectors are reused across
 // calls and never shrink); the engine itself stays const.
 struct TcamSearchScratch {
-  std::vector<std::uint64_t> key_lanes;
-  std::vector<std::uint64_t> batch_lanes;
   std::vector<std::size_t> shard_hit;
+  std::vector<std::uint64_t> shard_candidates;
 };
 
 class TcamSearchEngine {
@@ -96,6 +115,13 @@ class TcamSearchEngine {
   std::size_t key_width() const { return key_width_; }
   std::size_t slots() const { return slots_; }
   const TcamSearchConfig& config() const { return config_; }
+  // The match tier the last Compile() chose for this row set.
+  TcamMatchTier tier() const {
+    return pruner_.active() ? TcamMatchTier::kPruned : TcamMatchTier::kLinear;
+  }
+  // Expected surviving candidate fraction of the pruned tier (1.0 on the
+  // linear tier); goes into the bench JSON as `prune_ratio` context.
+  double expected_prune_density() const { return pruner_.expected_density(); }
 
   // --- search ---------------------------------------------------------
   // One probe. Requires a compiled engine (throws std::logic_error
@@ -126,6 +152,12 @@ class TcamSearchEngine {
   // Lowest matching slot in banks [bank_begin, bank_end), or kNoSlot.
   std::size_t FirstHit(const std::uint64_t* key_lanes,
                        std::size_t bank_begin, std::size_t bank_end) const;
+  // Pruned-tier search: bitmap intersection, then candidate verify in
+  // ascending slot order. Adds verified candidates to `candidates`.
+  std::size_t PrunedFirstHit(const std::uint64_t* key_lanes,
+                             std::uint64_t& candidates) const;
+  // Exact (key & mask) == value check of one slot across all lanes.
+  bool VerifySlot(const std::uint64_t* key_lanes, std::size_t slot) const;
   // Full-table search of one packed key, sharding banks when large.
   std::size_t SearchPacked(const std::uint64_t* key_lanes,
                            TcamSearchScratch& scratch) const;
@@ -139,9 +171,13 @@ class TcamSearchEngine {
   bool compiled_ = false;
 
   std::size_t slots_ = 0;
-  // Lane-major SoA: mask_[lane][slot], value_[lane][slot].
+  // Lane-major SoA: mask_[lane][slot], value_[lane][slot]. Columns are
+  // zero-padded to whole 64-slot banks so the SIMD bank kernel can read
+  // full banks; padding slots read as match-everything and are masked
+  // off by EvalBank's valid mask (bitmap rows never name them).
   std::vector<std::vector<std::uint64_t>> mask_;
   std::vector<std::vector<std::uint64_t>> value_;
+  TcamClassifier pruner_;
   std::vector<std::size_t> slot_entry_;     // slot -> stable table index
   std::vector<std::uint32_t> slot_action_;
   std::vector<std::int32_t> slot_priority_;

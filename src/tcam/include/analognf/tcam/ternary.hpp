@@ -17,30 +17,59 @@ enum class Tbit : std::uint8_t { kZero = 0, kOne = 1, kAny = 2 };
 
 // A search key: packed bit vector with typed append helpers, so match
 // keys are assembled the way a parser emits them (MSB first per field).
+//
+// Storage is the match engine's lane layout directly — append-order bit i
+// lives in 64-bit word i/64 at bit position i%64 — so a compiled engine
+// consumes words() with no per-bit repacking on the search hot path.
+// Bits at positions >= width() within the last word are always zero.
 class BitKey {
  public:
   BitKey() = default;
 
-  void AppendBit(bool bit) { bits_.push_back(bit); }
+  void AppendBit(bool bit) {
+    if ((width_ >> 6) == words_.size()) words_.push_back(0);
+    if (bit) words_[width_ >> 6] |= std::uint64_t{1} << (width_ & 63);
+    ++width_;
+  }
   void AppendU8(std::uint8_t value) { AppendBits(value, 8); }
   void AppendU16(std::uint16_t value) { AppendBits(value, 16); }
   void AppendU32(std::uint32_t value) { AppendBits(value, 32); }
 
-  std::size_t width() const { return bits_.size(); }
-  bool bit(std::size_t i) const { return bits_[i]; }
-  const std::vector<bool>& bits() const { return bits_; }
+  // Empties the key but keeps the word capacity, so per-packet key
+  // builders reuse one allocation across a batch.
+  void Clear() {
+    for (std::uint64_t& w : words_) w = 0;
+    width_ = 0;
+  }
+
+  std::size_t width() const { return width_; }
+  bool bit(std::size_t i) const {
+    return ((words_[i >> 6] >> (i & 63)) & 1u) != 0;
+  }
+  // Packed lanes, engine layout; word_count() = ceil(width / 64).
+  const std::uint64_t* words() const { return words_.data(); }
+  std::size_t word_count() const { return (width_ + 63) / 64; }
 
   // "0"/"1" string, MSB-first in append order.
   std::string ToString() const;
   // Parses a "01" string. Throws std::invalid_argument on other chars.
   static BitKey FromString(const std::string& s);
 
-  friend bool operator==(const BitKey&, const BitKey&) = default;
+  friend bool operator==(const BitKey& a, const BitKey& b) {
+    if (a.width_ != b.width_) return false;
+    for (std::size_t w = 0; w < a.word_count(); ++w) {
+      if (a.words_[w] != b.words_[w]) return false;
+    }
+    return true;
+  }
 
  private:
   void AppendBits(std::uint32_t value, int width);
 
-  std::vector<bool> bits_;
+  // words_.size() may exceed word_count() after Clear(); trailing words
+  // are zero either way.
+  std::vector<std::uint64_t> words_;
+  std::size_t width_ = 0;
 };
 
 // A stored ternary word.

@@ -96,8 +96,29 @@ void TcamTable::Erase(std::size_t index) {
   dirty_.store(true, std::memory_order_release);
 }
 
+void TcamTable::CompactTombstones() {
+  const std::size_t dead = entries_.size() - live_count_;
+  if (dead * 4 <= entries_.size()) return;  // dead fraction <= 25%
+  // Trailing tombstones can go outright: no later slot exists whose
+  // index they would disturb. Their free-list records go with them.
+  std::size_t new_size = entries_.size();
+  while (new_size > 0 && live_[new_size - 1] == 0) --new_size;
+  if (new_size != entries_.size()) {
+    entries_.resize(new_size);
+    live_.resize(new_size);
+    std::erase_if(free_list_,
+                  [new_size](std::size_t i) { return i >= new_size; });
+  }
+  // Interior tombstones keep their slot (the stable-index contract) but
+  // drop the pattern payload; Insert overwrites the whole entry on reuse.
+  for (std::size_t i = 0; i < new_size; ++i) {
+    if (live_[i] == 0) entries_[i].pattern = TernaryWord{};
+  }
+}
+
 void TcamTable::Commit() {
   if (!NeedsCommit()) return;
+  CompactTombstones();
   auto snap = std::make_shared<TcamTableSnapshot>(key_width_, engine_config_);
   std::vector<TcamEngineEntry> view;
   view.reserve(live_count_);

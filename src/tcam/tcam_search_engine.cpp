@@ -5,6 +5,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "analognf/common/simd.hpp"
 #include "analognf/common/thread_pool.hpp"
 
 namespace analognf::tcam {
@@ -52,9 +53,11 @@ void TcamSearchEngine::Compile(
   slot_entry_.assign(slots_, 0);
   slot_action_.assign(slots_, 0);
   slot_priority_.assign(slots_, 0);
+  // Pad columns to whole banks for the SIMD bank kernel (see header).
+  const std::size_t padded = BankCount() * 64;
   for (std::size_t lane = 0; lane < lanes_; ++lane) {
-    mask_[lane].assign(slots_, 0);
-    value_[lane].assign(slots_, 0);
+    mask_[lane].assign(padded, 0);
+    value_[lane].assign(padded, 0);
   }
 
   for (std::size_t s = 0; s < slots_; ++s) {
@@ -78,6 +81,14 @@ void TcamSearchEngine::Compile(
       }
     }
   }
+
+  // Tier decision: build the pruning index when the heuristic pays off;
+  // otherwise stay on the linear scan (tier() reports the choice).
+  std::vector<const TernaryWord*> slot_patterns(slots_);
+  for (std::size_t s = 0; s < slots_; ++s) slot_patterns[s] = order[s]->pattern;
+  pruner_ = TcamClassifier(config_.classifier);
+  pruner_.Compile(slot_patterns, key_width_);
+
   compiled_ = true;
   telemetry_.recompiles.Inc();
 }
@@ -86,21 +97,63 @@ std::uint64_t TcamSearchEngine::EvalBank(const std::uint64_t* key_lanes,
                                          std::size_t bank) const {
   const std::size_t s0 = bank * 64;
   const std::size_t n = std::min<std::size_t>(64, slots_ - s0);
+  // The valid mask zeroes the bank-padding slots, whose all-zero
+  // mask/value columns would otherwise read as matches.
   std::uint64_t match =
       n == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
   for (std::size_t lane = 0; lane < lanes_; ++lane) {
-    const std::uint64_t k = key_lanes[lane];
-    const std::uint64_t* mask = mask_[lane].data() + s0;
-    const std::uint64_t* value = value_[lane].data() + s0;
-    std::uint64_t bits = 0;
-    // Branch-free whole-bank compare; auto-vectorizes to wide compares.
-    for (std::size_t s = 0; s < n; ++s) {
-      bits |= static_cast<std::uint64_t>((k & mask[s]) == value[s]) << s;
-    }
-    match &= bits;
+    match &= simd::BankMatchWord(key_lanes[lane], mask_[lane].data() + s0,
+                                 value_[lane].data() + s0);
     if (match == 0) break;
   }
   return match;
+}
+
+bool TcamSearchEngine::VerifySlot(const std::uint64_t* key_lanes,
+                                  std::size_t slot) const {
+  for (std::size_t lane = 0; lane < lanes_; ++lane) {
+    if ((key_lanes[lane] & mask_[lane][slot]) != value_[lane][slot]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t TcamSearchEngine::PrunedFirstHit(const std::uint64_t* key_lanes,
+                                             std::uint64_t& candidates) const {
+  const std::uint64_t* rows[TcamClassifier::kMaxChunks];
+  pruner_.SelectRows(key_lanes, rows);
+  const std::size_t n_rows = pruner_.chunk_count();
+  const std::size_t words = pruner_.words_per_row();
+  std::uint64_t inter[4];
+  for (std::size_t w0 = 0; w0 < words; w0 += 4) {
+    if (!simd::IntersectWords4(rows, n_rows, w0, inter)) continue;
+    for (std::size_t j = 0; j < 4; ++j) {
+      std::uint64_t word = inter[j];
+      if (word == 0) continue;
+      const std::size_t bank = w0 + j;
+      // Dense survivor words: one SIMD bank evaluation beats verifying
+      // slot by slot.
+      if (std::popcount(word) >= 16) {
+        candidates += static_cast<std::uint64_t>(std::popcount(word));
+        const std::uint64_t match = EvalBank(key_lanes, bank) & word;
+        if (match != 0) {
+          return bank * 64 + static_cast<std::size_t>(std::countr_zero(match));
+        }
+        continue;
+      }
+      // Sparse survivors: ascending slot order IS priority order, so the
+      // first verified candidate is the winner.
+      while (word != 0) {
+        const std::size_t s =
+            bank * 64 + static_cast<std::size_t>(std::countr_zero(word));
+        ++candidates;
+        if (VerifySlot(key_lanes, s)) return s;
+        word &= word - 1;
+      }
+    }
+  }
+  return kNoSlot;
 }
 
 std::size_t TcamSearchEngine::FirstHit(const std::uint64_t* key_lanes,
@@ -161,15 +214,19 @@ std::optional<TcamEngineHit> TcamSearchEngine::Search(
   if (key.width() != key_width_) {
     throw std::invalid_argument("TcamSearchEngine: key width mismatch");
   }
-  scratch.key_lanes.assign(lanes_, 0);
-  for (std::size_t i = 0; i < key_width_; ++i) {
-    scratch.key_lanes[i >> 6] |=
-        static_cast<std::uint64_t>(key.bit(i)) << (i & 63);
-  }
   // The hardware model activates every stored row per probe.
   telemetry_.searches.Inc();
   telemetry_.rows_scanned.Inc(slots_);
-  return HitAt(SearchPacked(scratch.key_lanes.data(), scratch));
+  // BitKey stores the engine's packed lane layout directly.
+  if (pruner_.active()) {
+    std::uint64_t candidates = 0;
+    const std::size_t slot = PrunedFirstHit(key.words(), candidates);
+    telemetry_.candidates.Inc(candidates);
+    telemetry_.prune_ratio.Set(
+        1.0 - static_cast<double>(candidates) / static_cast<double>(slots_));
+    return HitAt(slot);
+  }
+  return HitAt(SearchPacked(key.words(), scratch));
 }
 
 void TcamSearchEngine::SearchBatch(
@@ -181,40 +238,46 @@ void TcamSearchEngine::SearchBatch(
   telemetry_.searches.Inc(count);
   if (count == 0 || slots_ == 0) return;
   telemetry_.rows_scanned.Inc(slots_ * count);
-
-  // Pack every key once up front; the scan then touches only the packed
-  // lanes, regardless of how many shards work the batch.
-  scratch.batch_lanes.assign(count * lanes_, 0);
   for (std::size_t q = 0; q < count; ++q) {
     if (keys[q].width() != key_width_) {
       throw std::invalid_argument("TcamSearchEngine: key width mismatch");
     }
-    std::uint64_t* lanes = scratch.batch_lanes.data() + q * lanes_;
-    for (std::size_t i = 0; i < key_width_; ++i) {
-      lanes[i >> 6] |=
-          static_cast<std::uint64_t>(keys[q].bit(i)) << (i & 63);
-    }
   }
 
   const std::size_t banks = BankCount();
-  const std::size_t shards = count > 1 ? ShardCount(count) : 1;
-  auto run_range = [&](std::size_t q0, std::size_t q1) {
+  const bool pruned = pruner_.active();
+  auto run_range = [&](std::size_t q0, std::size_t q1,
+                       std::uint64_t& candidates) {
     for (std::size_t q = q0; q < q1; ++q) {
-      out[q] =
-          HitAt(FirstHit(scratch.batch_lanes.data() + q * lanes_, 0, banks));
+      // Keys carry their packed lanes; no per-batch repacking step.
+      out[q] = HitAt(pruned ? PrunedFirstHit(keys[q].words(), candidates)
+                            : FirstHit(keys[q].words(), 0, banks));
     }
   };
+
+  const std::size_t shards = count > 1 ? ShardCount(count) : 1;
+  std::uint64_t total_candidates = 0;
   if (shards == 1) {
-    run_range(0, count);
-    return;
+    run_range(0, count, total_candidates);
+  } else {
+    // Shard key ranges: per-key results are independent, so any schedule
+    // produces the sequential answer. Candidate counts accumulate into
+    // per-shard cells and fold after the join.
+    scratch.shard_candidates.assign(shards, 0);
+    const std::size_t chunk = (count + shards - 1) / shards;
+    ThreadPool::Shared().ParallelFor(shards, [&](std::size_t s) {
+      const std::size_t q0 = s * chunk;
+      run_range(q0, std::min(q0 + chunk, count), scratch.shard_candidates[s]);
+    });
+    for (const std::uint64_t c : scratch.shard_candidates) {
+      total_candidates += c;
+    }
   }
-  // Shard key ranges: per-key results are independent, so any schedule
-  // produces the sequential answer.
-  const std::size_t chunk = (count + shards - 1) / shards;
-  ThreadPool::Shared().ParallelFor(shards, [&](std::size_t s) {
-    const std::size_t q0 = s * chunk;
-    run_range(q0, std::min(q0 + chunk, count));
-  });
+  if (pruned) {
+    telemetry_.candidates.Inc(total_candidates);
+    telemetry_.prune_ratio.Set(1.0 - static_cast<double>(total_candidates) /
+                                         static_cast<double>(slots_ * count));
+  }
 }
 
 // ------------------------------------------------------------ LpmEngine

@@ -4,16 +4,34 @@
 
 namespace analognf::tcam {
 
+namespace {
+
+inline std::uint32_t ReverseBits32(std::uint32_t v) {
+  v = ((v >> 1) & 0x55555555u) | ((v & 0x55555555u) << 1);
+  v = ((v >> 2) & 0x33333333u) | ((v & 0x33333333u) << 2);
+  v = ((v >> 4) & 0x0F0F0F0Fu) | ((v & 0x0F0F0F0Fu) << 4);
+  return __builtin_bswap32(v);
+}
+
+}  // namespace
+
 void BitKey::AppendBits(std::uint32_t value, int width) {
-  for (int i = width - 1; i >= 0; --i) {
-    bits_.push_back(((value >> i) & 1u) != 0);
-  }
+  // MSB-first append == LSB-first storage of the bit-reversed value, so
+  // a whole field lands with two shifted ORs instead of a per-bit loop.
+  const auto w = static_cast<unsigned>(width);
+  const std::uint64_t chunk = ReverseBits32(value) >> (32u - w);
+  const std::size_t need = (width_ + w + 63) >> 6;
+  if (words_.size() < need) words_.resize(need, 0);
+  const std::size_t off = width_ & 63;
+  words_[width_ >> 6] |= chunk << off;
+  if (off + w > 64) words_[(width_ >> 6) + 1] |= chunk >> (64 - off);
+  width_ += w;
 }
 
 std::string BitKey::ToString() const {
   std::string out;
-  out.reserve(bits_.size());
-  for (bool b : bits_) out.push_back(b ? '1' : '0');
+  out.reserve(width_);
+  for (std::size_t i = 0; i < width_; ++i) out.push_back(bit(i) ? '1' : '0');
   return out;
 }
 

@@ -231,6 +231,11 @@ struct SearchEngineCounters {
   CounterHandle searches;      // probes evaluated
   CounterHandle rows_scanned;  // stored rows (or trie nodes) evaluated
   CounterHandle recompiles;    // snapshot compiles / dirty-row refreshes
+  // Pruned-tier TCAM engines only: rows that survived the bitmap
+  // intersection and were actually verified, and the fraction of stored
+  // rows the bitmaps pruned away on the most recent search (or batch).
+  CounterHandle candidates;
+  GaugeHandle prune_ratio;
 };
 
 // --------------------------------------------------------------- snapshot
@@ -300,13 +305,17 @@ class MetricsRegistry {
 };
 
 // Registers the canonical `<prefix>.searches` / `<prefix>.rows_scanned`
-// / `<prefix>.recompiles` counter triple for a search engine.
+// / `<prefix>.recompiles` counter triple for a search engine, plus the
+// `<prefix>.candidates` counter and `<prefix>.prune_ratio` gauge the
+// pruned TCAM match tier reports into (zero for other engines).
 inline SearchEngineCounters MakeSearchEngineCounters(
     MetricsRegistry& registry, const std::string& prefix) {
   SearchEngineCounters counters;
   counters.searches = registry.GetCounter(prefix + ".searches");
   counters.rows_scanned = registry.GetCounter(prefix + ".rows_scanned");
   counters.recompiles = registry.GetCounter(prefix + ".recompiles");
+  counters.candidates = registry.GetCounter(prefix + ".candidates");
+  counters.prune_ratio = registry.GetGauge(prefix + ".prune_ratio");
   return counters;
 }
 

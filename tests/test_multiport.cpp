@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "analognf/arch/port_runtime.hpp"
+#include "analognf/arch/stages.hpp"
 #include "analognf/arch/switch.hpp"
 #include "analognf/common/rng.hpp"
 #include "analognf/net/packet.hpp"
@@ -97,6 +98,26 @@ void InstallTables(auto& sw) {
   deny.dst_port = 666;
   deny.any_dst_port = false;
   sw.AddFirewallRule(deny, false, 10);
+  sw.AddFirewallRule(FirewallPattern{}, true, 1);
+}
+
+// 1024-rule ACL: the same deny-666/permit semantics as InstallTables,
+// but with enough specific rules that the firewall TCAM compiles to the
+// pruned match tier. The /32 source permits cover (and exceed) the
+// 1.1.x.y space MakeTrafficMix draws from, so they really match.
+void InstallLargeTables(auto& sw) {
+  sw.AddRoute(net::ParseIpv4("10.0.0.0"), 24, 0);
+  sw.AddRoute(net::ParseIpv4("10.0.0.8"), 29, 1);
+  FirewallPattern deny;
+  deny.dst_port = 666;
+  deny.any_dst_port = false;
+  sw.AddFirewallRule(deny, false, 10);
+  for (std::uint32_t i = 0; i < 1022; ++i) {
+    FirewallPattern p;
+    p.src_ip = net::ParseIpv4("1.1.0.0") + i;
+    p.src_prefix_len = 32;
+    sw.AddFirewallRule(p, true, 5);
+  }
   sw.AddFirewallRule(FirewallPattern{}, true, 1);
 }
 
@@ -314,6 +335,76 @@ TEST(SwitchGroupTest, FourPortsMatchFourSoloSwitches) {
   double want_j = 0.0;
   for (std::size_t p = 0; p < kPorts; ++p) {
     // Per-port bit-identity first: attribution stays exact per port.
+    ExpectStatsEq(group.device(p).stats(), solos[p]->stats());
+    EXPECT_DOUBLE_EQ(group.device(p).ledger().TotalJ(),
+                     solos[p]->ledger().TotalJ());
+    const SwitchStats& s = solos[p]->stats();
+    want.injected += s.injected;
+    want.forwarded += s.forwarded;
+    want.parse_errors += s.parse_errors;
+    want.firewall_denies += s.firewall_denies;
+    want.no_route += s.no_route;
+    want.aqm_drops += s.aqm_drops;
+    want.queue_full += s.queue_full;
+    want.delivered += s.delivered;
+    want_j += solos[p]->ledger().TotalJ();
+  }
+  ExpectStatsEq(group.AggregateStats(), want);
+  EXPECT_DOUBLE_EQ(group.TotalEnergyJ(), want_j);
+}
+
+// Same 4-port bit-identity contract, but over a 1024-rule firewall that
+// compiles to the pruned match tier: the tier (and its SIMD kernels)
+// must not perturb verdicts, stats, or energy attribution anywhere in
+// the concurrent runtime.
+TEST(SwitchGroupTest, FourPortsMatchFourSolosWithPrunedFirewall) {
+  const SwitchConfig config = GroupConfig();
+  constexpr std::size_t kPorts = 4;
+
+  std::vector<std::unique_ptr<CognitiveSwitch>> solos;
+  for (std::size_t p = 0; p < kPorts; ++p) {
+    solos.push_back(std::make_unique<CognitiveSwitch>(config));
+    InstallLargeTables(*solos.back());
+  }
+  SwitchGroup group(kPorts, config);
+  InstallLargeTables(group);
+  group.Commit();
+
+  std::vector<std::vector<net::Packet>> streams;
+  for (std::size_t p = 0; p < kPorts; ++p) {
+    streams.push_back(MakeTrafficMix(256, 2000 + p));
+  }
+  constexpr std::size_t kBatch = 64;
+  double now_s = 0.0;
+  for (std::size_t off = 0; off < 256; off += kBatch) {
+    for (std::size_t p = 0; p < kPorts; ++p) {
+      solos[p]->InjectBatch(
+          std::span<const net::Packet>(streams[p]).subspan(off, kBatch),
+          now_s);
+      std::vector<net::Packet> chunk(
+          streams[p].begin() + static_cast<long>(off),
+          streams[p].begin() + static_cast<long>(off + kBatch));
+      group.Submit(p, std::move(chunk), now_s);
+    }
+    now_s += 1.0e-4;
+  }
+  group.WaitIdle();
+
+  // The rule set must actually have engaged the pruned tier, or this
+  // test degenerates into the plain 4-port one.
+  const FirewallStage* fw = nullptr;
+  for (const auto& stage : solos[0]->graph().stages()) {
+    if (stage->name() == "firewall") {
+      fw = dynamic_cast<const FirewallStage*>(stage.get());
+    }
+  }
+  ASSERT_NE(fw, nullptr);
+  ASSERT_EQ(fw->table().snapshot()->engine.tier(),
+            tcam::TcamMatchTier::kPruned);
+
+  SwitchStats want;
+  double want_j = 0.0;
+  for (std::size_t p = 0; p < kPorts; ++p) {
     ExpectStatsEq(group.device(p).stats(), solos[p]->stats());
     EXPECT_DOUBLE_EQ(group.device(p).ledger().TotalJ(),
                      solos[p]->ledger().TotalJ());

@@ -189,6 +189,144 @@ TEST(TcamTableTest, InsertReusesTombstonedSlot) {
   EXPECT_EQ(hit->entry_index, first);
 }
 
+TEST(TcamTableTest, CommitCompactsTrailingTombstones) {
+  TcamTable t(2, TcamTechnology::MemristorTcam());
+  for (int i = 0; i < 8; ++i) {
+    t.Insert({TernaryWord::FromString(i % 2 == 0 ? "00" : "11"),
+              static_cast<std::uint32_t>(i), 0});
+  }
+  for (std::size_t i = 4; i < 8; ++i) t.Erase(i);
+  // Dead fraction 1/2 > 1/4 and every tombstone is trailing: Commit
+  // drops the slots outright. No live index moves.
+  t.Commit();
+  EXPECT_EQ(t.slot_count(), 4u);
+  EXPECT_EQ(t.size(), 4u);
+  const auto hit = t.Search(BitKey::FromString("11"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->entry_index, 1u);
+  EXPECT_THROW(t.Erase(5), std::out_of_range);  // the slot is gone
+  // Trimmed slots left the free list too: the next insert appends.
+  EXPECT_EQ(t.Insert({TernaryWord::FromString("XX"), 99, -1}), 4u);
+}
+
+TEST(TcamTableTest, CommitKeepsInteriorTombstoneSlotsReserved) {
+  TcamTable t(2, TcamTechnology::MemristorTcam());
+  for (int i = 0; i < 8; ++i) {
+    t.Insert({TernaryWord::FromString("11"), static_cast<std::uint32_t>(i),
+              0});
+  }
+  t.Erase(0);
+  t.Erase(2);
+  t.Erase(4);
+  // Dead fraction 3/8 > 1/4 but slot 7 is live: interior tombstones
+  // keep their slots (the stable-index contract) and only release their
+  // pattern storage.
+  t.Commit();
+  EXPECT_EQ(t.slot_count(), 8u);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.entries()[0].pattern.width(), 0u);  // storage released
+  EXPECT_FALSE(t.IsLive(0));
+  EXPECT_TRUE(t.IsLive(1));
+  const auto hit = t.Search(BitKey::FromString("11"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->entry_index, 1u);
+  // Reserved slots are still reused, LIFO.
+  EXPECT_EQ(t.Insert({TernaryWord::FromString("00"), 50, 0}), 4u);
+}
+
+TEST(TcamTableTest, EraseChurnCompactsAndStaysCorrect) {
+  analognf::RandomStream rng(909);
+  const std::size_t width = 16;
+  TcamTable t(width, TcamTechnology::MemristorTcam());
+  // Reference model: slot index -> live entry. Kept in sync through the
+  // table's own returned indices; trailing trims shrink it via
+  // slot_count().
+  std::vector<std::optional<TcamTable::Entry>> model;
+  std::uint32_t tag = 0;
+
+  auto random_pattern = [&] {
+    std::string s(width, 'X');
+    for (char& c : s) {
+      const std::size_t roll = rng.NextIndex(3);
+      if (roll == 0) c = '0';
+      if (roll == 1) c = '1';
+    }
+    return TernaryWord::FromString(s);
+  };
+  auto random_key = [&] {
+    std::string s(width, '0');
+    for (char& c : s) c = rng.NextIndex(2) == 0 ? '0' : '1';
+    return BitKey::FromString(s);
+  };
+  auto check = [&](std::size_t round) {
+    ASSERT_EQ(t.slot_count(), model.size()) << "round " << round;
+    for (std::size_t i = 0; i < model.size(); ++i) {
+      ASSERT_EQ(t.IsLive(i), model[i].has_value()) << "round " << round;
+    }
+    for (std::size_t probe = 0; probe < 20; ++probe) {
+      const BitKey key = random_key();
+      std::optional<TcamSearchResult> want;
+      for (std::size_t i = 0; i < model.size(); ++i) {
+        if (!model[i].has_value()) continue;
+        if (!model[i]->pattern.Matches(key)) continue;
+        if (!want.has_value() || model[i]->priority > want->priority) {
+          want = TcamSearchResult{i, model[i]->action, model[i]->priority,
+                                  0.0, 0.0};
+        }
+      }
+      const auto got = t.Search(key);
+      ASSERT_EQ(got.has_value(), want.has_value()) << "round " << round;
+      if (!want.has_value()) continue;
+      EXPECT_EQ(got->entry_index, want->entry_index) << "round " << round;
+      EXPECT_EQ(got->action, want->action) << "round " << round;
+      EXPECT_EQ(got->priority, want->priority) << "round " << round;
+    }
+  };
+
+  // Grow-heavy, then erase-heavy: the second half repeatedly trips the
+  // 25% compaction threshold.
+  for (std::size_t round = 0; round < 60; ++round) {
+    const bool erase_heavy = round >= 30;
+    const std::size_t ops = 1 + rng.NextIndex(4);
+    for (std::size_t op = 0; op < ops; ++op) {
+      const bool do_erase =
+          t.size() > 0 && rng.NextIndex(10) < (erase_heavy ? 7u : 2u);
+      if (do_erase) {
+        std::size_t idx = rng.NextIndex(t.slot_count());
+        while (!t.IsLive(idx)) idx = rng.NextIndex(t.slot_count());
+        t.Erase(idx);
+        model[idx].reset();
+      } else {
+        TcamTable::Entry entry{random_pattern(), tag++,
+                               static_cast<std::int32_t>(rng.NextIndex(4))};
+        const std::size_t idx = t.Insert(entry);
+        if (idx >= model.size()) model.resize(idx + 1);
+        model[idx] = std::move(entry);
+      }
+    }
+    t.Commit();
+    model.resize(t.slot_count());  // mirror any trailing trim
+    check(round);
+  }
+
+  // Tear down to one live entry: compaction must shrink the slot array,
+  // not just tombstone it.
+  while (t.size() > 1) {
+    std::size_t idx = rng.NextIndex(t.slot_count());
+    while (!t.IsLive(idx)) idx = rng.NextIndex(t.slot_count());
+    t.Erase(idx);
+    model[idx].reset();
+  }
+  t.Commit();
+  model.resize(t.slot_count());
+  check(999);
+  std::size_t last_live = 0;
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    if (model[i].has_value()) last_live = i;
+  }
+  EXPECT_EQ(t.slot_count(), last_live + 1);  // trailing slots all trimmed
+}
+
 TEST(TcamTableTest, ErasedEntriesStopBurningEnergy) {
   TcamTable t(2, TcamTechnology::TransistorCmos());
   const std::size_t first = t.Insert({TernaryWord::FromString("00"), 1, 0});

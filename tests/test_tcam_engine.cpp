@@ -4,6 +4,7 @@
 // and the batched entry points.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -171,6 +172,189 @@ TEST_P(EngineDifferential, ShardedPathMatchesSingleThreaded) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineDifferential,
                          ::testing::Values(7, 19, 41, 97));
+
+// ------------------------------------------------- match-tier differential
+// The pruned tier (chunk-bitmap intersection + candidate verify) must be
+// bit-identical to the linear tier on the same row set, winner for
+// winner. Tables below are built twice from identical entries: once with
+// the classifier pinned off, once with the default config.
+
+TcamSearchConfig LinearPinned() {
+  TcamSearchConfig config;
+  config.classifier.min_slots = std::numeric_limits<std::size_t>::max();
+  return config;
+}
+
+TcamMatchTier TierOf(const TcamTable& table) {
+  return table.snapshot()->engine.tier();
+}
+
+class TierDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TierDifferential, PrunedWinnersMatchLinearOnRandomTables) {
+  analognf::RandomStream rng(GetParam());
+  const std::size_t width = 104;
+  TcamTable linear(width, TcamTechnology::MemristorTcam(), LinearPinned());
+  TcamTable pruned(width, TcamTechnology::MemristorTcam());
+  const std::string base = RandomBits(rng, width);
+  for (std::size_t i = 0; i < 160; ++i) {
+    // Overlapping priorities from a tiny set: ties are the norm, so the
+    // lowest-index rule is load-bearing in both tiers.
+    TcamTable::Entry entry{RandomPattern(rng, base),
+                           static_cast<std::uint32_t>(i),
+                           static_cast<std::int32_t>(rng.NextIndex(3))};
+    linear.Insert(entry);
+    pruned.Insert(std::move(entry));
+  }
+  linear.Commit();
+  pruned.Commit();
+  ASSERT_EQ(TierOf(linear), TcamMatchTier::kLinear);
+  ASSERT_EQ(TierOf(pruned), TcamMatchTier::kPruned);
+
+  std::vector<BitKey> keys;
+  for (std::size_t probe = 0; probe < 1500; ++probe) {
+    std::string bits = probe % 2 == 0 ? base : RandomBits(rng, width);
+    if (probe % 2 == 0) {
+      for (std::size_t flips = rng.NextIndex(8); flips > 0; --flips) {
+        const std::size_t pos = rng.NextIndex(width);
+        bits[pos] = bits[pos] == '0' ? '1' : '0';
+      }
+    }
+    keys.push_back(BitKey::FromString(bits));
+  }
+  for (std::size_t probe = 0; probe < keys.size(); ++probe) {
+    ExpectSameHit(pruned.Search(keys[probe]), linear.Search(keys[probe]),
+                  probe);
+  }
+  // The batched entry point runs the same pruned kernel per shard.
+  std::vector<std::optional<TcamSearchResult>> got, want;
+  pruned.SearchBatch(keys, got);
+  linear.SearchBatch(keys, want);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t probe = 0; probe < keys.size(); ++probe) {
+    ExpectSameHit(got[probe], want[probe], probe);
+  }
+}
+
+TEST_P(TierDifferential, HeavyWildcardTablesStayExact) {
+  // ~90% X per bit drives the chunk bitmaps toward all-ones; whatever
+  // tier the density heuristic picks, winners must match the naive scan.
+  analognf::RandomStream rng(GetParam() + 3000);
+  const std::size_t width = 104;
+  TcamTable table(width, TcamTechnology::MemristorTcam());
+  for (std::size_t i = 0; i < 120; ++i) {
+    std::string s(width, 'X');
+    for (char& c : s) {
+      if (rng.NextIndex(10) == 0) c = rng.NextIndex(2) == 0 ? '0' : '1';
+    }
+    table.Insert({TernaryWord::FromString(s), static_cast<std::uint32_t>(i),
+                  static_cast<std::int32_t>(rng.NextIndex(4))});
+  }
+  table.Commit();
+  for (std::size_t probe = 0; probe < 600; ++probe) {
+    const BitKey key = BitKey::FromString(RandomBits(rng, width));
+    ExpectSameHit(table.Search(key), NaiveSearch(table, key), probe);
+  }
+}
+
+TEST_P(TierDifferential, TombstoneChurnKeepsTiersIdentical) {
+  analognf::RandomStream rng(GetParam() + 4000);
+  const std::size_t width = 104;
+  TcamTable linear(width, TcamTechnology::MemristorTcam(), LinearPinned());
+  TcamTable pruned(width, TcamTechnology::MemristorTcam());
+  const std::string base = RandomBits(rng, width);
+  for (std::size_t i = 0; i < 140; ++i) {
+    TcamTable::Entry entry{RandomPattern(rng, base),
+                           static_cast<std::uint32_t>(i),
+                           static_cast<std::int32_t>(rng.NextIndex(3))};
+    linear.Insert(entry);
+    pruned.Insert(std::move(entry));
+  }
+  linear.Commit();
+  pruned.Commit();
+  for (std::size_t round = 0; round < 25; ++round) {
+    // Mirror the same mutation into both tables so slot layouts stay
+    // identical (compaction included — it is deterministic in the slot
+    // state).
+    if (rng.NextIndex(2) == 0 && pruned.size() > 1) {
+      std::size_t idx = rng.NextIndex(pruned.slot_count());
+      while (!pruned.IsLive(idx)) idx = rng.NextIndex(pruned.slot_count());
+      linear.Erase(idx);
+      pruned.Erase(idx);
+    } else {
+      TcamTable::Entry entry{RandomPattern(rng, base),
+                             static_cast<std::uint32_t>(1000 + round),
+                             static_cast<std::int32_t>(rng.NextIndex(3))};
+      linear.Insert(entry);
+      pruned.Insert(std::move(entry));
+    }
+    linear.Commit();
+    pruned.Commit();
+    ASSERT_EQ(linear.slot_count(), pruned.slot_count()) << "round " << round;
+    for (std::size_t probe = 0; probe < 40; ++probe) {
+      const BitKey key = BitKey::FromString(RandomBits(rng, width));
+      const auto want = linear.Search(key);
+      ExpectSameHit(pruned.Search(key), want, probe);
+      ExpectSameHit(want, NaiveSearch(pruned, key), probe);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TierDifferential,
+                         ::testing::Values(11, 23, 59, 83));
+
+TEST(TcamMatchTierTest, TinyTablesFallBackToLinear) {
+  // A single rule is far below classifier.min_slots: the compiler must
+  // choose the linear tier and still match exactly.
+  TcamTable table(16, TcamTechnology::MemristorTcam());
+  table.Insert({TernaryWord::FromString("1010XXXXXXXX0000"), 7, 3});
+  table.Commit();
+  EXPECT_EQ(TierOf(table), TcamMatchTier::kLinear);
+  const auto hit = table.Search(BitKey::FromString("1010111100000000"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action, 7u);
+  EXPECT_FALSE(table.Search(BitKey::FromString("0010111100000000")));
+}
+
+TEST(TcamMatchTierTest, AllWildcardRulesFallBackToLinear) {
+  // Every chunk bitmap would be all-ones (density 1.0): the compiler
+  // must reject pruning, and the highest-priority lowest-index rule
+  // must win for every key.
+  analognf::RandomStream rng(5);
+  const std::size_t width = 104;
+  TcamTable table(width, TcamTechnology::MemristorTcam());
+  for (std::size_t i = 0; i < 64; ++i) {
+    table.Insert({TernaryWord::FromString(std::string(width, 'X')),
+                  static_cast<std::uint32_t>(i),
+                  static_cast<std::int32_t>(i % 4)});
+  }
+  table.Commit();
+  EXPECT_EQ(TierOf(table), TcamMatchTier::kLinear);
+  for (std::size_t probe = 0; probe < 50; ++probe) {
+    const auto hit = table.Search(BitKey::FromString(RandomBits(rng, width)));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->entry_index, 3u);  // priority 3 first occurs at index 3
+    EXPECT_EQ(hit->priority, 3);
+  }
+}
+
+TEST(TcamMatchTierTest, LargeSpecificTablesCompileToPruned) {
+  // ACL-style mostly-specific rules over min_slots rows: the density
+  // heuristic must engage the pruned tier and report its expectation.
+  analognf::RandomStream rng(6);
+  const std::size_t width = 104;
+  TcamTable table(width, TcamTechnology::MemristorTcam());
+  const std::string base = RandomBits(rng, width);
+  for (std::size_t i = 0; i < 128; ++i) {
+    table.Insert({RandomPattern(rng, base), static_cast<std::uint32_t>(i),
+                  static_cast<std::int32_t>(rng.NextIndex(4))});
+  }
+  table.Commit();
+  ASSERT_EQ(TierOf(table), TcamMatchTier::kPruned);
+  const double density = table.snapshot()->engine.expected_prune_density();
+  EXPECT_GT(density, 0.0);
+  EXPECT_LT(density, 0.5);  // the compile-time acceptance threshold
+}
 
 // ------------------------------------------------------------ SearchBatch
 
