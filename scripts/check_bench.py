@@ -6,6 +6,11 @@ its rows, the fields identifying the row, and the timing field) plus the
 budgeted value in nanoseconds. A measurement regresses when it exceeds
 budget * (1 + tolerance); the default tolerance is 25%.
 
+An entry may instead declare `"direction": "min"` for throughput-style
+fields (e.g. Mpps) where bigger is better: it then regresses when the
+measurement falls below budget * (1 - tolerance). Such entries may name
+their unit with `"unit"` (display only; the default is ns).
+
 Timings are only comparable on the machine class the budget was recorded
 on. The gate therefore enforces (exit 1) only when it is certain the run
 is comparable: the ANALOGNF_BENCH_NATIVE environment variable is set
@@ -66,18 +71,27 @@ def main():
             missing.append(f"{entry['file']}: {entry['match']}")
             continue
         measured = float(row[entry["field"]])
-        budget_ns = float(entry["budget_ns"])
-        limit = budget_ns * (1.0 + tolerance)
+        budget_val = float(entry["budget_ns"])
+        lower_bound = entry.get("direction") == "min"
+        unit = entry.get("unit", "ns")
+        if lower_bound:
+            limit = budget_val * (1.0 - tolerance)
+            over = measured < limit
+            limit_note = f"limit x{1 - tolerance:.2f}"
+        else:
+            limit = budget_val * (1.0 + tolerance)
+            over = measured > limit
+            limit_note = f"limit x{1 + tolerance:.2f}"
         comparable = data.get("isa") == budget.get("isa")
-        ratio = measured / budget_ns if budget_ns > 0 else float("inf")
-        status = "ok" if measured <= limit else "REGRESSION"
-        if measured > limit and comparable:
+        ratio = measured / budget_val if budget_val > 0 else float("inf")
+        status = "ok" if not over else "REGRESSION"
+        if over and comparable:
             regressions.append(entry)
         checked += 1
         print(
             f"[bench-gate] {status:10s} {entry['name']}: "
-            f"{measured:.1f} ns vs budget {budget_ns:.1f} ns "
-            f"(x{ratio:.2f}, limit x{1 + tolerance:.2f}"
+            f"{measured:.2f} {unit} vs budget {budget_val:.2f} {unit} "
+            f"(x{ratio:.2f}, {limit_note}"
             f"{'' if comparable else ', isa mismatch — informational'})"
         )
 

@@ -29,21 +29,7 @@ Dac::Dac(LinearMap map, unsigned bits, double inl_sigma_lsb,
       rng_(noise_seed) {
   CheckBits(bits);
   CheckInl(inl_sigma_lsb);
-}
-
-double Dac::LsbVolts() const {
-  return map_.range().span() / static_cast<double>((1u << bits_) - 1u);
-}
-
-double Dac::Convert(double feature) {
-  const double ideal_v = map_.ToVoltage(feature);
-  const double lsb = LsbVolts();
-  const double code = std::round((ideal_v - map_.range().lo_v) / lsb);
-  double out = map_.range().lo_v + code * lsb;
-  if (inl_sigma_lsb_ > 0.0) {
-    out += rng_.NextNormal(0.0, inl_sigma_lsb_ * lsb);
-  }
-  return map_.range().Clamp(out);
+  lsb_ = map_.range().span() / static_cast<double>((1u << bits_) - 1u);
 }
 
 Adc::Adc(LinearMap map, unsigned bits, double inl_sigma_lsb,

@@ -35,6 +35,20 @@ class Differentiator {
   void Reset();
 
  private:
+  friend class DerivativeChain;
+
+  // Hot-path Step for a stage already known to be primed with dt > 0 and
+  // alpha = 1 - exp(-dt/tau) precomputed by the caller. Identical
+  // arithmetic to Step(); DerivativeChain uses it to compute the exp once
+  // per chain sample instead of once per stage.
+  double StepWithAlpha(double t_s, double dt, double alpha, double x) {
+    const double prev_smoothed = smoothed_;
+    smoothed_ += alpha * (x - smoothed_);
+    output_ = (smoothed_ - prev_smoothed) / dt;
+    last_t_s_ = t_s;
+    return output_;
+  }
+
   double time_constant_s_;
   bool primed_ = false;
   double last_t_s_ = 0.0;
@@ -63,6 +77,15 @@ class DerivativeChain {
  private:
   std::vector<Differentiator> stages_;
   std::vector<double> outputs_;
+  // Every stage shares the same timestamp history (they are fed in one
+  // cascade), so dt — and therefore alpha — is chain-wide. Tracking it
+  // here lets Step() take the coincident-sample hold path without touching
+  // any stage, and compute/cache the exp() once for dt > 0.
+  double time_constant_s_ = 0.0;
+  bool primed_ = false;
+  double last_t_s_ = 0.0;
+  double cached_dt_ = -1.0;
+  double cached_alpha_ = 0.0;
 };
 
 }  // namespace analognf::analog

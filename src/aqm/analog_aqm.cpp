@@ -180,6 +180,21 @@ AnalogAqm::AnalogAqm(AnalogAqmConfig config)
   if (dacs_.size() != table_->spec().read.size()) {
     throw std::logic_error("AnalogAqm: DAC/field count mismatch");
   }
+  chain_stages_ =
+      static_cast<double>(sojourn_chain_.max_order() +
+                          (config_.use_buffer_features
+                               ? buffer_chain_.max_order()
+                               : 0));
+  chain_ops_ = static_cast<std::uint64_t>(chain_stages_);
+  derivative_energy_per_decision_j_ =
+      config_.derivative_energy_j * chain_stages_;
+  AcquireMeters();
+}
+
+void AnalogAqm::AcquireMeters() {
+  derivative_meter_ = ledger_.Meter("analog.derivative");
+  dac_meter_ = ledger_.Meter(energy::category::kDacConvert);
+  pcam_meter_ = ledger_.Meter(energy::category::kPcamSearch);
 }
 
 std::vector<double> AnalogAqm::FeaturesToVoltages(
@@ -210,14 +225,15 @@ void AnalogAqm::FeaturesToVoltagesInto(
       volts.push_back(dacs_[dac++].Convert(buffer_derivs[k]));
     }
   }
-  ledger_.Record(energy::category::kDacConvert,
-                 config_.dac_energy_j * static_cast<double>(volts.size()),
-                 volts.size());
+  dac_meter_->energy_j +=
+      config_.dac_energy_j * static_cast<double>(volts.size());
+  dac_meter_->operations += volts.size();
 }
 
 double AnalogAqm::EvaluatePdp(const std::vector<double>& features_v) {
   table_->Apply(features_v, apply_scratch_);
-  ledger_.Record(energy::category::kPcamSearch, apply_scratch_.energy_j, 1);
+  pcam_meter_->energy_j += apply_scratch_.energy_j;
+  pcam_meter_->operations += 1;
   return std::clamp(apply_scratch_.value, 0.0, 1.0);
 }
 
@@ -233,15 +249,10 @@ AqmVerdict AnalogAqm::DecideOnEnqueue(const AqmContext& ctx) {
   const std::vector<double>& buffer = buffer_chain_.Step(
       ctx.now_s,
       static_cast<double>(ctx.queue_bytes) / config_.buffer_reference_bytes);
-  // The analog differentiator stages dissipate per sample (both chains).
-  const double chain_stages =
-      static_cast<double>(sojourn_chain_.max_order() +
-                          (config_.use_buffer_features
-                               ? buffer_chain_.max_order()
-                               : 0));
-  ledger_.Record("analog.derivative",
-                 config_.derivative_energy_j * chain_stages,
-                 static_cast<std::uint64_t>(chain_stages));
+  // The analog differentiator stages dissipate per sample (both chains);
+  // the charge is configuration-constant, precomputed at construction.
+  derivative_meter_->energy_j += derivative_energy_per_decision_j_;
+  derivative_meter_->operations += chain_ops_;
 
   FeaturesToVoltagesInto(sojourn, buffer, volts_scratch_);
   double pdp = EvaluatePdp(volts_scratch_);
@@ -262,6 +273,7 @@ void AnalogAqm::Reset() {
   buffer_chain_.Reset();
   last_pdp_ = 0.0;
   ledger_.Reset();
+  AcquireMeters();  // Reset() invalidated the cached Meter() pointers
 }
 
 }  // namespace analognf::aqm

@@ -131,6 +131,9 @@ class AnalogAqm final : public AqmPolicy {
  private:
   core::AnalogTableSpec BuildSpec() const;
   void BuildDacs();
+  // (Re)acquires the hot-path meters below; called at construction and
+  // after ledger_.Reset() (which invalidates Meter() pointers).
+  void AcquireMeters();
   // Fills `volts` (table order) without allocating.
   void FeaturesToVoltagesInto(const std::vector<double>& sojourn_derivs,
                               const std::vector<double>& buffer_derivs,
@@ -148,6 +151,16 @@ class AnalogAqm final : public AqmPolicy {
   // path stays allocation-free after warm-up.
   std::vector<double> volts_scratch_;
   core::AnalogMatchActionTable::Output apply_scratch_;
+  // Cached ledger meters: every decision records into the same three
+  // categories, so the per-call string lookups of Record() are hoisted
+  // into stable CategoryTotal pointers (valid until ledger_.Reset()).
+  energy::CategoryTotal* derivative_meter_ = nullptr;
+  energy::CategoryTotal* dac_meter_ = nullptr;
+  energy::CategoryTotal* pcam_meter_ = nullptr;
+  // The derivative-chain charge is the same every decision; precomputed.
+  double chain_stages_ = 0.0;
+  std::uint64_t chain_ops_ = 0;
+  double derivative_energy_per_decision_j_ = 0.0;
 };
 
 }  // namespace analognf::aqm

@@ -25,6 +25,24 @@
 
 namespace analognf::arch {
 
+// One-entry memo over DataMovementModel::CostOf. Header widths are
+// effectively constant (8 * min(size, 42) bits is 336 for any packet
+// with a full 42-byte header), so the breakdown's divide runs once per
+// distinct width instead of once per packet. CostOf is pure, so the
+// memo is exact.
+struct CachedMovementCost {
+  const energy::MovementBreakdown& Of(const energy::DataMovementModel& model,
+                                      std::uint64_t bits) {
+    if (bits != last_bits) {
+      last_bits = bits;
+      last_cost = model.CostOf(bits);
+    }
+    return last_cost;
+  }
+  std::uint64_t last_bits = ~std::uint64_t{0};
+  energy::MovementBreakdown last_cost;
+};
+
 // ----------------------------------------------------------- ParseStage
 // Digital front-end: header extraction over the whole batch. Settles
 // kParseError / non-IPv4 kNoRoute verdicts and fills the flow_hash and
@@ -37,6 +55,7 @@ class ParseStage final : public MatchActionStage {
  private:
   net::Parser parser_;
   const energy::DataMovementModel* movement_;
+  CachedMovementCost header_cost_;
 };
 
 // -------------------------------------------------------- FirewallStage
@@ -146,12 +165,15 @@ class LoadBalancerStage final : public MatchActionStage {
 };
 
 // ---------------------------------------------------- TrafficClassStage
-// Analog MAT: traffic analysis. Observes every routed packet's flow in
-// packet order and tags it with a traffic class via one pCAM search per
-// packet; results land in the traffic_class lane and per-class counters.
-// (Per-packet observe-then-classify keeps classifications independent of
-// how the caller batches arrivals; pCAM energy defers through
-// analog_commits like the load balancer's.)
+// Analog MAT: traffic analysis. Gathers the batch's routed packets,
+// updates their flows in packet order through FlowTracker::ObserveBatch
+// (flow keys hashed up front on the SIMD dispatch layer), then runs one
+// batched pCAM search over a flat query block; results land in the
+// traffic_class lane and per-class counters. Flow updates stay in packet
+// order and the default channel is stateless, so classifications are
+// independent of how the caller batches arrivals; pCAM energy defers
+// through analog_commits like the load balancer's. All scratch is
+// per-stage and never shrinks: steady-state Process() does not allocate.
 class TrafficClassStage final : public MatchActionStage {
  public:
   TrafficClassStage(
@@ -177,6 +199,12 @@ class TrafficClassStage final : public MatchActionStage {
   cognitive::AnalogTrafficClassifier classifier_;
   std::vector<std::uint64_t> class_counts_;
   std::uint64_t unclassified_ = 0;
+  // Batch scratch (reused, never shrinks): eligible packet indices,
+  // their gathered metadata, per-flow features and classify outcomes.
+  std::vector<std::size_t> eligible_;
+  std::vector<net::PacketMeta> metas_;
+  std::vector<cognitive::FlowFeatures> features_;
+  std::vector<cognitive::ClassifyOutcome> outcomes_;
 };
 
 // -------------------------------------------------- TrafficManagerStage
@@ -193,6 +221,12 @@ class TrafficManagerStage final : public MatchActionStage {
                       SwitchStats* stats, energy::EnergyLedger* ledger);
   void Process(net::PacketBatch& batch) override;
 
+  // Replaces the WRR weights at a scheduling boundary: the compiled
+  // schedule is rebuilt and every port's rotation restarts from the
+  // initial position (the same place a freshly constructed manager
+  // starts). Size must equal service_classes; weights must be nonzero.
+  void SetWrrWeights(const std::vector<std::uint32_t>& weights);
+
   std::size_t DrainInto(double until_s, std::vector<Delivery>& out);
   const net::PacketQueue& egress_queue(std::size_t port,
                                        std::size_t service_class) const;
@@ -207,14 +241,22 @@ class TrafficManagerStage final : public MatchActionStage {
     std::vector<net::PacketQueue> queues;
     std::vector<std::unique_ptr<aqm::AnalogAqm>> aqms;
     double next_free_s = 0.0;
-    // Weighted-round-robin rotation state.
-    std::size_t wrr_class = 0;
-    std::uint32_t wrr_credit = 0;
+    // Weighted-round-robin rotation state: a cursor into the compiled
+    // schedule (wrr_schedule_). One slot is one service-slot's worth of
+    // credit, so a dequeue is O(1): read the slot, advance the cursor.
+    std::size_t wrr_pos = 0;
   };
 
   // Scheduler decision: which class the next service slot goes to,
   // among classes whose head arrived by start_s. Asserts one exists.
+  // WRR walks the compiled schedule: an eligible slot is consumed in
+  // O(1); an ineligible class forfeits the rest of its block and the
+  // cursor jumps to the next block start (at most classes+1 hops).
   std::size_t PickClass(EgressPort& port, double start_s);
+  // Flattens `weights` into wrr_schedule_ / wrr_block_start_ and returns
+  // the initial cursor position (the first class the legacy credit
+  // rotation would have served).
+  void CompileWrrSchedule(const std::vector<std::uint32_t>& weights);
   // Service class a 3-bit priority maps to under the configuration.
   std::size_t ClassOf(std::uint8_t priority) const;
   // Analog AQM admission + egress enqueue for one routed packet; pcam
@@ -229,10 +271,30 @@ class TrafficManagerStage final : public MatchActionStage {
   const energy::DataMovementModel* movement_;
   SwitchStats* stats_;
   energy::EnergyLedger* ledger_;
+  // Canonical-ledger category meters, resolved once at construction: the
+  // string-keyed map lookup (and, for category names past the SSO limit,
+  // a heap-allocated temporary key) must stay off the per-batch path.
+  // Meter() pointers stay valid for the ledger's lifetime — the switch
+  // never exposes a mutable ledger, so it is never Reset() under us.
+  energy::CategoryTotal* compute_meter_;
+  energy::CategoryTotal* movement_meter_;
+  energy::CategoryTotal* tcam_meter_;
+  energy::CategoryTotal* pcam_meter_;
   std::vector<EgressPort> ports_;
   std::uint64_t next_packet_id_ = 0;
-  // Scratch for replaying deferred analog commits in packet order.
+  // Compiled WRR schedule: class c occupies wrr_block_start_[c] ..
+  // wrr_block_start_[c] + weight[c] - 1; the vector's length is the sum
+  // of weights. Rebuilt only by the constructor and SetWrrWeights —
+  // never on the dequeue path. Empty under strict priority with no
+  // weights configured.
+  std::vector<std::uint32_t> wrr_schedule_;
+  std::vector<std::size_t> wrr_block_start_;
+  std::size_t wrr_initial_pos_ = 0;
+  // Scratch for replaying deferred analog commits in packet order
+  // (counting-sort cursors + the sorted buffer; reused, never shrinks).
   std::vector<net::PacketBatch::AnalogCommit> commits_;
+  std::vector<std::size_t> commit_starts_;
+  CachedMovementCost header_cost_;
 };
 
 }  // namespace analognf::arch

@@ -186,6 +186,11 @@ class CognitiveSwitch {
   // Inserts a custom stage immediately in front of the traffic manager
   // (the last stage). The stage's meter is bound in the stage ledger.
   MatchActionStage& AddStage(std::unique_ptr<MatchActionStage> stage);
+  // Replaces the egress scheduler's WRR weights at a commit boundary:
+  // the compiled schedule is rebuilt off the dequeue path and every
+  // port's rotation restarts from the initial position. Size must equal
+  // service_classes; weights must be nonzero.
+  void SetWrrWeights(const std::vector<std::uint32_t>& weights);
 
   // ------------------------------------------------ data plane
   // Runs one packet through the stage graph at time `now_s`

@@ -255,6 +255,10 @@ MatchActionStage& CognitiveSwitch::AddStage(
   return graph_.Insert(graph_.size() - 1, std::move(stage));
 }
 
+void CognitiveSwitch::SetWrrWeights(const std::vector<std::uint32_t>& weights) {
+  tm_->SetWrrWeights(weights);
+}
+
 Verdict CognitiveSwitch::Inject(const net::Packet& packet, double now_s) {
   Commit();  // publish staged control-plane mutations at the batch boundary
   batch_.Reset(&packet, 1, now_s);

@@ -20,7 +20,8 @@ double LogIat(double iat_s) {
 
 }  // namespace
 
-FlowTracker::FlowTracker(double ewma_weight) : ewma_weight_(ewma_weight) {
+FlowTracker::FlowTracker(double ewma_weight, std::size_t capacity)
+    : ewma_weight_(ewma_weight), table_(capacity) {
   if (!(ewma_weight > 0.0) || ewma_weight > 1.0) {
     throw std::invalid_argument("FlowTracker: ewma_weight outside (0, 1]");
   }
@@ -51,19 +52,43 @@ FlowFeatures FlowTracker::FeaturesOf(const FlowState& state) {
 }
 
 void FlowTracker::Observe(const net::PacketMeta& packet) {
-  ObserveInto(flows_[packet.flow_hash], packet);
+  ObserveInto(*table_.FindOrInsert(
+                  packet.flow_hash,
+                  common::FlowTable<FlowState>::HashOf(packet.flow_hash)),
+              packet);
 }
 
 FlowFeatures FlowTracker::Features(std::uint64_t flow_hash) const {
-  const auto it = flows_.find(flow_hash);
-  if (it == flows_.end()) return FlowFeatures{};
-  return FeaturesOf(it->second);
+  const FlowState* state = table_.Find(
+      flow_hash, common::FlowTable<FlowState>::HashOf(flow_hash));
+  if (state == nullptr) return FlowFeatures{};
+  return FeaturesOf(*state);
 }
 
 FlowFeatures FlowTracker::ObserveAndFeatures(const net::PacketMeta& packet) {
-  FlowState& state = flows_[packet.flow_hash];
+  FlowState& state = *table_.FindOrInsert(
+      packet.flow_hash,
+      common::FlowTable<FlowState>::HashOf(packet.flow_hash));
   ObserveInto(state, packet);
   return FeaturesOf(state);
+}
+
+void FlowTracker::ObserveBatch(const net::PacketMeta* packets,
+                               std::size_t count, FlowFeatures* features) {
+  key_scratch_.resize(count);
+  hash_scratch_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    key_scratch_[i] = packets[i].flow_hash;
+  }
+  simd::FlowHashBatch(key_scratch_.data(), hash_scratch_.data(), count);
+  // Packet order is preserved, so two packets of one flow in the same
+  // batch see each other's updates exactly as sequential calls would.
+  for (std::size_t i = 0; i < count; ++i) {
+    FlowState& state =
+        *table_.FindOrInsert(packets[i].flow_hash, hash_scratch_[i]);
+    ObserveInto(state, packets[i]);
+    features[i] = FeaturesOf(state);
+  }
 }
 
 AnalogTrafficClassifier::AnalogTrafficClassifier(
@@ -130,24 +155,48 @@ AnalogTrafficClassifier::ClassifyBatch(
     const std::vector<FlowFeatures>& features, double min_confidence) {
   std::vector<std::optional<Classification>> out(features.size());
   if (features.empty()) return out;
-  std::vector<double> queries;
-  queries.reserve(features.size() * 3);
-  for (const FlowFeatures& f : features) {
-    queries.push_back(size_map_.ToVoltage(f.mean_packet_size_bytes));
-    queries.push_back(iat_map_.ToVoltage(LogIat(f.mean_interarrival_s)));
-    queries.push_back(burst_map_.ToVoltage(f.burstiness));
-  }
-  const auto results = table_.SearchBatchFlat(queries);
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const core::PcamTableResult& r = results[i];
-    if (r.match_degree <= min_confidence) continue;
+  std::vector<ClassifyOutcome> outcomes;
+  ClassifyBatchInto(features.data(), features.size(), min_confidence,
+                    outcomes);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i].class_index < 0) continue;
     Classification c;
-    c.class_index = r.action;
-    c.label = labels_[r.action];
-    c.confidence = std::min(r.match_degree, 1.0);
+    c.class_index = static_cast<std::size_t>(outcomes[i].class_index);
+    c.label = labels_[c.class_index];
+    c.confidence = outcomes[i].confidence;
     out[i] = std::move(c);
   }
   return out;
+}
+
+void AnalogTrafficClassifier::ClassifyBatchInto(
+    const FlowFeatures* features, std::size_t count, double min_confidence,
+    std::vector<ClassifyOutcome>& out) {
+  out.clear();
+  out.resize(count);
+  if (count == 0) return;
+  // One flat row-major query block: the batched engine search sees a
+  // SIMD-friendly layout and the quantisation loop has no per-packet
+  // temporaries.
+  query_scratch_.clear();
+  query_scratch_.reserve(count * 3);
+  for (std::size_t i = 0; i < count; ++i) {
+    const FlowFeatures& f = features[i];
+    query_scratch_.push_back(size_map_.ToVoltage(f.mean_packet_size_bytes));
+    query_scratch_.push_back(
+        iat_map_.ToVoltage(LogIat(f.mean_interarrival_s)));
+    query_scratch_.push_back(burst_map_.ToVoltage(f.burstiness));
+  }
+  table_.SearchBatchFlatInto(query_scratch_.data(), count, result_scratch_);
+  // Empty table (no registered classes): every outcome stays "no class"
+  // with zero search energy, matching what per-packet Classify consumes.
+  for (std::size_t i = 0; i < result_scratch_.size(); ++i) {
+    const core::PcamTableResult& r = result_scratch_[i];
+    out[i].energy_j = r.energy_j;
+    if (r.match_degree <= min_confidence) continue;
+    out[i].class_index = static_cast<std::int32_t>(r.action);
+    out[i].confidence = std::min(r.match_degree, 1.0);
+  }
 }
 
 }  // namespace analognf::cognitive

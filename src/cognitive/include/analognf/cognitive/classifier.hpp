@@ -13,10 +13,10 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "analognf/analog/signal.hpp"
+#include "analognf/common/flow_table.hpp"
 #include "analognf/common/stats.hpp"
 #include "analognf/core/pcam_array.hpp"
 #include "analognf/net/generator.hpp"
@@ -33,15 +33,21 @@ struct FlowFeatures {
   std::uint64_t packets = 0;
 };
 
-// Online per-flow feature extraction.
+// Online per-flow feature extraction over a fixed-capacity SoA flow
+// table (common/flow_table.hpp): no per-flow heap nodes, bounded memory,
+// and incremental aging — when a probe window fills, the least recently
+// seen collider is evicted (its flow restarts from zero if it reappears).
 class FlowTracker {
  public:
-  // `ewma_weight` smooths the per-flow estimators.
-  explicit FlowTracker(double ewma_weight = 0.05);
+  // `ewma_weight` smooths the per-flow estimators. `capacity` bounds the
+  // number of concurrently tracked flows (rounded up to a power of two).
+  explicit FlowTracker(
+      double ewma_weight = 0.05,
+      std::size_t capacity = common::FlowTable<int>::kDefaultCapacity);
 
   void Observe(const net::PacketMeta& packet);
 
-  // Features of a flow (zeroed FlowFeatures if never seen).
+  // Features of a flow (zeroed FlowFeatures if never seen or evicted).
   FlowFeatures Features(std::uint64_t flow_hash) const;
 
   // Observe(packet) followed by Features(packet.flow_hash) in one hash
@@ -49,7 +55,17 @@ class FlowTracker {
   // Bit-identical to the two-call sequence.
   FlowFeatures ObserveAndFeatures(const net::PacketMeta& packet);
 
-  std::size_t flows() const { return flows_.size(); }
+  // Batched hot path: hashes every flow key up front with the SIMD
+  // dispatch layer, then updates each flow in packet order. features[i]
+  // is exactly what ObserveAndFeatures(packets[i]) would have returned
+  // at that point in the sequence (the differential test pins this).
+  void ObserveBatch(const net::PacketMeta* packets, std::size_t count,
+                    FlowFeatures* features);
+
+  std::size_t flows() const { return table_.size(); }
+  std::size_t capacity() const { return table_.capacity(); }
+  // Flows aged out of full probe windows since construction.
+  std::uint64_t evictions() const { return table_.evictions(); }
 
  private:
   struct FlowState {
@@ -63,7 +79,10 @@ class FlowTracker {
   static FlowFeatures FeaturesOf(const FlowState& state);
 
   double ewma_weight_;
-  std::unordered_map<std::uint64_t, FlowState> flows_;
+  common::FlowTable<FlowState> table_;
+  // Batch scratch (key gather + hash lanes), reused across calls.
+  std::vector<std::uint64_t> key_scratch_;
+  std::vector<std::uint64_t> hash_scratch_;
 };
 
 // Result of classifying one flow.
@@ -71,6 +90,16 @@ struct Classification {
   std::string label;
   std::size_t class_index = 0;
   double confidence = 0.0;  // analog match degree in [0, 1]
+};
+
+// Plain-data outcome for the in-pipeline batch path: no label string on
+// the hot path (class_index keys the stage's own bookkeeping) and the
+// per-query search energy carried alongside so the stage can commit it
+// to the canonical ledger without an energy-counter round trip.
+struct ClassifyOutcome {
+  std::int32_t class_index = -1;  // -1: no class above min_confidence
+  double confidence = 0.0;
+  double energy_j = 0.0;  // whole-array search energy for this query
 };
 
 // pCAM-backed classifier over (packet size, inter-arrival, burstiness).
@@ -104,6 +133,20 @@ class AnalogTrafficClassifier {
   std::vector<std::optional<Classification>> ClassifyBatch(
       const std::vector<FlowFeatures>& features, double min_confidence = 0.0);
 
+  // Allocation-free batch path: quantises all features into one flat
+  // SIMD-friendly query block, runs one batched pCAM search, and fills
+  // `out` (cleared, then one entry per input — energy is reported even
+  // for below-confidence queries, since the array still searched). The
+  // in-pipeline traffic-class stage calls this with long-lived scratch.
+  void ClassifyBatchInto(const FlowFeatures* features, std::size_t count,
+                         double min_confidence,
+                         std::vector<ClassifyOutcome>& out);
+
+  // Label of a registered class (index from ClassifyOutcome).
+  const std::string& label(std::size_t class_index) const {
+    return labels_.at(class_index);
+  }
+
   double ConsumedEnergyJ() const { return table_.ConsumedEnergyJ(); }
 
   // Binds the backing pCAM table's search engine to `<prefix>.*`
@@ -120,6 +163,9 @@ class AnalogTrafficClassifier {
   analog::LinearMap burst_map_;
   core::PcamTable table_;
   std::vector<std::string> labels_;
+  // Batch scratch, reused across ClassifyBatchInto calls.
+  std::vector<double> query_scratch_;
+  std::vector<core::PcamTableResult> result_scratch_;
 };
 
 }  // namespace analognf::cognitive

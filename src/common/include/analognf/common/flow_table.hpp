@@ -1,0 +1,133 @@
+// Fixed-capacity open-addressing flow table, structure-of-arrays.
+//
+// The per-flow state tables of the cognitive stages (FlowTracker today)
+// used to live in std::unordered_map: one heap node per flow, a pointer
+// chase per packet, and unbounded growth. This container replaces that
+// with the layout a data-plane flow table actually wants:
+//
+//   * power-of-two bucket array, bucket = high bits of the Fibonacci
+//     hash of the key (simd::FlowHash), so low-entropy keys spread;
+//   * SoA lanes — one byte of fingerprint per slot scanned first, so a
+//     probe touches 16 bytes of fingerprint cache before it ever loads
+//     a key or value;
+//   * bounded linear probe window (kProbeWindow slots, wrapping) instead
+//     of tombstones or rehashing: the table never allocates after
+//     construction;
+//   * incremental aging — every touch stamps the slot with a
+//     monotonically increasing epoch, and when a window is full the
+//     stalest slot in it is evicted (the flow least recently seen among
+//     the colliders). No global sweep ever runs.
+//
+// A fingerprint byte is 0 for an empty slot, else 0x80 | (7 low hash
+// bits): the high bit doubles as the occupied marker, and a fingerprint
+// mismatch rejects a slot without loading its 8-byte key. Distinct keys
+// in the same window may alias on all 7 bits — the key lane is always
+// compared before a hit is declared (test_flow_table pins this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "analognf/common/simd.hpp"
+
+namespace analognf::common {
+
+template <typename Value>
+class FlowTable {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 16384;
+  static constexpr std::size_t kProbeWindow = 16;
+
+  // `capacity` is rounded up to a power of two, minimum kProbeWindow.
+  explicit FlowTable(std::size_t capacity = kDefaultCapacity) {
+    std::size_t cap = kProbeWindow;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    shift_ = 64;
+    for (std::size_t c = cap; c > 1; c >>= 1) --shift_;
+    fingerprints_.assign(cap, 0);
+    keys_.assign(cap, 0);
+    epochs_.assign(cap, 0);
+    values_.resize(cap);
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+  std::size_t size() const { return size_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+  static std::uint64_t HashOf(std::uint64_t key) {
+    return simd::FlowHash(key);
+  }
+
+  // Looks up `key` (with its precomputed HashOf hash), inserting a
+  // default-constructed value if absent. When the probe window is full,
+  // the least-recently-touched slot in it is evicted and reused. The
+  // returned pointer is valid until the next FindOrInsert. Every call
+  // (hit or insert) freshens the slot's age stamp.
+  Value* FindOrInsert(std::uint64_t key, std::uint64_t hash) {
+    const std::uint8_t fp = FingerprintOf(hash);
+    const std::size_t bucket = hash >> shift_;
+    std::size_t empty_slot = kNone;
+    std::size_t stale_slot = 0;
+    std::uint64_t stale_epoch = ~std::uint64_t{0};
+    for (std::size_t p = 0; p < kProbeWindow; ++p) {
+      const std::size_t slot = (bucket + p) & mask_;
+      const std::uint8_t f = fingerprints_[slot];
+      if (f == fp && keys_[slot] == key) {
+        epochs_[slot] = ++epoch_;
+        return &values_[slot];
+      }
+      if (f == 0) {
+        if (empty_slot == kNone) empty_slot = slot;
+      } else if (epochs_[slot] < stale_epoch) {
+        stale_epoch = epochs_[slot];
+        stale_slot = slot;
+      }
+    }
+    std::size_t slot = empty_slot;
+    if (slot == kNone) {
+      slot = stale_slot;  // window full: age out the stalest collider
+      ++evictions_;
+      --size_;
+    }
+    fingerprints_[slot] = fp;
+    keys_[slot] = key;
+    epochs_[slot] = ++epoch_;
+    values_[slot] = Value{};
+    ++size_;
+    return &values_[slot];
+  }
+
+  // Read-only lookup; nullptr when absent. Does not freshen the age.
+  const Value* Find(std::uint64_t key, std::uint64_t hash) const {
+    const std::uint8_t fp = FingerprintOf(hash);
+    const std::size_t bucket = hash >> shift_;
+    for (std::size_t p = 0; p < kProbeWindow; ++p) {
+      const std::size_t slot = (bucket + p) & mask_;
+      if (fingerprints_[slot] == fp && keys_[slot] == key) {
+        return &values_[slot];
+      }
+    }
+    return nullptr;
+  }
+
+ private:
+  static constexpr std::size_t kNone = ~std::size_t{0};
+
+  static std::uint8_t FingerprintOf(std::uint64_t hash) {
+    return static_cast<std::uint8_t>(0x80u | (hash & 0x7fu));
+  }
+
+  std::size_t mask_ = 0;
+  unsigned shift_ = 0;  // bucket = hash >> shift_ (top log2(cap) bits)
+  std::size_t size_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::vector<std::uint8_t> fingerprints_;
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint64_t> epochs_;
+  std::vector<Value> values_;
+};
+
+}  // namespace analognf::common

@@ -290,4 +290,56 @@ inline void PcamCellEvalBatch(const PcamCellParams& p, const double* lv,
   PcamCellEvalBatchScalar(p, lv, deg, count);
 }
 
+// --------------------------------------------------- flow-table hashing
+// Fibonacci multiplicative hash of raw flow keys: the flow table derives
+// its bucket from the HIGH bits of key * phi64, so low-entropy keys
+// (tests use literal flow hashes like 1 and 7) still spread across
+// buckets. The batched form hashes a whole PacketBatch's flow-hash lane
+// up front. Integer ops are exact, so AVX2 and scalar agree bit-for-bit
+// by construction; the 64-bit lane product decomposes into 32x32
+// partials because AVX2 has no 64x64 multiply.
+
+inline constexpr std::uint64_t kFlowHashMul = 0x9e3779b97f4a7c15ULL;
+
+inline std::uint64_t FlowHash(std::uint64_t key) { return key * kFlowHashMul; }
+
+inline void FlowHashBatchScalar(const std::uint64_t* keys,
+                                std::uint64_t* hashes, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) hashes[i] = keys[i] * kFlowHashMul;
+}
+
+#ifdef ANALOGNF_SIMD_AVX2
+__attribute__((target("avx2"))) inline void FlowHashBatchAvx2(
+    const std::uint64_t* keys, std::uint64_t* hashes, std::size_t count) {
+  // key * C mod 2^64 = k_lo*c_lo + ((k_lo*c_hi + k_hi*c_lo) << 32)
+  const __m256i c_lo =
+      _mm256_set1_epi64x(static_cast<long long>(kFlowHashMul & 0xffffffffULL));
+  const __m256i c_hi =
+      _mm256_set1_epi64x(static_cast<long long>(kFlowHashMul >> 32));
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    const __m256i k_hi = _mm256_srli_epi64(k, 32);
+    const __m256i lolo = _mm256_mul_epu32(k, c_lo);
+    const __m256i cross =
+        _mm256_add_epi64(_mm256_mul_epu32(k, c_hi), _mm256_mul_epu32(k_hi, c_lo));
+    const __m256i h = _mm256_add_epi64(lolo, _mm256_slli_epi64(cross, 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(hashes + i), h);
+  }
+  FlowHashBatchScalar(keys + i, hashes + i, count - i);
+}
+#endif
+
+inline void FlowHashBatch(const std::uint64_t* keys, std::uint64_t* hashes,
+                          std::size_t count) {
+#ifdef ANALOGNF_SIMD_AVX2
+  if (UseAvx2()) {
+    FlowHashBatchAvx2(keys, hashes, count);
+    return;
+  }
+#endif
+  FlowHashBatchScalar(keys, hashes, count);
+}
+
 }  // namespace analognf::simd

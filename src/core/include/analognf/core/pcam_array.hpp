@@ -112,6 +112,15 @@ class PcamTable {
   std::vector<PcamTableResult> SearchBatchFlat(
       const std::vector<double>& queries_flat);
 
+  // Allocation-free core of SearchBatchFlat: `queries_flat` points at
+  // query_count x field_count voltages; `results` is cleared and
+  // refilled (its capacity persists across calls, so a long-lived
+  // caller buffer makes the steady state allocation-free). Identical
+  // results to SearchBatchFlat.
+  void SearchBatchFlatInto(const double* queries_flat,
+                           std::size_t query_count,
+                           std::vector<PcamTableResult>& results);
+
   // Per-row degrees of the last Search() (diagnostics / soft selection).
   const std::vector<double>& last_degrees() const { return last_degrees_; }
 
@@ -159,6 +168,18 @@ class PcamTable {
   std::vector<double> batch_queries_;              // scratch
   double consumed_energy_j_ = 0.0;
   std::uint64_t next_seed_salt_ = 1;
+  // Single-entry search memo: with a stateless channel, Search() is a
+  // deterministic function of (snapshot, query), so a bitwise-identical
+  // repeat of the previous query can skip the array scan and replay the
+  // cached outcome — same degrees (still in last_degrees_), same energy
+  // accumulation, same telemetry. Invalidated by any mutation
+  // (Insert/ProgramField/Age) and by batch searches, which overwrite
+  // last_degrees_. The flow-sticky load balancer queries one constant
+  // voltage vector per pick, so this turns its per-packet search into a
+  // degree-mass sample.
+  bool replay_ok_ = false;
+  std::vector<double> last_query_;
+  PcamSearchOutcome last_outcome_;
 };
 
 }  // namespace analognf::core

@@ -23,6 +23,7 @@
 // programmed slope over- or under-shoots).
 #pragma once
 
+#include <algorithm>
 #include <string>
 
 namespace analognf::core {
@@ -80,11 +81,37 @@ class PcamCell {
  public:
   explicit PcamCell(PcamParams params);
 
-  // The paper's pCAM(input, output) function.
-  double Evaluate(double input_v) const;
+  // The paper's pCAM(input, output) function. Inline: this is the
+  // innermost loop of every analog search, and the call overhead from a
+  // separate TU measurably dominates the arithmetic.
+  double Evaluate(double input_v) const {
+    const PcamParams& p = params_;
+    double output;
+    // Verbatim structure of the paper's pCAM() pseudocode (Sec. 5).
+    if (input_v <= p.m1 || input_v >= p.m4) {
+      output = p.pmin;
+    } else if (input_v > p.m3) {
+      output =
+          p.sb * input_v + (p.m4 * p.pmax - p.m3 * p.pmin) / (p.m4 - p.m3);
+    } else if (input_v < p.m2) {
+      output =
+          p.sa * input_v + (p.m2 * p.pmin - p.m1 * p.pmax) / (p.m2 - p.m1);
+    } else {
+      output = p.pmax;
+    }
+    // Physical output rails clip programmed slopes that over/undershoot.
+    return std::clamp(output, p.pmin, p.pmax);
+  }
 
   // Region classification of an input (diagnostics and tests).
-  MatchRegion RegionOf(double input_v) const;
+  MatchRegion RegionOf(double input_v) const {
+    const PcamParams& p = params_;
+    if (input_v <= p.m1) return MatchRegion::kMismatchLow;
+    if (input_v < p.m2) return MatchRegion::kProbableRising;
+    if (input_v <= p.m3) return MatchRegion::kMatch;
+    if (input_v < p.m4) return MatchRegion::kProbableFalling;
+    return MatchRegion::kMismatchHigh;
+  }
 
   // Reprogramming (the paper's update_pCAM action). Validates.
   void Program(const PcamParams& params);

@@ -66,6 +66,28 @@ class HardwarePcamCell {
   // evaluate the snapped transfer function, dissipate read energy.
   PcamEvalResult Evaluate(double input_v);
 
+  // True when the search-line channel is a pure per-sample gain: no RNG
+  // draws, no crosstalk phase state. EvaluateStateless() is then exactly
+  // Evaluate() with the channel call inlined away.
+  bool stateless() const { return channel_.params().IsStateless(); }
+
+  // Hot-path Evaluate() for stateless channels. Same arithmetic in the
+  // same order as Evaluate() (line_v = input * gain is precisely what
+  // AnalogChannel::Transmit computes when IsStateless()), and the same
+  // searches_/search_energy_j_ accounting — results are bit-identical.
+  // Callers must check stateless() first.
+  PcamEvalResult EvaluateStateless(double input_v) {
+    const double line_v = input_v * channel_.params().line_gain;
+    PcamEvalResult result;
+    result.energy_j =
+        line_v * line_v * conductance_sum_s_ * config_.device.read_time_s;
+    result.output = effective_.Evaluate(line_v);
+    result.region = effective_.RegionOf(line_v);
+    search_energy_j_ += result.energy_j;
+    ++searches_;
+    return result;
+  }
+
   // Reprogram (update_pCAM). Accumulates programming energy.
   void Program(const PcamParams& target);
 

@@ -105,6 +105,20 @@ class PcamSearchEngine {
                    std::size_t count, std::vector<PcamSearchOutcome>& outcomes,
                    std::vector<double>& degrees);
 
+  // True when every cell's search-line channel is a pure gain: Search()
+  // is then a deterministic function of (snapshot, query), which is what
+  // lets PcamTable replay a repeated identical query without re-running
+  // the evaluation.
+  bool stateless_channel() const { return stateless_channel_; }
+
+  // Telemetry accounting for a replayed search (PcamTable memoized an
+  // identical stateless probe): the modelled hardware still drove the
+  // whole array, so the counters advance exactly as Search() would.
+  void NoteReplaySearch() {
+    telemetry_.searches.Inc();
+    telemetry_.rows_scanned.Inc(rows_);
+  }
+
   // Attaches telemetry counters (searches, rows_scanned, recompiles —
   // the last counts dirty-row snapshot refreshes). Unbound handles are
   // no-ops; telemetry never alters results or energy.

@@ -72,6 +72,10 @@ class PcamPipeline {
   std::vector<StageConfig> stages_;
   std::vector<HardwarePcamCell> cells_;
   CombineMode mode_;
+  // Channel statelessness is fixed at construction (ChannelParams never
+  // change); caching the conjunction lets Evaluate() pick the inline
+  // per-cell fast path without a per-call scan.
+  bool all_stateless_ = false;
   double consumed_energy_j_ = 0.0;
   std::uint64_t evaluations_ = 0;
 };

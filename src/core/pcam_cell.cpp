@@ -75,32 +75,6 @@ PcamCell::PcamCell(PcamParams params) : params_(params) {
   params_.Validate();
 }
 
-double PcamCell::Evaluate(double input_v) const {
-  const PcamParams& p = params_;
-  double output;
-  // Verbatim structure of the paper's pCAM() pseudocode (Sec. 5).
-  if (input_v <= p.m1 || input_v >= p.m4) {
-    output = p.pmin;
-  } else if (input_v > p.m3) {
-    output = p.sb * input_v + (p.m4 * p.pmax - p.m3 * p.pmin) / (p.m4 - p.m3);
-  } else if (input_v < p.m2) {
-    output = p.sa * input_v + (p.m2 * p.pmin - p.m1 * p.pmax) / (p.m2 - p.m1);
-  } else {
-    output = p.pmax;
-  }
-  // Physical output rails clip programmed slopes that over/undershoot.
-  return std::clamp(output, p.pmin, p.pmax);
-}
-
-MatchRegion PcamCell::RegionOf(double input_v) const {
-  const PcamParams& p = params_;
-  if (input_v <= p.m1) return MatchRegion::kMismatchLow;
-  if (input_v < p.m2) return MatchRegion::kProbableRising;
-  if (input_v <= p.m3) return MatchRegion::kMatch;
-  if (input_v < p.m4) return MatchRegion::kProbableFalling;
-  return MatchRegion::kMismatchHigh;
-}
-
 void PcamCell::Program(const PcamParams& params) {
   params.Validate();
   params_ = params;

@@ -245,13 +245,56 @@ void PcamSearchEngine::SearchBatch(std::vector<PcamWord>& words,
   outcomes.assign(count, PcamSearchOutcome{});
 
   if (stateless_channel_) {
-    // One snapshot, N column sweeps. The final probe writes the caller's
-    // degree buffer so last_degrees() semantics match sequential calls.
-    batch_deg_.clear();
+    if (count < rows_) {
+      // Few queries over a tall table: N column sweeps (each SIMD over
+      // rows). The final probe writes the caller's degree buffer so
+      // last_degrees() semantics match sequential calls.
+      batch_deg_.clear();
+      for (std::size_t q = 0; q < count; ++q) {
+        std::vector<double>& deg =
+            (q + 1 == count) ? degrees : batch_deg_;
+        SearchStateless(queries + q * field_count_, deg, outcomes[q]);
+      }
+      return;
+    }
+    // Many queries over a short table (the in-pipeline classifiers):
+    // query-major sweep — each (row, field) cell evaluates the whole
+    // query block in one SIMD pass. Per query, the arithmetic, its
+    // order (energy over fields ascending, then degree products and the
+    // ascending-row arg-max) and the lowest-row tie rule are exactly
+    // SearchStateless's, so both layouts return bit-identical outcomes
+    // and the batched pipeline stays equivalent to per-packet searches.
+    batch_line_.resize(field_count_ * count);
     for (std::size_t q = 0; q < count; ++q) {
-      std::vector<double>& deg =
-          (q + 1 == count) ? degrees : batch_deg_;
-      SearchStateless(queries + q * field_count_, deg, outcomes[q]);
+      const double* query = queries + q * field_count_;
+      double energy = 0.0;
+      for (std::size_t f = 0; f < field_count_; ++f) {
+        const double lv = query[f] * line_gain_;
+        batch_line_[f * count + q] = lv;
+        energy += lv * lv * read_time_s_ * field_g_total_[f];
+      }
+      outcomes[q].energy_j = energy;
+    }
+    degrees.assign(rows_, 0.0);
+    batch_deg_.resize(count);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      std::fill(batch_deg_.begin(), batch_deg_.end(), 1.0);
+      for (std::size_t f = 0; f < field_count_; ++f) {
+        const FieldColumn& c = columns_[f];
+        const simd::PcamCellParams params{c.m1[r], c.m2[r],   c.m3[r],
+                                          c.m4[r], c.sa[r],   c.sb[r],
+                                          c.ia[r], c.ib[r],   c.pmin[r],
+                                          c.pmax[r]};
+        simd::PcamCellEvalBatch(params, batch_line_.data() + f * count,
+                                batch_deg_.data(), count);
+      }
+      for (std::size_t q = 0; q < count; ++q) {
+        if (r == 0 || batch_deg_[q] > outcomes[q].best_degree) {
+          outcomes[q].best_row = r;
+          outcomes[q].best_degree = batch_deg_[q];
+        }
+      }
+      degrees[r] = batch_deg_[count - 1];
     }
     return;
   }

@@ -33,6 +33,10 @@ PcamPipeline::PcamPipeline(const std::vector<StageConfig>& stages,
     cell_config.seed = hardware.seed + 0x51a9e * (i + 1);
     cells_.emplace_back(stages[i].params, cell_config);
   }
+  all_stateless_ = true;
+  for (const HardwarePcamCell& cell : cells_) {
+    all_stateless_ = all_stateless_ && cell.stateless();
+  }
 }
 
 PcamPipeline::Result PcamPipeline::Evaluate(
@@ -49,12 +53,21 @@ void PcamPipeline::Evaluate(const std::vector<double>& inputs,
   }
   result.combined = 0.0;
   result.energy_j = 0.0;
-  result.stage_outputs.clear();
-  result.stage_outputs.reserve(cells_.size());
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    const PcamEvalResult r = cells_[i].Evaluate(inputs[i]);
-    result.stage_outputs.push_back(r.output);
-    result.energy_j += r.energy_j;
+  result.stage_outputs.resize(cells_.size());
+  if (all_stateless_) {
+    // All channels are pure gains: the inline EvaluateStateless is
+    // bit-identical to Evaluate and skips the cross-TU channel call.
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      const PcamEvalResult r = cells_[i].EvaluateStateless(inputs[i]);
+      result.stage_outputs[i] = r.output;
+      result.energy_j += r.energy_j;
+    }
+  } else {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      const PcamEvalResult r = cells_[i].Evaluate(inputs[i]);
+      result.stage_outputs[i] = r.output;
+      result.energy_j += r.energy_j;
+    }
   }
 
   switch (mode_) {

@@ -8,8 +8,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "analognf/net/generator.hpp"
 
@@ -60,9 +60,9 @@ class PacketQueue {
   // Sojourn time the head would see if dequeued at `now_s` (0 if empty).
   double HeadSojourn(double now_s) const;
 
-  std::uint64_t packets() const { return entries_.size(); }
+  std::uint64_t packets() const { return count_; }
   std::uint64_t bytes() const { return bytes_; }
-  bool empty() const { return entries_.empty(); }
+  bool empty() const { return count_ == 0; }
   const Config& config() const { return config_; }
   const QueueStats& stats() const { return stats_; }
 
@@ -72,8 +72,17 @@ class PacketQueue {
     double enqueue_time_s;
   };
 
+  // Doubles the ring (the only allocation the queue ever makes): once a
+  // queue has reached its working depth, enqueue and dequeue are pure
+  // index arithmetic.
+  void Grow();
+
   Config config_{};
-  std::deque<Entry> entries_;
+  // Grow-only power-of-two ring: head_ indexes the oldest entry and
+  // count_ entries follow it, wrapping.
+  std::vector<Entry> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   std::uint64_t bytes_ = 0;
   QueueStats stats_{};
 };

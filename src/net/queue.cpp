@@ -2,9 +2,19 @@
 
 namespace analognf::net {
 
+void PacketQueue::Grow() {
+  const std::size_t cap = ring_.empty() ? 16 : ring_.size() * 2;
+  std::vector<Entry> next(cap);
+  for (std::size_t i = 0; i < count_; ++i) {
+    next[i] = ring_[(head_ + i) & (ring_.size() - 1)];
+  }
+  ring_ = std::move(next);
+  head_ = 0;
+}
+
 bool PacketQueue::Enqueue(const PacketMeta& packet, double now_s) {
   const bool over_packets =
-      config_.max_packets != 0 && entries_.size() >= config_.max_packets;
+      config_.max_packets != 0 && count_ >= config_.max_packets;
   const bool over_bytes =
       config_.max_bytes != 0 &&
       bytes_ + packet.size_bytes > config_.max_bytes;
@@ -12,7 +22,9 @@ bool PacketQueue::Enqueue(const PacketMeta& packet, double now_s) {
     ++stats_.dropped_full;
     return false;
   }
-  entries_.push_back({packet, now_s});
+  if (count_ == ring_.size()) Grow();
+  ring_[(head_ + count_) & (ring_.size() - 1)] = {packet, now_s};
+  ++count_;
   bytes_ += packet.size_bytes;
   ++stats_.enqueued;
   stats_.bytes_enqueued += packet.size_bytes;
@@ -22,9 +34,10 @@ bool PacketQueue::Enqueue(const PacketMeta& packet, double now_s) {
 void PacketQueue::NoteAqmDrop(const PacketMeta&) { ++stats_.dropped_aqm; }
 
 std::optional<DequeuedPacket> PacketQueue::Dequeue(double now_s) {
-  if (entries_.empty()) return std::nullopt;
-  const Entry entry = entries_.front();
-  entries_.pop_front();
+  if (count_ == 0) return std::nullopt;
+  const Entry entry = ring_[head_];
+  head_ = (head_ + 1) & (ring_.size() - 1);
+  --count_;
   bytes_ -= entry.meta.size_bytes;
   ++stats_.dequeued;
   stats_.bytes_dequeued += entry.meta.size_bytes;
@@ -32,11 +45,11 @@ std::optional<DequeuedPacket> PacketQueue::Dequeue(double now_s) {
 }
 
 const PacketMeta* PacketQueue::Peek() const {
-  return entries_.empty() ? nullptr : &entries_.front().meta;
+  return count_ == 0 ? nullptr : &ring_[head_].meta;
 }
 
 double PacketQueue::HeadSojourn(double now_s) const {
-  return entries_.empty() ? 0.0 : now_s - entries_.front().enqueue_time_s;
+  return count_ == 0 ? 0.0 : now_s - ring_[head_].enqueue_time_s;
 }
 
 }  // namespace analognf::net
