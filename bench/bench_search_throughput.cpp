@@ -34,6 +34,7 @@ core::PcamTable& CachedPcamTable(std::size_t rows) {
                     {core::PcamParams::MakeBand(center, 0.002, 0.01)},
                     static_cast<std::uint32_t>(i)});
     }
+    slot->Commit();
   }
   return *slot;
 }
@@ -85,6 +86,7 @@ void BM_PcamTableSearchScaling(benchmark::State& state) {
                   {core::PcamParams::MakeBand(center, 0.002, 0.01)},
                   static_cast<std::uint32_t>(i)});
   }
+  table.Commit();
   const std::vector<double> probe = {1.5};
   for (auto _ : state) {
     benchmark::DoNotOptimize(table.Search(probe));

@@ -117,14 +117,20 @@ class SwitchGroup {
   std::size_t ports() const { return runtimes_.size(); }
 
   // ------------------------------------------------ control plane
-  // Stages a route / firewall rule into the shared tables. Not visible
-  // to the data plane until Commit().
-  void AddRoute(std::uint32_t dst_ip, int prefix_len, std::size_t port);
-  void AddFirewallRule(const FirewallPattern& pattern, bool permit,
-                       std::int32_t priority);
-  // Publishes all staged table mutations as fresh snapshots. In-flight
-  // batches keep the snapshot they already acquired; later batches see
-  // the new one.
+  // Stages a route / firewall rule into the shared tables (returning
+  // its stable index) or withdraws one previously staged+committed. Not
+  // visible to the data plane until Commit().
+  std::size_t AddRoute(std::uint32_t dst_ip, int prefix_len,
+                       std::size_t port);
+  void WithdrawRoute(std::size_t route_index);
+  std::size_t AddFirewallRule(const FirewallPattern& pattern, bool permit,
+                              std::int32_t priority);
+  void EraseFirewallRule(std::size_t rule_index);
+  // Publishes all staged table mutations as fresh snapshots — deltas
+  // applied at a batch boundary: in-flight batches keep the snapshot
+  // they already acquired; later batches see the new one. Small staged
+  // sets patch the published snapshots instead of recompiling them
+  // (common/table_delta.hpp; see tables().firewall.commit_stats()).
   void Commit();
   // Broadcasts an analog AQM reprogram (update_pCAM) to every port,
   // applied at each port's next batch boundary.

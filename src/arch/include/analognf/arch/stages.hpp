@@ -75,10 +75,14 @@ class FirewallStage final : public MatchActionStage {
   FirewallStage(std::size_t key_width, tcam::TcamTechnology technology);
   // Shared-reader mode; `shared` must outlive the stage.
   explicit FirewallStage(const tcam::TcamTable* shared);
-  // Throws std::logic_error in shared mode (rules go to the shared
-  // table's owner).
-  void AddRule(const FirewallPattern& pattern, bool permit,
-               std::int32_t priority);
+  // Stages a rule and returns its stable index (for EraseRule). Throws
+  // std::logic_error in shared mode (rules go to the shared table's
+  // owner).
+  std::size_t AddRule(const FirewallPattern& pattern, bool permit,
+                      std::int32_t priority);
+  // Stages removal of a rule by the index AddRule returned. Throws
+  // std::logic_error in shared mode.
+  void EraseRule(std::size_t rule_index);
   void Process(net::PacketBatch& batch) override;
   const tcam::TcamTable& table() const {
     return shared_ != nullptr ? *shared_ : *table_;
@@ -113,8 +117,13 @@ class RouteStage final : public MatchActionStage {
   RouteStage(tcam::TcamTechnology technology, std::size_t port_count);
   // Shared-reader mode; `shared` must outlive the stage.
   RouteStage(const tcam::LpmTable* shared, std::size_t port_count);
+  // Stages a route and returns its stable index (for WithdrawRoute).
   // Throws std::logic_error in shared mode.
-  void AddRoute(std::uint32_t dst_ip, int prefix_len, std::size_t port);
+  std::size_t AddRoute(std::uint32_t dst_ip, int prefix_len,
+                       std::size_t port);
+  // Stages withdrawal of a route by the index AddRoute returned. Throws
+  // std::logic_error in shared mode.
+  void WithdrawRoute(std::size_t route_index);
   void Process(net::PacketBatch& batch) override;
   const tcam::LpmTable& routes() const {
     return shared_ != nullptr ? *shared_ : *routes_;

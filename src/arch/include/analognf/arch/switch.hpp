@@ -144,15 +144,24 @@ inline constexpr std::uint32_t kFirewallActionDeny = 0;
 // concurrently and never blocks on a commit. One mutator thread at a
 // time; any number of reader ports.
 struct SharedTables {
-  SharedTables(tcam::TcamTechnology technology, std::size_t port_count);
+  SharedTables(tcam::TcamTechnology technology, std::size_t port_count,
+               tcam::TcamSearchConfig firewall_config = {},
+               tcam::LpmConfig route_config = {});
 
-  void AddRoute(std::uint32_t dst_ip, int prefix_len, std::size_t port);
-  void AddFirewallRule(const FirewallPattern& pattern, bool permit,
-                       std::int32_t priority);
+  // Stage mutations; each returns the entry's stable index so the
+  // controller can later withdraw/erase it. Deltas apply at the next
+  // Commit().
+  std::size_t AddRoute(std::uint32_t dst_ip, int prefix_len,
+                       std::size_t port);
+  void WithdrawRoute(std::size_t route_index);
+  std::size_t AddFirewallRule(const FirewallPattern& pattern, bool permit,
+                              std::int32_t priority);
+  void EraseFirewallRule(std::size_t rule_index);
   bool NeedsCommit() const {
     return firewall.NeedsCommit() || routes.NeedsCommit();
   }
-  // Publishes both tables' staged mutations as fresh snapshots.
+  // Publishes both tables' staged mutations as fresh snapshots — via
+  // the delta path when the staged sets are small (table_delta.hpp).
   void Commit();
 
   tcam::TcamTable firewall;
@@ -170,13 +179,22 @@ class CognitiveSwitch {
   CognitiveSwitch(SwitchConfig config, const SharedTables* shared);
 
   // ------------------------------------------------ control plane
-  // Installs an IPv4 route (LPM) to an egress port. Throws
+  // Installs an IPv4 route (LPM) to an egress port; returns the route's
+  // stable index for WithdrawRoute. Throws std::logic_error in
+  // shared-tables mode.
+  std::size_t AddRoute(std::uint32_t dst_ip, int prefix_len,
+                       std::size_t port);
+  // Stages withdrawal of a previously installed route. Throws
   // std::logic_error in shared-tables mode.
-  void AddRoute(std::uint32_t dst_ip, int prefix_len, std::size_t port);
+  void WithdrawRoute(std::size_t route_index);
   // Installs a firewall rule; higher priority wins; permit=false denies.
-  // Throws std::logic_error in shared-tables mode.
-  void AddFirewallRule(const FirewallPattern& pattern, bool permit,
-                       std::int32_t priority);
+  // Returns the rule's stable index for EraseFirewallRule. Throws
+  // std::logic_error in shared-tables mode.
+  std::size_t AddFirewallRule(const FirewallPattern& pattern, bool permit,
+                              std::int32_t priority);
+  // Stages removal of a previously installed firewall rule. Throws
+  // std::logic_error in shared-tables mode.
+  void EraseFirewallRule(std::size_t rule_index);
   // Publishes any staged route/firewall mutations of the owned tables.
   // The data plane calls this automatically at batch entry, so the
   // classic AddRoute-then-Inject flow keeps working; explicit calls let

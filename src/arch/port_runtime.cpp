@@ -102,14 +102,22 @@ SwitchGroup::SwitchGroup(std::size_t ports, SwitchConfig config)
   }
 }
 
-void SwitchGroup::AddRoute(std::uint32_t dst_ip, int prefix_len,
-                           std::size_t port) {
-  tables_.AddRoute(dst_ip, prefix_len, port);
+std::size_t SwitchGroup::AddRoute(std::uint32_t dst_ip, int prefix_len,
+                                  std::size_t port) {
+  return tables_.AddRoute(dst_ip, prefix_len, port);
 }
 
-void SwitchGroup::AddFirewallRule(const FirewallPattern& pattern, bool permit,
-                                  std::int32_t priority) {
-  tables_.AddFirewallRule(pattern, permit, priority);
+void SwitchGroup::WithdrawRoute(std::size_t route_index) {
+  tables_.WithdrawRoute(route_index);
+}
+
+std::size_t SwitchGroup::AddFirewallRule(const FirewallPattern& pattern,
+                                         bool permit, std::int32_t priority) {
+  return tables_.AddFirewallRule(pattern, permit, priority);
+}
+
+void SwitchGroup::EraseFirewallRule(std::size_t rule_index) {
+  tables_.EraseFirewallRule(rule_index);
 }
 
 void SwitchGroup::Commit() { tables_.Commit(); }

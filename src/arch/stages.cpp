@@ -65,8 +65,8 @@ FirewallStage::FirewallStage(std::size_t key_width,
 FirewallStage::FirewallStage(const tcam::TcamTable* shared)
     : MatchActionStage("firewall"), shared_(shared) {}
 
-void FirewallStage::AddRule(const FirewallPattern& pattern, bool permit,
-                            std::int32_t priority) {
+std::size_t FirewallStage::AddRule(const FirewallPattern& pattern,
+                                   bool permit, std::int32_t priority) {
   if (table_ == nullptr) {
     throw std::logic_error(
         "FirewallStage::AddRule: shared-table mode — install rules through "
@@ -76,7 +76,16 @@ void FirewallStage::AddRule(const FirewallPattern& pattern, bool permit,
   entry.pattern = BuildFirewallWord(pattern);
   entry.action = permit ? kActionPermit : kActionDeny;
   entry.priority = priority;
-  table_->Insert(std::move(entry));
+  return table_->Insert(std::move(entry));
+}
+
+void FirewallStage::EraseRule(std::size_t rule_index) {
+  if (table_ == nullptr) {
+    throw std::logic_error(
+        "FirewallStage::EraseRule: shared-table mode — erase rules through "
+        "the table's owner");
+  }
+  table_->Erase(rule_index);
 }
 
 void FirewallStage::Process(net::PacketBatch& batch) {
@@ -140,8 +149,8 @@ RouteStage::RouteStage(tcam::TcamTechnology technology, std::size_t port_count)
 RouteStage::RouteStage(const tcam::LpmTable* shared, std::size_t port_count)
     : MatchActionStage("route"), shared_(shared), port_count_(port_count) {}
 
-void RouteStage::AddRoute(std::uint32_t dst_ip, int prefix_len,
-                          std::size_t port) {
+std::size_t RouteStage::AddRoute(std::uint32_t dst_ip, int prefix_len,
+                                 std::size_t port) {
   if (routes_ == nullptr) {
     throw std::logic_error(
         "RouteStage::AddRoute: shared-table mode — install routes through "
@@ -150,7 +159,17 @@ void RouteStage::AddRoute(std::uint32_t dst_ip, int prefix_len,
   if (port >= port_count_) {
     throw std::invalid_argument("AddRoute: port out of range");
   }
-  routes_->AddRoute(dst_ip, prefix_len, static_cast<std::uint32_t>(port));
+  return routes_->AddRoute(dst_ip, prefix_len,
+                           static_cast<std::uint32_t>(port));
+}
+
+void RouteStage::WithdrawRoute(std::size_t route_index) {
+  if (routes_ == nullptr) {
+    throw std::logic_error(
+        "RouteStage::WithdrawRoute: shared-table mode — withdraw routes "
+        "through the table's owner");
+  }
+  routes_->WithdrawRoute(route_index);
 }
 
 void RouteStage::Process(net::PacketBatch& batch) {
@@ -168,7 +187,7 @@ void RouteStage::Process(net::PacketBatch& batch) {
     // Concurrent-reader mode: one acquired snapshot answers the whole
     // batch; the owner's table accounting is left alone.
     const auto snap = shared_->snapshot();
-    snap->engine.LookupBatch(addrs_.data(), addrs_.size(), hits_);
+    snap->LookupBatch(addrs_.data(), addrs_.size(), hits_);
     batch.route_search_j = snap->search_energy_j;
     for (std::size_t j = 0; j < eligible_.size(); ++j) {
       const std::size_t i = eligible_[j];

@@ -64,26 +64,36 @@ void SwitchConfig::Validate() const {
 }
 
 SharedTables::SharedTables(tcam::TcamTechnology technology,
-                           std::size_t ports)
-    : firewall(kFiveTupleBits, technology),
-      routes(technology),
+                           std::size_t ports,
+                           tcam::TcamSearchConfig firewall_config,
+                           tcam::LpmConfig route_config)
+    : firewall(kFiveTupleBits, technology, firewall_config),
+      routes(technology, route_config),
       port_count(ports) {}
 
-void SharedTables::AddRoute(std::uint32_t dst_ip, int prefix_len,
-                            std::size_t port) {
+std::size_t SharedTables::AddRoute(std::uint32_t dst_ip, int prefix_len,
+                                   std::size_t port) {
   if (port >= port_count) {
     throw std::invalid_argument("SharedTables::AddRoute: port out of range");
   }
-  routes.AddRoute(dst_ip, prefix_len, static_cast<std::uint32_t>(port));
+  return routes.AddRoute(dst_ip, prefix_len, static_cast<std::uint32_t>(port));
 }
 
-void SharedTables::AddFirewallRule(const FirewallPattern& pattern, bool permit,
-                                   std::int32_t priority) {
+void SharedTables::WithdrawRoute(std::size_t route_index) {
+  routes.WithdrawRoute(route_index);
+}
+
+std::size_t SharedTables::AddFirewallRule(const FirewallPattern& pattern,
+                                          bool permit, std::int32_t priority) {
   tcam::TcamTable::Entry entry;
   entry.pattern = BuildFirewallWord(pattern);
   entry.action = permit ? kFirewallActionPermit : kFirewallActionDeny;
   entry.priority = priority;
-  firewall.Insert(std::move(entry));
+  return firewall.Insert(std::move(entry));
+}
+
+void SharedTables::EraseFirewallRule(std::size_t rule_index) {
+  firewall.Erase(rule_index);
 }
 
 void SharedTables::Commit() {
@@ -234,14 +244,23 @@ void CognitiveSwitch::RecordBatchTrace(double now_s) {
   telemetry_.recorder().Record(rec);
 }
 
-void CognitiveSwitch::AddRoute(std::uint32_t dst_ip, int prefix_len,
-                               std::size_t port) {
-  route_->AddRoute(dst_ip, prefix_len, port);
+std::size_t CognitiveSwitch::AddRoute(std::uint32_t dst_ip, int prefix_len,
+                                      std::size_t port) {
+  return route_->AddRoute(dst_ip, prefix_len, port);
 }
 
-void CognitiveSwitch::AddFirewallRule(const FirewallPattern& pattern,
-                                      bool permit, std::int32_t priority) {
-  firewall_->AddRule(pattern, permit, priority);
+void CognitiveSwitch::WithdrawRoute(std::size_t route_index) {
+  route_->WithdrawRoute(route_index);
+}
+
+std::size_t CognitiveSwitch::AddFirewallRule(const FirewallPattern& pattern,
+                                             bool permit,
+                                             std::int32_t priority) {
+  return firewall_->AddRule(pattern, permit, priority);
+}
+
+void CognitiveSwitch::EraseFirewallRule(std::size_t rule_index) {
+  firewall_->EraseRule(rule_index);
 }
 
 void CognitiveSwitch::Commit() {

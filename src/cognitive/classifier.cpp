@@ -129,7 +129,9 @@ std::size_t AnalogTrafficClassifier::AddClass(const ClassSpec& spec) {
   };
   row.action = static_cast<std::uint32_t>(labels_.size());
   labels_.push_back(spec.label);
-  return table_.Insert(std::move(row));
+  const std::size_t index = table_.Insert(std::move(row));
+  table_.Commit();
+  return index;
 }
 
 std::optional<Classification> AnalogTrafficClassifier::Classify(

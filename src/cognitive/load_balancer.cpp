@@ -51,6 +51,7 @@ AnalogLoadBalancer::AnalogLoadBalancer(std::size_t backend_count,
                    {PolicyForLoad(loads_[b])},
                    static_cast<std::uint32_t>(b)});
   }
+  table_.Commit();
 }
 
 core::PcamParams AnalogLoadBalancer::PolicyForLoad(double load) const {
@@ -64,6 +65,8 @@ void AnalogLoadBalancer::UpdateLoad(std::size_t backend, double load) {
   }
   loads_.at(backend) = load;
   table_.ProgramField(backend, 0, PolicyForLoad(load));
+  // Single-row reprogram: the table's delta commit refreshes one row.
+  table_.Commit();
 }
 
 std::optional<std::size_t> AnalogLoadBalancer::PickForFlow(

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "analognf/common/rng.hpp"
+#include "analognf/common/table_delta.hpp"
 #include "analognf/core/pcam_hardware.hpp"
 #include "analognf/core/pcam_search_engine.hpp"
 
@@ -84,21 +85,32 @@ class PcamTable {
   // Read access to a stored word (diagnostics and tests).
   const PcamWord& word(std::size_t index) const { return words_.at(index); }
 
-  // Adds a row; returns its index.
+  // Adds a row; returns its index. Stages: searches throw until the
+  // next Commit().
   std::size_t Insert(Row row);
 
-  // Refreshes the engine's search snapshot from the current cell state
-  // now, off the hot path, so the next search pays no recompile.
-  // Unlike the TCAM tables there is no published snapshot to share
-  // across threads: pCAM stays single-writer because stateful channels
-  // advance per-cell noise streams inside Search itself. Searches still
-  // refresh lazily, so Commit is optional.
+  // Publishes staged mutations (Insert / ProgramField / Age) into the
+  // engine's search snapshot — the same stage-then-Commit() contract as
+  // TcamTable / LpmTable: any search between a mutation and Commit()
+  // throws std::logic_error. Unlike the TCAM tables there is no
+  // RCU-published snapshot to share across threads: pCAM stays
+  // single-writer because stateful channels advance per-cell noise
+  // streams inside Search itself. Commits are incremental — only the
+  // dirty rows refresh — and accounted in commit_stats(): a commit whose
+  // staged set touched a strict subset of the rows counts as a delta
+  // commit; aging (structural) and first-build commits count as full
+  // recompiles (common/table_delta.hpp).
   void Commit();
   bool NeedsCommit() const;
+  // Control-plane commit accounting (delta vs full split, rows patched,
+  // last commit latency).
+  const TableCommitStats& commit_stats() const { return commit_stats_; }
 
   // Full-array search: every row evaluates `inputs`; the highest match
   // degree wins (ties: lowest index). Returns nullopt only for an empty
-  // table. Energy covers all rows (they all saw the search voltage).
+  // table. Energy covers all rows (they all saw the search voltage) —
+  // or, in banked mode (PcamSearchConfig::bank_rows), only the driven
+  // banks. Throws std::logic_error if mutations are staged uncommitted.
   std::optional<PcamTableResult> Search(const std::vector<double>& inputs);
 
   // Batched search: one snapshot refresh and shared scratch buffers
@@ -136,13 +148,19 @@ class PcamTable {
   std::optional<PcamTableResult> SampleWithDraw(
       const std::vector<double>& inputs, double unit_draw);
 
-  // Reprogram one field of one row.
+  // Reprogram one field of one row. Stages: searches throw until the
+  // next Commit().
   void ProgramField(std::size_t row, std::size_t field,
                     const PcamParams& params);
 
-  // Ages every cell in the table by `dt_s` (retention relaxation); the
-  // search snapshot is refreshed on the next probe.
+  // Ages every cell in the table by `dt_s` (retention relaxation). A
+  // structural mutation: the next Commit() is a full snapshot rebuild,
+  // and searches throw until then.
   void Age(double dt_s);
+
+  // The underlying search engine (diagnostics and tests: bank counts,
+  // driven-bank accounting).
+  const PcamSearchEngine& search_engine() const { return engine_; }
 
   double ConsumedEnergyJ() const { return consumed_energy_j_; }
 
@@ -153,6 +171,7 @@ class PcamTable {
 
  private:
   void CheckArity(std::size_t got) const;
+  void RequireCommitted() const;  // throws std::logic_error when staged
   PcamTableResult MakeResult(const PcamSearchOutcome& outcome) const;
   std::optional<PcamTableResult> PickByMass(const PcamTableResult& best,
                                             double unit_draw,
@@ -168,6 +187,9 @@ class PcamTable {
   std::vector<double> batch_queries_;              // scratch
   double consumed_energy_j_ = 0.0;
   std::uint64_t next_seed_salt_ = 1;
+  TableDelta delta_;  // staged-mutation log, cleared by Commit()
+  TableCommitStats commit_stats_;
+  telemetry::TableCommitCounters commit_telemetry_;
   // Single-entry search memo: with a stateless channel, Search() is a
   // deterministic function of (snapshot, query), so a bitwise-identical
   // repeat of the previous query can skip the array scan and replay the

@@ -1,8 +1,20 @@
 #include "analognf/core/pcam_array.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace analognf::core {
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 PcamWord::PcamWord(const std::vector<PcamParams>& fields,
                    const HardwarePcamConfig& config) {
@@ -67,17 +79,51 @@ std::size_t PcamTable::Insert(Row row) {
   words_.emplace_back(row.fields, word_config);
   rows_.push_back(std::move(row));
   engine_.AppendRow();
+  delta_.Note(TableDeltaOp::kInsert, rows_.size() - 1);
   replay_ok_ = false;
   return rows_.size() - 1;
 }
 
-void PcamTable::Commit() { engine_.CommitRows(words_); }
+void PcamTable::Commit() {
+  if (!engine_.NeedsRefresh()) {
+    delta_.Clear();
+    return;
+  }
+  const std::uint64_t t0 = NowNs();
+  // Only the staged (dirty) rows refresh; whether that counts as a
+  // delta commit or a full recompile is pure accounting. Structural
+  // mutations (Age) and first-build commits touch every row.
+  const std::size_t touched = delta_.touched().size();
+  const bool was_delta = !delta_.structural() && touched < words_.size();
+  engine_.CommitRows(words_);
+  const std::uint64_t elapsed = NowNs() - t0;
+  ++commit_stats_.commits;
+  commit_stats_.last_commit_ns = elapsed;
+  commit_stats_.last_was_delta = was_delta;
+  if (was_delta) {
+    ++commit_stats_.delta_commits;
+    commit_stats_.delta_rows += touched;
+    commit_telemetry_.delta_rows.Inc(touched);
+  } else {
+    ++commit_stats_.full_recompiles;
+    commit_telemetry_.full_recompiles.Inc();
+  }
+  commit_telemetry_.commit_ns.Inc(elapsed);
+  delta_.Clear();
+}
 
 bool PcamTable::NeedsCommit() const { return engine_.NeedsRefresh(); }
 
 void PcamTable::CheckArity(std::size_t got) const {
   if (got != field_count_) {
     throw std::invalid_argument("PcamTable::Search: input arity mismatch");
+  }
+}
+
+void PcamTable::RequireCommitted() const {
+  if (NeedsCommit()) {
+    throw std::logic_error(
+        "PcamTable: searched with uncommitted mutations — call Commit()");
   }
 }
 
@@ -94,6 +140,7 @@ PcamTableResult PcamTable::MakeResult(
 std::optional<PcamTableResult> PcamTable::Search(
     const std::vector<double>& inputs) {
   CheckArity(inputs.size());
+  RequireCommitted();
   if (words_.empty()) {
     last_degrees_.clear();
     return std::nullopt;
@@ -136,6 +183,7 @@ std::vector<PcamTableResult> PcamTable::SearchBatchFlat(
 void PcamTable::SearchBatchFlatInto(const double* queries_flat,
                                     std::size_t query_count,
                                     std::vector<PcamTableResult>& results) {
+  RequireCommitted();
   results.clear();
   if (query_count == 0) return;
   if (words_.empty()) {
@@ -207,12 +255,14 @@ void PcamTable::ProgramField(std::size_t row, std::size_t field,
   words_.at(row).ProgramField(field, params);
   rows_.at(row).fields.at(field) = params;
   engine_.InvalidateRow(row);
+  delta_.Note(TableDeltaOp::kPatch, row);
   replay_ok_ = false;
 }
 
 void PcamTable::Age(double dt_s) {
   for (PcamWord& word : words_) word.Age(dt_s);
   engine_.InvalidateAll();
+  delta_.NoteStructural();
   replay_ok_ = false;
 }
 
@@ -220,6 +270,7 @@ void PcamTable::BindTelemetry(telemetry::MetricsRegistry& registry,
                               const std::string& prefix) {
   engine_.BindTelemetry(
       telemetry::MakeSearchEngineCounters(registry, prefix));
+  commit_telemetry_ = telemetry::MakeTableCommitCounters(registry);
 }
 
 }  // namespace analognf::core

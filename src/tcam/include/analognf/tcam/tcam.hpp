@@ -25,9 +25,12 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "analognf/common/snapshot.hpp"
+#include "analognf/common/table_delta.hpp"
+#include "analognf/tcam/lpm_flat_engine.hpp"
 #include "analognf/tcam/tcam_search_engine.hpp"
 #include "analognf/tcam/ternary.hpp"
 
@@ -132,10 +135,16 @@ class TcamTable {
   bool NeedsCommit() const {
     return dirty_.load(std::memory_order_acquire);
   }
-  // Compiles the staged row set into a fresh snapshot and publishes it
-  // atomically. No-op when clean. Runs off the hot path: concurrent
-  // readers keep searching the previous snapshot until the publish.
+  // Publishes the staged row set atomically. No-op when clean. Runs off
+  // the hot path: concurrent readers keep searching the previous
+  // snapshot until the publish. When the staged set is small against the
+  // committed table (engine_config_.delta_policy, see
+  // common/table_delta.hpp), the new snapshot is delta-compiled — it
+  // shares the previous snapshot's core and patches only the touched
+  // rows — otherwise it is recompiled from scratch.
   void Commit();
+  // Delta-vs-full accounting across all commits (see TableCommitStats).
+  const TableCommitStats& commit_stats() const { return commit_stats_; }
 
   // The currently-published compilation (never null). Safe from any
   // thread.
@@ -207,10 +216,13 @@ class TcamTable {
   SnapshotCell<TcamTableSnapshot> published_;
   std::atomic<bool> dirty_{false};
   std::uint64_t commits_ = 0;  // controller-thread only
+  TableDelta delta_;           // staged-mutation log, controller-thread only
+  TableCommitStats commit_stats_;
 
   double consumed_energy_j_ = 0.0;
   std::uint64_t searches_ = 0;
   telemetry::SearchEngineCounters telemetry_;
+  telemetry::TableCommitCounters commit_telemetry_;
 
   // Scratch for the single-caller convenience search path (reused,
   // never shrinks).
@@ -218,40 +230,96 @@ class TcamTable {
   std::vector<std::optional<TcamEngineHit>> batch_hits_;
 };
 
-// One committed, immutable compilation of an LpmTable: the stride-trie
-// engine plus the TCAM cost figures of the committed route set.
-struct LpmTableSnapshot {
-  LpmEngine engine;  // committed copy; Lookup/LookupBatch are const
-  double search_energy_j = 0.0;
-  double search_latency_s = 0.0;
-  std::uint64_t epoch = 0;
+// Which LPM engine a commit compiled the route set into (the analogue
+// of TcamMatchTier for the route side).
+enum class LpmTier {
+  kTrie,  // stride-8 trie (LpmEngine): compact for small route sets
+  kFlat,  // DIR-24-8 flat table (LpmFlatEngine): O(1) lookups, delta
+          // patch commits; selected at production scale
 };
 
-// Longest-prefix-match convenience wrapper over TcamTable for IPv4
-// lookup (priority = prefix length, the classic TCAM LPM encoding).
-// Lookups run on the stride-trie LpmEngine; the TCAM table remains the
-// energy/latency model of record and is charged one search cycle per
-// lookup, exactly as the scan would have been. AddRoute stages; Commit()
-// publishes (same RCU discipline as TcamTable).
+// Per-table LPM tuning.
+struct LpmConfig {
+  // Live route count at which commits compile to the flat DIR-24-8 tier
+  // instead of the trie. Below it the trie's compact rebuild wins; above
+  // it the flat tier's O(1) lookups and patchable pages do.
+  std::size_t flat_route_threshold = 16384;
+  // When does Commit() patch the previous flat snapshot instead of
+  // rebuilding (common/table_delta.hpp)? Only the flat tier supports
+  // deltas; trie commits always rebuild.
+  DeltaCommitPolicy delta_policy;
+};
+
+// One committed, immutable compilation of an LpmTable: whichever engine
+// the tier selection chose, plus the TCAM cost figures of the committed
+// route set. Only the engine named by `tier` is compiled; use the
+// tier-dispatching Lookup/LookupBatch helpers.
+struct LpmTableSnapshot {
+  LpmTier tier = LpmTier::kTrie;
+  LpmEngine engine;    // compiled iff tier == kTrie
+  LpmFlatEngine flat;  // compiled iff tier == kFlat
+  double search_energy_j = 0.0;
+  double search_latency_s = 0.0;
+  std::size_t live_routes = 0;
+  std::uint64_t epoch = 0;
+
+  // Tier-dispatched lookups (const, concurrently callable).
+  std::optional<TcamEngineHit> Lookup(std::uint32_t address) const {
+    return tier == LpmTier::kFlat ? flat.Lookup(address)
+                                  : engine.Lookup(address);
+  }
+  void LookupBatch(const std::uint32_t* addresses, std::size_t count,
+                   std::vector<std::optional<TcamEngineHit>>& out) const {
+    if (tier == LpmTier::kFlat) {
+      flat.LookupBatch(addresses, count, out);
+    } else {
+      engine.LookupBatch(addresses, count, out);
+    }
+  }
+};
+
+// Longest-prefix-match table for IPv4 lookup (priority = prefix length,
+// the classic TCAM LPM encoding). Lookups run on a compiled engine —
+// the stride-8 trie for small route sets, the flat DIR-24-8 table past
+// LpmConfig::flat_route_threshold — while the embedded TCAM table
+// remains the energy/latency model of record and is charged one search
+// cycle per lookup, exactly as the scan would have been. AddRoute /
+// WithdrawRoute stage; Commit() publishes (same RCU discipline as
+// TcamTable), taking the single-route patch path on the flat tier when
+// the staged set is small (LpmConfig::delta_policy).
 class LpmTable {
  public:
-  explicit LpmTable(TcamTechnology technology);
+  explicit LpmTable(TcamTechnology technology, LpmConfig config = {});
 
   // Adds route `value/prefix_len -> action`. Staged until Commit().
-  void AddRoute(std::uint32_t value, int prefix_len, std::uint32_t action);
+  // Returns the route's stable index (for WithdrawRoute).
+  std::size_t AddRoute(std::uint32_t value, int prefix_len,
+                       std::uint32_t action);
+  // Withdraws the route at `route_index` (as returned by AddRoute).
+  // Staged until Commit(). Throws like TcamTable::Erase on a bad or
+  // already-withdrawn index.
+  void WithdrawRoute(std::size_t route_index);
 
-  bool NeedsCommit() const { return engine_.NeedsCommit(); }
-  // Recompiles the trie and publishes a fresh snapshot. The embedded
-  // TCAM table is deliberately left uncompiled — it is only the energy
-  // model of record and is never scanned.
+  std::size_t route_count() const { return table_.size(); }
+  bool NeedsCommit() const { return dirty_; }
+  // Publishes the staged route set: full rebuild on the trie tier (or
+  // on a tier change), single-route page patches on the flat tier when
+  // the staged set passes LpmConfig::delta_policy. The embedded TCAM
+  // table is deliberately left uncompiled — it is only the energy model
+  // of record and is never scanned.
   void Commit();
   std::shared_ptr<const LpmTableSnapshot> snapshot() const {
     return published_.Acquire();
   }
   std::uint64_t epoch() const { return published_.epoch(); }
+  // The tier the published snapshot compiled to.
+  LpmTier tier() const { return published_.Acquire()->tier; }
+  const LpmConfig& config() const { return config_; }
+  // Delta-vs-full accounting across all commits (see TableCommitStats).
+  const TableCommitStats& commit_stats() const { return commit_stats_; }
 
   // Looks up the longest matching prefix for `address`. Throws
-  // std::logic_error if routes were added since the last Commit().
+  // std::logic_error if routes changed since the last Commit().
   std::optional<TcamSearchResult> Lookup(std::uint32_t address);
   // Batched lookup; out is resized to count. Bit-identical to
   // sequential Lookup() calls, counters and energy included.
@@ -261,20 +329,44 @@ class LpmTable {
   TcamTable& table() { return table_; }
   const TcamTable& table() const { return table_; }
 
-  // Binds the stride-trie engine to `<prefix>.*` counters (rows_scanned
-  // counts trie node hops; the embedded TCAM array never scans — it is
-  // only the energy model of record).
+  // Binds the compiled engines to `<prefix>.*` counters (rows_scanned
+  // counts trie node hops / flat table reads; the embedded TCAM array
+  // never scans — it is only the energy model of record) and the shared
+  // `table.*` commit meters.
   void BindTelemetry(telemetry::MetricsRegistry& registry,
                      const std::string& prefix);
 
  private:
   TcamSearchResult ResultOf(const TcamEngineHit& hit, double energy_j) const;
+  // Best live route covering `route`'s prefix, excluding `route` itself
+  // (already out of by_prefix_): deepest prefix wins, duplicates resolve
+  // to the lowest index. nullptr when nothing covers it.
+  const LpmEngine::Route* FindCover(const LpmEngine::Route& route) const;
+  void RequireCommitted() const;  // throws std::logic_error
+  std::shared_ptr<LpmTableSnapshot> BuildSnapshot(
+      const std::shared_ptr<const LpmTableSnapshot>& prev, bool use_delta,
+      std::size_t& patched_rows);
 
-  TcamTable table_;
-  LpmEngine engine_;
+  TcamTable table_;  // energy model of record; liveness is shared truth
+  LpmConfig config_;
+  // Authoritative route payloads, parallel to table_ slots (liveness =
+  // table_.IsLive). Controller-thread only, never read by the data
+  // plane.
+  std::vector<LpmEngine::Route> routes_;
+  // (masked value, prefix_len) -> live route indices, ascending. Feeds
+  // FindCover for withdrawal patches.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_prefix_;
+  // Withdrawn routes staged since the last commit (payload copies:
+  // routes_ slots may be reused by a later AddRoute in the same batch).
+  std::vector<LpmEngine::Route> staged_withdrawals_;
+  TableDelta delta_;
+  bool dirty_ = false;
+
   SnapshotCell<LpmTableSnapshot> published_;
   std::uint64_t commits_ = 0;  // controller-thread only
+  TableCommitStats commit_stats_;
   telemetry::SearchEngineCounters telemetry_;
+  telemetry::TableCommitCounters commit_telemetry_;
 };
 
 }  // namespace analognf::tcam

@@ -20,6 +20,20 @@
 //     slot bitsets and verifies only the surviving candidates; the
 //     linear tier scans every bank. Both tiers return bit-identical
 //     winners; tier() reports which one this compilation chose.
+//   * Delta compilation (common/table_delta.hpp): the priority-sorted
+//     lanes, slot metadata and pruning bitmaps live in an immutable
+//     CompiledCore behind a shared_ptr. CompileDeltaFrom() shares the
+//     base engine's core and copies only its small overlay — an
+//     erased-slot bitmap plus an unsorted appended tail — so a
+//     single-rule commit costs microseconds instead of an O(table)
+//     rebuild. PatchErase masks a core (or tail) slot out of every
+//     match word; PatchInsert appends to the tail, which searches scan
+//     exhaustively and merge with the core's first hit by the same
+//     (priority desc, index asc) rule — provably the full recompile's
+//     winner, because the core first hit is the best surviving core
+//     candidate and the tail is compared by explicit keys. The owning
+//     table's DeltaCommitPolicy bounds the overlay so the tail's linear
+//     scan stays a rounding error next to the core.
 //   * Concurrency contract: an engine is compiled exactly once (by the
 //     owning table's Commit()) and is immutable afterwards. Search and
 //     SearchBatch are const and touch only compiled state plus the
@@ -42,9 +56,11 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "analognf/common/table_delta.hpp"
 #include "analognf/tcam/tcam_classifier.hpp"
 #include "analognf/tcam/ternary.hpp"
 #include "analognf/telemetry/metrics.hpp"
@@ -73,6 +89,11 @@ struct TcamSearchConfig {
   // SIZE_MAX pins the engine to the linear tier (the bench's reference
   // variant).
   TcamClassifierConfig classifier;
+  // When does the owning table's Commit() patch a cloned snapshot
+  // instead of recompiling (common/table_delta.hpp)?
+  // DeltaCommitPolicy::Disabled() pins every commit to a full
+  // recompile (the differential tests' reference configuration).
+  DeltaCommitPolicy delta_policy;
 
   void Validate() const;  // throws std::invalid_argument
 };
@@ -106,22 +127,48 @@ class TcamSearchEngine {
                             TcamSearchConfig config = {});
 
   // --- compilation (driven by the owning table's Commit) --------------
-  // Builds the SoA snapshot from the live rows (any order). After
-  // Compile returns the engine is immutable and safe to search from any
-  // number of threads.
+  // Builds a fresh immutable CompiledCore from the live rows (any
+  // order) and drops any overlay. After Compile returns the engine is
+  // immutable and safe to search from any number of threads.
   void Compile(const std::vector<TcamEngineEntry>& live_entries);
+
+  // Delta compilation: shares `base`'s CompiledCore (pointer copy, no
+  // lane or bitmap work) and copies its overlay, leaving this engine
+  // ready for PatchInsert/PatchErase. `base` must be compiled and have
+  // the same key width and config; it is never mutated.
+  void CompileDeltaFrom(const TcamSearchEngine& base);
+  // Appends one live entry to the unsorted tail. Only valid between
+  // CompileDeltaFrom and publication (single mutator).
+  void PatchInsert(const TcamEngineEntry& entry);
+  // Masks the entry's slot (tail first — the most recent insert of a
+  // reused index wins — then core) out of every future match word.
+  // Returns false when the index is stored nowhere (e.g. the entry was
+  // both inserted and erased between two commits).
+  bool PatchErase(std::size_t entry_index);
+
   bool compiled() const { return compiled_; }
 
   std::size_t key_width() const { return key_width_; }
-  std::size_t slots() const { return slots_; }
+  // Stored searchable slots: compiled core + appended tail (erased
+  // slots still occupy storage until the next full recompile).
+  std::size_t slots() const { return core_slots() + tail_count_; }
+  // Overlay the delta path has accumulated on top of the core; the
+  // owning table's DeltaCommitPolicy bounds this before growing it.
+  std::size_t overlay_slots() const { return tail_count_ + erased_count_; }
+  std::size_t tail_slots() const { return tail_count_; }
+  std::size_t erased_slots() const { return erased_count_; }
   const TcamSearchConfig& config() const { return config_; }
-  // The match tier the last Compile() chose for this row set.
+  // The match tier the core compilation chose for this row set (delta
+  // snapshots inherit their core's tier).
   TcamMatchTier tier() const {
-    return pruner_.active() ? TcamMatchTier::kPruned : TcamMatchTier::kLinear;
+    return core_ != nullptr && core_->pruner.active() ? TcamMatchTier::kPruned
+                                                      : TcamMatchTier::kLinear;
   }
   // Expected surviving candidate fraction of the pruned tier (1.0 on the
   // linear tier); goes into the bench JSON as `prune_ratio` context.
-  double expected_prune_density() const { return pruner_.expected_density(); }
+  double expected_prune_density() const {
+    return core_ != nullptr ? core_->pruner.expected_density() : 1.0;
+  }
 
   // --- search ---------------------------------------------------------
   // One probe. Requires a compiled engine (throws std::logic_error
@@ -145,22 +192,54 @@ class TcamSearchEngine {
  private:
   static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
 
-  std::size_t BankCount() const { return (slots_ + 63) / 64; }
-  // 64-bit match mask of bank `bank` (bit s = slot bank*64+s matches).
+  // One full compilation's immutable state. Shared (shared_ptr) between
+  // the snapshot that compiled it and every delta snapshot derived from
+  // it; never mutated after Compile().
+  struct CompiledCore {
+    std::size_t slots = 0;
+    // Lane-major SoA: mask[lane][slot], value[lane][slot]. Columns are
+    // zero-padded to whole 64-slot banks so the SIMD bank kernel can
+    // read full banks; padding slots read as match-everything and are
+    // masked off by EvalBank's valid mask (bitmap rows never name
+    // them).
+    std::vector<std::vector<std::uint64_t>> mask;
+    std::vector<std::vector<std::uint64_t>> value;
+    TcamClassifier pruner;
+    std::vector<std::size_t> slot_entry;  // slot -> stable table index
+    std::vector<std::uint32_t> slot_action;
+    std::vector<std::int32_t> slot_priority;
+    // Stable table index -> core slot (kNoSlot when the index compiled
+    // to nothing); lets PatchErase find a core slot in O(1).
+    std::vector<std::size_t> entry_slot;
+  };
+
+  std::size_t core_slots() const { return core_ != nullptr ? core_->slots : 0; }
+  std::size_t BankCount() const { return (core_slots() + 63) / 64; }
+  std::size_t TailBankCount() const { return (tail_count_ + 63) / 64; }
+  // 64-bit match mask of core bank `bank` (bit s = slot bank*64+s
+  // matches and is not erased).
   std::uint64_t EvalBank(const std::uint64_t* key_lanes,
                          std::size_t bank) const;
-  // Lowest matching slot in banks [bank_begin, bank_end), or kNoSlot.
+  // Lowest matching live slot in banks [bank_begin, bank_end), or
+  // kNoSlot.
   std::size_t FirstHit(const std::uint64_t* key_lanes,
                        std::size_t bank_begin, std::size_t bank_end) const;
   // Pruned-tier search: bitmap intersection, then candidate verify in
   // ascending slot order. Adds verified candidates to `candidates`.
   std::size_t PrunedFirstHit(const std::uint64_t* key_lanes,
                              std::uint64_t& candidates) const;
-  // Exact (key & mask) == value check of one slot across all lanes.
+  // Exact (key & mask) == value check of one core slot across all lanes.
   bool VerifySlot(const std::uint64_t* key_lanes, std::size_t slot) const;
-  // Full-table search of one packed key, sharding banks when large.
+  // Full-core search of one packed key, sharding banks when large.
   std::size_t SearchPacked(const std::uint64_t* key_lanes,
                            TcamSearchScratch& scratch) const;
+  // Best live matching tail slot under (priority desc, entry asc), or
+  // kNoSlot. The tail is unsorted, so every tail bank is evaluated.
+  std::size_t TailBest(const std::uint64_t* key_lanes) const;
+  // Combines the core tier's first hit with the tail's best under
+  // (priority desc, entry asc).
+  std::optional<TcamEngineHit> MergeWithTail(
+      std::size_t core_slot, const std::uint64_t* key_lanes) const;
   std::size_t ShardCount(std::size_t shardable_units) const;
   std::optional<TcamEngineHit> HitAt(std::size_t slot) const;
   void RequireCompiled() const;  // throws std::logic_error
@@ -170,17 +249,23 @@ class TcamSearchEngine {
   TcamSearchConfig config_;
   bool compiled_ = false;
 
-  std::size_t slots_ = 0;
-  // Lane-major SoA: mask_[lane][slot], value_[lane][slot]. Columns are
-  // zero-padded to whole 64-slot banks so the SIMD bank kernel can read
-  // full banks; padding slots read as match-everything and are masked
-  // off by EvalBank's valid mask (bitmap rows never name them).
-  std::vector<std::vector<std::uint64_t>> mask_;
-  std::vector<std::vector<std::uint64_t>> value_;
-  TcamClassifier pruner_;
-  std::vector<std::size_t> slot_entry_;     // slot -> stable table index
-  std::vector<std::uint32_t> slot_action_;
-  std::vector<std::int32_t> slot_priority_;
+  std::shared_ptr<const CompiledCore> core_;
+
+  // --- delta overlay (small; copied by CompileDeltaFrom) --------------
+  // Erased core slots, one bit per slot, padded to a multiple of 4
+  // words so the pruned tier can mask intersection words in place.
+  std::vector<std::uint64_t> core_erased_;
+  std::size_t erased_count_ = 0;  // erased core + erased tail slots
+  // Unsorted appended tail, same lane-major bank-padded layout as the
+  // core. tail_live_ masks erased tail slots (an index inserted and
+  // then erased across delta commits).
+  std::size_t tail_count_ = 0;
+  std::vector<std::vector<std::uint64_t>> tail_mask_;
+  std::vector<std::vector<std::uint64_t>> tail_value_;
+  std::vector<std::uint64_t> tail_live_;
+  std::vector<std::size_t> tail_entry_;
+  std::vector<std::uint32_t> tail_action_;
+  std::vector<std::int32_t> tail_priority_;
 
   telemetry::SearchEngineCounters telemetry_;
 };
@@ -195,6 +280,11 @@ class TcamSearchEngine {
 // deeper levels always hold strictly longer prefixes. Ties between
 // equal-length duplicates resolve to the lowest entry index, matching
 // the TCAM priority encoder.
+//
+// This is the small-table tier of LpmTable; route sets past the
+// configured threshold compile to the flat DIR-24-8 engine
+// (lpm_flat_engine.hpp) instead, which additionally supports
+// single-route delta commits.
 //
 // Concurrency contract: AddRoute marks the trie dirty; Commit() (called
 // by the owning table off the hot path) recompiles it. Lookup and
@@ -216,6 +306,11 @@ class LpmEngine {
   // concurrently with lookups — commits happen off the hot path.
   void Commit();
   bool NeedsCommit() const { return dirty_; }
+
+  // Drops every route and node; the engine is dirty until the next
+  // Commit(). Used by the owning table to rebuild the trie tier from
+  // its authoritative route list after withdrawals.
+  void Reset();
 
   std::size_t route_count() const { return routes_.size(); }
 

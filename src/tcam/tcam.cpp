@@ -1,9 +1,23 @@
 #include "analognf/tcam/tcam.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 namespace analognf::tcam {
+
+namespace {
+
+// Monotonic nanoseconds for commit-latency accounting.
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 void TcamTechnology::Validate() const {
   if (!(search_energy_per_bit_j >= 0.0)) {
@@ -79,6 +93,7 @@ std::size_t TcamTable::Insert(Entry entry) {
     live_.push_back(1);
   }
   ++live_count_;
+  delta_.Note(TableDeltaOp::kInsert, index);
   dirty_.store(true, std::memory_order_release);
   return index;
 }
@@ -93,6 +108,7 @@ void TcamTable::Erase(std::size_t index) {
   live_[index] = 0;
   free_list_.push_back(index);
   --live_count_;
+  delta_.Note(TableDeltaOp::kErase, index);
   dirty_.store(true, std::memory_order_release);
 }
 
@@ -118,21 +134,63 @@ void TcamTable::CompactTombstones() {
 
 void TcamTable::Commit() {
   if (!NeedsCommit()) return;
-  CompactTombstones();
+  const std::uint64_t t0 = NowNs();
+  const std::shared_ptr<const TcamTableSnapshot> prev = published_.Acquire();
+  // Delta decision: patch the previous snapshot's compiled core when the
+  // staged set (plus the overlay it already carries) is small against
+  // the committed table; otherwise recompile from scratch.
+  const bool use_delta = engine_config_.delta_policy.UseDelta(
+      delta_.touched().size(), delta_.structural(), prev->live_rows,
+      prev->engine.overlay_slots());
   auto snap = std::make_shared<TcamTableSnapshot>(key_width_, engine_config_);
-  std::vector<TcamEngineEntry> view;
-  view.reserve(live_count_);
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (live_[i] == 0) continue;
-    view.push_back({&entries_[i].pattern, entries_[i].action,
-                    entries_[i].priority, i});
-  }
   snap->engine.BindTelemetry(telemetry_);
-  snap->engine.Compile(view);
+  std::size_t patched_rows = 0;
+  if (use_delta) {
+    snap->engine.CompileDeltaFrom(prev->engine);
+    // Apply each touched index's *final* state: erase whatever the base
+    // stores for it, then re-add it if it is live now. Winners resolve
+    // by explicit (priority, index) keys, so this is bit-identical to a
+    // full recompile (see TableDelta::touched()).
+    for (const std::size_t index : delta_.touched()) {
+      snap->engine.PatchErase(index);
+      if (IsLive(index)) {
+        snap->engine.PatchInsert({&entries_[index].pattern,
+                                  entries_[index].action,
+                                  entries_[index].priority, index});
+      }
+      ++patched_rows;
+    }
+  } else {
+    CompactTombstones();
+    std::vector<TcamEngineEntry> view;
+    view.reserve(live_count_);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (live_[i] == 0) continue;
+      view.push_back({&entries_[i].pattern, entries_[i].action,
+                      entries_[i].priority, i});
+    }
+    snap->engine.Compile(view);
+  }
   snap->live_rows = live_count_;
   snap->search_energy_j = SearchEnergyJ();
   snap->search_latency_s = technology_.search_latency_s;
   snap->epoch = ++commits_;
+  delta_.Clear();
+
+  const std::uint64_t commit_ns = NowNs() - t0;
+  ++commit_stats_.commits;
+  commit_stats_.last_commit_ns = commit_ns;
+  commit_stats_.last_was_delta = use_delta;
+  if (use_delta) {
+    ++commit_stats_.delta_commits;
+    commit_stats_.delta_rows += patched_rows;
+    commit_telemetry_.delta_rows.Inc(patched_rows);
+  } else {
+    ++commit_stats_.full_recompiles;
+    commit_telemetry_.full_recompiles.Inc();
+  }
+  commit_telemetry_.commit_ns.Inc(commit_ns);
+
   // Clear the dirty flag BEFORE the publish: a strict single-threaded
   // reader that observes dirty == false is then guaranteed to acquire
   // this (or a newer) snapshot; concurrent stagers simply re-set it.
@@ -207,6 +265,9 @@ double TcamTable::SearchEnergyJ() const {
 void TcamTable::BindTelemetry(telemetry::MetricsRegistry& registry,
                               const std::string& prefix) {
   telemetry_ = telemetry::MakeSearchEngineCounters(registry, prefix);
+  // All tables share the `table.*` commit meters (GetCounter dedups by
+  // name), attributing control-plane cost fleet-wide.
+  commit_telemetry_ = telemetry::MakeTableCommitCounters(registry);
   // Future snapshots bind at Commit; rebuild the current one's handles
   // by forcing a recompile on the next commit is unnecessary — the
   // published snapshot is immutable, so instrumentation starts with the
@@ -220,14 +281,23 @@ void TcamTable::BindTelemetry(telemetry::MetricsRegistry& registry,
 
 namespace {
 
-// Seed snapshot for a fresh LPM table: commits the (empty) trie and
-// captures it at epoch 0, so lookups on a fresh table miss instead of
-// throwing.
-std::shared_ptr<const LpmTableSnapshot> EmptyLpmSnapshot(LpmEngine& engine,
-                                                         const TcamTable& table) {
-  engine.Commit();
+// Network mask of a prefix length; 0 for /0 (no shift-by-32 UB).
+std::uint32_t LpmPrefixMask(int len) {
+  return len == 0 ? 0u : ~std::uint32_t{0} << (32 - len);
+}
+
+// by_prefix_ key: (masked value, prefix length) packed into 38 bits.
+std::uint64_t LpmPrefixKey(std::uint32_t masked, int len) {
+  return (static_cast<std::uint64_t>(masked) << 6) |
+         static_cast<std::uint64_t>(len);
+}
+
+// Seed snapshot for a fresh LPM table: the (empty) trie committed at
+// epoch 0, so lookups on a fresh table miss instead of throwing.
+std::shared_ptr<const LpmTableSnapshot> EmptyLpmSnapshot(
+    const TcamTable& table) {
   auto snap = std::make_shared<LpmTableSnapshot>();
-  snap->engine = engine;
+  snap->engine.Commit();
   snap->search_energy_j = table.SearchEnergyJ();
   snap->search_latency_s = table.SearchLatencyS();
   return snap;
@@ -235,30 +305,146 @@ std::shared_ptr<const LpmTableSnapshot> EmptyLpmSnapshot(LpmEngine& engine,
 
 }  // namespace
 
-LpmTable::LpmTable(TcamTechnology technology)
+LpmTable::LpmTable(TcamTechnology technology, LpmConfig config)
     : table_(32, std::move(technology)),
-      published_(EmptyLpmSnapshot(engine_, table_)) {}
+      config_(config),
+      published_(EmptyLpmSnapshot(table_)) {}
 
-void LpmTable::AddRoute(std::uint32_t value, int prefix_len,
-                        std::uint32_t action) {
+std::size_t LpmTable::AddRoute(std::uint32_t value, int prefix_len,
+                               std::uint32_t action) {
   TcamTable::Entry entry;
   entry.pattern = TernaryWord::FromPrefix(value, prefix_len);
   entry.action = action;
   entry.priority = prefix_len;
   const std::size_t index = table_.Insert(std::move(entry));
-  engine_.AddRoute({value, prefix_len, action, index});
+  if (index >= routes_.size()) routes_.resize(index + 1);
+  routes_[index] = {value, prefix_len, action, index};
+  const std::uint32_t masked = value & LpmPrefixMask(prefix_len);
+  std::vector<std::size_t>& bucket =
+      by_prefix_[LpmPrefixKey(masked, prefix_len)];
+  bucket.insert(std::lower_bound(bucket.begin(), bucket.end(), index), index);
+  delta_.Note(TableDeltaOp::kInsert, index);
+  dirty_ = true;
+  return index;
+}
+
+void LpmTable::WithdrawRoute(std::size_t route_index) {
+  table_.Erase(route_index);  // validates index and liveness
+  const LpmEngine::Route route = routes_[route_index];
+  const std::uint32_t masked = route.value & LpmPrefixMask(route.prefix_len);
+  const auto it = by_prefix_.find(LpmPrefixKey(masked, route.prefix_len));
+  std::vector<std::size_t>& bucket = it->second;
+  bucket.erase(std::lower_bound(bucket.begin(), bucket.end(), route_index));
+  if (bucket.empty()) by_prefix_.erase(it);
+  staged_withdrawals_.push_back(route);
+  delta_.Note(TableDeltaOp::kErase, route_index);
+  dirty_ = true;
+}
+
+const LpmEngine::Route* LpmTable::FindCover(
+    const LpmEngine::Route& route) const {
+  // Deepest live covering prefix wins; a same-length duplicate (same
+  // prefix, different index) covers too and resolves to the lowest
+  // index, since buckets are kept ascending.
+  for (int len = route.prefix_len; len >= 0; --len) {
+    const std::uint32_t masked = route.value & LpmPrefixMask(len);
+    const auto it = by_prefix_.find(LpmPrefixKey(masked, len));
+    if (it == by_prefix_.end()) continue;
+    return &routes_[it->second.front()];
+  }
+  return nullptr;
+}
+
+std::shared_ptr<LpmTableSnapshot> LpmTable::BuildSnapshot(
+    const std::shared_ptr<const LpmTableSnapshot>& prev, bool use_delta,
+    std::size_t& patched_rows) {
+  auto snap = std::make_shared<LpmTableSnapshot>();
+  const std::size_t live = table_.size();
+  snap->tier =
+      live >= config_.flat_route_threshold ? LpmTier::kFlat : LpmTier::kTrie;
+  if (use_delta) {
+    snap->flat.BindTelemetry(telemetry_);
+    snap->flat.CompileDeltaFrom(prev->flat);
+    // Withdrawals first: each victim's slots are rewritten with the best
+    // surviving cover, leaving the structure equal to "previous set
+    // minus withdrawn routes"; staged inserts then arbitrate in by the
+    // same (depth, index) order a full rebuild uses.
+    for (const LpmEngine::Route& route : staged_withdrawals_) {
+      snap->flat.PatchErase(route, FindCover(route));
+      ++patched_rows;
+    }
+    for (const std::size_t index : delta_.touched()) {
+      if (!table_.IsLive(index)) continue;  // withdrawn, not re-added
+      snap->flat.PatchInsert(routes_[index]);
+      ++patched_rows;
+    }
+    return snap;
+  }
+  if (snap->tier == LpmTier::kFlat) {
+    snap->flat.BindTelemetry(telemetry_);
+    std::vector<LpmEngine::Route> view;
+    view.reserve(live);
+    for (std::size_t i = 0; i < routes_.size(); ++i) {
+      if (table_.IsLive(i)) view.push_back(routes_[i]);
+    }
+    snap->flat.Compile(view);
+  } else {
+    snap->engine.BindTelemetry(telemetry_);
+    for (std::size_t i = 0; i < routes_.size(); ++i) {
+      if (table_.IsLive(i)) snap->engine.AddRoute(routes_[i]);
+    }
+    snap->engine.Commit();
+  }
+  return snap;
 }
 
 void LpmTable::Commit() {
-  if (!engine_.NeedsCommit()) return;
-  engine_.Commit();
-  auto snap = std::make_shared<LpmTableSnapshot>();
-  snap->engine = engine_;  // committed copy
-  snap->engine.BindTelemetry(telemetry_);
+  if (!dirty_) return;
+  const std::uint64_t t0 = NowNs();
+  const std::shared_ptr<const LpmTableSnapshot> prev = published_.Acquire();
+  const std::size_t live = table_.size();
+  // Deltas only make sense flat-to-flat: trie commits rebuild by design
+  // and a tier change restructures everything. Flat patches fold in
+  // exactly (no overlay grows), so overlay_rows is 0.
+  const bool use_delta =
+      prev->tier == LpmTier::kFlat &&
+      live >= config_.flat_route_threshold &&
+      config_.delta_policy.UseDelta(delta_.touched().size(),
+                                    delta_.structural(), prev->live_routes,
+                                    0);
+  std::size_t patched_rows = 0;
+  std::shared_ptr<LpmTableSnapshot> snap =
+      BuildSnapshot(prev, use_delta, patched_rows);
+  snap->live_routes = live;
   snap->search_energy_j = table_.SearchEnergyJ();
   snap->search_latency_s = table_.SearchLatencyS();
   snap->epoch = ++commits_;
+  delta_.Clear();
+  staged_withdrawals_.clear();
+
+  const std::uint64_t commit_ns = NowNs() - t0;
+  ++commit_stats_.commits;
+  commit_stats_.last_commit_ns = commit_ns;
+  commit_stats_.last_was_delta = use_delta;
+  if (use_delta) {
+    ++commit_stats_.delta_commits;
+    commit_stats_.delta_rows += patched_rows;
+    commit_telemetry_.delta_rows.Inc(patched_rows);
+  } else {
+    ++commit_stats_.full_recompiles;
+    commit_telemetry_.full_recompiles.Inc();
+  }
+  commit_telemetry_.commit_ns.Inc(commit_ns);
+
+  dirty_ = false;
   published_.Publish(std::move(snap));
+}
+
+void LpmTable::RequireCommitted() const {
+  if (dirty_) {
+    throw std::logic_error(
+        "LpmTable: lookup with uncommitted routes — call Commit()");
+  }
 }
 
 TcamSearchResult LpmTable::ResultOf(const TcamEngineHit& hit,
@@ -273,29 +459,24 @@ TcamSearchResult LpmTable::ResultOf(const TcamEngineHit& hit,
 }
 
 std::optional<TcamSearchResult> LpmTable::Lookup(std::uint32_t address) {
-  if (engine_.NeedsCommit()) {
-    throw std::logic_error(
-        "LpmTable: lookup with uncommitted routes — call Commit()");
-  }
-  // The trie answers; the TCAM array still burns one full search cycle.
+  RequireCommitted();
+  // The compiled engine answers; the TCAM array still burns one full
+  // search cycle.
   const std::shared_ptr<const LpmTableSnapshot> snap = snapshot();
   const double energy = table_.AccountSearch(snap->search_energy_j);
-  const std::optional<TcamEngineHit> hit = snap->engine.Lookup(address);
+  const std::optional<TcamEngineHit> hit = snap->Lookup(address);
   if (!hit.has_value()) return std::nullopt;
   return ResultOf(*hit, energy);
 }
 
 void LpmTable::LookupBatch(const std::uint32_t* addresses, std::size_t count,
                            std::vector<std::optional<TcamSearchResult>>& out) {
-  if (engine_.NeedsCommit()) {
-    throw std::logic_error(
-        "LpmTable: lookup with uncommitted routes — call Commit()");
-  }
+  RequireCommitted();
   const std::shared_ptr<const LpmTableSnapshot> snap = snapshot();
   out.assign(count, std::nullopt);
   for (std::size_t q = 0; q < count; ++q) {
     const double energy = table_.AccountSearch(snap->search_energy_j);
-    const std::optional<TcamEngineHit> hit = snap->engine.Lookup(addresses[q]);
+    const std::optional<TcamEngineHit> hit = snap->Lookup(addresses[q]);
     if (hit.has_value()) out[q] = ResultOf(*hit, energy);
   }
 }
@@ -303,15 +484,12 @@ void LpmTable::LookupBatch(const std::uint32_t* addresses, std::size_t count,
 void LpmTable::BindTelemetry(telemetry::MetricsRegistry& registry,
                              const std::string& prefix) {
   telemetry_ = telemetry::MakeSearchEngineCounters(registry, prefix);
-  engine_.BindTelemetry(telemetry_);
-  if (!engine_.NeedsCommit()) {
-    // Re-publish so the already-committed snapshot reports too.
-    auto snap = std::make_shared<LpmTableSnapshot>();
-    snap->engine = engine_;
-    snap->search_energy_j = table_.SearchEnergyJ();
-    snap->search_latency_s = table_.SearchLatencyS();
-    snap->epoch = commits_;
-    published_.Publish(std::move(snap));
+  commit_telemetry_ = telemetry::MakeTableCommitCounters(registry);
+  if (!dirty_) {
+    // Re-publish the committed route set with counters attached so a
+    // table bound after its first Commit still reports.
+    dirty_ = true;
+    Commit();
   }
 }
 

@@ -319,4 +319,26 @@ inline SearchEngineCounters MakeSearchEngineCounters(
   return counters;
 }
 
+// Control-plane commit meters a table reports into on every Commit()
+// (see common/table_delta.hpp). All optional, like SearchEngineCounters.
+struct TableCommitCounters {
+  CounterHandle commit_ns;         // cumulative wall ns spent committing
+  CounterHandle delta_rows;        // rows patched by delta commits
+  CounterHandle full_recompiles;   // commits that rebuilt from scratch
+};
+
+// Registers the canonical `table.commit_ns` / `table.delta_rows` /
+// `table.full_recompiles` meters. Every table of one registry shares
+// the same three counters (GetCounter deduplicates by name), so the
+// flight recorder sees the data plane's total control-plane commit cost
+// in one place regardless of which engine paid it.
+inline TableCommitCounters MakeTableCommitCounters(
+    MetricsRegistry& registry) {
+  TableCommitCounters counters;
+  counters.commit_ns = registry.GetCounter("table.commit_ns");
+  counters.delta_rows = registry.GetCounter("table.delta_rows");
+  counters.full_recompiles = registry.GetCounter("table.full_recompiles");
+  return counters;
+}
+
 }  // namespace analognf::telemetry

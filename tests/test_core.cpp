@@ -305,6 +305,7 @@ TEST(PcamTableTest, BestRowWins) {
   table.Insert({"low", {PcamParams::MakeBand(1.0, 0.2, 0.3)}, 10});
   table.Insert({"mid", {PcamParams::MakeBand(2.0, 0.2, 0.3)}, 20});
   table.Insert({"high", {PcamParams::MakeBand(3.0, 0.2, 0.3)}, 30});
+  table.Commit();
 
   const auto result = table.Search({2.05});
   ASSERT_TRUE(result.has_value());
@@ -319,6 +320,7 @@ TEST(PcamTableTest, PartialMatchStillRanksRows) {
   PcamTable table(1, TestHardware());
   table.Insert({"a", {PcamParams::MakeBand(1.0, 0.1, 0.5)}, 1});
   table.Insert({"b", {PcamParams::MakeBand(3.0, 0.1, 0.5)}, 2});
+  table.Commit();
   const auto result = table.Search({1.4});  // on a's skirt, far from b
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->action, 1u);
@@ -335,6 +337,7 @@ TEST(PcamTableTest, SampleByDegreeRespectsWeights) {
   PcamTable table(1, TestHardware());
   table.Insert({"a", {PcamParams::MakeBand(1.0, 0.5, 0.5)}, 1});
   table.Insert({"b", {PcamParams::MakeBand(9.0, 0.5, 0.5)}, 2});
+  table.Commit();
   analognf::RandomStream rng(3);
   int hits_a = 0;
   for (int i = 0; i < 200; ++i) {
@@ -348,6 +351,7 @@ TEST(PcamTableTest, SampleByDegreeRespectsWeights) {
 TEST(PcamTableTest, SampleByDegreeNulloptWhenAllZero) {
   PcamTable table(1, TestHardware());
   table.Insert({"a", {PcamParams::MakeBand(1.0, 0.1, 0.1)}, 1});
+  table.Commit();
   analognf::RandomStream rng(4);
   EXPECT_FALSE(table.SampleByDegree({3.9}, rng).has_value());
 }
@@ -361,9 +365,11 @@ TEST(PcamTableTest, InsertValidatesArity) {
 TEST(PcamTableTest, EnergyGrowsWithRows) {
   PcamTable table(1, TestHardware());
   table.Insert({"a", {UnitTrapezoid()}, 1});
+  table.Commit();
   table.Search({2.5});
   const double one_row = table.ConsumedEnergyJ();
   table.Insert({"b", {UnitTrapezoid()}, 2});
+  table.Commit();
   table.Search({2.5});
   EXPECT_GT(table.ConsumedEnergyJ() - one_row, one_row * 1.5);
 }
@@ -797,6 +803,7 @@ PcamTable MakeTestTable(std::size_t rows,
                    PcamParams::MakeBand(c2, 0.05, 0.4)},
                   static_cast<std::uint32_t>(i)});
   }
+  table.Commit();
   return table;
 }
 
@@ -874,16 +881,148 @@ TEST(PcamSearchEngineTest, RejectsZeroThreadThreshold) {
   EXPECT_THROW(PcamTable(1, TestHardware(), bad), std::invalid_argument);
 }
 
+TEST(PcamSearchEngineTest, BankedSearchBitIdenticalToUnbanked) {
+  PcamSearchConfig banked_cfg;
+  banked_cfg.bank_rows = 8;
+  PcamTable reference = engine_test::MakeTestTable(61, TestHardware());
+  PcamTable banked =
+      engine_test::MakeTestTable(61, TestHardware(), banked_cfg);
+  EXPECT_EQ(banked.search_engine().bank_count(), 8u);  // ceil(61 / 8)
+  EXPECT_EQ(reference.search_engine().bank_count(), 0u);
+  bool saw_skip = false;
+  for (double v = 0.6; v < 3.6; v += 0.11) {
+    const std::vector<double> query = {v, 4.0 - v};
+    const auto a = reference.Search(query);
+    const auto b = banked.Search(query);
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    EXPECT_EQ(b->row_index, a->row_index);
+    EXPECT_EQ(b->match_degree, a->match_degree);
+    // Skipped banks must report exactly the zero the full sweep would
+    // compute, so the whole degree vector is bitwise identical.
+    for (std::size_t r = 0; r < reference.size(); ++r) {
+      EXPECT_EQ(banked.last_degrees()[r], reference.last_degrees()[r]);
+    }
+    const std::size_t driven = banked.search_engine().last_driven_banks();
+    EXPECT_LE(driven, banked.search_engine().bank_count());
+    if (driven < banked.search_engine().bank_count()) saw_skip = true;
+  }
+  // The sweep includes selective queries, so the pre-selection must
+  // actually have skipped banks somewhere — else this test is vacuous.
+  EXPECT_TRUE(saw_skip);
+}
+
+TEST(PcamSearchEngineTest, BankedBatchMatchesSequentialSearches) {
+  PcamSearchConfig banked_cfg;
+  banked_cfg.bank_rows = 8;
+  PcamTable sequential =
+      engine_test::MakeTestTable(40, TestHardware(), banked_cfg);
+  PcamTable batched =
+      engine_test::MakeTestTable(40, TestHardware(), banked_cfg);
+  std::vector<std::vector<double>> queries;
+  for (double v = 0.7; v < 3.4; v += 0.19) {
+    queries.push_back({v, 4.0 - v});
+  }
+  const auto batch = batched.SearchBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto one = sequential.Search(queries[q]);
+    ASSERT_TRUE(one.has_value());
+    EXPECT_EQ(batch[q].row_index, one->row_index);
+    EXPECT_EQ(batch[q].match_degree, one->match_degree);
+    // Banked batches take the per-query path, so even the driven-bank
+    // energy accounting is bit-identical to sequential probes.
+    EXPECT_EQ(batch[q].energy_j, one->energy_j);
+  }
+  EXPECT_EQ(batched.ConsumedEnergyJ(), sequential.ConsumedEnergyJ());
+}
+
+TEST(PcamSearchEngineTest, BankedSkipsSpendLessEnergy) {
+  PcamSearchConfig banked_cfg;
+  banked_cfg.bank_rows = 8;
+  PcamTable reference = engine_test::MakeTestTable(64, TestHardware());
+  PcamTable banked =
+      engine_test::MakeTestTable(64, TestHardware(), banked_cfg);
+  // A query matching only the first rows: most banks sit out, and the
+  // modelled search energy covers the driven banks only.
+  const std::vector<double> query = {1.0, 3.0};
+  const auto a = reference.Search(query);
+  const auto b = banked.Search(query);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_LT(banked.search_engine().last_driven_banks(),
+            banked.search_engine().bank_count());
+  EXPECT_GT(b->energy_j, 0.0);
+  EXPECT_LT(b->energy_j, a->energy_j);
+}
+
+TEST(PcamSearchEngineTest, BankedRequiresStatelessChannel) {
+  HardwarePcamConfig noisy = TestHardware();
+  noisy.channel = analog::ChannelParams::Noisy(0.2);
+  PcamSearchConfig banked_cfg;
+  banked_cfg.bank_rows = 8;
+  EXPECT_THROW(PcamTable(1, noisy, banked_cfg), std::invalid_argument);
+}
+
+// ------------------------------------------------- stage-then-commit
+
+TEST(PcamTableCommitTest, SearchThrowsOnUncommittedMutations) {
+  PcamTable table(1, TestHardware());
+  table.Insert({"a", {PcamParams::MakeBand(1.0, 0.2, 0.3)}, 1});
+  // Same contract as TcamTable/LpmTable: staged mutations make every
+  // search entry point throw until the next Commit().
+  EXPECT_THROW(table.Search({1.0}), std::logic_error);
+  EXPECT_THROW(table.SearchBatchFlat({1.0}), std::logic_error);
+  EXPECT_THROW(table.SampleWithDraw({1.0}, 0.5), std::logic_error);
+  table.Commit();
+  EXPECT_TRUE(table.Search({1.0}).has_value());
+  table.ProgramField(0, 0, PcamParams::MakeBand(2.0, 0.2, 0.3));
+  EXPECT_THROW(table.Search({2.0}), std::logic_error);
+  table.Commit();
+  EXPECT_TRUE(table.Search({2.0}).has_value());
+  table.Age(10.0);
+  EXPECT_THROW(table.Search({2.0}), std::logic_error);
+  table.Commit();
+  EXPECT_TRUE(table.Search({2.0}).has_value());
+}
+
+TEST(PcamTableCommitTest, CommitStatsSeparateDeltaFromFullRecompiles) {
+  PcamTable table(1, TestHardware());
+  for (int i = 0; i < 4; ++i) {
+    table.Insert({"r" + std::to_string(i),
+                  {PcamParams::MakeBand(1.0 + i, 0.2, 0.3)},
+                  static_cast<std::uint32_t>(i)});
+  }
+  table.Commit();  // first build touches every row: a full recompile
+  EXPECT_EQ(table.commit_stats().commits, 1u);
+  EXPECT_EQ(table.commit_stats().full_recompiles, 1u);
+  EXPECT_FALSE(table.commit_stats().last_was_delta);
+
+  table.ProgramField(2, 0, PcamParams::MakeBand(2.5, 0.2, 0.3));
+  table.Commit();  // one staged row out of four: the delta path
+  EXPECT_EQ(table.commit_stats().delta_commits, 1u);
+  EXPECT_EQ(table.commit_stats().delta_rows, 1u);
+  EXPECT_TRUE(table.commit_stats().last_was_delta);
+
+  table.Age(5.0);  // structural: every row refreshes
+  table.Commit();
+  EXPECT_EQ(table.commit_stats().full_recompiles, 2u);
+  EXPECT_FALSE(table.commit_stats().last_was_delta);
+
+  table.Commit();  // nothing staged: publishes nothing, counts nothing
+  EXPECT_EQ(table.commit_stats().commits, 3u);
+}
+
 TEST(PcamSearchEngineTest, ProgramFieldRefreshesSnapshot) {
   PcamTable table(1, TestHardware());
   table.Insert({"a", {PcamParams::MakeBand(1.0, 0.1, 0.1)}, 1});
   table.Insert({"b", {PcamParams::MakeBand(3.0, 0.1, 0.1)}, 2});
+  table.Commit();
   auto result = table.Search({1.0});
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->action, 1u);
   // Retarget row b onto the probe; the dirty-tracked snapshot must pick
-  // the reprogrammed transfer function up on the next search.
+  // the reprogrammed transfer function up on the next commit+search.
   table.ProgramField(1, 0, PcamParams::MakeBand(1.0, 0.2, 0.2));
+  table.Commit();
   result = table.Search({1.0});
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->row_index, 0u);  // tie at degree 1: lowest index wins
@@ -898,6 +1037,7 @@ TEST(PcamSearchEngineTest, AgeInvalidatesWholeSnapshot) {
   table.Search(query);
   const std::vector<double> fresh = table.last_degrees();
   table.Age(200.0);  // four time constants: thresholds decay visibly
+  table.Commit();
   table.Search(query);
   const std::vector<double> expected =
       engine_test::ReferenceDegrees(table, query);
@@ -986,6 +1126,7 @@ TEST(PcamTableTest, SampleWithDrawTailFallsBackToArgMax) {
 TEST(PcamTableTest, SampleWithDrawNulloptWhenAllZero) {
   PcamTable table(1, TestHardware());
   table.Insert({"a", {PcamParams::MakeBand(1.0, 0.1, 0.1)}, 1});
+  table.Commit();
   EXPECT_FALSE(table.SampleWithDraw({3.9}, 0.5).has_value());
 }
 
@@ -993,6 +1134,7 @@ TEST(PcamTableTest, SampleWithDrawSkipsZeroMassRows) {
   PcamTable table(1, TestHardware());
   table.Insert({"far", {PcamParams::MakeBand(3.0, 0.1, 0.1)}, 1});
   table.Insert({"near", {PcamParams::MakeBand(1.0, 0.2, 0.2)}, 2});
+  table.Commit();
   // Row 0 has zero degree at this probe, so any positive draw must land
   // on row 1 (all the cumulative mass lives there).
   const auto pick = table.SampleWithDraw({1.0}, 0.25);

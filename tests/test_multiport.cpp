@@ -423,6 +423,119 @@ TEST(SwitchGroupTest, FourPortsMatchFourSolosWithPrunedFirewall) {
   EXPECT_DOUBLE_EQ(group.TotalEnergyJ(), want_j);
 }
 
+// Delta commits landing between batch rounds of live 4-port traffic:
+// with the 1024-rule ACL the shared firewall is far past the delta
+// policy's min_rows, so the controller's per-round rule churn publishes
+// patched snapshots, not recompiles. Every port must stay bit-identical
+// to a solo switch fed the same stream with the same mirrored mutations
+// (the solo's owned tables commit the identical staged sets at its own
+// batch boundaries).
+TEST(SwitchGroupTest, DeltaCommitsUnderTrafficMatchSoloSwitches) {
+  const SwitchConfig config = GroupConfig();
+  constexpr std::size_t kPorts = 4;
+  constexpr std::size_t kPackets = 320;
+  constexpr std::size_t kBatch = 64;
+
+  std::vector<std::unique_ptr<CognitiveSwitch>> solos;
+  for (std::size_t p = 0; p < kPorts; ++p) {
+    solos.push_back(std::make_unique<CognitiveSwitch>(config));
+    InstallLargeTables(*solos.back());
+  }
+  SwitchGroup group(kPorts, config);
+  InstallLargeTables(group);
+  group.Commit();
+
+  std::vector<std::vector<net::Packet>> streams;
+  for (std::size_t p = 0; p < kPorts; ++p) {
+    streams.push_back(MakeTrafficMix(kPackets, 3000 + p));
+  }
+
+  RandomStream rng(0xDE17A);
+  std::vector<std::size_t> churn_rules;   // erasable: added during churn
+  std::vector<std::size_t> churn_routes;  // withdrawable likewise
+  double now_s = 0.0;
+  for (std::size_t off = 0; off < kPackets; off += kBatch) {
+    for (std::size_t p = 0; p < kPorts; ++p) {
+      solos[p]->InjectBatch(
+          std::span<const net::Packet>(streams[p]).subspan(off, kBatch),
+          now_s);
+      std::vector<net::Packet> chunk(
+          streams[p].begin() + static_cast<long>(off),
+          streams[p].begin() + static_cast<long>(off + kBatch));
+      group.Submit(p, std::move(chunk), now_s);
+    }
+    // Quiesce so the commit lands on a deterministic batch boundary:
+    // this round's batches saw the old snapshot, the next round's see
+    // the patched one — exactly what the solos' auto-commit does.
+    group.WaitIdle();
+
+    // Mirrored control-plane churn. Identical mutation sequences mean
+    // the group and every solo assign identical stable indices.
+    for (std::size_t op = 0; op < 2; ++op) {
+      FirewallPattern deny;
+      deny.dst_port = static_cast<std::uint16_t>(700 + rng.NextIndex(16));
+      deny.any_dst_port = false;
+      const std::size_t rule = group.AddFirewallRule(deny, false, 5);
+      for (auto& solo : solos) {
+        EXPECT_EQ(solo->AddFirewallRule(deny, false, 5), rule);
+      }
+      churn_rules.push_back(rule);
+    }
+    if (churn_rules.size() > 2 && rng.NextIndex(2) == 0) {
+      const std::size_t pick = rng.NextIndex(churn_rules.size());
+      const std::size_t rule = churn_rules[pick];
+      churn_rules.erase(churn_rules.begin() + static_cast<long>(pick));
+      group.EraseFirewallRule(rule);
+      for (auto& solo : solos) solo->EraseFirewallRule(rule);
+    }
+    const auto octet = static_cast<std::uint32_t>(rng.NextIndex(16));
+    const auto out_port =
+        static_cast<std::size_t>(rng.NextIndex(config.port_count));
+    const std::size_t route =
+        group.AddRoute(net::ParseIpv4("10.0.1.0") + octet, 28, out_port);
+    for (auto& solo : solos) {
+      EXPECT_EQ(solo->AddRoute(net::ParseIpv4("10.0.1.0") + octet, 28,
+                               out_port),
+                route);
+    }
+    churn_routes.push_back(route);
+    if (churn_routes.size() > 1 && rng.NextIndex(2) == 0) {
+      const std::size_t pick = rng.NextIndex(churn_routes.size());
+      const std::size_t idx = churn_routes[pick];
+      churn_routes.erase(churn_routes.begin() + static_cast<long>(pick));
+      group.WithdrawRoute(idx);
+      for (auto& solo : solos) solo->WithdrawRoute(idx);
+    }
+    group.Commit();  // the solos commit at their next InjectBatch
+    now_s += 1.0e-4;
+  }
+  group.WaitIdle();
+
+  // The churn must actually have taken the firewall's patch path, or
+  // this is just the plain 4-port bit-identity test again.
+  EXPECT_GT(group.tables().firewall.commit_stats().delta_commits, 0u);
+
+  SwitchStats want;
+  double want_j = 0.0;
+  for (std::size_t p = 0; p < kPorts; ++p) {
+    ExpectStatsEq(group.device(p).stats(), solos[p]->stats());
+    EXPECT_DOUBLE_EQ(group.device(p).ledger().TotalJ(),
+                     solos[p]->ledger().TotalJ());
+    const SwitchStats& s = solos[p]->stats();
+    want.injected += s.injected;
+    want.forwarded += s.forwarded;
+    want.parse_errors += s.parse_errors;
+    want.firewall_denies += s.firewall_denies;
+    want.no_route += s.no_route;
+    want.aqm_drops += s.aqm_drops;
+    want.queue_full += s.queue_full;
+    want.delivered += s.delivered;
+    want_j += solos[p]->ledger().TotalJ();
+  }
+  ExpectStatsEq(group.AggregateStats(), want);
+  EXPECT_DOUBLE_EQ(group.TotalEnergyJ(), want_j);
+}
+
 // ------------------------------------------------- mailbox semantics
 
 TEST(SwitchGroupTest, SharedModeRejectsLocalTableMutations) {

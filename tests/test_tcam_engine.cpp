@@ -503,5 +503,223 @@ TEST(LpmTableTest, LookupBatchBitIdenticalToSequential) {
             sequential.table().ConsumedEnergyJ());
 }
 
+// -------------------------------------- delta-commit churn differential
+
+// Randomized churn across many Commit() rounds: a delta-enabled table
+// must stay bit-identical to the naive scan of its authoritative rows
+// (the from-scratch semantics) and agree with a mirrored reference
+// table pinned to DeltaCommitPolicy::Disabled() on every probe.
+class DeltaCommitDifferential
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+namespace delta_test {
+
+TcamSearchConfig DeltaFriendly() {
+  TcamSearchConfig config;
+  // Small tables + a permissive overlay budget, so a ~100-row test
+  // table takes the patch path for small staged sets and still falls
+  // back to full recompiles when the overlay accumulates.
+  config.delta_policy.min_rows = 32;
+  config.delta_policy.max_delta_fraction = 0.5;
+  return config;
+}
+
+TcamSearchConfig DeltaDisabled() {
+  TcamSearchConfig config;
+  config.delta_policy = DeltaCommitPolicy::Disabled();
+  return config;
+}
+
+// The delta table keeps erased slots in its overlay while the full
+// recompile compacts them, so slot layouts legitimately diverge; rules
+// are therefore identified by their unique action, not their slot.
+std::size_t IndexOfAction(const TcamTable& table, std::uint32_t action) {
+  const auto& entries = table.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (table.IsLive(i) && entries[i].action == action) return i;
+  }
+  ADD_FAILURE() << "action " << action << " not live";
+  return 0;
+}
+
+}  // namespace delta_test
+
+TEST_P(DeltaCommitDifferential, TcamChurnMatchesFullRecompile) {
+  analognf::RandomStream rng(GetParam());
+  const std::size_t width = 104;
+  TcamTable delta(width, TcamTechnology::MemristorTcam(),
+                  delta_test::DeltaFriendly());
+  TcamTable full(width, TcamTechnology::MemristorTcam(),
+                 delta_test::DeltaDisabled());
+  const std::string base = RandomBits(rng, width);
+  std::vector<std::uint32_t> live_actions;
+  std::uint32_t next_action = 0;
+  auto insert_both = [&] {
+    TcamTable::Entry entry{RandomPattern(rng, base), next_action,
+                           static_cast<std::int32_t>(rng.NextIndex(4))};
+    delta.Insert(entry);
+    full.Insert(std::move(entry));
+    live_actions.push_back(next_action++);
+  };
+  for (std::size_t i = 0; i < 96; ++i) insert_both();
+  delta.Commit();
+  full.Commit();
+
+  for (std::size_t round = 0; round < 80; ++round) {
+    const std::size_t ops = 1 + rng.NextIndex(3);
+    for (std::size_t op = 0; op < ops; ++op) {
+      if (rng.NextIndex(3) == 0 && live_actions.size() > 8) {
+        const std::size_t pick = rng.NextIndex(live_actions.size());
+        const std::uint32_t action = live_actions[pick];
+        live_actions.erase(live_actions.begin() +
+                           static_cast<long>(pick));
+        delta.Erase(delta_test::IndexOfAction(delta, action));
+        full.Erase(delta_test::IndexOfAction(full, action));
+      } else {
+        insert_both();
+      }
+    }
+    delta.Commit();
+    full.Commit();
+    std::vector<BitKey> keys;
+    for (std::size_t probe = 0; probe < 25; ++probe) {
+      std::string bits = probe % 2 == 0 ? base : RandomBits(rng, width);
+      if (probe % 2 == 0) {
+        for (std::size_t flips = rng.NextIndex(6); flips > 0; --flips) {
+          const std::size_t pos = rng.NextIndex(width);
+          bits[pos] = bits[pos] == '0' ? '1' : '0';
+        }
+      }
+      keys.push_back(BitKey::FromString(bits));
+    }
+    std::vector<std::optional<TcamSearchResult>> batched;
+    delta.SearchBatch(keys, batched);
+    for (std::size_t probe = 0; probe < keys.size(); ++probe) {
+      const auto got = delta.Search(keys[probe]);
+      // From-scratch semantics: the naive scan of the slot array.
+      ExpectSameHit(got, NaiveSearch(delta, keys[probe]), probe);
+      ExpectSameHit(batched[probe], got, probe);
+      // Cross-check the winning rule against the always-recompiled
+      // reference (slot indices may differ; the rule must not).
+      const auto want = full.Search(keys[probe]);
+      ASSERT_EQ(got.has_value(), want.has_value()) << "probe " << probe;
+      if (got.has_value()) {
+        EXPECT_EQ(got->action, want->action) << "probe " << probe;
+        EXPECT_EQ(got->priority, want->priority) << "probe " << probe;
+      }
+    }
+  }
+  // The churn must actually exercise both commit paths.
+  EXPECT_GT(delta.commit_stats().delta_commits, 0u);
+  EXPECT_GT(delta.commit_stats().full_recompiles, 0u);
+  EXPECT_EQ(full.commit_stats().delta_commits, 0u);
+}
+
+TEST_P(DeltaCommitDifferential, FlatLpmChurnMatchesFullRecompileAndTrie) {
+  analognf::RandomStream rng(GetParam() + 500);
+  LpmConfig delta_cfg;
+  delta_cfg.flat_route_threshold = 32;
+  delta_cfg.delta_policy.min_rows = 32;
+  delta_cfg.delta_policy.max_delta_fraction = 0.5;
+  LpmConfig full_cfg = delta_cfg;
+  full_cfg.delta_policy = DeltaCommitPolicy::Disabled();
+  LpmConfig trie_cfg;  // pinned to the trie tier: the cross-engine check
+  trie_cfg.flat_route_threshold = std::numeric_limits<std::size_t>::max();
+
+  LpmTable delta(TcamTechnology::MemristorTcam(), delta_cfg);
+  LpmTable full(TcamTechnology::MemristorTcam(), full_cfg);
+  LpmTable trie(TcamTechnology::MemristorTcam(), trie_cfg);
+
+  // The three tables see the identical mutation sequence, so AddRoute
+  // returns identical indices and hits stay slot-comparable.
+  struct RouteKey {
+    std::uint32_t value;
+    int len;
+  };
+  std::vector<RouteKey> inserted;
+  std::vector<std::size_t> live;
+  std::uint32_t next_action = 0;
+  auto add = [&](std::uint32_t value, int len) {
+    const std::size_t index = delta.AddRoute(value, len, next_action);
+    EXPECT_EQ(full.AddRoute(value, len, next_action), index);
+    EXPECT_EQ(trie.AddRoute(value, len, next_action), index);
+    ++next_action;
+    inserted.push_back({value, len});
+    live.push_back(index);
+  };
+  auto add_random = [&] {
+    const auto value =
+        static_cast<std::uint32_t>(rng.NextIndex(0x100000000ULL));
+    // Half the routes are /25../32 so the flat tier's tbl8 extension
+    // pages see constant churn; the rest spread over /1../24. An
+    // occasional duplicate (value, len) exercises the lowest-index rule.
+    if (!inserted.empty() && rng.NextIndex(8) == 0) {
+      const RouteKey dup = inserted[rng.NextIndex(inserted.size())];
+      add(dup.value, dup.len);
+    } else if (rng.NextIndex(2) == 0) {
+      add(value, static_cast<int>(25 + rng.NextIndex(8)));
+    } else {
+      add(value, static_cast<int>(1 + rng.NextIndex(24)));
+    }
+  };
+  for (std::size_t i = 0; i < 96; ++i) add_random();
+  delta.Commit();
+  full.Commit();
+  trie.Commit();
+  ASSERT_EQ(delta.tier(), LpmTier::kFlat);
+  ASSERT_EQ(full.tier(), LpmTier::kFlat);
+  ASSERT_EQ(trie.tier(), LpmTier::kTrie);
+
+  std::vector<std::uint32_t> addrs;
+  std::vector<std::optional<TcamSearchResult>> batched;
+  for (std::size_t round = 0; round < 60; ++round) {
+    const std::size_t ops = 1 + rng.NextIndex(3);
+    for (std::size_t op = 0; op < ops; ++op) {
+      // Withdrawals uncover shallower routes (the flat tier must
+      // repaint from the surviving cover); keep the table above the
+      // flat threshold so the tier stays pinned.
+      if (rng.NextIndex(3) == 0 && live.size() > 48) {
+        const std::size_t pick = rng.NextIndex(live.size());
+        const std::size_t index = live[pick];
+        live.erase(live.begin() + static_cast<long>(pick));
+        delta.WithdrawRoute(index);
+        full.WithdrawRoute(index);
+        trie.WithdrawRoute(index);
+      } else {
+        add_random();
+      }
+    }
+    delta.Commit();
+    full.Commit();
+    trie.Commit();
+    addrs.clear();
+    for (std::size_t probe = 0; probe < 40; ++probe) {
+      // Perturbed route values hit deep prefixes; the rest are uniform.
+      std::uint32_t addr =
+          static_cast<std::uint32_t>(rng.NextIndex(0x100000000ULL));
+      if (probe % 2 == 0) {
+        addr = inserted[rng.NextIndex(inserted.size())].value ^
+               static_cast<std::uint32_t>(rng.NextIndex(256));
+      }
+      addrs.push_back(addr);
+    }
+    delta.LookupBatch(addrs.data(), addrs.size(), batched);
+    for (std::size_t probe = 0; probe < addrs.size(); ++probe) {
+      const auto got = delta.Lookup(addrs[probe]);
+      ExpectSameHit(got, full.Lookup(addrs[probe]), probe);
+      ExpectSameHit(got, trie.Lookup(addrs[probe]), probe);
+      ExpectSameHit(batched[probe], got, probe);
+    }
+  }
+  ASSERT_EQ(delta.tier(), LpmTier::kFlat);
+  EXPECT_GT(delta.commit_stats().delta_commits, 0u);
+  EXPECT_EQ(full.commit_stats().delta_commits, 0u);
+  EXPECT_EQ(full.commit_stats().full_recompiles,
+            full.commit_stats().commits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaCommitDifferential,
+                         ::testing::Values(17, 37, 61, 89));
+
 }  // namespace
 }  // namespace analognf::tcam
