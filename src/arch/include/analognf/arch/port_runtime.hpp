@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "analognf/arch/switch.hpp"
+#include "analognf/common/spsc_ring.hpp"
 
 namespace analognf::arch {
 
@@ -49,6 +50,9 @@ class PortRuntime {
   struct Batch {
     std::vector<net::Packet> packets;
     double now_s = 0.0;
+    // Optional steady-clock stamp set by ring producers; rides along so
+    // the ring-batch hook can report enqueue-to-completion sojourn.
+    std::uint64_t enqueue_ns = 0;
   };
   // A control command; runs on the worker between batches with exclusive
   // access to the port's switch.
@@ -72,6 +76,35 @@ class PortRuntime {
   // Blocks until every submitted item has fully executed.
   void WaitIdle();
 
+  // ---- ring-fed run-to-completion mode (the src/traffic ingress) ----
+  // One lock-free SPSC ring of ingress batches; the port worker is the
+  // single consumer, one producer thread pushes.
+  using IngressRing = analognf::SpscRing<Batch>;
+  // Completion record handed to the (optional) per-batch hook, invoked
+  // on the worker thread after each ring batch retires.
+  struct RingBatchInfo {
+    std::size_t packets = 0;
+    std::uint64_t enqueue_ns = 0;  // producer stamp (0 if unset)
+    std::uint64_t start_ns = 0;    // processing began (steady clock)
+    std::uint64_t done_ns = 0;     // processing finished
+  };
+  using RingHook = std::function<void(const RingBatchInfo&)>;
+
+  // Attaches `ring` as the worker's run-to-completion ingress: whenever
+  // the mailbox is empty the worker polls the ring and processes popped
+  // batches back-to-back. Mailbox items (Submit/Apply) still take
+  // priority, so control commands keep applying at batch boundaries.
+  // The attach itself travels the mailbox, so it also lands at a batch
+  // boundary. `ring` must stay alive until DetachRing() returns.
+  void AttachRing(IngressRing* ring, RingHook hook = {});
+  // Detaches the current ring. Blocks until the worker has retired any
+  // in-flight ring batch and will no longer touch the ring; pending
+  // batches still in the ring are NOT drained (the caller owns them).
+  // Callers wanting a full drain wait for ring->Empty() first — after
+  // that, DetachRing() returning implies every popped batch has fully
+  // executed.
+  void DetachRing();
+
   // The port's switch. Single-threaded object: touch it only from
   // commands (which run on the worker) or after WaitIdle() with no
   // further Submit/Apply in flight.
@@ -88,6 +121,14 @@ class PortRuntime {
   struct Item {
     Batch batch;
     Command command;  // non-null = control item, batch ignored
+    // Ring control: when set, the worker swaps its ring pointer/hook to
+    // these values (null detaches). Takes precedence over the fields
+    // above. Routed through the mailbox so the swap is a plain
+    // worker-local assignment at a batch boundary — no cross-thread
+    // pointer handoff to race on.
+    bool ring_op = false;
+    IngressRing* ring = nullptr;
+    RingHook hook;
   };
 
   void WorkerLoop();

@@ -1,10 +1,22 @@
 #include "analognf/arch/port_runtime.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 #include "analognf/arch/controller.hpp"
 #include "analognf/common/thread_pool.hpp"
+
+namespace {
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 namespace analognf::arch {
 
@@ -55,31 +67,112 @@ void PortRuntime::WaitIdle() {
   cv_state_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+void PortRuntime::AttachRing(IngressRing* ring, RingHook hook) {
+  if (ring == nullptr) {
+    throw std::invalid_argument("PortRuntime::AttachRing: null ring");
+  }
+  Item item;
+  item.ring_op = true;
+  item.ring = ring;
+  item.hook = std::move(hook);
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_state_.wait(lock, [this] { return mailbox_.size() < mailbox_depth_; });
+  mailbox_.push_back(std::move(item));
+  ++in_flight_;
+  lock.unlock();
+  cv_submit_.notify_one();
+}
+
+void PortRuntime::DetachRing() {
+  Item item;
+  item.ring_op = true;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_state_.wait(lock, [this] { return mailbox_.size() < mailbox_depth_; });
+    mailbox_.push_back(std::move(item));
+    ++in_flight_;
+  }
+  cv_submit_.notify_one();
+  // The detach lands behind any in-flight ring batch (the worker is
+  // sequential), so idle here implies the worker is done with the ring.
+  WaitIdle();
+}
+
 void PortRuntime::WorkerLoop() {
   // A process-unique slot keeps this thread's sharded telemetry writes
   // off every other thread's counter cells (exactness, not just
   // contention avoidance).
   slot_.store(ThreadPool::RegisterExternalSlot(), std::memory_order_release);
+  // Ring state is worker-local: it only changes by processing a ring_op
+  // mailbox item on this thread, so polling it costs no synchronisation.
+  IngressRing* ring = nullptr;
+  RingHook ring_hook;
+  std::size_t idle_spins = 0;
   for (;;) {
     Item item;
+    bool have_item = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_submit_.wait(lock, [this] { return stop_ || !mailbox_.empty(); });
-      if (mailbox_.empty()) return;  // stop requested and fully drained
-      item = std::move(mailbox_.front());
-      mailbox_.pop_front();
+      if (ring == nullptr) {
+        cv_submit_.wait(lock, [this] { return stop_ || !mailbox_.empty(); });
+      }
+      if (!mailbox_.empty()) {
+        item = std::move(mailbox_.front());
+        mailbox_.pop_front();
+        have_item = true;
+      } else if (stop_) {
+        // Stop drains the mailbox but not an attached ring: whoever
+        // attached it is responsible for DetachRing() before teardown.
+        return;
+      }
     }
-    cv_state_.notify_all();  // a mailbox slot freed up
-    if (item.command) {
-      item.command(switch_);
-    } else {
-      switch_.InjectBatch(item.batch.packets, item.batch.now_s);
+    if (have_item) {
+      cv_state_.notify_all();  // a mailbox slot freed up
+      if (item.ring_op) {
+        ring = item.ring;
+        ring_hook = std::move(item.hook);
+      } else if (item.command) {
+        item.command(switch_);
+      } else {
+        switch_.InjectBatch(item.batch.packets, item.batch.now_s);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --in_flight_;
+      }
+      cv_state_.notify_all();
+      idle_spins = 0;
+      continue;
     }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
+    // Mailbox empty, ring attached: run-to-completion poll. Mailbox
+    // items re-checked every iteration keep command latency bounded by
+    // one batch.
+    Batch batch;
+    if (ring->TryPop(batch)) {
+      const std::uint64_t start_ns = SteadyNowNs();
+      switch_.InjectBatch(batch.packets, batch.now_s);
+      if (ring_hook) {
+        RingBatchInfo info;
+        info.packets = batch.packets.size();
+        info.enqueue_ns = batch.enqueue_ns;
+        info.start_ns = start_ns;
+        info.done_ns = SteadyNowNs();
+        ring_hook(info);
+      }
+      idle_spins = 0;
+      continue;
     }
-    cv_state_.notify_all();
+    // Ring momentarily empty: spin briefly (producer is usually just
+    // behind), then back off to a timed wait so an idle ring does not
+    // burn a core. Producers never signal the condvar — the timeout is
+    // the re-poll tick.
+    if (++idle_spins < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_submit_.wait_for(lock, std::chrono::microseconds(200),
+                        [this] { return stop_ || !mailbox_.empty(); });
   }
 }
 

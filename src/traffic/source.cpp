@@ -1,0 +1,87 @@
+#include "analognf/traffic/source.hpp"
+
+#include <utility>
+
+namespace analognf::traffic {
+
+TrafficSource TrafficSource::Live(WorkloadConfig config) {
+  config.Validate();
+  TrafficSource src(Mode::kLive);
+  src.config_ = config;
+  src.population_ = std::make_unique<FlowPopulation>(config.population);
+  src.zipf_ = std::make_unique<ZipfSampler>(config.population.flows,
+                                            config.zipf_s);
+  // Distinct sub-streams for the clock and the sampler so changing one
+  // model never perturbs the other's draws.
+  src.arrivals_ = std::make_unique<ArrivalProcess>(
+      config.arrivals, config.seed ^ 0xa441u);
+  src.rng_ = std::make_unique<analognf::RandomStream>(config.seed);
+  return src;
+}
+
+TrafficSource TrafficSource::Replay(Trace trace) {
+  trace.population.Validate();
+  TrafficSource src(Mode::kReplay);
+  src.trace_ = std::move(trace);
+  src.population_ = std::make_unique<FlowPopulation>(src.trace_.population);
+  return src;
+}
+
+TrafficSource TrafficSource::FromPcap(std::vector<net::PcapRecord> records) {
+  TrafficSource src(Mode::kPcap);
+  src.pcap_ = std::move(records);
+  return src;
+}
+
+void TrafficSource::RecordTo(Trace* trace) {
+  if (mode_ == Mode::kPcap && trace != nullptr) {
+    throw std::logic_error(
+        "TrafficSource::RecordTo: pcap frames have no flow index");
+  }
+  record_ = trace;
+  if (record_ != nullptr) {
+    record_->population =
+        mode_ == Mode::kLive ? config_.population : trace_.population;
+  }
+}
+
+std::size_t TrafficSource::NextBatch(std::size_t max_packets,
+                                     std::vector<net::Packet>& packets,
+                                     double& now_s) {
+  std::size_t n = 0;
+  for (; n < max_packets; ++n) {
+    double arrival = 0.0;
+    std::uint64_t flow = 0;
+    std::uint32_t frame_bytes = 0;
+    if (mode_ == Mode::kLive) {
+      arrival = arrivals_->Next();
+      flow = zipf_->Sample(*rng_);
+      frame_bytes = config_.sizes == WorkloadConfig::Sizes::kFixed
+                        ? config_.fixed_size_bytes
+                        : net::ImixSize{}.Sample(*rng_);
+    } else if (mode_ == Mode::kReplay) {
+      if (next_record_ >= trace_.records.size()) break;
+      const TraceRecord& r = trace_.records[next_record_++];
+      arrival = r.arrival_s;
+      flow = r.flow;
+      frame_bytes = r.frame_bytes;
+    } else {
+      if (next_pcap_ >= pcap_.size()) break;
+      const net::PcapRecord& r = pcap_[next_pcap_++];
+      packets.push_back(r.packet);
+      now_s = r.timestamp_s;
+      ++emitted_;
+      continue;
+    }
+    SynthesizeFrame(population_->Tuple(flow), frame_bytes, frame_);
+    packets.emplace_back(frame_);
+    now_s = arrival;
+    ++emitted_;
+    if (record_ != nullptr) {
+      record_->records.push_back(TraceRecord{arrival, flow, frame_bytes});
+    }
+  }
+  return n;
+}
+
+}  // namespace analognf::traffic

@@ -408,6 +408,107 @@ TEST(MergedGeneratorTest, RejectsEmptyOrNull) {
       std::invalid_argument);
 }
 
+// The heap merge must pick exactly the packet the pre-heap linear scan
+// picked: earliest head arrival, ties broken by lowest source index.
+// The reference here IS that linear scan, run over an identical set of
+// sources in lockstep.
+TEST(MergedGeneratorTest, MatchesReferenceLinearMerge) {
+  auto make_sources = [] {
+    std::vector<std::unique_ptr<TrafficGenerator>> sources;
+    // Identical CBR pairs produce exact arrival-time ties, so the
+    // tie-break rule is genuinely exercised.
+    sources.push_back(std::make_unique<CbrGenerator>(250.0, 64));
+    sources.push_back(std::make_unique<CbrGenerator>(250.0, 128));
+    sources.push_back(std::make_unique<PoissonGenerator>(
+        PoissonGenerator::Config{.rate_pps = 400.0},
+        std::make_unique<FixedSize>(256), 42));
+    sources.push_back(std::make_unique<MmppGenerator>(
+        MmppGenerator::Config{}, std::make_unique<FixedSize>(512), 43));
+    sources.push_back(std::make_unique<CbrGenerator>(997.0, 72));
+    return sources;
+  };
+
+  MergedGenerator merged(make_sources());
+
+  // Reference linear merge over a second, identical source set.
+  auto ref_sources = make_sources();
+  std::vector<PacketMeta> heads;
+  heads.reserve(ref_sources.size());
+  for (auto& src : ref_sources) heads.push_back(src->Next());
+
+  for (int i = 0; i < 5000; ++i) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < heads.size(); ++s) {
+      if (heads[s].arrival_time_s < heads[best].arrival_time_s) best = s;
+    }
+    const PacketMeta expected = heads[best];
+    heads[best] = ref_sources[best]->Next();
+
+    const PacketMeta got = merged.Next();
+    EXPECT_EQ(got.arrival_time_s, expected.arrival_time_s) << "packet " << i;
+    EXPECT_EQ(got.source, best) << "packet " << i;
+    EXPECT_EQ(got.source_packet_id, expected.id) << "packet " << i;
+    EXPECT_EQ(got.size_bytes, expected.size_bytes) << "packet " << i;
+  }
+}
+
+// ID ownership contract: the merged stream re-numbers ids uniquely and
+// monotonically, while each source's own numbering stays recoverable
+// through (source, source_packet_id).
+TEST(MergedGeneratorTest, MergedIdsUniqueMonotoneSourceIdsRecoverable) {
+  std::vector<std::unique_ptr<TrafficGenerator>> sources;
+  sources.push_back(std::make_unique<CbrGenerator>(100.0, 64));
+  sources.push_back(std::make_unique<CbrGenerator>(300.0, 128));
+  sources.push_back(std::make_unique<CbrGenerator>(700.0, 256));
+  MergedGenerator merged(std::move(sources));
+
+  std::vector<std::uint64_t> next_source_id(3, 0);
+  for (std::uint64_t i = 0; i < 3000; ++i) {
+    const PacketMeta p = merged.Next();
+    // Global ids: exactly 0, 1, 2, ... in emission order.
+    EXPECT_EQ(p.id, i);
+    // Per-source ids: each source's sub-stream counts 0, 1, 2, ... with
+    // no gaps — the source-local numbering survives the merge.
+    ASSERT_LT(p.source, 3u);
+    EXPECT_EQ(p.source_packet_id, next_source_id[p.source]++);
+  }
+  // Every source was drained roughly in proportion to its rate.
+  EXPECT_GT(next_source_id[0], 0u);
+  EXPECT_GT(next_source_id[1], next_source_id[0]);
+  EXPECT_GT(next_source_id[2], next_source_id[1]);
+}
+
+TEST(PoissonGeneratorTest, SetRateMidStreamKeepsTimeMonotone) {
+  PoissonGenerator::Config c;
+  c.rate_pps = 50.0;
+  PoissonGenerator gen(c, std::make_unique<FixedSize>(64), 77);
+  double prev = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double t = gen.Next().arrival_time_s;
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  // Rate changes (up and down) never move time backwards, and the new
+  // tempo takes effect immediately.
+  gen.SetRate(50'000.0);
+  EXPECT_DOUBLE_EQ(gen.rate_pps(), 50'000.0);
+  const double switch_t = prev;
+  for (int i = 0; i < 500; ++i) {
+    const double t = gen.Next().arrival_time_s;
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  // 500 arrivals at 50k pps: ~10 ms expected, far below the ~10 s the
+  // old rate would need.
+  EXPECT_LT(prev - switch_t, 1.0);
+  gen.SetRate(5.0);
+  for (int i = 0; i < 10; ++i) {
+    const double t = gen.Next().arrival_time_s;
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
 // -------------------------------------------------------------- queue
 
 TEST(PacketQueueTest, FifoOrderAndSojourn) {
