@@ -1,0 +1,231 @@
+// AQM shoot-out: the full scenario grid of EXPERIMENTS.md.
+//
+// Runs the declarative experiment grid — {analog pCAM AQM, PIE, PI2,
+// CoDel, RED} x {10/40/100 ms base RTT} x {0.9x open-loop load + 4
+// closed-loop sources, 1.4x + 16 sources} x {0 / 0.5 / 1.0 ECN} — on
+// both the open-loop Poisson simulator and the closed-loop AIMD
+// simulator, then renders a markdown adherence summary and emits every
+// cell to BENCH_shootout.json for the CI gate.
+//
+// The shape to check: the analog AQM's delay-target adherence is at
+// least digital-class at every load (the "gates" rows track the margin
+// against the best digital baseline), while its per-decision energy
+// sits orders of magnitude below the digital controllers' data-movement
+// cost.
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analognf/common/simd.hpp"
+#include "analognf/common/units.hpp"
+#include "analognf/sim/experiment_grid.hpp"
+
+namespace {
+
+using namespace analognf;
+
+std::string Fmt(double value, int digits = 3) {
+  return FormatSig(value, digits);
+}
+
+std::string MarkdownRow(const std::vector<std::string>& cells) {
+  std::string row = "|";
+  for (const std::string& c : cells) row += " " + c + " |";
+  return row;
+}
+
+// Mean nJ/decision of a policy's cells on one simulator.
+double MeanEnergy(const sim::GridReport& report, sim::AqmPolicyKind kind,
+                  sim::GridSimulator simulator) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const sim::GridCellResult& cell : report.cells) {
+    if (cell.policy == kind && cell.simulator == simulator) {
+      sum += cell.energy_nj_per_decision;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+void Report() {
+  bench::Banner(
+      "AQM shoot-out grid: policy x RTT x load x ECN, both simulators");
+
+  sim::GridSpec spec = sim::GridSpec::Default();
+  sim::ExperimentGrid grid(spec);
+  const sim::GridReport report = grid.Run();
+  bench::Line(std::to_string(report.cells.size()) + " cells (" +
+              std::to_string(spec.policies.size()) + " policies x " +
+              std::to_string(spec.base_rtts_s.size()) + " RTTs x " +
+              std::to_string(spec.loads.size()) + " loads x " +
+              std::to_string(spec.ecn_fractions.size()) +
+              " ECN fractions x 2 simulators)");
+  bench::Line("adherence = fraction of post-warmup deliveries inside " +
+              Fmt((spec.target_delay_s - spec.max_deviation_s) * 1e3) +
+              ".." +
+              Fmt((spec.target_delay_s + spec.max_deviation_s) * 1e3) +
+              " ms; cells average over the RTT and ECN axes");
+
+  // Markdown adherence summary: one row per policy, one column per
+  // (simulator, load) pair, plus the mean per-decision energy.
+  std::vector<std::string> header = {"policy"};
+  for (const char* s : {"open", "closed"}) {
+    for (const sim::GridLoad& load : spec.loads) {
+      header.push_back(std::string(s) + " " + load.label);
+    }
+  }
+  header.push_back("nJ/decision");
+  bench::Line(MarkdownRow(header));
+  bench::Line(MarkdownRow(
+      std::vector<std::string>(header.size(), "---")));
+  for (sim::AqmPolicyKind kind : spec.policies) {
+    std::vector<std::string> row = {sim::ToString(kind)};
+    for (sim::GridSimulator simulator :
+         {sim::GridSimulator::kOpenLoop,
+          sim::GridSimulator::kClosedLoop}) {
+      for (const sim::GridLoad& load : spec.loads) {
+        row.push_back(
+            Fmt(report.MeanAdherence(kind, simulator, load.label)));
+      }
+    }
+    const double nj =
+        (MeanEnergy(report, kind, sim::GridSimulator::kOpenLoop) +
+         MeanEnergy(report, kind, sim::GridSimulator::kClosedLoop)) /
+        2.0;
+    row.push_back(Fmt(nj));
+    bench::Line(MarkdownRow(row));
+  }
+
+  const double open_margin =
+      report.MinAdherenceMargin(sim::GridSimulator::kOpenLoop);
+  const double closed_margin =
+      report.MinAdherenceMargin(sim::GridSimulator::kClosedLoop);
+  bench::Line("worst analog-vs-best-digital adherence margin: open " +
+              Fmt(open_margin) + ", closed " + Fmt(closed_margin) +
+              " (positive = analog holds its band at least as well)");
+
+  // ------------------------------------------------- BENCH_shootout.json
+  bench::JsonArray cells{"cells", {}};
+  cells.items.reserve(report.cells.size());
+  for (const sim::GridCellResult& cell : report.cells) {
+    cells.items.push_back(
+        {bench::JsonStr("policy", sim::ToString(cell.policy)),
+         bench::JsonStr("simulator", sim::ToString(cell.simulator)),
+         bench::JsonNum("rtt_ms", cell.base_rtt_s * 1e3),
+         bench::JsonStr("load", cell.load.label),
+         bench::JsonNum("offered_fraction", cell.load.offered_fraction),
+         bench::JsonInt("sources", cell.load.sources),
+         bench::JsonNum("ecn_fraction", cell.ecn_fraction),
+         bench::JsonNum("adherence", cell.adherence),
+         bench::JsonNum("mean_sojourn_ms", cell.mean_sojourn_s * 1e3),
+         bench::JsonNum("p50_sojourn_ms", cell.p50_sojourn_s * 1e3),
+         bench::JsonNum("p99_sojourn_ms", cell.p99_sojourn_s * 1e3),
+         bench::JsonNum("drop_rate", cell.drop_rate),
+         bench::JsonNum("mark_rate", cell.mark_rate),
+         bench::JsonNum("fairness", cell.fairness),
+         bench::JsonNum("utilization", cell.utilization),
+         bench::JsonInt("offered", cell.offered_packets),
+         bench::JsonInt("delivered", cell.delivered_packets),
+         bench::JsonInt("dropped", cell.dropped_packets),
+         bench::JsonInt("marked", cell.marked_packets),
+         bench::JsonInt("decisions", cell.decisions),
+         bench::JsonNum("nj_per_decision",
+                        cell.energy_nj_per_decision)});
+  }
+
+  // Derived gate rows for scripts/check_bench.py (direction "min" on
+  // margin: the analog AQM must hold its delay band at least as well as
+  // the best digital baseline at matched simulator and load; warn-only
+  // off calibrated runners, like every bench gate). The budget gates the
+  // congested load only — below capacity the queue is mostly empty, so
+  // a two-sided band scores every policy near zero and the margin is
+  // noise (the sub-capacity rows stay informational).
+  bench::JsonArray gates{"gates", {}};
+  for (sim::GridSimulator simulator :
+       {sim::GridSimulator::kOpenLoop, sim::GridSimulator::kClosedLoop}) {
+    for (const sim::GridLoad& load : spec.loads) {
+      gates.items.push_back(
+          {bench::JsonStr("gate", "adherence_margin"),
+           bench::JsonStr("simulator", sim::ToString(simulator)),
+           bench::JsonStr("load", load.label),
+           bench::JsonNum("margin",
+                          report.AdherenceMargin(simulator, load.label))});
+    }
+  }
+  double analog_nj = 0.0;
+  double digital_nj = 0.0;
+  bool digital_any = false;
+  for (sim::AqmPolicyKind kind : spec.policies) {
+    const double nj =
+        (MeanEnergy(report, kind, sim::GridSimulator::kOpenLoop) +
+         MeanEnergy(report, kind, sim::GridSimulator::kClosedLoop)) /
+        2.0;
+    if (kind == sim::AqmPolicyKind::kAnalog) {
+      analog_nj = nj;
+    } else if (sim::IsDigital(kind) && nj > 0.0) {
+      digital_nj = digital_any ? std::min(digital_nj, nj) : nj;
+      digital_any = true;
+    }
+  }
+  gates.items.push_back(
+      {bench::JsonStr("gate", "energy"),
+       bench::JsonNum("analog_nj_per_decision", analog_nj),
+       bench::JsonNum("digital_min_nj_per_decision", digital_nj)});
+
+  std::ostringstream summary;
+  summary << report.cells.size() << " cells, margins open="
+          << open_margin << " closed=" << closed_margin;
+  bench::WriteBenchJson(
+      "BENCH_shootout.json",
+      {bench::JsonStr("bench", "aqm_shootout"),
+       bench::JsonStr("isa", simd::IsaName()),
+       bench::JsonInt("policies", spec.policies.size()),
+       bench::JsonInt("rtts", spec.base_rtts_s.size()),
+       bench::JsonInt("loads", spec.loads.size()),
+       bench::JsonInt("ecn_fractions", spec.ecn_fractions.size()),
+       bench::JsonNum("target_delay_ms", spec.target_delay_s * 1e3),
+       bench::JsonNum("max_deviation_ms", spec.max_deviation_s * 1e3),
+       bench::JsonNum("link_rate_mbps", spec.link_rate_bps / 1e6)},
+      {cells, gates}, summary.str());
+}
+
+// --- timings ------------------------------------------------------------
+// One representative cell per simulator, small enough for CI: the
+// timings watch the grid runner's own overhead, not the full sweep.
+
+sim::GridSpec TimingSpec(sim::AqmPolicyKind kind) {
+  sim::GridSpec spec;
+  spec.policies = {kind};
+  spec.base_rtts_s = {0.040};
+  spec.loads = {{"0.9x", 0.9, 4}};
+  spec.ecn_fractions = {0.5};
+  spec.open_duration_s = 2.0;
+  spec.open_warmup_s = 0.5;
+  spec.closed_duration_s = 2.0;
+  spec.closed_warmup_s = 0.5;
+  return spec;
+}
+
+void BM_GridCellPie(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::ExperimentGrid grid(TimingSpec(sim::AqmPolicyKind::kPie));
+    benchmark::DoNotOptimize(grid.Run());
+  }
+}
+BENCHMARK(BM_GridCellPie);
+
+void BM_GridCellAnalog(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::ExperimentGrid grid(TimingSpec(sim::AqmPolicyKind::kAnalog));
+    benchmark::DoNotOptimize(grid.Run());
+  }
+}
+BENCHMARK(BM_GridCellAnalog);
+
+}  // namespace
+
+ANALOGNF_BENCH_MAIN(Report)

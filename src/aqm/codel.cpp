@@ -48,10 +48,14 @@ bool Codel::ShouldDropOnDequeue(const AqmContext& ctx) {
 
   if (ok_to_drop) {
     dropping_ = true;
-    // RFC 8289: restart from a count related to the previous dropping
-    // episode if it was recent, else from 1.
-    if (count_ > 2 && now - drop_next_s_ < 8.0 * config_.interval_s) {
-      count_ = count_ - 2;
+    // RFC 8289 re-entry rule: resume from the number of drops the last
+    // dropping episode needed (delta = count - lastcount) if that episode
+    // ended recently (within 16 intervals of drop_next), else restart
+    // from 1. This keeps the control law's operating point across brief
+    // recoveries instead of re-learning the drop rate from scratch.
+    const std::uint32_t delta = count_ - lastcount_;
+    if (delta > 1 && now - drop_next_s_ < 16.0 * config_.interval_s) {
+      count_ = delta;
     } else {
       count_ = 1;
     }

@@ -40,6 +40,9 @@ class Pie final : public AqmPolicy {
   double LastDropProbability() const override { return drop_prob_; }
 
   double current_delay_estimate_s() const { return qdelay_s_; }
+  // Remaining burst allowance (RFC 8033 burst_allowance); exposed so the
+  // Sec. 5.2 re-arm behaviour is directly testable.
+  double burst_allowance_s() const { return burst_allowance_s_; }
 
  private:
   void MaybeUpdate(double now_s, std::uint64_t queue_bytes);

@@ -1,0 +1,87 @@
+#include "analognf/aqm/pi2.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace analognf::aqm {
+
+void Pi2Config::Validate() const {
+  if (!(target_delay_s > 0.0) || !(update_interval_s > 0.0)) {
+    throw std::invalid_argument(
+        "Pi2Config: target delay and update interval must be > 0");
+  }
+  if (!(alpha > 0.0) || !(beta >= 0.0)) {
+    throw std::invalid_argument("Pi2Config: require alpha > 0, beta >= 0");
+  }
+  if (!(coupling_k >= 1.0)) {
+    throw std::invalid_argument("Pi2Config: coupling_k < 1");
+  }
+  if (!(drain_rate_bps > 0.0)) {
+    throw std::invalid_argument("Pi2Config: drain_rate_bps <= 0");
+  }
+}
+
+Pi2::Pi2(Pi2Config config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  config_.Validate();
+}
+
+double Pi2::mark_probability_l4s() const {
+  return std::min(1.0, config_.coupling_k * base_prob_);
+}
+
+void Pi2::MaybeUpdate(double now_s, std::uint64_t queue_bytes) {
+  if (!initialized_) {
+    initialized_ = true;
+    last_update_s_ = now_s;
+    return;
+  }
+  if (now_s - last_update_s_ < config_.update_interval_s) return;
+  last_update_s_ = now_s;
+
+  // Little's-law delay estimate, as in PIE.
+  qdelay_s_ = static_cast<double>(queue_bytes) * 8.0 / config_.drain_rate_bps;
+
+  // The PI update runs on p' directly — no gain-scale table. Squaring at
+  // the drop law is what keeps the loop gain flat across operating
+  // points (RFC 9332 Sec. 2.1).
+  double p = base_prob_;
+  p += config_.alpha * (qdelay_s_ - config_.target_delay_s);
+  p += config_.beta * (qdelay_s_ - qdelay_old_s_);
+  // Idle decay, as PIE's RFC 8033 Sec. 5.2 (dualpi2 keeps it too).
+  if (qdelay_s_ == 0.0 && qdelay_old_s_ == 0.0) {
+    p *= 0.98;
+  }
+  base_prob_ = std::clamp(p, 0.0, 1.0);
+  qdelay_old_s_ = qdelay_s_;
+}
+
+bool Pi2::ShouldDropOnEnqueue(const AqmContext& ctx) {
+  MaybeUpdate(ctx.now_s, ctx.queue_bytes);
+  // Same safeguard as PIE: never drop into a tiny queue.
+  if (ctx.queue_packets < 2) return false;
+  return rng_.NextBernoulli(base_prob_ * base_prob_);
+}
+
+AqmVerdict Pi2::DecideOnEnqueue(const AqmContext& ctx) {
+  MaybeUpdate(ctx.now_s, ctx.queue_bytes);
+  if (ctx.packet.ecn_capable) {
+    // Scalable path: linear coupled marking, never drops (the FIFO's
+    // capacity bound still tail-drops behind it under overload).
+    return rng_.NextBernoulli(mark_probability_l4s()) ? AqmVerdict::kMark
+                                                      : AqmVerdict::kAccept;
+  }
+  if (ctx.queue_packets < 2) return AqmVerdict::kAccept;
+  return rng_.NextBernoulli(base_prob_ * base_prob_) ? AqmVerdict::kDrop
+                                                     : AqmVerdict::kAccept;
+}
+
+void Pi2::Reset() {
+  base_prob_ = 0.0;
+  qdelay_s_ = 0.0;
+  qdelay_old_s_ = 0.0;
+  last_update_s_ = 0.0;
+  initialized_ = false;
+}
+
+}  // namespace analognf::aqm

@@ -58,9 +58,16 @@ void Pie::MaybeUpdate(double now_s, std::uint64_t queue_bytes) {
     scale = 1.0 / 2.0;
   }
 
+  const double prev_qdelay_s = qdelay_old_s_;
   double p = drop_prob_;
   p += scale * config_.alpha * (qdelay_s_ - config_.target_delay_s);
   p += scale * config_.beta * (qdelay_s_ - qdelay_old_s_);
+  // RFC 8033 Sec. 5.2: exponentially decay p while the queue stays idle
+  // (two consecutive zero-delay samples). The additive path alone crawls
+  // at small p because of the gain scaling above.
+  if (qdelay_s_ == 0.0 && qdelay_old_s_ == 0.0) {
+    p *= 0.98;
+  }
   drop_prob_ = std::clamp(p, 0.0, 1.0);
   qdelay_old_s_ = qdelay_s_;
 
@@ -69,9 +76,13 @@ void Pie::MaybeUpdate(double now_s, std::uint64_t queue_bytes) {
     burst_allowance_s_ =
         std::max(0.0, burst_allowance_s_ - config_.update_interval_s);
   }
-  // Re-arm the allowance when the queue has fully drained and the
-  // controller has backed off.
-  if (drop_prob_ == 0.0 && qdelay_s_ == 0.0 && qdelay_old_s_ == 0.0) {
+  // RFC 8033 Sec. 5.2 re-arm: the controller has fully backed off (p is
+  // 0 after clamping) and both delay samples sit below target/2. The
+  // delay condition is a band, not exact-zero equality: a clamped-but-
+  // nonzero p or a near-empty (1-byte) queue must still re-arm.
+  if (drop_prob_ == 0.0 &&
+      qdelay_s_ < config_.target_delay_s / 2.0 &&
+      prev_qdelay_s < config_.target_delay_s / 2.0) {
     burst_allowance_s_ = config_.max_burst_s;
   }
 }

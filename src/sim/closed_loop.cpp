@@ -47,12 +47,13 @@ double ClosedLoopReport::FairnessIndex() const {
 
 double ClosedLoopReport::LinkUtilization(double link_rate_bps,
                                          std::uint32_t segment_bytes) const {
-  const double measured_s = duration_s - warmup_s;
-  if (measured_s <= 0.0) return 0.0;
-  double delivered = 0.0;
-  for (double g : per_source_goodput_pps) delivered += g;
-  return delivered * static_cast<double>(segment_bytes) * 8.0 /
-         link_rate_bps;
+  if (!(link_rate_bps > 0.0)) return 0.0;
+  double delivered_pps = 0.0;
+  for (double g : per_source_goodput_pps) delivered_pps += g;
+  const double utilization = delivered_pps *
+                             static_cast<double>(segment_bytes) * 8.0 /
+                             link_rate_bps;
+  return std::min(1.0, utilization);
 }
 
 ClosedLoopSimulator::ClosedLoopSimulator(ClosedLoopConfig config,
@@ -227,6 +228,7 @@ ClosedLoopReport ClosedLoopSimulator::Run() {
     report_.per_source_goodput_pps.push_back(
         static_cast<double>(s.delivered_post_warmup) / measured_s);
   }
+  report_.residual_packets = queue_.packets();
   return report_;
 }
 

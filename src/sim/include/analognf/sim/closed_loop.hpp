@@ -48,12 +48,17 @@ struct ClosedLoopReport {
   std::uint64_t delivered_packets = 0;
   std::uint64_t dropped_packets = 0;  // AQM + tail drops
   std::uint64_t marked_packets = 0;
+  // Packets still sitting in the queue when the run ended. Conservation
+  // holds exactly: offered == delivered + dropped + residual.
+  std::uint64_t residual_packets = 0;
   std::vector<double> per_source_goodput_pps;  // post-warmup
   double duration_s = 0.0;
   double warmup_s = 0.0;
 
   // Jain's fairness index over per-source goodput (1 = perfectly fair).
   double FairnessIndex() const;
+  // Post-warmup goodput as a fraction of link capacity, capped at 1.0
+  // (warmup-boundary effects can push the raw ratio slightly over).
   double LinkUtilization(double link_rate_bps,
                          std::uint32_t segment_bytes) const;
 };

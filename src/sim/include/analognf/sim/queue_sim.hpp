@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -59,6 +60,10 @@ struct SimReport {
   std::uint64_t delivered_packets = 0;
   std::uint64_t ecn_marked_packets = 0;
   std::uint64_t delivered_marked_packets = 0;
+  // Post-warmup deliveries per flow (keyed by flow_hash): the open-loop
+  // analogue of the closed loop's per-source goodput, for Jain fairness
+  // in the experiment grid.
+  std::map<std::uint64_t, std::uint64_t> delivered_by_flow;
   double delivered_bytes = 0.0;
   double duration_s = 0.0;
   double warmup_s = 0.0;
@@ -69,6 +74,9 @@ struct SimReport {
   // Fraction of post-warmup delay samples within [lo, hi] seconds — the
   // "delays kept within the programmed latency bounds" metric.
   double DelayFractionWithin(double lo_s, double hi_s) const;
+  // Jain's fairness index over per-flow post-warmup deliveries
+  // (1 = perfectly fair; 0 when nothing was delivered post-warmup).
+  double FlowFairnessIndex() const;
 };
 
 // Registry handles a bound QueueSimulator reports into (`sim.*` names).

@@ -40,6 +40,20 @@ double SimReport::ThroughputBps() const {
   return delivered_bytes * 8.0 / duration_s;
 }
 
+double SimReport::FlowFairnessIndex() const {
+  if (delivered_by_flow.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const auto& [flow, delivered] : delivered_by_flow) {
+    const auto d = static_cast<double>(delivered);
+    sum += d;
+    sum_sq += d * d;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  const auto n = static_cast<double>(delivered_by_flow.size());
+  return sum * sum / (n * sum_sq);
+}
+
 double SimReport::DelayFractionWithin(double lo_s, double hi_s) const {
   std::size_t inside = 0;
   std::size_t total = 0;
@@ -173,6 +187,7 @@ void QueueSimulator::OnDeparture() {
   if (now >= config_.warmup_s) {
     report_.delay_stats.Add(dequeued->sojourn_s);
     report_.delay_p99.Add(dequeued->sojourn_s);
+    ++report_.delivered_by_flow[dequeued->meta.flow_hash];
     if (dequeued->meta.priority >= 4) {
       report_.delay_stats_high_priority.Add(dequeued->sojourn_s);
     } else {

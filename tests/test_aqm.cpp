@@ -2,12 +2,16 @@
 // pCAM-based analog AQM with its cognitive controller.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "analognf/aqm/analog_aqm.hpp"
 #include "analognf/aqm/aqm.hpp"
 #include "analognf/aqm/codel.hpp"
 #include "analognf/aqm/controller.hpp"
+#include "analognf/aqm/pi2.hpp"
 #include "analognf/aqm/pie.hpp"
 #include "analognf/aqm/red.hpp"
 #include "analognf/aqm/wred.hpp"
@@ -192,6 +196,141 @@ TEST(CodelTest, ResetClearsState) {
   EXPECT_EQ(codel.drop_count(), 0u);
 }
 
+// RFC 8289 re-entry: a dropping episode that resumes within 16 intervals
+// of the previous one continues from that episode's drop count (delta =
+// count - lastcount), not from scratch. Two-episode regression: episode
+// one needs several drops; episode two re-enters between 8 and 16
+// intervals after the last scheduled drop, so both the old 8-interval
+// window and the old count-minus-2 rule would get this wrong.
+TEST(CodelTest, ReEntryResumesFromPriorEpisodeDropCount) {
+  Codel codel;  // target 5 ms, interval 100 ms
+  int first_episode_drops = 0;
+  for (int i = 0; i * 0.005 < 0.5; ++i) {
+    if (codel.ShouldDropOnDequeue(MakeContext(i * 0.005, 0.050, 10))) {
+      ++first_episode_drops;
+    }
+  }
+  ASSERT_TRUE(codel.dropping());
+  ASSERT_GE(first_episode_drops, 4);
+  EXPECT_EQ(codel.drop_count(),
+            static_cast<std::uint32_t>(first_episode_drops));
+  // Delay recovers: leave the dropping state (count is retained).
+  codel.ShouldDropOnDequeue(MakeContext(0.5, 0.001, 10));
+  ASSERT_FALSE(codel.dropping());
+  // Congestion returns at t = 1.6; sojourn must stay above target for a
+  // full interval, so the episode-two entry lands at t ~ 1.7 — about 1.2 s
+  // (= 12 intervals) after the last scheduled drop_next.
+  bool reentry_drop = false;
+  for (int i = 0; !reentry_drop && i * 0.005 <= 0.12; ++i) {
+    reentry_drop =
+        codel.ShouldDropOnDequeue(MakeContext(1.6 + i * 0.005, 0.050, 10));
+  }
+  ASSERT_TRUE(reentry_drop);
+  ASSERT_TRUE(codel.dropping());
+  // delta = episode-one count - lastcount(1), NOT count - 2 and NOT a
+  // restart from 1.
+  EXPECT_EQ(codel.drop_count(),
+            static_cast<std::uint32_t>(first_episode_drops - 1));
+}
+
+TEST(CodelTest, ReEntryRestartsAfterSixteenIntervals) {
+  Codel codel;
+  // Episode one: accumulate drops until t = 0.5.
+  int first_episode_drops = 0;
+  for (int i = 0; i * 0.005 < 0.5; ++i) {
+    if (codel.ShouldDropOnDequeue(MakeContext(i * 0.005, 0.050, 10))) {
+      ++first_episode_drops;
+    }
+  }
+  ASSERT_GE(first_episode_drops, 4);
+  codel.ShouldDropOnDequeue(MakeContext(0.5, 0.001, 10));
+  ASSERT_FALSE(codel.dropping());
+  // Far outside the 16-interval window (drop_next was ~0.5 s, re-entry
+  // lands ~4.1 s later): the control law restarts from count = 1.
+  bool reentry_drop = false;
+  for (int i = 0; !reentry_drop && i * 0.005 <= 0.12; ++i) {
+    reentry_drop =
+        codel.ShouldDropOnDequeue(MakeContext(4.5 + i * 0.005, 0.050, 10));
+  }
+  ASSERT_TRUE(reentry_drop);
+  EXPECT_EQ(codel.drop_count(), 1u);
+}
+
+// Independent transcription of the RFC 8289 Sec. 4 pseudocode (the
+// dodeque/deque pair), run in lock-step with Codel over a congestion /
+// recovery / congestion trace. Every decision must agree.
+struct CodelOracle {
+  double target = 0.005;
+  double interval = 0.100;
+  double first_above_time = 0.0;
+  double drop_next = 0.0;
+  std::uint32_t count = 0;
+  std::uint32_t lastcount = 0;
+  bool dropping = false;
+
+  double ControlLaw(double t) const {
+    return t + interval / std::sqrt(static_cast<double>(count));
+  }
+
+  bool Dequeue(double now, double sojourn, std::uint64_t queue_bytes,
+               std::uint64_t packet_bytes) {
+    bool ok_to_drop = false;
+    if (sojourn < target || queue_bytes <= packet_bytes) {
+      first_above_time = 0.0;
+    } else if (first_above_time == 0.0) {
+      first_above_time = now + interval;
+    } else if (now >= first_above_time) {
+      ok_to_drop = true;
+    }
+    if (dropping) {
+      if (!ok_to_drop) {
+        dropping = false;
+        return false;
+      }
+      if (now >= drop_next) {
+        ++count;
+        drop_next = ControlLaw(drop_next);
+        return true;
+      }
+      return false;
+    }
+    if (ok_to_drop) {
+      dropping = true;
+      const std::uint32_t delta = count - lastcount;
+      count = (delta > 1 && now - drop_next < 16.0 * interval) ? delta : 1;
+      lastcount = count;
+      drop_next = ControlLaw(now);
+      return true;
+    }
+    return false;
+  }
+};
+
+TEST(CodelTest, MatchesRfc8289OracleOverCongestionCycles) {
+  Codel codel;
+  CodelOracle oracle;
+  // Sojourn trace: three congestion episodes separated by recoveries of
+  // different lengths (the second recovery is long enough to expire the
+  // 16-interval re-entry window).
+  const auto sojourn_at = [](double t) {
+    if (t < 0.8) return 0.050;
+    if (t < 1.0) return 0.001;
+    if (t < 2.4) return 0.040;
+    if (t < 4.4) return 0.001;
+    return 0.060;
+  };
+  for (int i = 0; i < 1200; ++i) {
+    const double now = i * 0.005;
+    const double sojourn = sojourn_at(now);
+    const bool got =
+        codel.ShouldDropOnDequeue(MakeContext(now, sojourn, 10));
+    const bool want = oracle.Dequeue(now, sojourn, 10000, 1000);
+    ASSERT_EQ(got, want) << "decision diverged at t=" << now;
+    ASSERT_EQ(codel.drop_count(), oracle.count) << "count at t=" << now;
+  }
+  EXPECT_GT(oracle.count, 0u);
+}
+
 // ----------------------------------------------------------------- PIE
 
 TEST(PieTest, ConfigValidation) {
@@ -252,6 +391,272 @@ TEST(PieTest, ResetRestoresBurstAllowance) {
   }
   pie.Reset();
   EXPECT_EQ(pie.LastDropProbability(), 0.0);
+}
+
+// Straight-line transcription of RFC 8033 Sec. 5.2's periodic update
+// (per-update gain convention, as PieConfig documents): the auto-tuning
+// scale table, the PI step, the idle multiplicative decay, the clamp.
+// Used as a differential oracle for Pie's drop-probability sequence.
+struct PieUpdateOracle {
+  PieConfig config;
+  double p = 0.0;
+  double qdelay = 0.0;
+  double qdelay_old = 0.0;
+
+  void Update(std::uint64_t queue_bytes) {
+    qdelay =
+        static_cast<double>(queue_bytes) * 8.0 / config.drain_rate_bps;
+    double scale = 1.0;
+    if (p < 0.000001) {
+      scale = 1.0 / 2048.0;
+    } else if (p < 0.00001) {
+      scale = 1.0 / 512.0;
+    } else if (p < 0.0001) {
+      scale = 1.0 / 128.0;
+    } else if (p < 0.001) {
+      scale = 1.0 / 32.0;
+    } else if (p < 0.01) {
+      scale = 1.0 / 8.0;
+    } else if (p < 0.1) {
+      scale = 1.0 / 2.0;
+    }
+    double next = p;
+    next += scale * config.alpha * (qdelay - config.target_delay_s);
+    next += scale * config.beta * (qdelay - qdelay_old);
+    if (qdelay == 0.0 && qdelay_old == 0.0) {
+      next *= 0.98;  // RFC 8033: PIE_prob_decay while the queue is idle
+    }
+    p = std::clamp(next, 0.0, 1.0);
+    qdelay_old = qdelay;
+  }
+};
+
+TEST(PieTest, MatchesRfc8033OracleThroughCongestionAndIdle) {
+  PieConfig c;
+  Pie pie(c, 11);
+  PieUpdateOracle oracle{c};
+  double now = 0.0;
+  // First call only initialises the update clock.
+  pie.ShouldDropOnEnqueue(MakeContext(now, 0.0, 125, 125000));
+  const auto step = [&](std::uint64_t pkts, std::uint64_t bytes) {
+    now += 0.016;  // > update interval: exactly one update per call
+    pie.ShouldDropOnEnqueue(MakeContext(now, 0.0, pkts, bytes));
+    oracle.Update(bytes);
+  };
+  // 60 congested updates: 125 kB standing queue = 100 ms >> target.
+  for (int i = 0; i < 60; ++i) {
+    step(125, 125000);
+    ASSERT_NEAR(pie.LastDropProbability(), oracle.p, 1e-12)
+        << "congested update " << i;
+  }
+  // Idle updates: empty queue, zero delay estimate. The sequence only
+  // matches an oracle that applies the multiplicative idle decay.
+  for (int i = 0; i < 400; ++i) {
+    step(0, 0);
+    ASSERT_NEAR(pie.LastDropProbability(), oracle.p, 1e-12)
+        << "idle update " << i;
+  }
+  EXPECT_LT(pie.LastDropProbability(), 1e-4);
+}
+
+TEST(PieTest, IdleUpdatesDecayDropProbabilityMultiplicatively) {
+  PieConfig c;
+  Pie pie(c, 12);
+  double now = 0.0;
+  pie.ShouldDropOnEnqueue(MakeContext(now, 0.0, 125, 125000));
+  for (int i = 0; i < 60; ++i) {
+    now += 0.016;
+    pie.ShouldDropOnEnqueue(MakeContext(now, 0.0, 125, 125000));
+  }
+  ASSERT_GT(pie.LastDropProbability(), 0.1);
+  // First empty-queue update: the previous delay sample is nonzero, so
+  // this is the transition step (additive only).
+  now += 0.016;
+  pie.ShouldDropOnEnqueue(MakeContext(now, 0.0, 0, 0));
+  const double p1 = pie.LastDropProbability();
+  ASSERT_GT(p1, 0.1);  // scale = 1 territory for the next step
+  // Second consecutive idle update: RFC 8033 decays multiplicatively,
+  // p <- (p + alpha*(0 - target)) * 0.98. Without the decay the step
+  // misses by ~2% of p — far outside this tolerance.
+  now += 0.016;
+  pie.ShouldDropOnEnqueue(MakeContext(now, 0.0, 0, 0));
+  EXPECT_NEAR(pie.LastDropProbability(),
+              (p1 + c.alpha * (0.0 - c.target_delay_s)) * 0.98, 1e-9);
+  // And the decay drains the controller at the RFC's pace: below 1e-4
+  // within ~150 further idle updates from p ~ 0.4. The additive path
+  // alone (no decay) needs ~250+ updates from here.
+  int idle_updates = 2;
+  while (pie.LastDropProbability() >= 1e-4 && idle_updates < 400) {
+    now += 0.016;
+    pie.ShouldDropOnEnqueue(MakeContext(now, 0.0, 0, 0));
+    ++idle_updates;
+  }
+  EXPECT_LT(pie.LastDropProbability(), 1e-4);
+  EXPECT_LE(idle_updates, 200);
+}
+
+TEST(PieTest, BurstReArmsAfterControllerBacksOff) {
+  PieConfig c;
+  Pie pie(c, 13);
+  double now = 0.0;
+  pie.ShouldDropOnEnqueue(MakeContext(now, 0.0, 125, 125000));
+  // Exhaust the burst allowance and raise p under standing congestion.
+  for (int i = 0; i < 60; ++i) {
+    now += 0.016;
+    pie.ShouldDropOnEnqueue(MakeContext(now, 0.0, 125, 125000));
+  }
+  ASSERT_EQ(pie.burst_allowance_s(), 0.0);
+  ASSERT_GT(pie.LastDropProbability(), 0.1);
+  // Recovery with a *near*-empty queue: 100 bytes = 80 us of estimated
+  // delay — far below target/2 but never exactly zero, so a re-arm
+  // keyed on exact zero-delay equality would never fire. RFC 8033
+  // re-arms once p has fully backed off and both delay samples sit
+  // below target/2.
+  for (int i = 0; i < 2000 && pie.burst_allowance_s() == 0.0; ++i) {
+    now += 0.016;
+    pie.ShouldDropOnEnqueue(MakeContext(now, 0.0, 1, 100));
+  }
+  EXPECT_EQ(pie.LastDropProbability(), 0.0);
+  EXPECT_EQ(pie.burst_allowance_s(), c.max_burst_s);
+  // The restored allowance suppresses drops through the next burst.
+  now += 0.016;
+  EXPECT_FALSE(pie.ShouldDropOnEnqueue(MakeContext(now, 0.0, 125, 125000)));
+}
+
+// ----------------------------------------------------------------- PI2
+
+TEST(Pi2Test, ConfigValidation) {
+  Pi2Config c;
+  c.target_delay_s = 0.0;
+  EXPECT_THROW(Pi2(c, 1), std::invalid_argument);
+  c = Pi2Config{};
+  c.alpha = 0.0;
+  EXPECT_THROW(Pi2(c, 1), std::invalid_argument);
+  c = Pi2Config{};
+  c.coupling_k = 0.5;
+  EXPECT_THROW(Pi2(c, 1), std::invalid_argument);
+  c = Pi2Config{};
+  c.drain_rate_bps = 0.0;
+  EXPECT_THROW(Pi2(c, 1), std::invalid_argument);
+}
+
+// Straight-line RFC 9332 oracle: PI update on the base probability p'
+// with no gain-scale table, plus the idle decay dualpi2 keeps.
+struct Pi2UpdateOracle {
+  Pi2Config config;
+  double p = 0.0;  // p'
+  double qdelay = 0.0;
+  double qdelay_old = 0.0;
+
+  void Update(std::uint64_t queue_bytes) {
+    qdelay =
+        static_cast<double>(queue_bytes) * 8.0 / config.drain_rate_bps;
+    double next = p;
+    next += config.alpha * (qdelay - config.target_delay_s);
+    next += config.beta * (qdelay - qdelay_old);
+    if (qdelay == 0.0 && qdelay_old == 0.0) next *= 0.98;
+    p = std::clamp(next, 0.0, 1.0);
+    qdelay_old = qdelay;
+  }
+};
+
+TEST(Pi2Test, MatchesRfc9332CouplingOracle) {
+  Pi2Config c;
+  Pi2 pi2(c, 21);
+  Pi2UpdateOracle oracle{c};
+  double now = 0.0;
+  pi2.ShouldDropOnEnqueue(MakeContext(now, 0.0, 30, 30000));  // init
+  // Congestion ramp, then drain, then idle — the oracle must track p'
+  // through all three regimes, and the reported drop probability must be
+  // the squared coupling of it at every step.
+  const auto bytes_at = [](int i) -> std::uint64_t {
+    if (i < 50) return 60000;  // 48 ms delay at 10 Mb/s
+    if (i < 80) return 15000;  // 12 ms: below target, p' falls
+    return 0;                  // idle
+  };
+  for (int i = 0; i < 200; ++i) {
+    now += 0.017;  // > Tupdate (16 ms): one update per call
+    const std::uint64_t bytes = bytes_at(i);
+    pi2.ShouldDropOnEnqueue(MakeContext(now, 0.0, bytes / 1000, bytes));
+    oracle.Update(bytes);
+    ASSERT_NEAR(pi2.base_probability(), oracle.p, 1e-12) << "update " << i;
+    ASSERT_NEAR(pi2.LastDropProbability(), oracle.p * oracle.p, 1e-12);
+    ASSERT_NEAR(pi2.mark_probability_l4s(),
+                std::min(1.0, c.coupling_k * oracle.p), 1e-12);
+  }
+  EXPECT_LT(pi2.base_probability(), 1e-3);  // idle decay drained it
+}
+
+TEST(Pi2Test, SaturatedControllerDropsClassicAndMarksL4s) {
+  Pi2Config c;
+  Pi2 pi2(c, 22);
+  double now = 0.0;
+  pi2.ShouldDropOnEnqueue(MakeContext(now, 0.0, 500, 500000));
+  // 400 ms of standing delay saturates p' to 1 almost immediately.
+  for (int i = 0; i < 20; ++i) {
+    now += 0.017;
+    pi2.ShouldDropOnEnqueue(MakeContext(now, 0.0, 500, 500000));
+  }
+  ASSERT_DOUBLE_EQ(pi2.base_probability(), 1.0);
+  EXPECT_DOUBLE_EQ(pi2.LastDropProbability(), 1.0);
+  EXPECT_DOUBLE_EQ(pi2.mark_probability_l4s(), 1.0);
+  // Classic (non-ECN) path: certain drop. Scalable path: certain mark,
+  // never a drop — L4S sheds load by signalling, not by discarding.
+  AqmContext classic = MakeContext(now + 0.001, 0.0, 500, 500000);
+  EXPECT_EQ(pi2.DecideOnEnqueue(classic), AqmVerdict::kDrop);
+  AqmContext scalable = MakeContext(now + 0.002, 0.0, 500, 500000);
+  scalable.packet.ecn_capable = true;
+  EXPECT_EQ(pi2.DecideOnEnqueue(scalable), AqmVerdict::kMark);
+}
+
+TEST(Pi2Test, SquaredVsLinearCouplingFrequencies) {
+  Pi2Config c;
+  Pi2 pi2(c, 23);
+  double now = 0.0;
+  pi2.ShouldDropOnEnqueue(MakeContext(now, 0.0, 30, 30000));
+  // Drive p' to a mid value, then freeze it (calls within Tupdate do
+  // not update) and measure empirical drop/mark frequencies.
+  while (pi2.base_probability() < 0.25) {
+    now += 0.017;
+    pi2.ShouldDropOnEnqueue(MakeContext(now, 0.0, 60, 60000));
+  }
+  const double p = pi2.base_probability();
+  ASSERT_GT(p, 0.25);
+  ASSERT_LT(p, 0.6);
+  int drops = 0;
+  int marks = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    AqmContext ctx = MakeContext(now, 0.0, 60, 60000);  // same instant
+    if (pi2.DecideOnEnqueue(ctx) == AqmVerdict::kDrop) ++drops;
+    ctx.packet.ecn_capable = true;
+    if (pi2.DecideOnEnqueue(ctx) == AqmVerdict::kMark) ++marks;
+  }
+  EXPECT_DOUBLE_EQ(pi2.base_probability(), p);  // frozen, as intended
+  const double drop_freq = static_cast<double>(drops) / kTrials;
+  const double mark_freq = static_cast<double>(marks) / kTrials;
+  EXPECT_NEAR(drop_freq, p * p, 0.02);
+  EXPECT_NEAR(mark_freq, std::min(1.0, c.coupling_k * p), 0.02);
+}
+
+TEST(Pi2Test, TinyQueueProtectedAndResetClears) {
+  Pi2Config c;
+  Pi2 pi2(c, 24);
+  double now = 0.0;
+  pi2.ShouldDropOnEnqueue(MakeContext(now, 0.0, 500, 500000));
+  for (int i = 0; i < 20; ++i) {
+    now += 0.017;
+    pi2.ShouldDropOnEnqueue(MakeContext(now, 0.0, 500, 500000));
+  }
+  ASSERT_DOUBLE_EQ(pi2.base_probability(), 1.0);
+  // The <2 packet safeguard holds even at p' = 1 on both decide paths.
+  EXPECT_FALSE(pi2.ShouldDropOnEnqueue(MakeContext(now, 0.0, 1, 1000)));
+  EXPECT_EQ(pi2.DecideOnEnqueue(MakeContext(now, 0.0, 1, 1000)),
+            AqmVerdict::kAccept);
+  pi2.Reset();
+  EXPECT_EQ(pi2.base_probability(), 0.0);
+  EXPECT_EQ(pi2.LastDropProbability(), 0.0);
+  EXPECT_EQ(pi2.name(), "pi2");
 }
 
 // ------------------------------------------------------------- Analog

@@ -1,0 +1,224 @@
+// Tests for the AQM shoot-out experiment grid (experiment_grid.{hpp,cpp})
+// and the closed-loop packet-conservation invariant the grid relies on.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "analognf/aqm/pie.hpp"
+#include "analognf/sim/closed_loop.hpp"
+#include "analognf/sim/experiment_grid.hpp"
+
+namespace analognf::sim {
+namespace {
+
+// A grid small enough for unit tests: two digital policies, one RTT,
+// one congested load, two ECN fractions, short runs.
+GridSpec TinySpec() {
+  GridSpec spec;
+  spec.policies = {AqmPolicyKind::kPie, AqmPolicyKind::kRed};
+  spec.base_rtts_s = {0.020};
+  spec.loads = {{"hot", 1.3, 4}};
+  spec.ecn_fractions = {0.0, 1.0};
+  spec.open_duration_s = 2.0;
+  spec.open_warmup_s = 0.5;
+  spec.closed_duration_s = 2.0;
+  spec.closed_warmup_s = 0.5;
+  return spec;
+}
+
+TEST(GridSpecTest, ValidateRejectsBadAxes) {
+  GridSpec spec = TinySpec();
+  spec.policies.clear();
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+
+  spec = TinySpec();
+  spec.ecn_fractions = {1.5};
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+
+  spec = TinySpec();
+  spec.loads[0].label.clear();
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+
+  spec = TinySpec();
+  spec.loads[0].sources = 0;
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+
+  spec = TinySpec();
+  spec.open_warmup_s = spec.open_duration_s;
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+
+  spec = TinySpec();
+  spec.base_rtts_s = {0.0};
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+
+  EXPECT_NO_THROW(TinySpec().Validate());
+  EXPECT_NO_THROW(GridSpec::Default().Validate());
+}
+
+TEST(GridSpecTest, DefaultGridMeetsShootoutFloor) {
+  const GridSpec spec = GridSpec::Default();
+  // The ISSUE floor: >= 3 policies x >= 2 RTTs x >= 2 loads x >= 2 ECN
+  // fractions, on both simulators.
+  EXPECT_GE(spec.policies.size(), 3u);
+  EXPECT_GE(spec.base_rtts_s.size(), 2u);
+  EXPECT_GE(spec.loads.size(), 2u);
+  EXPECT_GE(spec.ecn_fractions.size(), 2u);
+  EXPECT_EQ(spec.CellCount(), spec.policies.size() *
+                                  spec.base_rtts_s.size() *
+                                  spec.loads.size() *
+                                  spec.ecn_fractions.size() * 2);
+}
+
+TEST(GridTest, RunsEveryCellWithPopulatedMetrics) {
+  ExperimentGrid grid(TinySpec());
+  std::size_t callbacks = 0;
+  grid.SetCellCallback([&](const GridCellResult&) { ++callbacks; });
+  const GridReport report = grid.Run();
+
+  EXPECT_EQ(report.cells.size(), TinySpec().CellCount());
+  EXPECT_EQ(callbacks, report.cells.size());
+  for (const GridCellResult& cell : report.cells) {
+    SCOPED_TRACE(std::string(ToString(cell.policy)) + "/" +
+                 ToString(cell.simulator));
+    EXPECT_GE(cell.adherence, 0.0);
+    EXPECT_LE(cell.adherence, 1.0);
+    EXPECT_GE(cell.p99_sojourn_s, cell.p50_sojourn_s);
+    EXPECT_GE(cell.utilization, 0.0);
+    EXPECT_LE(cell.utilization, 1.0);
+    EXPECT_GT(cell.fairness, 0.0);
+    EXPECT_LE(cell.fairness, 1.0 + 1e-12);
+    EXPECT_GT(cell.offered_packets, 0u);
+    EXPECT_GT(cell.delivered_packets, 0u);
+    EXPECT_LE(cell.delivered_packets, cell.offered_packets);
+    // Digital policies are metered through the data-movement harness:
+    // every cell must report decisions and a nonzero energy figure.
+    EXPECT_GT(cell.decisions, 0u);
+    EXPECT_GT(cell.energy_nj_per_decision, 0.0);
+  }
+  // At 1.3x offered load the open-loop cells must be shedding traffic.
+  for (const GridCellResult& cell : report.cells) {
+    if (cell.simulator == GridSimulator::kOpenLoop &&
+        cell.ecn_fraction == 0.0) {
+      EXPECT_GT(cell.drop_rate, 0.0);
+    }
+  }
+}
+
+TEST(GridTest, DeterministicAcrossRuns) {
+  const GridReport a = ExperimentGrid(TinySpec()).Run();
+  const GridReport b = ExperimentGrid(TinySpec()).Run();
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].adherence, b.cells[i].adherence) << i;
+    EXPECT_EQ(a.cells[i].offered_packets, b.cells[i].offered_packets) << i;
+    EXPECT_EQ(a.cells[i].dropped_packets, b.cells[i].dropped_packets) << i;
+    EXPECT_EQ(a.cells[i].marked_packets, b.cells[i].marked_packets) << i;
+    EXPECT_EQ(a.cells[i].energy_nj_per_decision,
+              b.cells[i].energy_nj_per_decision)
+        << i;
+  }
+}
+
+TEST(GridTest, EcnAxisChangesMarkBehaviour) {
+  const GridReport report = ExperimentGrid(TinySpec()).Run();
+  for (const GridCellResult& cell : report.cells) {
+    if (cell.ecn_fraction == 0.0) {
+      EXPECT_EQ(cell.marked_packets, 0u)
+          << ToString(cell.policy) << "/" << ToString(cell.simulator);
+    }
+  }
+  // PIE at full ECN marks instead of dropping below mark_ecnth; at 1.3x
+  // load on either simulator some marks must appear.
+  bool pie_marked = false;
+  for (const GridCellResult& cell : report.cells) {
+    if (cell.policy == AqmPolicyKind::kPie && cell.ecn_fraction == 1.0 &&
+        cell.marked_packets > 0) {
+      pie_marked = true;
+    }
+  }
+  EXPECT_TRUE(pie_marked);
+}
+
+TEST(GridTest, AnalogCellsReportLedgerEnergy) {
+  GridSpec spec = TinySpec();
+  spec.policies = {AqmPolicyKind::kAnalog, AqmPolicyKind::kPie};
+  spec.ecn_fractions = {0.5};
+  const GridReport report = ExperimentGrid(spec).Run();
+  double analog_nj = 0.0;
+  double pie_nj = 0.0;
+  for (const GridCellResult& cell : report.cells) {
+    if (cell.policy == AqmPolicyKind::kAnalog) {
+      EXPECT_GT(cell.decisions, 0u);
+      EXPECT_GT(cell.energy_nj_per_decision, 0.0);
+      analog_nj += cell.energy_nj_per_decision;
+    } else {
+      pie_nj += cell.energy_nj_per_decision;
+    }
+  }
+  // The paper's point, as a regression: analog per-decision energy sits
+  // well below the digital controller's data-movement cost.
+  EXPECT_LT(analog_nj, pie_nj);
+
+  // Margin accessors are wired to the same cells.
+  const double analog_adh = report.MeanAdherence(
+      AqmPolicyKind::kAnalog, GridSimulator::kOpenLoop, "hot");
+  const double pie_adh = report.MeanAdherence(
+      AqmPolicyKind::kPie, GridSimulator::kOpenLoop, "hot");
+  ASSERT_GE(analog_adh, 0.0);
+  ASSERT_GE(pie_adh, 0.0);
+  EXPECT_DOUBLE_EQ(
+      report.AdherenceMargin(GridSimulator::kOpenLoop, "hot"),
+      analog_adh - pie_adh);
+  EXPECT_EQ(report.MeanAdherence(AqmPolicyKind::kPie,
+                                 GridSimulator::kOpenLoop, "no-such-load"),
+            -1.0);
+}
+
+TEST(GridTest, PolicyKindNames) {
+  EXPECT_STREQ(ToString(AqmPolicyKind::kAnalog), "analog");
+  EXPECT_STREQ(ToString(AqmPolicyKind::kPi2), "pi2");
+  EXPECT_STREQ(ToString(GridSimulator::kOpenLoop), "open_loop");
+  EXPECT_STREQ(ToString(GridSimulator::kClosedLoop), "closed_loop");
+  EXPECT_FALSE(IsDigital(AqmPolicyKind::kAnalog));
+  EXPECT_FALSE(IsDigital(AqmPolicyKind::kTailDrop));
+  EXPECT_TRUE(IsDigital(AqmPolicyKind::kPie));
+  EXPECT_TRUE(IsDigital(AqmPolicyKind::kCodel));
+}
+
+// ------------------------------------------------- conservation invariant
+
+// Every offered packet must be accounted for at the end of a closed-loop
+// run: delivered, dropped (AQM or tail), or still sitting in the queue.
+// Holds exactly at every ECN fraction — marking must never lose packets.
+TEST(ClosedLoopConservationTest, OfferedEqualsDeliveredPlusDroppedPlusResidual) {
+  for (double ecn : {0.0, 0.5, 1.0}) {
+    SCOPED_TRACE(ecn);
+    ClosedLoopConfig config;
+    config.sources = 6;
+    config.base_rtt_s = 0.030;
+    config.ecn_fraction = ecn;
+    config.duration_s = 6.0;
+    config.warmup_s = 1.0;
+    config.queue.max_bytes = 40000;
+
+    aqm::PieConfig pc;
+    pc.drain_rate_bps = config.link_rate_bps;
+    aqm::Pie pie(pc, 77);
+
+    ClosedLoopSimulator simulator(config, pie);
+    const ClosedLoopReport report = simulator.Run();
+    EXPECT_GT(report.offered_packets, 0u);
+    EXPECT_EQ(report.offered_packets,
+              report.delivered_packets + report.dropped_packets +
+                  report.residual_packets);
+    // Utilization is a fraction of capacity by contract.
+    const double util =
+        report.LinkUtilization(config.link_rate_bps, config.segment_bytes);
+    EXPECT_GE(util, 0.0);
+    EXPECT_LE(util, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace analognf::sim
